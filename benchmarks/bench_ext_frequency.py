@@ -1,0 +1,22 @@
+"""Bench ext-frequency: the full SLURM frequency sweep incl. 1.5 GHz."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import ext_frequency
+
+
+def test_ext_frequency(benchmark):
+    result = benchmark(ext_frequency.run)
+    attach_result(benchmark, result)
+    # Paper: 1.5 GHz inflates runtime at roughly fixed energy; 2.25 GHz
+    # trades ~5% runtime for ~20% energy.
+    assert result.metric("low_runtime_ratio") > 1.05
+    assert abs(result.metric("low_energy_ratio") - 1.0) < 0.10
+    assert 0.90 <= result.metric("high_runtime_ratio") < 1.0
+    assert result.metric("high_energy_ratio") > 1.10
+
+
+def test_ext_frequency_highmem(benchmark):
+    """The same sweep on high-memory nodes (paper: 20-40% premium)."""
+    result = benchmark(ext_frequency.run, node_type="highmem")
+    attach_result(benchmark, result)
+    assert result.metric("high_energy_ratio") > 1.10

@@ -1,0 +1,17 @@
+"""Bench ext-fusion: the diagonal-ladder fusion ablation."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import ext_fusion
+
+
+def test_ext_fusion(benchmark):
+    result = benchmark(ext_fusion.run)
+    attach_result(benchmark, result)
+    # Fusion collapses the QFT's quadratic local work: large wins on top
+    # of both the built-in and the cache-blocked circuit.
+    assert result.metric("builtin_fusion_runtime") < result.metric(
+        "builtin_runtime"
+    )
+    assert result.metric("fast_fusion_runtime") < 0.6 * result.metric(
+        "fast_runtime"
+    )

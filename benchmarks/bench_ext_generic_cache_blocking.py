@@ -1,0 +1,23 @@
+"""Bench ext-generic-cb: the generic cache-blocking transpiler pass."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import ext_generic_cb
+
+
+def test_ext_generic_cache_blocking(benchmark):
+    # Verification (dense simulation) dominates; benchmark the pass only.
+    result = benchmark(ext_generic_cb.run, verify=False)
+    attach_result(benchmark, result)
+    for name in ("qft", "qpe", "random", "random_no_swaps"):
+        assert result.metric(f"{name}_after") <= result.metric(f"{name}_before")
+    # The QFT recovers the hand-blocked count: d distributed swaps.
+    assert result.metric("qft_after") == 3  # 10 qubits, 7 local
+
+
+def test_ext_generic_cache_blocking_verified(benchmark):
+    """Same run with numeric equivalence checking included."""
+    result = benchmark.pedantic(
+        ext_generic_cb.run, kwargs={"verify": True}, rounds=1, iterations=1
+    )
+    attach_result(benchmark, result)
+    assert all(row[-1] == "yes" for row in result.rows)

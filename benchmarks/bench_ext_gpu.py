@@ -1,0 +1,19 @@
+"""Bench ext-gpu: the §4 multi-GPU projection."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import ext_gpu
+
+
+def test_ext_gpu(benchmark):
+    result = benchmark(ext_gpu.run)
+    attach_result(benchmark, result)
+    # GPUs win on runtime and energy at every matched size, and are
+    # more communication-dominated (the case for cache blocking grows).
+    for n in (36, 38, 40, 42):
+        assert result.metric(f"gpu_speedup_{n}q") > 3.0
+        assert result.metric(f"gpu_energy_{n}q") < result.metric(
+            f"archer2_energy_{n}q"
+        )
+        assert result.metric(f"gpu_mpi_{n}q") > result.metric(
+            f"archer2_mpi_{n}q"
+        )

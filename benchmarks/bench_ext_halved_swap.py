@@ -1,0 +1,20 @@
+"""Bench ext-halved-swap: the paper's §4 future-work optimisation."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import ext_halved_swap
+
+
+def test_ext_halved_swap(benchmark):
+    result = benchmark(ext_halved_swap.run)
+    attach_result(benchmark, result)
+    # Communication halves on the SWAP-only circuit.
+    assert result.metric("volume_halved_44q") * 2 == result.metric(
+        "volume_full_44q"
+    )
+    assert result.metric("runtime_halved_44q") < result.metric(
+        "runtime_full_44q"
+    )
+    # 45 qubits become feasible on 4,096 standard nodes.
+    assert result.metric("fits_full_45q") == 0.0
+    assert result.metric("fits_halved_45q") == 1.0
+    assert result.metric("min_nodes_45q_halved") == 4096

@@ -1,0 +1,17 @@
+"""Bench ext-layout: separate re/im arrays vs complex128 (host-measured)."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import ext_layout
+
+
+def test_ext_layout(benchmark):
+    result = benchmark.pedantic(
+        ext_layout.run, kwargs={"num_qubits": 14, "repeats": 2},
+        rounds=2, iterations=1,
+    )
+    attach_result(benchmark, result)
+    # Both layouts must agree numerically; the ratio is whatever this
+    # host says it is (the experiment's whole point).
+    assert result.metric("states_agree") == 1.0
+    assert result.metric("soa_time") > 0
+    assert result.metric("complex_time") > 0

@@ -1,0 +1,19 @@
+"""Bench ext-overlap: exchange/update overlap ablation."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import ext_overlap
+
+
+def test_ext_overlap(benchmark):
+    result = benchmark(ext_overlap.run)
+    attach_result(benchmark, result)
+    # Overlap never hurts; the headline headroom comes from halved SWAPs.
+    assert result.metric("fast_overlap_runtime") <= result.metric(
+        "fast_runtime"
+    )
+    assert result.metric("builtin_overlap_runtime") <= result.metric(
+        "builtin_runtime"
+    )
+    assert result.metric("fast_overlap_halved_runtime") < 0.9 * result.metric(
+        "fast_runtime"
+    )

@@ -1,0 +1,18 @@
+"""Bench ext-precision: single vs double precision fidelity."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import ext_precision
+
+
+def test_ext_precision(benchmark):
+    result = benchmark.pedantic(
+        ext_precision.run,
+        kwargs={"num_qubits": 10, "depths": (50, 400, 1600)},
+        rounds=2,
+        iterations=1,
+    )
+    attach_result(benchmark, result)
+    # Single precision stays usable (infidelity far below 1) but is
+    # measurably worse than double at depth.
+    assert result.metric("random_1600_infidelity") < 1e-4
+    assert result.metric("qft_infidelity") < 1e-6

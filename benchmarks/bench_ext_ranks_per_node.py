@@ -1,0 +1,16 @@
+"""Bench ext-ranks-per-node: MPI packing ablation."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import ext_ranks_per_node
+
+
+def test_ext_ranks_per_node(benchmark):
+    result = benchmark(ext_ranks_per_node.run)
+    attach_result(benchmark, result)
+    # The QFT is roughly packing-neutral (the paper's 1 rank/node holds
+    # up); no packing should beat it by more than a few percent or lose
+    # by more than ~10%.
+    r1 = result.metric("runtime_rpn1")
+    for rpn in (2, 4, 8):
+        ratio = result.metric(f"runtime_rpn{rpn}") / r1
+        assert 0.95 < ratio < 1.10

@@ -1,0 +1,13 @@
+"""Bench ext-scaling: strong scaling of a fixed register."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import ext_scaling
+
+
+def test_ext_scaling(benchmark):
+    result = benchmark(ext_scaling.run)
+    attach_result(benchmark, result)
+    # More nodes: faster wall time but decaying parallel efficiency.
+    assert result.metric("runtime_4096") < result.metric("runtime_64")
+    assert result.metric("efficiency_4096") < result.metric("efficiency_128")
+    assert result.metric("efficiency_128") <= 1.05

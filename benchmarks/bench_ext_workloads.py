@@ -1,0 +1,17 @@
+"""Bench ext-workloads: the algorithm-family zoo."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import ext_workloads
+
+
+def test_ext_workloads(benchmark):
+    result = benchmark.pedantic(ext_workloads.run, rounds=2, iterations=1)
+    attach_result(benchmark, result)
+    # Cache blocking never loses, and pays most where pairing clusters.
+    for name in ("qft", "grover", "tfim", "random"):
+        assert result.metric(f"{name}_saved") >= -0.01
+        assert result.metric(f"{name}_fast_runtime") <= result.metric(
+            f"{name}_base_runtime"
+        ) * 1.01
+    assert result.metric("random_saved") > result.metric("tfim_saved")
+    assert result.metric("qft_saved") > result.metric("tfim_saved")

@@ -1,0 +1,23 @@
+"""Bench fig1: regenerate the circuit diagrams of figure 1."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import fig1_circuits
+
+
+def test_fig1_circuits(benchmark):
+    result = benchmark(fig1_circuits.run)
+    attach_result(benchmark, result)
+    assert result.metric("circuits_equal") == 1.0
+    assert result.metric("all_hadamards_local") == 1.0
+    assert result.metric("distributed_blocked") * 2 == result.metric(
+        "distributed_standard"
+    )
+
+
+def test_fig1_at_paper_scale_structure(benchmark):
+    """The same structural facts at the 44-qubit / 32-local shape
+    (diagram drawing skipped above the drawer's width cap)."""
+    result = benchmark(fig1_circuits.run, num_qubits=12, local_qubits=8)
+    attach_result(benchmark, result)
+    assert result.metric("distributed_blocked") == 4
+    assert result.metric("distributed_standard") == 8

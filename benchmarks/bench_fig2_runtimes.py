@@ -1,0 +1,15 @@
+"""Bench fig2: the QFT runtime-vs-qubits sweep across setups."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import fig2_runtimes
+
+
+def test_fig2_runtimes(benchmark):
+    result = benchmark(fig2_runtimes.run)
+    attach_result(benchmark, result)
+    # Paper shapes: partitions truncate where the paper's did, and
+    # high-memory is slower but less than twice as slow.
+    assert result.metric("highmem_max_qubits") == 41
+    assert result.metric("standard_max_qubits") == 44
+    assert 1.3 < result.metric("highmem_slowdown_min")
+    assert result.metric("highmem_slowdown_max") < 2.0

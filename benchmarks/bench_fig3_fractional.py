@@ -1,0 +1,15 @@
+"""Bench fig3: fractional runtime/energy vs the ARCHER2 default setup."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import fig3_fractional
+
+
+def test_fig3_fractional(benchmark):
+    result = benchmark(fig3_fractional.run)
+    attach_result(benchmark, result)
+    # Paper shapes: high frequency is a few percent faster at a ~20-25%
+    # energy premium; high-memory nodes cost more time but fewer CUs.
+    assert 0.90 <= result.metric("high_freq_runtime_ratio") <= 0.97
+    assert 1.12 <= result.metric("high_freq_energy_ratio") <= 1.30
+    assert result.metric("highmem_runtime_ratio") < 2.2
+    assert result.metric("highmem_cu_ratio") < 1.0

@@ -1,0 +1,23 @@
+"""Bench fig4: the SWAP benchmark energy grid."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import fig4_swap
+
+
+def test_fig4_swap(benchmark):
+    result = benchmark(fig4_swap.run)
+    attach_result(benchmark, result)
+    # Paper ranges: blocking 9.0-9.75 s / 180-195 kJ; non-blocking
+    # 8.25-9.0 s / 160-180 kJ (we allow ~5% slack on the low edges).
+    assert 8.5 <= result.metric("blocking_time_min")
+    assert result.metric("blocking_time_max") <= 9.75
+    assert result.metric("nonblocking_time_max") <= 9.0
+    assert 150e3 <= result.metric("nonblocking_energy_min")
+    assert result.metric("blocking_energy_max") <= 195e3
+
+
+def test_fig4_swap_halved(benchmark):
+    """The same grid under the future-work halved-SWAP exchange."""
+    result = benchmark(fig4_swap.run, halved_swaps=True)
+    attach_result(benchmark, result)
+    assert result.metric("blocking_time_max") < 6.0

@@ -1,0 +1,66 @@
+"""Microbenchmarks of the simulated MPI layer itself."""
+
+import numpy as np
+
+from repro.mpi import CommMode, SimComm, exchange_arrays
+from repro.mpi.collectives import allgather, allreduce, bcast
+
+
+def test_exchange_throughput(benchmark):
+    buf_a = np.random.default_rng(0).normal(size=2**16).astype(np.complex128)
+    buf_b = -buf_a
+
+    def run():
+        comm = SimComm(2)
+        return exchange_arrays(
+            comm, 0, buf_a, 1, buf_b, mode=CommMode.NONBLOCKING
+        )
+
+    ra, rb = benchmark(run)
+    assert np.allclose(ra, buf_b)
+
+
+def test_chunked_blocking_exchange(benchmark):
+    buf_a = np.random.default_rng(1).normal(size=2**16).astype(np.complex128)
+    buf_b = -buf_a
+    max_message = buf_a.nbytes // 16
+
+    def run():
+        comm = SimComm(2)
+        return exchange_arrays(
+            comm, 0, buf_a, 1, buf_b,
+            mode=CommMode.BLOCKING, max_message=max_message,
+        )
+
+    ra, _ = benchmark(run)
+    assert np.allclose(ra, buf_b)
+
+
+def test_allreduce_64_ranks(benchmark):
+    payloads = [np.full(8, float(r)) for r in range(64)]
+
+    def run():
+        return allreduce(SimComm(64), payloads)
+
+    out = benchmark(run)
+    assert np.allclose(out[0], np.full(8, sum(range(64))))
+
+
+def test_bcast_64_ranks(benchmark):
+    data = np.arange(64.0)
+
+    def run():
+        return bcast(SimComm(64), data)
+
+    out = benchmark(run)
+    assert np.allclose(out[-1], data)
+
+
+def test_allgather_32_ranks(benchmark):
+    payloads = [np.array([float(r)]) for r in range(32)]
+
+    def run():
+        return allgather(SimComm(32), payloads)
+
+    out = benchmark(run)
+    assert np.allclose(out[0], np.arange(32.0))

@@ -1,0 +1,82 @@
+"""Microbenchmarks of the numeric simulator itself.
+
+These time the *actual* Python/NumPy kernels (not the ARCHER2 model):
+gate-application throughput on a 2**20-amplitude state, the distributed
+executor's end-to-end rate, and the planner's paper-scale cost.
+"""
+
+import numpy as np
+
+from repro.circuits import qft_circuit, random_state
+from repro.gates import Gate
+from repro.machine import CpuFrequency, STANDARD_NODE
+from repro.perfmodel import RunConfiguration, trace_circuit
+from repro.statevector import (
+    DenseStatevector,
+    DistributedStatevector,
+    Partition,
+)
+from repro.statevector import gate_kernels as kernels
+
+N_BENCH = 20  # 2**20 amplitudes = 16 MiB
+
+
+def test_kernel_hadamard_low_qubit(benchmark):
+    amps = random_state(N_BENCH, seed=1).copy()
+    matrix = Gate.named("h", (0,)).matrix()
+    benchmark(kernels.apply_matrix, amps, matrix, (0,))
+    assert np.isfinite(amps).all()
+
+
+def test_kernel_hadamard_high_qubit(benchmark):
+    amps = random_state(N_BENCH, seed=2).copy()
+    matrix = Gate.named("h", (0,)).matrix()
+    benchmark(kernels.apply_matrix, amps, matrix, (N_BENCH - 1,))
+    assert np.isfinite(amps).all()
+
+
+def test_kernel_controlled_phase(benchmark):
+    amps = random_state(N_BENCH, seed=3).copy()
+    diag = np.diag(Gate.named("p", (0,), params=(0.3,)).matrix())
+    benchmark(kernels.apply_diagonal, amps, diag, (5,), (9,))
+    assert np.isfinite(amps).all()
+
+
+def test_kernel_local_swap(benchmark):
+    amps = random_state(N_BENCH, seed=4).copy()
+    benchmark(kernels.apply_swap_local, amps, 2, N_BENCH - 1)
+    assert np.isfinite(amps).all()
+
+
+def test_dense_qft_16_qubits(benchmark):
+    def run():
+        sim = DenseStatevector.zero_state(16)
+        sim.apply_circuit(qft_circuit(16))
+        return sim
+
+    sim = benchmark(run)
+    assert np.isclose(sim.norm(), 1.0)
+
+
+def test_distributed_qft_12_qubits_8_ranks(benchmark):
+    circuit = qft_circuit(12)
+
+    def run():
+        state = DistributedStatevector.zero_state(12, 8)
+        state.apply_circuit(circuit)
+        return state
+
+    state = benchmark(run)
+    assert np.isclose(state.norm(), 1.0)
+
+
+def test_model_executor_paper_scale(benchmark):
+    """Planning the 44-qubit / 4,096-rank QFT (no amplitudes touched)."""
+    circuit = qft_circuit(44)
+    config = RunConfiguration(
+        partition=Partition(44, 4096),
+        node_type=STANDARD_NODE,
+        frequency=CpuFrequency.MEDIUM,
+    )
+    trace = benchmark(trace_circuit, circuit, config)
+    assert len(trace) == len(circuit)

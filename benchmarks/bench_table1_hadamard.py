@@ -1,0 +1,27 @@
+"""Bench tab1: the Hadamard benchmark rows (qubits 29-32, both modes)."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import table1_hadamard
+
+
+def test_table1_hadamard(benchmark):
+    result = benchmark(table1_hadamard.run)
+    attach_result(benchmark, result)
+    # Paper: 9.63 s / 191 kJ blocking, 8.82 s / 179 kJ non-blocking at
+    # qubit 32; ~20x the local cost; NUMA ramp below the threshold.
+    assert abs(result.metric("blocking_time_q32") - 9.63) < 1.0
+    assert abs(result.metric("nonblocking_time_q32") - 8.82) < 0.9
+    assert abs(result.metric("blocking_energy_q32") - 191e3) < 20e3
+    assert 15 < result.metric("distributed_over_local") < 25
+    assert (
+        result.metric("blocking_time_q29")
+        < result.metric("blocking_time_q30")
+        < result.metric("blocking_time_q31")
+    )
+
+
+def test_table1_full_curve(benchmark):
+    """The whole 0..37 target sweep (the data behind the table)."""
+    result = benchmark(table1_hadamard.run, qubits=tuple(range(0, 38, 4)))
+    attach_result(benchmark, result)
+    assert result.metric("local_time") < 0.6

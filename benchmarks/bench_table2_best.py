@@ -1,0 +1,31 @@
+"""Bench tab2: the headline 43/44-qubit built-in vs fast runs."""
+
+from benchmarks.conftest import attach_result
+from repro.experiments import table2_best
+
+
+def test_table2_best(benchmark):
+    result = benchmark(table2_best.run)
+    attach_result(benchmark, result)
+    # Paper: 35%/40% runtime and 30%/35% energy improvements.
+    assert 0.30 <= result.metric("runtime_improvement_43q") <= 0.45
+    assert 0.30 <= result.metric("runtime_improvement_44q") <= 0.45
+    assert 0.25 <= result.metric("energy_saving_43q") <= 0.40
+    assert 0.25 <= result.metric("energy_saving_44q") <= 0.40
+    # Absolute runtimes within 15% of the paper's.
+    assert abs(result.metric("builtin_runtime_44q") - 476) / 476 < 0.15
+    assert abs(result.metric("fast_runtime_44q") - 285) / 285 < 0.15
+    # The biggest saving is in the 233 MJ ballpark.
+    assert 150e6 < result.metric("energy_saved_j_44q") < 320e6
+
+
+def test_table2_with_halved_swaps(benchmark):
+    """Table 2 under the future-work halved exchanges: the fast variant
+    (SWAP-only communication) gains the most."""
+    result = benchmark(table2_best.run, halved_swaps=True)
+    attach_result(benchmark, result)
+    full = table2_best.run()
+    assert result.metric("fast_runtime_44q") < 0.9 * full.metric(
+        "fast_runtime_44q"
+    )
+    assert result.metric("runtime_improvement_44q") > 0.30

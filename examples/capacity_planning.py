@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Capacity planning: how big a register fits, and at what cost.
+
+Reproduces the paper's §3.1 sizing facts (33 qubits on one node, the
+jump to 4 nodes at 34, the 41-qubit high-memory ceiling, 44 qubits on
+4,096 nodes) and the §4 projection that halved-communication SWAPs
+unlock 45 qubits on ARCHER2.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.circuits import builtin_qft_circuit
+from repro.core import RunOptions, SimulationRunner
+from repro.errors import AllocationError
+from repro.machine import (
+    HALVED_BUFFER_FACTOR,
+    HIGHMEM_NODE,
+    STANDARD_NODE,
+    archer2,
+    max_qubits,
+    minimum_nodes,
+)
+from repro.utils.tables import render_table
+from repro.utils.units import format_bytes
+
+
+def sizing_table() -> None:
+    machine = archer2()
+    rows = []
+    for n in range(33, 46):
+        row = [n, format_bytes(16 * 2**n)]
+        for node_type in (STANDARD_NODE, HIGHMEM_NODE):
+            try:
+                row.append(minimum_nodes(n, node_type, machine=machine))
+            except AllocationError:
+                row.append("-")
+        try:
+            row.append(
+                minimum_nodes(
+                    n,
+                    STANDARD_NODE,
+                    machine=machine,
+                    buffer_factor=HALVED_BUFFER_FACTOR,
+                )
+            )
+        except AllocationError:
+            row.append("-")
+        rows.append(row)
+    print(
+        render_table(
+            ["qubits", "statevector", "standard", "highmem", "std+halved"],
+            rows,
+            title="Minimum ARCHER2 nodes per register (power-of-two ranks, "
+            "MPI buffer doubling, single-node exception)",
+        )
+    )
+    print()
+    machine = archer2()
+    print(
+        f"ceilings: standard {max_qubits(STANDARD_NODE, machine)} qubits, "
+        f"highmem {max_qubits(HIGHMEM_NODE, machine)} qubits, "
+        f"standard with halved-SWAP buffers "
+        f"{max_qubits(STANDARD_NODE, machine, buffer_factor=HALVED_BUFFER_FACTOR)} qubits"
+    )
+
+
+def forty_five_qubit_projection() -> None:
+    """Price the run the paper says becomes possible."""
+    runner = SimulationRunner()
+    report = runner.run(
+        builtin_qft_circuit(45),
+        RunOptions(halved_swaps=True).fast(),
+    )
+    print()
+    print("projected 45-qubit fast QFT (halved-SWAP buffers):")
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    sizing_table()
+    forty_five_qubit_projection()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The paper's energy study, as a user would run it.
+
+Sweeps register sizes across the four node-type x frequency setups of
+figs. 2-3, prints the runtime/energy/CU grid and the fractional
+comparison against ARCHER2's defaults, and closes with the full
+frequency axis (including the 1.5 GHz setting the paper omits from its
+figures).
+
+Run:  python examples/energy_study.py [max_qubits]
+"""
+
+import sys
+
+from repro.circuits import builtin_qft_circuit
+from repro.core import SimulationRunner, relative_to_baseline, sweep_qft_setups
+from repro.experiments import ext_frequency
+from repro.utils.tables import render_table
+
+
+def main(max_qubits: int = 40) -> None:
+    runner = SimulationRunner()
+    points = sweep_qft_setups(
+        builtin_qft_circuit, range(33, max_qubits + 1), runner=runner
+    )
+
+    rows = []
+    for p in points:
+        if p.report is None:
+            rows.append([p.setup.label, p.num_qubits, "-", "-", "-", "-"])
+            continue
+        rows.append(
+            [
+                p.setup.label,
+                p.num_qubits,
+                p.report.num_nodes,
+                f"{p.report.runtime_s:.1f}",
+                f"{p.report.energy_j / 1e6:.2f}",
+                f"{p.report.cu:.1f}",
+            ]
+        )
+    print(
+        render_table(
+            ["setup", "qubits", "nodes", "runtime [s]", "energy [MJ]", "CU"],
+            rows,
+            title="QFT at minimum nodes per setup (fig. 2)",
+        )
+    )
+
+    print()
+    ratios = relative_to_baseline(points)
+    rows = [
+        [label, n, f"{r['runtime']:.3f}", f"{r['energy']:.3f}", f"{r['cu']:.3f}"]
+        for (label, n), r in sorted(ratios.items())
+        if label != "standard/2GHz"
+    ]
+    print(
+        render_table(
+            ["setup", "qubits", "runtime ratio", "energy ratio", "CU ratio"],
+            rows,
+            title="Relative to the default standard/2.00 GHz setup (fig. 3)",
+        )
+    )
+
+    print()
+    print(ext_frequency.run(num_qubits=min(max_qubits, 40)).render())
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Profile a run: where do the seconds and joules go?
+
+Builds the paper's three section-3.2 workloads, prices each on the
+64-node configuration, and prints the optimiser's view: the by-gate-kind
+cost breakdown, the most expensive individual gates, and the fig. 5
+profile bars -- then exports a per-gate timeline as CSV.
+
+Run:  python examples/profile_a_run.py [out.csv]
+"""
+
+import sys
+
+from repro.circuits import (
+    builtin_qft_circuit,
+    cache_blocked_qft_circuit,
+    hadamard_benchmark,
+)
+from repro.machine import CpuFrequency, STANDARD_NODE
+from repro.mpi import CommMode
+from repro.perfmodel import (
+    RunConfiguration,
+    cost_trace,
+    profile_trace,
+    render_breakdown,
+    timeline_csv,
+    top_gates,
+    trace_circuit,
+)
+from repro.statevector import Partition
+from repro.utils.ascii_plot import stacked_bar
+
+
+def main(csv_path: str | None = None) -> None:
+    workloads = [
+        ("hadamard q37", hadamard_benchmark(38, 37), CommMode.BLOCKING),
+        ("builtin QFT", builtin_qft_circuit(38), CommMode.BLOCKING),
+        ("blocked QFT", cache_blocked_qft_circuit(38, 32), CommMode.NONBLOCKING),
+    ]
+    bars = {}
+    costed_qft = None
+    for name, circuit, mode in workloads:
+        config = RunConfiguration(
+            partition=Partition(38, 64),
+            node_type=STANDARD_NODE,
+            frequency=CpuFrequency.MEDIUM,
+            comm_mode=mode,
+        )
+        costed = cost_trace(trace_circuit(circuit, config))
+        prof = profile_trace(costed)
+        bars[name] = {
+            "MPI": prof.mpi_fraction,
+            "memory": prof.memory_fraction,
+            "compute": prof.compute_fraction,
+        }
+        if name == "builtin QFT":
+            costed_qft = costed
+
+    print(
+        stacked_bar(
+            bars,
+            title="fig. 5 profiles (38 qubits, 64 nodes)",
+            symbols={"MPI": "#", "memory": "=", "compute": "."},
+        )
+    )
+    print()
+    print(render_breakdown(costed_qft))
+    print()
+    print("five most expensive gates of the built-in QFT:")
+    for index, cost in top_gates(costed_qft, k=5):
+        print(
+            f"  #{index:4d} {cost.plan.gate_name:5s} "
+            f"({cost.plan.locality.value:12s}) {cost.total_s:6.2f} s, "
+            f"of which MPI {cost.comm_s:5.2f} s"
+        )
+
+    if csv_path:
+        with open(csv_path, "w", encoding="utf-8") as fh:
+            fh.write(timeline_csv(costed_qft))
+        print(f"\nper-gate timeline written to {csv_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

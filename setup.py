@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (no `wheel` package offline).
+
+All real metadata lives in pyproject.toml; this file only lets
+``pip install -e . --no-use-pep517`` work in network-less environments.
+"""
+
+from setuptools import setup
+
+setup()

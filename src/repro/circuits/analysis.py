@@ -1,0 +1,79 @@
+"""Static circuit analysis: gate/locality census and communication counts.
+
+These are *structural* counts -- no machine model involved -- used by the
+transpiler (to report how much communication a pass removed) and by
+DESIGN-level sanity tests (e.g. built-in QFT has ``2d`` distributed
+operations, the cache-blocked QFT exactly ``d``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.gates import GateLocality, classify_gate
+
+__all__ = ["LocalityCensus", "census", "distributed_gate_count", "communication_volume"]
+
+
+@dataclass(frozen=True)
+class LocalityCensus:
+    """Counts of each gate-locality class for a given partition."""
+
+    num_qubits: int
+    local_qubits: int
+    fully_local: int
+    local_memory: int
+    distributed: int
+
+    @property
+    def total(self) -> int:
+        """Total gate count."""
+        return self.fully_local + self.local_memory + self.distributed
+
+    @property
+    def distributed_fraction(self) -> float:
+        """Share of gates that require communication."""
+        return self.distributed / self.total if self.total else 0.0
+
+
+def census(circuit: Circuit, local_qubits: int) -> LocalityCensus:
+    """Classify every gate of ``circuit`` for ``local_qubits`` local qubits."""
+    counts = {loc: 0 for loc in GateLocality}
+    for gate in circuit:
+        counts[classify_gate(gate, local_qubits)] += 1
+    return LocalityCensus(
+        num_qubits=circuit.num_qubits,
+        local_qubits=local_qubits,
+        fully_local=counts[GateLocality.FULLY_LOCAL],
+        local_memory=counts[GateLocality.LOCAL_MEMORY],
+        distributed=counts[GateLocality.DISTRIBUTED],
+    )
+
+
+def distributed_gate_count(circuit: Circuit, local_qubits: int) -> int:
+    """Number of gates that would communicate on the given partition."""
+    return census(circuit, local_qubits).distributed
+
+
+def communication_volume(
+    circuit: Circuit, local_qubits: int, *, halved_swaps: bool = False
+) -> int:
+    """Bytes sent per rank over the whole circuit (one direction).
+
+    Each distributed gate exchanges the full local statevector
+    (``16 * 2**local_qubits`` bytes per rank); a distributed SWAP under
+    the halved-communication optimisation exchanges only the half it
+    modifies.  This mirrors :mod:`repro.perfmodel.plan` but stays purely
+    structural.
+    """
+    local_bytes = 16 * (2**local_qubits)
+    total = 0
+    for gate in circuit:
+        if classify_gate(gate, local_qubits) is not GateLocality.DISTRIBUTED:
+            continue
+        if gate.is_swap() and halved_swaps:
+            total += local_bytes // 2
+        else:
+            total += local_bytes
+    return total

@@ -1,0 +1,226 @@
+"""The Circuit container and fluent builder API.
+
+A :class:`Circuit` is an ordered list of :class:`~repro.gates.Gate`
+operations on a fixed-width register.  Builder methods (``h``, ``cp``,
+``swap``, ...) append gates and return ``self`` so circuits read like the
+diagrams in the paper::
+
+    qft = Circuit(3).h(2).cp(pi/2, 1, 2).cp(pi/4, 0, 2).h(1).cp(pi/2, 0, 1).h(0).swap(0, 2)
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.gates import Gate
+
+__all__ = ["Circuit"]
+
+
+class Circuit:
+    """An ordered gate list over ``num_qubits`` qubits (qubit 0 = LSB)."""
+
+    def __init__(self, num_qubits: int, gates: Iterable[Gate] = (), *, name: str = ""):
+        if num_qubits < 1:
+            raise CircuitError(f"num_qubits must be >= 1, got {num_qubits}")
+        self._num_qubits = int(num_qubits)
+        self._gates: list[Gate] = []
+        self.name = name
+        for gate in gates:
+            self.append(gate)
+
+    # -- container protocol ------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Register width."""
+        return self._num_qubits
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """The gate sequence as an immutable tuple."""
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Circuit(self._num_qubits, self._gates[index], name=self.name)
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (
+            self._num_qubits == other._num_qubits and self._gates == other._gates
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Circuit{label}: {self._num_qubits} qubits, "
+            f"{len(self._gates)} gates>"
+        )
+
+    # -- mutation ------------------------------------------------------------
+
+    def append(self, gate: Gate) -> "Circuit":
+        """Append a gate, validating qubit bounds."""
+        if gate.max_qubit >= self._num_qubits:
+            raise CircuitError(
+                f"gate {gate} touches qubit {gate.max_qubit} but circuit has "
+                f"{self._num_qubits} qubits"
+            )
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "Circuit":
+        """Append every gate in ``gates``."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Append another circuit's gates (widths must match)."""
+        if other.num_qubits != self._num_qubits:
+            raise CircuitError(
+                f"cannot compose circuits of widths {self._num_qubits} and "
+                f"{other.num_qubits}"
+            )
+        return self.extend(other.gates)
+
+    # -- builder methods -------------------------------------------------
+
+    def h(self, q: int) -> "Circuit":
+        """Hadamard."""
+        return self.append(Gate.named("h", (q,)))
+
+    def x(self, q: int, *, controls: tuple[int, ...] = ()) -> "Circuit":
+        """Pauli-X / CNOT / Toffoli depending on ``controls``."""
+        return self.append(Gate.named("x", (q,), controls=controls))
+
+    def y(self, q: int) -> "Circuit":
+        """Pauli-Y."""
+        return self.append(Gate.named("y", (q,)))
+
+    def z(self, q: int, *, controls: tuple[int, ...] = ()) -> "Circuit":
+        """Pauli-Z (controlled if controls given)."""
+        return self.append(Gate.named("z", (q,), controls=controls))
+
+    def s(self, q: int) -> "Circuit":
+        """S gate."""
+        return self.append(Gate.named("s", (q,)))
+
+    def t(self, q: int) -> "Circuit":
+        """T gate."""
+        return self.append(Gate.named("t", (q,)))
+
+    def p(self, theta: float, q: int, *, controls: tuple[int, ...] = ()) -> "Circuit":
+        """Phase gate ``diag(1, e^{i theta})`` (controlled if controls given)."""
+        return self.append(Gate.named("p", (q,), controls=controls, params=(theta,)))
+
+    def cp(self, theta: float, control: int, target: int) -> "Circuit":
+        """Controlled phase -- the QFT's workhorse; diagonal, hence fully local."""
+        return self.p(theta, target, controls=(control,))
+
+    def rx(self, theta: float, q: int) -> "Circuit":
+        """X rotation."""
+        return self.append(Gate.named("rx", (q,), params=(theta,)))
+
+    def ry(self, theta: float, q: int) -> "Circuit":
+        """Y rotation."""
+        return self.append(Gate.named("ry", (q,), params=(theta,)))
+
+    def rz(self, theta: float, q: int) -> "Circuit":
+        """Z rotation (diagonal)."""
+        return self.append(Gate.named("rz", (q,), params=(theta,)))
+
+    def u3(self, theta: float, phi: float, lam: float, q: int) -> "Circuit":
+        """General single-qubit unitary."""
+        return self.append(Gate.named("u3", (q,), params=(theta, phi, lam)))
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        """CNOT."""
+        return self.x(target, controls=(control,))
+
+    def cz(self, control: int, target: int) -> "Circuit":
+        """Controlled-Z (equivalent to CP(pi))."""
+        return self.z(target, controls=(control,))
+
+    def swap(self, q0: int, q1: int) -> "Circuit":
+        """SWAP two qubits."""
+        return self.append(Gate.named("swap", (q0, q1)))
+
+    def unitary(
+        self, matrix: np.ndarray, targets: tuple[int, ...] | list[int]
+    ) -> "Circuit":
+        """Apply an explicit unitary on ``targets``."""
+        return self.append(Gate.unitary(matrix, targets))
+
+    # -- transforms --------------------------------------------------------
+
+    def inverse(self) -> "Circuit":
+        """The adjoint circuit: daggered gates in reverse order."""
+        inv = Circuit(self._num_qubits, name=f"{self.name}_dg" if self.name else "")
+        for gate in reversed(self._gates):
+            inv.append(gate.dagger())
+        return inv
+
+    def remapped(self, mapping: dict[int, int]) -> "Circuit":
+        """Rename qubits through ``mapping`` (missing qubits unchanged)."""
+        out = Circuit(self._num_qubits, name=self.name)
+        for gate in self._gates:
+            out.append(gate.remapped(mapping))
+        return out
+
+    def depth(self) -> int:
+        """Circuit depth: longest chain of gates sharing qubits."""
+        frontier = [0] * self._num_qubits
+        for gate in self._gates:
+            wires = gate.targets + gate.controls
+            level = max(frontier[q] for q in wires) + 1
+            for q in wires:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def unitary_matrix(self) -> np.ndarray:
+        """Dense ``2**n x 2**n`` unitary of the whole circuit.
+
+        Only sensible for small ``n`` (tests and the transpiler verifier);
+        raises for registers above 12 qubits to avoid accidental blowups.
+        """
+        if self._num_qubits > 12:
+            raise CircuitError(
+                f"unitary_matrix() limited to 12 qubits, circuit has "
+                f"{self._num_qubits}"
+            )
+        # Local import: statevector depends on circuits for tests only.
+        from repro.statevector.dense import DenseStatevector
+
+        dim = 2**self._num_qubits
+        out = np.empty((dim, dim), dtype=np.complex128)
+        for col in range(dim):
+            sim = DenseStatevector.basis_state(self._num_qubits, col)
+            sim.apply_circuit(self)
+            out[:, col] = sim.amplitudes
+        return out
+
+    def count_gates(self) -> dict[str, int]:
+        """Histogram of gate names."""
+        counts: dict[str, int] = {}
+        for gate in self._gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    @staticmethod
+    def qft_rotation_angle(distance: int) -> float:
+        """The QFT controlled-phase angle ``pi / 2**distance``."""
+        return math.pi / (2**distance)

@@ -1,0 +1,141 @@
+"""ASCII circuit rendering (the paper's fig. 1 is a circuit diagram).
+
+Draws a :class:`~repro.circuits.Circuit` as wires-and-boxes text, one
+column per gate (greedy column packing optional).  Used by the ``fig1``
+experiment to regenerate the standard vs cache-blocked QFT diagrams and
+by examples/tests for debugging.
+
+Conventions: qubit 0 on the top wire; controls are ``*``; SWAP endpoints
+are ``x``; multi-qubit unitaries draw a box spanning their wires.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+from repro.gates import Gate
+
+__all__ = ["draw_circuit"]
+
+_LABELS = {
+    "id": "I",
+    "h": "H",
+    "x": "X",
+    "y": "Y",
+    "z": "Z",
+    "s": "S",
+    "sdg": "S+",
+    "t": "T",
+    "tdg": "T+",
+    "p": "P",
+    "rx": "Rx",
+    "ry": "Ry",
+    "rz": "Rz",
+    "u3": "U",
+    "unitary": "U",
+    "fused_diag": "D*",
+}
+
+
+def _gate_label(gate: Gate) -> str:
+    label = _LABELS.get(gate.name, gate.name)
+    if gate.params and gate.name == "p":
+        # The QFT's controlled phases: annotate the pi-fraction exponent.
+        import math
+
+        ratio = gate.params[0] / math.pi
+        for k in range(0, 10):
+            if abs(abs(ratio) - 2.0**-k) < 1e-12:
+                sign = "-" if ratio < 0 else ""
+                label = f"P{sign}{k}" if k else f"P{sign}pi"
+                break
+    return label
+
+
+def _columns(circuit: Circuit, pack: bool) -> list[list[Gate]]:
+    """Assign gates to drawing columns (packed greedily if asked)."""
+    if not pack:
+        return [[gate] for gate in circuit]
+    columns: list[list[Gate]] = []
+    occupied: list[set[int]] = []
+    for gate in circuit:
+        lo = min(gate.targets + gate.controls)
+        hi = max(gate.targets + gate.controls)
+        span = set(range(lo, hi + 1))
+        for i in range(len(columns) - 1, -2, -1):
+            # Find the right-most column whose span overlaps, place after.
+            if i >= 0 and occupied[i] & span:
+                target_col = i + 1
+                break
+        else:
+            target_col = 0
+        if target_col == len(columns):
+            columns.append([])
+            occupied.append(set())
+        # Walk right if that column is (partially) blocked already.
+        while occupied[target_col] & span:
+            target_col += 1
+            if target_col == len(columns):
+                columns.append([])
+                occupied.append(set())
+        columns[target_col].append(gate)
+        occupied[target_col] |= span
+    return columns
+
+
+def draw_circuit(
+    circuit: Circuit,
+    *,
+    pack: bool = True,
+    max_columns: int | None = None,
+    wire_labels: bool = True,
+) -> str:
+    """Render ``circuit`` as ASCII art.
+
+    ``max_columns`` truncates wide circuits with an ellipsis column;
+    ``pack=False`` gives strictly one gate per column (time order made
+    explicit).
+    """
+    if circuit.num_qubits > 32:
+        raise CircuitError(
+            f"drawing capped at 32 qubits, circuit has {circuit.num_qubits}"
+        )
+    n = circuit.num_qubits
+    columns = _columns(circuit, pack)
+    truncated = False
+    if max_columns is not None and len(columns) > max_columns:
+        columns = columns[:max_columns]
+        truncated = True
+
+    rendered: list[list[str]] = []  # per column: n cell strings
+    for column in columns:
+        cells = [""] * n
+        for gate in column:
+            wires = gate.targets + gate.controls
+            lo, hi = min(wires), max(wires)
+            label = _gate_label(gate)
+            if gate.is_swap():
+                for t in gate.targets:
+                    cells[t] = "x"
+            else:
+                for t in gate.targets:
+                    cells[t] = label
+            for c in gate.controls:
+                cells[c] = "*"
+            # Wires inside the span but untouched: vertical pass-through.
+            for q in range(lo + 1, hi):
+                if not cells[q]:
+                    cells[q] = "|"
+        width = max((len(c) for c in cells if c), default=1)
+        rendered.append(
+            [c.center(width, "-") if c else "-" * width for c in cells]
+        )
+
+    label_width = max(len(f"q{n - 1}:"), 4) if wire_labels else 0
+    lines = []
+    for q in range(n):
+        prefix = f"q{q}:".ljust(label_width) if wire_labels else ""
+        wire = "-".join(column[q] for column in rendered)
+        suffix = "..." if truncated else "-"
+        lines.append(f"{prefix}-{wire}{suffix}")
+    return "\n".join(lines)

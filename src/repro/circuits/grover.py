@@ -1,0 +1,101 @@
+"""Grover search circuits.
+
+The second canonical workload after the QFT (the intro's "algorithm
+development" framing).  Structurally it is the QFT's opposite: instead
+of a ladder of cheap diagonal gates, each iteration applies an oracle
+and a diffusion operator built from *multi-controlled* gates -- whose
+controls, per the paper's taxonomy, are free wherever they live, making
+Grover a surprisingly communication-light circuit for its depth.
+
+Analytics used by the tests: after ``k`` iterations on ``n`` qubits
+with ``M`` marked states, the success probability is
+``sin**2((2k+1) * theta)`` with ``theta = asin(sqrt(M / 2**n))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+from repro.gates import Gate
+
+__all__ = [
+    "grover_circuit",
+    "grover_oracle",
+    "grover_diffusion",
+    "optimal_iterations",
+    "success_probability",
+]
+
+
+def grover_oracle(n: int, marked: int) -> list[Gate]:
+    """Phase oracle flipping the sign of basis state ``marked``.
+
+    A multi-controlled Z conjugated by X on the zero bits of ``marked``:
+    pure diagonal structure -- *fully local* on any partition.
+    """
+    if not 0 <= marked < (1 << n):
+        raise CircuitError(f"marked state {marked} out of range for {n} qubits")
+    gates: list[Gate] = []
+    zero_bits = [q for q in range(n) if not (marked >> q) & 1]
+    for q in zero_bits:
+        gates.append(Gate.named("x", (q,)))
+    # Z on qubit n-1 controlled on all the others.
+    gates.append(Gate.named("z", (n - 1,), controls=tuple(range(n - 1))))
+    for q in zero_bits:
+        gates.append(Gate.named("x", (q,)))
+    return gates
+
+
+def grover_diffusion(n: int) -> list[Gate]:
+    """The inversion-about-the-mean operator ``2|s><s| - I``.
+
+    ``H^n . X^n . C^{n-1}Z . X^n . H^n`` (up to global phase).
+    """
+    gates: list[Gate] = []
+    for q in range(n):
+        gates.append(Gate.named("h", (q,)))
+    for q in range(n):
+        gates.append(Gate.named("x", (q,)))
+    gates.append(Gate.named("z", (n - 1,), controls=tuple(range(n - 1))))
+    for q in range(n):
+        gates.append(Gate.named("x", (q,)))
+    for q in range(n):
+        gates.append(Gate.named("h", (q,)))
+    return gates
+
+
+def grover_circuit(
+    n: int, marked: int, *, iterations: int | None = None
+) -> Circuit:
+    """Full Grover search: uniform superposition + ``k`` iterations.
+
+    ``iterations`` defaults to :func:`optimal_iterations`.
+    """
+    if n < 2:
+        raise CircuitError(f"Grover needs at least 2 qubits, got {n}")
+    k = optimal_iterations(n) if iterations is None else iterations
+    if k < 0:
+        raise CircuitError(f"iterations must be >= 0, got {k}")
+    circuit = Circuit(n, name=f"grover{n}_m{marked}_k{k}")
+    for q in range(n):
+        circuit.h(q)
+    for _ in range(k):
+        circuit.extend(grover_oracle(n, marked))
+        circuit.extend(grover_diffusion(n))
+    return circuit
+
+
+def optimal_iterations(n: int, num_marked: int = 1) -> int:
+    """``round(pi / (4 theta) - 1/2)``: the standard optimal count."""
+    if num_marked < 1 or num_marked > (1 << n):
+        raise CircuitError(f"num_marked {num_marked} out of range")
+    theta = math.asin(math.sqrt(num_marked / (1 << n)))
+    return max(0, round(math.pi / (4 * theta) - 0.5))
+
+
+def success_probability(n: int, iterations: int, num_marked: int = 1) -> float:
+    """The analytic ``sin**2((2k+1) theta)`` success probability."""
+    theta = math.asin(math.sqrt(num_marked / (1 << n)))
+    return math.sin((2 * iterations + 1) * theta) ** 2

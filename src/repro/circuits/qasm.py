@@ -1,0 +1,151 @@
+"""Minimal OpenQASM 2.0 export / import.
+
+Covers the gate vocabulary this library uses (including the QFT's
+controlled phases); fused diagonal gates are exported as their
+constituents, explicit unitaries are rejected (QASM 2 has no generic
+unitary statement).  Round-tripping a circuit through QASM preserves its
+action exactly (tested property).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+from repro.gates import Gate
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_EXPORT_NAMES = {
+    "id": "id",
+    "h": "h",
+    "x": "x",
+    "y": "y",
+    "z": "z",
+    "s": "s",
+    "sdg": "sdg",
+    "t": "t",
+    "tdg": "tdg",
+    "p": "u1",
+    "rx": "rx",
+    "ry": "ry",
+    "rz": "rz",
+    "u3": "u3",
+    "swap": "swap",
+}
+
+_CONTROLLED_EXPORT = {"x": "cx", "z": "cz", "p": "cu1"}
+
+
+def _fmt_param(value: float) -> str:
+    """Format an angle, preferring exact pi fractions where they apply."""
+    if value == 0:
+        return "0"
+    ratio = value / math.pi
+    for denom in (1, 2, 4, 8, 16, 32, 64, 128, 256):
+        num = ratio * denom
+        if abs(num - round(num)) < 1e-12 and round(num) != 0:
+            num = round(num)
+            sign = "-" if num < 0 else ""
+            num = abs(num)
+            frac = "pi" if num == 1 else f"{num}*pi"
+            return f"{sign}{frac}" if denom == 1 else f"{sign}{frac}/{denom}"
+    return f"{value!r}"
+
+
+def _gate_lines(gate: Gate) -> list[str]:
+    if gate.name == "fused_diag":
+        lines: list[str] = []
+        for g in gate.constituents:
+            lines.extend(_gate_lines(g))
+        return lines
+    if gate.name == "unitary":
+        raise CircuitError("OpenQASM 2 cannot express explicit unitaries")
+    params = f"({', '.join(_fmt_param(p) for p in gate.params)})" if gate.params else ""
+    wires = [f"q[{c}]" for c in gate.controls] + [f"q[{t}]" for t in gate.targets]
+    if not gate.controls:
+        name = _EXPORT_NAMES[gate.name]
+    elif len(gate.controls) == 1 and gate.name in _CONTROLLED_EXPORT:
+        name = _CONTROLLED_EXPORT[gate.name]
+    elif len(gate.controls) == 2 and gate.name == "x":
+        name = "ccx"
+    else:
+        raise CircuitError(f"cannot export controlled gate {gate} to QASM 2")
+    return [f"{name}{params} {', '.join(wires)};"]
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialise ``circuit`` as OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for gate in circuit:
+        lines.extend(_gate_lines(gate))
+    return "\n".join(lines) + "\n"
+
+
+_STMT_RE = re.compile(r"^(\w+)\s*(?:\(([^)]*)\))?\s+(.+);$")
+_WIRE_RE = re.compile(r"q\[(\d+)\]")
+
+_IMPORT_NAMES = {v: k for k, v in _EXPORT_NAMES.items()}
+_IMPORT_NAMES["u1"] = "p"
+
+
+def _parse_param(text: str) -> float:
+    """Evaluate a QASM angle expression (pi fractions and literals)."""
+    text = text.strip().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[0-9eE+\-.*/() ]+", text):
+        raise CircuitError(f"unsupported QASM parameter expression: {text!r}")
+    return float(eval(text, {"__builtins__": {}}, {}))  # noqa: S307 - sanitised
+
+
+def from_qasm(text: str) -> Circuit:
+    """Parse OpenQASM 2.0 text produced by :func:`to_qasm`."""
+    circuit: Circuit | None = None
+    for raw in text.splitlines():
+        line = raw.split("//", 1)[0].strip()
+        if not line or line.startswith(("OPENQASM", "include")):
+            continue
+        if line.startswith("qreg"):
+            match = re.search(r"\[(\d+)\]", line)
+            if not match:
+                raise CircuitError(f"bad qreg statement: {line!r}")
+            circuit = Circuit(int(match.group(1)))
+            continue
+        match = _STMT_RE.match(line)
+        if not match:
+            raise CircuitError(f"cannot parse QASM statement: {line!r}")
+        if circuit is None:
+            raise CircuitError("gate statement before qreg declaration")
+        name, params_text, wires_text = match.groups()
+        wires = [int(w) for w in _WIRE_RE.findall(wires_text)]
+        params = tuple(
+            _parse_param(p) for p in params_text.split(",")
+        ) if params_text else ()
+        if name in _IMPORT_NAMES:
+            circuit.append(
+                Gate.named(_IMPORT_NAMES[name], (wires[-1],), params=params)
+                if len(wires) == 1
+                else Gate.named("swap", tuple(wires))
+            )
+        elif name == "cx":
+            circuit.append(Gate.named("x", (wires[1],), controls=(wires[0],)))
+        elif name == "cz":
+            circuit.append(Gate.named("z", (wires[1],), controls=(wires[0],)))
+        elif name == "cu1":
+            circuit.append(
+                Gate.named("p", (wires[1],), controls=(wires[0],), params=params)
+            )
+        elif name == "ccx":
+            circuit.append(
+                Gate.named("x", (wires[2],), controls=(wires[0], wires[1]))
+            )
+        else:
+            raise CircuitError(f"unsupported QASM gate: {name!r}")
+    if circuit is None:
+        raise CircuitError("QASM text contains no qreg declaration")
+    return circuit

@@ -1,0 +1,118 @@
+"""Random circuit generation for tests and the generic-transpiler study.
+
+The generator draws from the library's full gate vocabulary so property
+tests exercise every simulator kernel: diagonal gates, paired
+single-qubit gates, controlled gates (with local and distributed
+controls), SWAPs and explicit unitaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.gates import Gate
+
+__all__ = ["random_circuit", "random_state", "ghz_circuit", "qpe_circuit"]
+
+_SINGLE = ("h", "x", "y", "z", "s", "t")
+_PARAM1 = ("p", "rx", "ry", "rz")
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    *,
+    seed: int | None = None,
+    allow_controls: bool = True,
+    allow_swaps: bool = True,
+    allow_unitaries: bool = True,
+) -> Circuit:
+    """Draw a random circuit over the library's gate vocabulary."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=f"random{num_qubits}x{num_gates}")
+    kinds = ["single", "param1"]
+    if allow_controls and num_qubits >= 2:
+        kinds.append("controlled")
+    if allow_swaps and num_qubits >= 2:
+        kinds.append("swap")
+    if allow_unitaries:
+        kinds.append("unitary")
+    for _ in range(num_gates):
+        kind = kinds[rng.integers(len(kinds))]
+        if kind == "single":
+            name = _SINGLE[rng.integers(len(_SINGLE))]
+            q = int(rng.integers(num_qubits))
+            circuit.append(Gate.named(name, (q,)))
+        elif kind == "param1":
+            name = _PARAM1[rng.integers(len(_PARAM1))]
+            q = int(rng.integers(num_qubits))
+            theta = float(rng.uniform(-np.pi, np.pi))
+            circuit.append(Gate.named(name, (q,), params=(theta,)))
+        elif kind == "controlled":
+            target, control = rng.choice(num_qubits, size=2, replace=False)
+            name = ("x", "z", "p")[rng.integers(3)]
+            params = (
+                (float(rng.uniform(-np.pi, np.pi)),) if name == "p" else ()
+            )
+            circuit.append(
+                Gate.named(name, (int(target),), controls=(int(control),), params=params)
+            )
+        elif kind == "swap":
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.swap(int(a), int(b))
+        else:
+            q = int(rng.integers(num_qubits))
+            circuit.unitary(_random_unitary(rng, 2), (q,))
+    return circuit
+
+
+def _random_unitary(rng: np.random.Generator, dim: int) -> np.ndarray:
+    """Haar-ish random unitary via QR of a Ginibre matrix."""
+    z = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(z)
+    return q * (np.diag(r) / np.abs(np.diag(r)))
+
+
+def random_state(num_qubits: int, *, seed: int | None = None) -> np.ndarray:
+    """A normalised random statevector of ``2**num_qubits`` amplitudes."""
+    rng = np.random.default_rng(seed)
+    psi = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+    return (psi / np.linalg.norm(psi)).astype(np.complex128)
+
+
+def ghz_circuit(num_qubits: int) -> Circuit:
+    """The GHZ preparation circuit: H then a CNOT chain."""
+    circuit = Circuit(num_qubits, name=f"ghz{num_qubits}")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+def qpe_circuit(phase_qubits: int, phase: float) -> Circuit:
+    """Quantum Phase Estimation of ``diag(1, e^{2 pi i phase})``.
+
+    ``phase_qubits`` counting qubits estimate ``phase``; the eigenstate
+    qubit is the top wire (index ``phase_qubits``), prepared in |1>.
+    The intro motivates the QFT as a QPE subroutine -- this builder is
+    used by the examples and the generic cache-blocking study.
+    """
+    import math
+
+    from repro.circuits.qft import textbook_qft_circuit
+
+    n = phase_qubits + 1
+    circuit = Circuit(n, name=f"qpe{phase_qubits}")
+    circuit.x(phase_qubits)  # eigenstate |1>
+    for q in range(phase_qubits):
+        circuit.h(q)
+    for q in range(phase_qubits):
+        # controlled-U^(2^q): U = diag(1, e^{2 pi i phase}) so the power
+        # is just a larger phase on the eigenstate qubit.
+        circuit.p(2 * math.pi * phase * (2**q), phase_qubits, controls=(q,))
+    # The counting register now holds sum_j e^{2 pi i phase j} |j>; the
+    # textbook inverse QFT concentrates it on |round(phase * 2**m)>.
+    for gate in textbook_qft_circuit(phase_qubits).inverse():
+        circuit.append(gate)
+    return circuit

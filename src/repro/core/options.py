@@ -1,0 +1,47 @@
+"""Run options: the user-facing knobs of a simulation campaign.
+
+These map one-to-one onto the paper's experimental dimensions: node
+type, CPU frequency, blocking vs non-blocking communication, cache
+blocking, and the future-work halved-SWAP exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.frequency import CpuFrequency
+from repro.mpi.chunking import MAX_MESSAGE_BYTES
+from repro.mpi.datatypes import CommMode
+from repro.perfmodel.calibration import DEFAULT_CALIBRATION, Calibration
+
+__all__ = ["RunOptions"]
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """How to run a circuit (sensible ARCHER2 defaults throughout)."""
+
+    node_type: str = "standard"
+    frequency: CpuFrequency = CpuFrequency.MEDIUM
+    comm_mode: CommMode = CommMode.BLOCKING
+    #: Transpile with the generic cache-blocking pass before running.
+    cache_block: bool = False
+    #: Use the halved-communication distributed SWAP (paper future work).
+    halved_swaps: bool = False
+    #: Explicit node count; None sizes the job minimally.
+    num_nodes: int | None = None
+    max_message: int = MAX_MESSAGE_BYTES
+    calibration: Calibration = field(default=DEFAULT_CALIBRATION)
+
+    def fast(self) -> "RunOptions":
+        """The paper's 'Fast' configuration: cache-blocked, non-blocking."""
+        return RunOptions(
+            node_type=self.node_type,
+            frequency=self.frequency,
+            comm_mode=CommMode.NONBLOCKING,
+            cache_block=True,
+            halved_swaps=self.halved_swaps,
+            num_nodes=self.num_nodes,
+            max_message=self.max_message,
+            calibration=self.calibration,
+        )

@@ -1,0 +1,122 @@
+"""Parameter-sweep studies: the energy-efficiency campaign API.
+
+Thin, composable helpers that the figure/table experiments build on:
+sweep register sizes across node-type x frequency setups (figs. 2-3),
+compare a circuit across configurations (Table 2), and express results
+relative to a baseline setup (fig. 3's fractional plots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.options import RunOptions
+from repro.core.report import RunReport
+from repro.core.runner import SimulationRunner
+from repro.errors import AllocationError, ExperimentError
+from repro.machine.frequency import CpuFrequency
+
+__all__ = ["Setup", "SweepPoint", "sweep_qft_setups", "relative_to_baseline"]
+
+
+@dataclass(frozen=True)
+class Setup:
+    """One machine setup of the paper's figs. 2-3 grid."""
+
+    node_type: str
+    frequency: CpuFrequency
+
+    @property
+    def label(self) -> str:
+        return f"{self.node_type}/{self.frequency.ghz:g}GHz"
+
+    def options(self, **overrides) -> RunOptions:
+        """RunOptions for this setup."""
+        return RunOptions(
+            node_type=self.node_type, frequency=self.frequency, **overrides
+        )
+
+
+#: The four setups plotted in figs. 2-3 (1.5 GHz omitted as in the paper).
+PAPER_SETUPS = (
+    Setup("standard", CpuFrequency.MEDIUM),
+    Setup("standard", CpuFrequency.HIGH),
+    Setup("highmem", CpuFrequency.MEDIUM),
+    Setup("highmem", CpuFrequency.HIGH),
+)
+
+#: The fig. 3 baseline: ARCHER2's defaults.
+DEFAULT_SETUP = Setup("standard", CpuFrequency.MEDIUM)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (setup, register size) result; ``report`` None if infeasible."""
+
+    setup: Setup
+    num_qubits: int
+    report: RunReport | None
+
+    @property
+    def feasible(self) -> bool:
+        return self.report is not None
+
+
+def sweep_qft_setups(
+    circuit_factory,
+    qubit_range: range,
+    *,
+    setups: tuple[Setup, ...] = PAPER_SETUPS,
+    runner: SimulationRunner | None = None,
+    **option_overrides,
+) -> list[SweepPoint]:
+    """Run ``circuit_factory(n)`` at minimum nodes for each setup and n.
+
+    Infeasible points (register does not fit the partition) are kept as
+    placeholders so plots show the same truncation the paper's fig. 2
+    does (high-memory series ending at 41 qubits).
+    """
+    runner = runner if runner is not None else SimulationRunner()
+    points: list[SweepPoint] = []
+    for setup in setups:
+        for n in qubit_range:
+            circuit = circuit_factory(n)
+            if circuit.num_qubits != n:
+                raise ExperimentError(
+                    f"circuit_factory({n}) returned a "
+                    f"{circuit.num_qubits}-qubit circuit"
+                )
+            try:
+                report = runner.run(circuit, setup.options(**option_overrides))
+            except AllocationError:
+                report = None
+            points.append(SweepPoint(setup=setup, num_qubits=n, report=report))
+    return points
+
+
+def relative_to_baseline(
+    points: list[SweepPoint],
+    *,
+    baseline: Setup = DEFAULT_SETUP,
+) -> dict[tuple[str, int], dict[str, float]]:
+    """Fig. 3's fractional comparison: metric(setup) / metric(baseline).
+
+    Returns ``{(setup.label, n): {"runtime": r, "energy": e, "cu": c}}``
+    for every feasible point whose baseline is also feasible.
+    """
+    base: dict[int, RunReport] = {
+        p.num_qubits: p.report
+        for p in points
+        if p.setup == baseline and p.report is not None
+    }
+    out: dict[tuple[str, int], dict[str, float]] = {}
+    for p in points:
+        if p.report is None or p.num_qubits not in base:
+            continue
+        b = base[p.num_qubits]
+        out[(p.setup.label, p.num_qubits)] = {
+            "runtime": p.report.runtime_s / b.runtime_s,
+            "energy": p.report.energy_j / b.energy_j,
+            "cu": p.report.cu / b.cu,
+        }
+    return out

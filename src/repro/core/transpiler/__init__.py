@@ -1,0 +1,31 @@
+"""Circuit transpilation: cache blocking, diagonal fusion, verification."""
+
+from repro.core.transpiler.cache_blocking import CacheBlockingPass
+from repro.core.transpiler.fusion import DiagonalFusionPass
+from repro.core.transpiler.decompose_swaps import DecomposeControlledSwapsPass
+from repro.core.transpiler.peephole import PeepholePass
+from repro.core.transpiler.pass_base import (
+    PassManager,
+    PassResult,
+    TranspilerPass,
+    identity_permutation,
+)
+from repro.core.transpiler.verify import (
+    assert_equivalent,
+    equivalent,
+    permute_statevector,
+)
+
+__all__ = [
+    "TranspilerPass",
+    "PassManager",
+    "PassResult",
+    "identity_permutation",
+    "CacheBlockingPass",
+    "DiagonalFusionPass",
+    "PeepholePass",
+    "DecomposeControlledSwapsPass",
+    "assert_equivalent",
+    "equivalent",
+    "permute_statevector",
+]

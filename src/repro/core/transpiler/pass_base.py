@@ -1,0 +1,85 @@
+"""Transpiler pass framework.
+
+A pass maps a circuit to a (possibly) cheaper circuit plus metadata --
+most importantly the *output permutation* when the pass tracks qubits
+virtually instead of moving amplitudes.  The :class:`PassManager` chains
+passes, composing their permutations.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import Circuit
+from repro.errors import TranspilerError
+
+__all__ = ["PassResult", "TranspilerPass", "PassManager", "identity_permutation"]
+
+
+def identity_permutation(n: int) -> dict[int, int]:
+    """The do-nothing logical-to-physical map."""
+    return {q: q for q in range(n)}
+
+
+def compose_permutations(
+    first: dict[int, int], second: dict[int, int]
+) -> dict[int, int]:
+    """Apply ``first`` then ``second``: result[q] = second[first[q]]."""
+    return {q: second[p] for q, p in first.items()}
+
+
+@dataclass
+class PassResult:
+    """Output of one pass (or a chain)."""
+
+    circuit: Circuit
+    #: Logical qubit -> physical wire at the *end* of the circuit.  The
+    #: identity unless the pass left qubits virtually relocated.
+    output_permutation: dict[int, int]
+    #: Free-form counters ("swaps_inserted", "gates_fused", ...).
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def is_identity_layout(self) -> bool:
+        """True when the output layout matches the input layout."""
+        return all(q == p for q, p in self.output_permutation.items())
+
+
+class TranspilerPass(abc.ABC):
+    """Base class: implement :meth:`run`."""
+
+    #: Human-readable pass name (defaults to the class name).
+    name: str = ""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if not cls.name:
+            cls.name = cls.__name__
+
+    @abc.abstractmethod
+    def run(self, circuit: Circuit) -> PassResult:
+        """Transform ``circuit``."""
+
+
+class PassManager:
+    """Run passes in sequence, composing permutations and merging stats."""
+
+    def __init__(self, passes: list[TranspilerPass]):
+        if not passes:
+            raise TranspilerError("PassManager needs at least one pass")
+        self.passes = list(passes)
+
+    def run(self, circuit: Circuit) -> PassResult:
+        """Apply every pass in order."""
+        permutation = identity_permutation(circuit.num_qubits)
+        stats: dict[str, int] = {}
+        current = circuit
+        for p in self.passes:
+            result = p.run(current)
+            current = result.circuit
+            permutation = compose_permutations(permutation, result.output_permutation)
+            for key, value in result.stats.items():
+                stats[f"{p.name}.{key}"] = value
+        return PassResult(
+            circuit=current, output_permutation=permutation, stats=stats
+        )

@@ -1,0 +1,92 @@
+"""Transpiled-circuit verification.
+
+A transpiler pass must preserve the circuit's action -- exactly, or up
+to the permutation it reports.  Verification runs both circuits through
+the dense reference simulator on random states, which is stronger per
+unit cost than comparing full unitaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.random_circuits import random_state
+from repro.errors import TranspilerError
+from repro.statevector.dense import DenseStatevector
+
+__all__ = ["permute_statevector", "assert_equivalent", "equivalent"]
+
+
+def permute_statevector(
+    amps: np.ndarray, permutation: dict[int, int]
+) -> np.ndarray:
+    """Relabel qubits of a state: bit ``q`` of the input index becomes
+    bit ``permutation[q]`` of the output index."""
+    n = int(np.log2(len(amps)))
+    idx = np.arange(len(amps), dtype=np.int64)
+    dest = np.zeros_like(idx)
+    for q in range(n):
+        dest |= ((idx >> q) & 1) << permutation.get(q, q)
+    out = np.empty_like(np.asarray(amps, dtype=np.complex128))
+    out[dest] = amps
+    return out
+
+
+def equivalent(
+    original: Circuit,
+    transpiled: Circuit,
+    *,
+    output_permutation: dict[int, int] | None = None,
+    trials: int = 4,
+    seed: int = 2023,
+    atol: float = 1e-9,
+) -> bool:
+    """True when both circuits agree on random inputs.
+
+    When the transpiler reported an ``output_permutation``, the
+    transpiled result is expected to hold logical qubit ``q`` on
+    physical wire ``perm[q]``; the check un-permutes before comparing.
+    """
+    if original.num_qubits != transpiled.num_qubits:
+        return False
+    n = original.num_qubits
+    if n > 16:
+        raise TranspilerError(
+            f"numeric equivalence checking capped at 16 qubits, got {n}"
+        )
+    for t in range(trials):
+        psi = random_state(n, seed=seed + t)
+        a = DenseStatevector.from_amplitudes(psi).apply_circuit(original).amplitudes
+        b = DenseStatevector.from_amplitudes(psi).apply_circuit(transpiled).amplitudes
+        if output_permutation is not None:
+            # Moving logical q to wire perm[q] means the transpiled state
+            # is the original with bits relabelled q -> perm[q]; invert.
+            a = permute_statevector(a, output_permutation)
+        if not np.allclose(a, b, atol=atol):
+            return False
+    return True
+
+
+def assert_equivalent(
+    original: Circuit,
+    transpiled: Circuit,
+    *,
+    output_permutation: dict[int, int] | None = None,
+    trials: int = 4,
+    seed: int = 2023,
+    atol: float = 1e-9,
+) -> None:
+    """Raise :class:`TranspilerError` unless the circuits agree."""
+    if not equivalent(
+        original,
+        transpiled,
+        output_permutation=output_permutation,
+        trials=trials,
+        seed=seed,
+        atol=atol,
+    ):
+        raise TranspilerError(
+            f"transpiled circuit {transpiled.name or '?'} does not "
+            f"reproduce {original.name or 'the original'}"
+        )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+Everything raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CircuitError",
+    "GateError",
+    "SimulationError",
+    "PartitionError",
+    "CommError",
+    "AllocationError",
+    "TranspilerError",
+    "CalibrationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GateError(ReproError):
+    """Invalid gate definition (bad matrix, bad targets, bad parameters)."""
+
+
+class CircuitError(ReproError):
+    """Invalid circuit construction or use (qubit out of range, ...)."""
+
+
+class SimulationError(ReproError):
+    """Statevector simulation failed (unsupported gate, bad state, ...)."""
+
+
+class PartitionError(ReproError):
+    """Invalid statevector distribution (ranks vs qubits mismatch, ...)."""
+
+
+class CommError(ReproError):
+    """Simulated-MPI misuse (mismatched send/recv, bad rank, ...)."""
+
+
+class AllocationError(ReproError):
+    """A job cannot be placed on the machine (too big, no node count fits)."""
+
+
+class TranspilerError(ReproError):
+    """A transpiler pass failed or produced a non-equivalent circuit."""
+
+
+class CalibrationError(ReproError):
+    """Inconsistent performance-model calibration constants."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

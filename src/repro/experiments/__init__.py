@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper table/figure, plus extensions.
+
+Run everything from the shell (``repro-experiments``) or pick one::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("tab2").render())
+"""
+
+from repro.experiments import paper_data
+from repro.experiments.reporting import ExperimentResult
+
+__all__ = ["paper_data", "ExperimentResult", "run_experiment", "experiment_ids", "EXPERIMENTS"]
+
+
+def __getattr__(name: str):
+    # Deferred import: registry pulls in every experiment module.
+    if name in ("run_experiment", "experiment_ids", "EXPERIMENTS"):
+        from repro.experiments import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

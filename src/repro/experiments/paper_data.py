@@ -1,0 +1,67 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Values transcribed from Adamski, Richings & Brown, "Energy Efficiency
+of Quantum Statevector Simulation at Scale", SC-W 2023.  ``None`` marks
+cells that are illegible in the source (Table 1's blocking time at
+qubit 29).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "FIG4_RANGES",
+    "FIG5_MPI_FRACTION",
+    "FIG3_NARRATIVE",
+    "HEADLINE",
+]
+
+#: Table 1 -- Hadamard benchmark on 64 nodes (38-qubit register):
+#: per-gate {qubit: (blocking time s, blocking energy J,
+#:                   non-blocking time s, non-blocking energy J)}.
+TABLE1: dict[int, tuple[float | None, float, float, float]] = {
+    29: (None, 15.3e3, 0.53, 15.0e3),
+    30: (0.59, 15.7e3, 0.74, 18.7e3),
+    31: (0.80, 20.8e3, 0.97, 24.2e3),
+    32: (9.63, 191e3, 8.82, 179e3),
+}
+
+#: Table 1 narrative anchors below the distributed threshold.
+TABLE1_LOCAL_TIME_S = 0.5
+TABLE1_LOCAL_ENERGY_J = 15e3
+
+#: Table 2 -- large QFT runs:
+#: {(qubits, nodes): {"builtin": (runtime s, energy J),
+#:                    "fast": (runtime s, energy J)}}.
+TABLE2: dict[tuple[int, int], dict[str, tuple[float, float]]] = {
+    (43, 2048): {"builtin": (417.0, 294e6), "fast": (270.0, 206e6)},
+    (44, 4096): {"builtin": (476.0, 664e6), "fast": (285.0, 431e6)},
+}
+
+#: Fig. 4 -- SWAP benchmark per-gate ranges:
+#: mode -> ((time lo, time hi) s, (energy lo, energy hi) J).
+FIG4_RANGES = {
+    "blocking": ((9.0, 9.75), (180e3, 195e3)),
+    "nonblocking": ((8.25, 9.0), (160e3, 180e3)),
+}
+
+#: Fig. 5 -- MPI share of runtime per workload.
+FIG5_MPI_FRACTION = {
+    "hadamard_worst_case": 0.97,
+    "builtin_qft": 0.43,
+    "cache_blocked_qft": 0.25,
+}
+
+#: Fig. 3 narrative: standard/high-frequency vs the default setup.
+FIG3_NARRATIVE = {
+    "high_freq_speedup_range": (0.05, 0.10),
+    "high_freq_energy_premium": 0.25,
+}
+
+#: The abstract's headline: 44-qubit QFT on 4,096 nodes.
+HEADLINE = {
+    "runtime_improvement": 0.40,
+    "energy_saving": 0.35,
+    "energy_saved_j": 233e6,
+}

@@ -1,0 +1,73 @@
+"""Experiment registry: every table/figure/extension by id."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ext_comm_modes,
+    ext_frequency,
+    ext_fusion,
+    ext_generic_cb,
+    ext_gpu,
+    ext_halved_swap,
+    ext_layout,
+    ext_overlap,
+    ext_precision,
+    ext_ranks_per_node,
+    ext_scaling,
+    ext_workloads,
+    fig1_circuits,
+    fig2_runtimes,
+    fig3_fractional,
+    fig4_swap,
+    fig5_profiles,
+    table1_hadamard,
+    table2_best,
+    validate,
+)
+from repro.experiments.reporting import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+#: id -> zero-config runner.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig1": fig1_circuits.run,
+    "fig2": fig2_runtimes.run,
+    "fig3": fig3_fractional.run,
+    "tab1": table1_hadamard.run,
+    "fig4": fig4_swap.run,
+    "fig5": fig5_profiles.run,
+    "tab2": table2_best.run,
+    "ext-halved-swap": ext_halved_swap.run,
+    "ext-frequency": ext_frequency.run,
+    "ext-comm-modes": ext_comm_modes.run,
+    "ext-generic-cb": ext_generic_cb.run,
+    "ext-fusion": ext_fusion.run,
+    "ext-gpu": ext_gpu.run,
+    "ext-layout": ext_layout.run,
+    "ext-precision": ext_precision.run,
+    "ext-scaling": ext_scaling.run,
+    "ext-ranks-per-node": ext_ranks_per_node.run,
+    "ext-workloads": ext_workloads.run,
+    "ext-overlap": ext_overlap.run,
+    "validate": validate.run,
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, paper artefacts first."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r} "
+            f"(available: {', '.join(EXPERIMENTS)})"
+        ) from None
+    return runner()

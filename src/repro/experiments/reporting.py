@@ -1,0 +1,69 @@
+"""Common result container and rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.tables import render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's regenerated table/series plus paper context."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+    #: Free-form scalar outcomes tests and benches assert on.
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: Optional terminal rendering of the figure itself.
+    plot: str = ""
+
+    def render(self) -> str:
+        """Formatted table (and plot, if any) with notes."""
+        text = render_table(
+            self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}"
+        )
+        if self.plot:
+            text += "\n\n" + self.plot
+        if self.notes:
+            text += "\n" + self.notes
+        return text
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (used by --report)."""
+        lines = [f"## [{self.experiment_id}] {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        if self.plot:
+            lines.extend(["", "```", self.plot, "```"])
+        if self.notes:
+            lines.extend(["", f"*{self.notes}*"])
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by the CLI's --json mode)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[str(c) for c in row] for row in self.rows],
+            "metrics": dict(self.metrics),
+            "notes": self.notes,
+        }
+
+    def metric(self, name: str) -> float:
+        """Fetch one scalar outcome."""
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise KeyError(
+                f"{self.experiment_id} has no metric {name!r} "
+                f"(have {sorted(self.metrics)})"
+            ) from None

@@ -1,0 +1,55 @@
+"""Gate locality classification (section 2.1 of the paper).
+
+The paper distinguishes three operator kinds for a statevector split
+across ``2**d`` ranks with ``m = n - d`` local qubits per rank:
+
+* **fully local** -- diagonal matrices; every amplitude updates in place.
+* **local memory** -- amplitude pairs live on the same rank (all pairing
+  targets below ``m``).
+* **distributed** -- some pairing target at or above ``m``; the update
+  needs amplitudes held by another rank, so MPI traffic is required.
+
+Controls never appear here: a control bit only masks which amplitudes
+participate, it never changes where an amplitude's partner lives.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.gates.gate import Gate
+
+__all__ = ["GateLocality", "classify_gate", "distributed_targets", "local_targets"]
+
+
+class GateLocality(enum.Enum):
+    """The paper's three-way operator taxonomy."""
+
+    FULLY_LOCAL = "fully_local"
+    LOCAL_MEMORY = "local_memory"
+    DISTRIBUTED = "distributed"
+
+
+def classify_gate(gate: Gate, local_qubits: int) -> GateLocality:
+    """Classify ``gate`` for a partition with ``local_qubits`` local qubits.
+
+    ``local_qubits`` is ``n - log2(ranks)``; qubit ``k`` is local iff
+    ``k < local_qubits``.  A single-rank simulation (``local_qubits == n``)
+    classifies every non-diagonal gate as LOCAL_MEMORY.
+    """
+    pairing = gate.pairing_targets()
+    if not pairing:
+        return GateLocality.FULLY_LOCAL
+    if all(t < local_qubits for t in pairing):
+        return GateLocality.LOCAL_MEMORY
+    return GateLocality.DISTRIBUTED
+
+
+def distributed_targets(gate: Gate, local_qubits: int) -> tuple[int, ...]:
+    """The pairing targets that fall in the rank-index bits (sorted)."""
+    return tuple(sorted(t for t in gate.pairing_targets() if t >= local_qubits))
+
+
+def local_targets(gate: Gate, local_qubits: int) -> tuple[int, ...]:
+    """The pairing targets that fall inside the local partition (sorted)."""
+    return tuple(sorted(t for t in gate.pairing_targets() if t < local_qubits))

@@ -1,0 +1,95 @@
+"""Gate decompositions.
+
+Used by the transpiler verifier and by tests: decomposing a gate and
+simulating the pieces must reproduce the original gate's action.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import GateError
+from repro.gates.gate import Gate
+
+__all__ = [
+    "swap_to_cnots",
+    "controlled_phase_pair",
+    "hadamard_sandwich_x",
+    "phase_to_rz_global",
+    "cphase",
+    "toffoli",
+    "controlled_rotation_ladder",
+]
+
+
+def swap_to_cnots(q0: int, q1: int) -> list[Gate]:
+    """SWAP(q0, q1) as three CNOTs (x with one control)."""
+    if q0 == q1:
+        raise GateError("swap targets must differ")
+    return [
+        Gate.named("x", (q1,), controls=(q0,)),
+        Gate.named("x", (q0,), controls=(q1,)),
+        Gate.named("x", (q1,), controls=(q0,)),
+    ]
+
+
+def controlled_phase_pair(theta: float, q0: int, q1: int) -> list[Gate]:
+    """CP(theta) on (q0, q1) from single-qubit phases and a CNOT pair.
+
+    ``CP(theta) = P(theta/2) x P(theta/2) . CX . (I x P(-theta/2)) . CX``
+    up to ordering; this is the textbook decomposition and exercises both
+    diagonal and non-diagonal kernels in tests.
+    """
+    half = theta / 2.0
+    return [
+        Gate.named("p", (q0,), params=(half,)),
+        Gate.named("p", (q1,), params=(half,)),
+        Gate.named("x", (q1,), controls=(q0,)),
+        Gate.named("p", (q1,), params=(-half,)),
+        Gate.named("x", (q1,), controls=(q0,)),
+    ]
+
+
+def hadamard_sandwich_x(q: int) -> list[Gate]:
+    """X(q) expressed as H . Z . H -- a classic identity for tests."""
+    return [
+        Gate.named("h", (q,)),
+        Gate.named("z", (q,)),
+        Gate.named("h", (q,)),
+    ]
+
+
+def phase_to_rz_global(theta: float, q: int) -> tuple[list[Gate], float]:
+    """P(theta) as RZ(theta) plus a global phase exp(i*theta/2).
+
+    Returns the gate list and the *scalar* global phase the caller must
+    account for when comparing states exactly.
+    """
+    return [Gate.named("rz", (q,), params=(theta,))], theta / 2.0
+
+
+def cphase(theta: float, control: int, target: int) -> Gate:
+    """Convenience constructor for the controlled-phase gate.
+
+    CP is symmetric in its two qubits; we represent it as a controlled
+    ``p`` gate, which the classifier sees as diagonal (fully local) --
+    exactly the property QuEST's optimised implementation exploits.
+    """
+    return Gate.named("p", (target,), controls=(control,), params=(theta,))
+
+
+def toffoli(c0: int, c1: int, target: int) -> Gate:
+    """Doubly-controlled X (used by the random-circuit generator)."""
+    return Gate.named("x", (target,), controls=(c0, c1))
+
+
+def controlled_rotation_ladder(qubit: int, lower: list[int]) -> list[Gate]:
+    """The QFT's controlled-phase ladder targeting ``qubit``.
+
+    For each control ``c`` in ``lower`` (more significant first), applies
+    ``CP(pi / 2**(qubit - c))`` controlled on ``c`` -- the standard QFT
+    rotation schedule of fig. 1a.
+    """
+    return [
+        cphase(math.pi / (2 ** (qubit - c)), control=c, target=qubit) for c in lower
+    ]

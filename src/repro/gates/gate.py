@@ -1,0 +1,313 @@
+"""Gate intermediate representation.
+
+A :class:`Gate` is an immutable record: a name from the gate registry (or
+``"unitary"`` with an explicit matrix), target qubits, optional control
+qubits and optional real parameters.  The matrix acts on the *targets
+only*; controls are handled structurally by the simulator kernels (they
+select the amplitude subset the matrix applies to), which is exactly how
+QuEST implements controlled gates and why controls never force
+communication on their own.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GateError
+from repro.gates import matrices as mats
+
+__all__ = ["Gate", "GateSpec", "GATE_REGISTRY", "register_gate"]
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a named gate type.
+
+    Attributes
+    ----------
+    name:
+        Registry key, lower case (``"h"``, ``"swap"``, ...).
+    num_targets:
+        Number of target qubits the gate acts on.
+    num_params:
+        Number of real parameters (e.g. 1 for ``p(theta)``).
+    diagonal:
+        True if the matrix is diagonal for every parameter value; such
+        gates are *fully local* in the paper's taxonomy -- each amplitude
+        is updated in place with no pairing.
+    matrix_fn:
+        Callable mapping the parameter tuple to the target-space matrix.
+    """
+
+    name: str
+    num_targets: int
+    num_params: int
+    diagonal: bool
+    matrix_fn: Callable[..., np.ndarray]
+
+
+GATE_REGISTRY: dict[str, GateSpec] = {}
+
+
+def register_gate(spec: GateSpec) -> GateSpec:
+    """Add a spec to the global registry (replacing any same-name entry)."""
+    GATE_REGISTRY[spec.name] = spec
+    return spec
+
+
+for _spec in [
+    GateSpec("id", 1, 0, True, lambda: mats.identity(2)),
+    GateSpec("h", 1, 0, False, mats.hadamard),
+    GateSpec("x", 1, 0, False, mats.pauli_x),
+    GateSpec("y", 1, 0, False, mats.pauli_y),
+    GateSpec("z", 1, 0, True, mats.pauli_z),
+    GateSpec("s", 1, 0, True, mats.s_gate),
+    GateSpec("sdg", 1, 0, True, mats.s_dagger),
+    GateSpec("t", 1, 0, True, mats.t_gate),
+    GateSpec("tdg", 1, 0, True, mats.t_dagger),
+    GateSpec("p", 1, 1, True, mats.phase),
+    GateSpec("rx", 1, 1, False, mats.rx),
+    GateSpec("ry", 1, 1, False, mats.ry),
+    GateSpec("rz", 1, 1, True, mats.rz),
+    GateSpec("u3", 1, 3, False, mats.u3),
+    GateSpec("swap", 2, 0, False, mats.swap_matrix),
+]:
+    register_gate(_spec)
+
+
+def _as_matrix_key(matrix: np.ndarray) -> tuple:
+    """Hashable view of a matrix for Gate equality/hashing."""
+    return tuple(np.asarray(matrix, dtype=np.complex128).ravel().tolist())
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One circuit operation: named gate or explicit unitary, plus wiring.
+
+    Use :meth:`Gate.named` or the :class:`repro.circuits.Circuit` builder
+    methods rather than the raw constructor.
+    """
+
+    name: str
+    targets: tuple[int, ...]
+    controls: tuple[int, ...] = ()
+    params: tuple[float, ...] = ()
+    # Explicit matrix for name == "unitary"; stored as a hashable tuple so
+    # Gate remains a frozen value type.
+    _matrix_key: tuple | None = field(default=None, repr=False)
+    # Constituent gates for name == "fused_diag": a run of diagonal gates
+    # executed in one memory sweep (QuEST's optimised phase application).
+    constituents: tuple["Gate", ...] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.name == "fused_diag":
+            if not self.constituents:
+                raise GateError("fused_diag gate requires constituent gates")
+            for g in self.constituents:
+                if not g.is_diagonal():
+                    raise GateError(
+                        f"fused_diag constituent {g} is not diagonal"
+                    )
+            touched = sorted(
+                {q for g in self.constituents for q in g.targets + g.controls}
+            )
+            if tuple(touched) != self.targets:
+                raise GateError(
+                    "fused_diag targets must be the sorted union of "
+                    "constituent qubits"
+                )
+        elif self.name != "unitary":
+            spec = GATE_REGISTRY.get(self.name)
+            if spec is None:
+                raise GateError(f"unknown gate name {self.name!r}")
+            if len(self.targets) != spec.num_targets:
+                raise GateError(
+                    f"gate {self.name!r} takes {spec.num_targets} target(s), "
+                    f"got {len(self.targets)}"
+                )
+            if len(self.params) != spec.num_params:
+                raise GateError(
+                    f"gate {self.name!r} takes {spec.num_params} parameter(s), "
+                    f"got {len(self.params)}"
+                )
+        else:
+            if self._matrix_key is None:
+                raise GateError("unitary gate requires an explicit matrix")
+            dim = 2 ** len(self.targets)
+            if len(self._matrix_key) != dim * dim:
+                raise GateError(
+                    f"unitary on {len(self.targets)} target(s) needs a "
+                    f"{dim}x{dim} matrix"
+                )
+        all_qubits = self.targets + self.controls
+        if len(set(all_qubits)) != len(all_qubits):
+            raise GateError(f"duplicate qubits in gate: {all_qubits}")
+        if any(q < 0 for q in all_qubits):
+            raise GateError(f"negative qubit index in gate: {all_qubits}")
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def named(
+        name: str,
+        targets: tuple[int, ...] | list[int],
+        *,
+        controls: tuple[int, ...] | list[int] = (),
+        params: tuple[float, ...] | list[float] = (),
+    ) -> "Gate":
+        """Build a registry gate."""
+        return Gate(
+            name=name,
+            targets=tuple(targets),
+            controls=tuple(controls),
+            params=tuple(float(p) for p in params),
+        )
+
+    @staticmethod
+    def fused(gates: Iterable["Gate"]) -> "Gate":
+        """Fuse a run of diagonal gates into one single-sweep operation.
+
+        This models QuEST's optimised controlled-phase application in the
+        built-in QFT: all phases of one rotation ladder are applied in a
+        single pass over the local amplitudes.  The fused gate is diagonal
+        by construction and therefore *fully local*.
+        """
+        gates = tuple(gates)
+        touched = tuple(sorted({q for g in gates for q in g.targets + g.controls}))
+        return Gate(name="fused_diag", targets=touched, constituents=gates)
+
+    @staticmethod
+    def unitary(
+        matrix: np.ndarray,
+        targets: tuple[int, ...] | list[int],
+        *,
+        controls: tuple[int, ...] | list[int] = (),
+    ) -> "Gate":
+        """Build a gate from an explicit unitary on the given targets."""
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if not mats.is_unitary(matrix):
+            raise GateError("explicit gate matrix is not unitary")
+        return Gate(
+            name="unitary",
+            targets=tuple(targets),
+            controls=tuple(controls),
+            _matrix_key=_as_matrix_key(matrix),
+        )
+
+    # -- properties ------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of distinct qubits the gate touches (targets + controls)."""
+        return len(self.targets) + len(self.controls)
+
+    @property
+    def max_qubit(self) -> int:
+        """Highest qubit index the gate touches."""
+        return max(self.targets + self.controls)
+
+    def matrix(self) -> np.ndarray:
+        """Matrix on the target space (controls not included).
+
+        For fused diagonal gates this is the diagonal matrix over the
+        fused qubit set (controls of constituents included, since they are
+        part of ``targets`` by construction).
+        """
+        if self.name == "fused_diag":
+            return np.diag(self.diagonal_vector())
+        if self.name == "unitary":
+            dim = 2 ** len(self.targets)
+            return np.array(self._matrix_key, dtype=np.complex128).reshape(dim, dim)
+        spec = GATE_REGISTRY[self.name]
+        return spec.matrix_fn(*self.params)
+
+    def diagonal_vector(self) -> np.ndarray:
+        """Diagonal of a fused gate over its target-qubit space.
+
+        Basis index bit ``i`` corresponds to ``self.targets[i]``.  Only
+        valid for ``fused_diag`` gates (raises otherwise).
+        """
+        if self.name != "fused_diag":
+            raise GateError("diagonal_vector() only defined for fused_diag gates")
+        position = {q: i for i, q in enumerate(self.targets)}
+        dim = 2 ** len(self.targets)
+        idx = np.arange(dim)
+        diag = np.ones(dim, dtype=np.complex128)
+        for g in self.constituents:
+            factors = np.diag(g.matrix())
+            active = np.ones(dim, dtype=bool)
+            for c in g.controls:
+                active &= ((idx >> position[c]) & 1).astype(bool)
+            sub = np.zeros(dim, dtype=np.int64)
+            for i, t in enumerate(g.targets):
+                sub |= ((idx >> position[t]) & 1) << i
+            diag = np.where(active, diag * factors[sub], diag)
+        return diag
+
+    def full_matrix(self) -> np.ndarray:
+        """Matrix including controls; controls become the most-significant bits."""
+        out = self.matrix()
+        for _ in self.controls:
+            out = mats.controlled(out)
+        return out
+
+    def is_diagonal(self) -> bool:
+        """True if the target-space matrix is diagonal (fully local gate)."""
+        if self.name == "fused_diag":
+            return True
+        if self.name == "unitary":
+            return mats.is_diagonal(self.matrix())
+        return GATE_REGISTRY[self.name].diagonal
+
+    def is_swap(self) -> bool:
+        """True for the two-qubit SWAP gate (special distributed handling)."""
+        return self.name == "swap"
+
+    def pairing_targets(self) -> tuple[int, ...]:
+        """Targets whose bit value participates in amplitude mixing.
+
+        Diagonal gates pair nothing; all other gates pair on every target.
+        The communication pattern of a gate is determined entirely by
+        which of these qubits fall outside the local partition.
+        """
+        if self.is_diagonal():
+            return ()
+        return self.targets
+
+    def dagger(self) -> "Gate":
+        """The inverse gate (as an explicit unitary unless self-inverse)."""
+        if self.name == "fused_diag":
+            return Gate.fused(tuple(g.dagger() for g in reversed(self.constituents)))
+        m = self.matrix()
+        md = m.conj().T
+        if np.allclose(m, md):
+            return self
+        return Gate.unitary(md, self.targets, controls=self.controls)
+
+    def remapped(self, mapping: dict[int, int]) -> "Gate":
+        """Return the gate with qubits renamed through ``mapping``.
+
+        Qubits absent from the mapping are left unchanged.  Used by the
+        cache-blocking transpiler to track logical-to-physical placement.
+        """
+        if self.name == "fused_diag":
+            return Gate.fused(tuple(g.remapped(mapping) for g in self.constituents))
+        return Gate(
+            name=self.name,
+            targets=tuple(mapping.get(q, q) for q in self.targets),
+            controls=tuple(mapping.get(q, q) for q in self.controls),
+            params=self.params,
+            _matrix_key=self._matrix_key,
+        )
+
+    def __str__(self) -> str:
+        label = self.name
+        if self.params:
+            label += "(" + ", ".join(f"{p:.6g}" for p in self.params) + ")"
+        wires = ", ".join(f"q{t}" for t in self.targets)
+        if self.controls:
+            wires += " ctrl " + ", ".join(f"q{c}" for c in self.controls)
+        return f"{label} {wires}"

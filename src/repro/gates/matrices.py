@@ -1,0 +1,163 @@
+"""Standard gate matrices.
+
+All matrices are returned as fresh ``complex128`` arrays in the
+computational basis with qubit-0-least-significant ordering.  For
+two-qubit gates the basis order is ``|q1 q0> = |00>, |01>, |10>, |11>``
+where ``q0`` is the *first* target passed to the gate (matching how the
+simulator kernels consume them).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "identity",
+    "hadamard",
+    "pauli_x",
+    "pauli_y",
+    "pauli_z",
+    "s_gate",
+    "s_dagger",
+    "t_gate",
+    "t_dagger",
+    "phase",
+    "rx",
+    "ry",
+    "rz",
+    "u3",
+    "swap_matrix",
+    "controlled",
+    "is_unitary",
+    "is_diagonal",
+    "kron_n",
+]
+
+_SQRT1_2 = 1.0 / math.sqrt(2.0)
+
+
+def identity(dim: int = 2) -> np.ndarray:
+    """Identity matrix of the given dimension."""
+    return np.eye(dim, dtype=np.complex128)
+
+
+def hadamard() -> np.ndarray:
+    """The Hadamard gate ``H = (X + Z) / sqrt(2)``."""
+    return np.array([[_SQRT1_2, _SQRT1_2], [_SQRT1_2, -_SQRT1_2]], dtype=np.complex128)
+
+
+def pauli_x() -> np.ndarray:
+    """The Pauli-X (NOT) gate."""
+    return np.array([[0, 1], [1, 0]], dtype=np.complex128)
+
+
+def pauli_y() -> np.ndarray:
+    """The Pauli-Y gate."""
+    return np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+
+
+def pauli_z() -> np.ndarray:
+    """The Pauli-Z gate."""
+    return np.array([[1, 0], [0, -1]], dtype=np.complex128)
+
+
+def s_gate() -> np.ndarray:
+    """The S gate (``sqrt(Z)``), a phase of pi/2."""
+    return phase(math.pi / 2)
+
+
+def s_dagger() -> np.ndarray:
+    """The inverse S gate."""
+    return phase(-math.pi / 2)
+
+
+def t_gate() -> np.ndarray:
+    """The T gate (``Z**(1/4)``), a phase of pi/4."""
+    return phase(math.pi / 4)
+
+
+def t_dagger() -> np.ndarray:
+    """The inverse T gate."""
+    return phase(-math.pi / 4)
+
+
+def phase(theta: float) -> np.ndarray:
+    """The phase gate ``diag(1, exp(i * theta))``."""
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=np.complex128)
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about X: ``exp(-i * theta * X / 2)``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about Y: ``exp(-i * theta * Y / 2)``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about Z: ``exp(-i * theta * Z / 2)`` (diagonal)."""
+    e = np.exp(-1j * theta / 2)
+    return np.array([[e, 0], [0, np.conj(e)]], dtype=np.complex128)
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """General single-qubit unitary in the OpenQASM ``u3`` convention."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=np.complex128,
+    )
+
+
+def swap_matrix() -> np.ndarray:
+    """The two-qubit SWAP gate."""
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+        dtype=np.complex128,
+    )
+
+
+def controlled(matrix: np.ndarray) -> np.ndarray:
+    """Lift a ``d x d`` unitary to its controlled version (control = new MSB).
+
+    With the qubit-0-LSB convention and the control as the higher qubit,
+    the controlled gate is block-diagonal: identity on the control-0
+    subspace, ``matrix`` on the control-1 subspace.
+    """
+    d = matrix.shape[0]
+    out = np.eye(2 * d, dtype=np.complex128)
+    out[d:, d:] = matrix
+    return out
+
+
+def is_unitary(matrix: np.ndarray, *, atol: float = 1e-10) -> bool:
+    """Return True if ``matrix`` is unitary within tolerance."""
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    eye = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix.conj().T @ matrix, eye, atol=atol))
+
+
+def is_diagonal(matrix: np.ndarray, *, atol: float = 1e-12) -> bool:
+    """Return True if ``matrix`` is diagonal within tolerance."""
+    matrix = np.asarray(matrix)
+    off = matrix - np.diag(np.diag(matrix))
+    return bool(np.allclose(off, 0, atol=atol))
+
+
+def kron_n(*matrices: np.ndarray) -> np.ndarray:
+    """Kronecker product of the given matrices, left to right."""
+    out = np.array([[1.0 + 0j]])
+    for m in matrices:
+        out = np.kron(out, m)
+    return out

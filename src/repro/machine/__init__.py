@@ -1,0 +1,48 @@
+"""Machine model: ARCHER2 nodes, frequencies, allocation, CU accounting."""
+
+from repro.machine.allocation import (
+    FULL_BUFFER_FACTOR,
+    HALVED_BUFFER_FACTOR,
+    Allocation,
+    allocate,
+    feasible_node_counts,
+    max_qubits,
+    minimum_nodes,
+)
+from repro.machine.archer2 import Machine, archer2
+from repro.machine.cu import DEFAULT_CU_RATES, CuRates, cu_cost
+from repro.machine.frequency import CpuFrequency
+from repro.machine.gpu import GPU_DEVICE, gpu_machine
+from repro.machine.node import HIGHMEM_NODE, STANDARD_NODE, NodeType
+from repro.machine.slurm import JobAccounting, SlurmJob
+from repro.machine.sustainability import (
+    ImpactReport,
+    SustainabilityFactors,
+    assess,
+)
+
+__all__ = [
+    "Machine",
+    "archer2",
+    "NodeType",
+    "STANDARD_NODE",
+    "HIGHMEM_NODE",
+    "GPU_DEVICE",
+    "gpu_machine",
+    "CpuFrequency",
+    "Allocation",
+    "allocate",
+    "minimum_nodes",
+    "feasible_node_counts",
+    "max_qubits",
+    "FULL_BUFFER_FACTOR",
+    "HALVED_BUFFER_FACTOR",
+    "CuRates",
+    "cu_cost",
+    "DEFAULT_CU_RATES",
+    "SlurmJob",
+    "JobAccounting",
+    "SustainabilityFactors",
+    "ImpactReport",
+    "assess",
+]

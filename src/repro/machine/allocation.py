@@ -1,0 +1,173 @@
+"""Job sizing: how many nodes a statevector needs (paper section 3.1).
+
+QuEST needs a power-of-two rank count with one rank per node, and "an
+additional buffer is required in the MPI implementation, doubling the
+overall memory requirement".  A *single*-node run needs no buffer (no
+communication), which is why 33 qubits fit on one 256 GiB node but a
+34-qubit run jumps straight to 4 nodes: on 2 nodes the statevector half
+plus an equal buffer exactly exhausts memory with nothing left for the
+OS.
+
+The paper's future-work halved-communication SWAP shrinks the buffer to
+half the local statevector (factor 1.5 instead of 2.0), which is what
+"ARCHER2 could possibly simulate up to 45 qubits" rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+from repro.machine.archer2 import Machine
+from repro.machine.node import NodeType
+from repro.statevector.partition import AMPLITUDE_BYTES, Partition
+
+__all__ = ["Allocation", "minimum_nodes", "allocate", "max_qubits", "feasible_node_counts"]
+
+#: Memory multiplier with QuEST's full exchange buffer.
+FULL_BUFFER_FACTOR = 2.0
+
+#: Memory multiplier with the halved-communication SWAP buffer.
+HALVED_BUFFER_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A sized job: node count and the induced partition."""
+
+    num_qubits: int
+    node_type: NodeType
+    num_nodes: int
+    buffer_factor: float
+
+    @property
+    def partition(self) -> Partition:
+        """One MPI rank per node, as in all of the paper's experiments."""
+        return Partition(self.num_qubits, self.num_nodes)
+
+    @property
+    def statevector_bytes(self) -> int:
+        """Total statevector size."""
+        return AMPLITUDE_BYTES * (1 << self.num_qubits)
+
+    @property
+    def per_node_bytes(self) -> float:
+        """Statevector + communication buffer per node."""
+        sv = self.statevector_bytes / self.num_nodes
+        if self.num_nodes == 1:
+            return sv
+        return sv * self.buffer_factor
+
+
+def _fits(
+    num_qubits: int, node_type: NodeType, num_nodes: int, buffer_factor: float
+) -> bool:
+    per_node_sv = AMPLITUDE_BYTES * (1 << num_qubits) / num_nodes
+    needed = per_node_sv if num_nodes == 1 else per_node_sv * buffer_factor
+    return needed <= node_type.usable_memory_bytes
+
+
+def minimum_nodes(
+    num_qubits: int,
+    node_type: NodeType,
+    *,
+    machine: Machine | None = None,
+    buffer_factor: float = FULL_BUFFER_FACTOR,
+) -> int:
+    """Smallest feasible power-of-two node count for the register.
+
+    Raises :class:`AllocationError` when no count within the machine's
+    partition (or within 2**30 nodes if no machine is given) fits.
+    """
+    if num_qubits < 1:
+        raise AllocationError(f"num_qubits must be >= 1, got {num_qubits}")
+    limit = machine.max_nodes(node_type) if machine is not None else 1 << 30
+    nodes = 1
+    while nodes <= limit:
+        # Power-of-two rank counts; a 2-node job can never fit when a
+        # 1-node job does not (half the statevector plus an equal buffer
+        # is the full statevector again), but the loop discovers that
+        # naturally.
+        if nodes <= num_qubits_capacity_limit(num_qubits) and _fits(
+            num_qubits, node_type, nodes, buffer_factor
+        ):
+            return nodes
+        nodes *= 2
+    raise AllocationError(
+        f"{num_qubits} qubits do not fit on {limit} {node_type.name} node(s) "
+        f"(buffer factor {buffer_factor})"
+    )
+
+
+def num_qubits_capacity_limit(num_qubits: int) -> int:
+    """Largest rank count a register admits (at least 1 amplitude each)."""
+    return 1 << num_qubits
+
+
+def feasible_node_counts(
+    num_qubits: int,
+    node_type: NodeType,
+    machine: Machine,
+    *,
+    buffer_factor: float = FULL_BUFFER_FACTOR,
+) -> list[int]:
+    """All power-of-two node counts that fit the register on the machine."""
+    counts = []
+    nodes = 1
+    while nodes <= machine.max_nodes(node_type):
+        if nodes <= num_qubits_capacity_limit(num_qubits) and _fits(
+            num_qubits, node_type, nodes, buffer_factor
+        ):
+            counts.append(nodes)
+        nodes *= 2
+    return counts
+
+
+def allocate(
+    num_qubits: int,
+    node_type: NodeType,
+    *,
+    machine: Machine | None = None,
+    num_nodes: int | None = None,
+    buffer_factor: float = FULL_BUFFER_FACTOR,
+) -> Allocation:
+    """Build an :class:`Allocation`, sizing it minimally unless told not to."""
+    if num_nodes is None:
+        num_nodes = minimum_nodes(
+            num_qubits, node_type, machine=machine, buffer_factor=buffer_factor
+        )
+    else:
+        if machine is not None and num_nodes > machine.max_nodes(node_type):
+            raise AllocationError(
+                f"{num_nodes} nodes exceed the {node_type.name} partition "
+                f"({machine.max_nodes(node_type)})"
+            )
+        if not _fits(num_qubits, node_type, num_nodes, buffer_factor):
+            raise AllocationError(
+                f"{num_qubits} qubits do not fit on {num_nodes} "
+                f"{node_type.name} node(s)"
+            )
+    return Allocation(
+        num_qubits=num_qubits,
+        node_type=node_type,
+        num_nodes=num_nodes,
+        buffer_factor=buffer_factor,
+    )
+
+
+def max_qubits(
+    node_type: NodeType,
+    machine: Machine,
+    *,
+    buffer_factor: float = FULL_BUFFER_FACTOR,
+) -> int:
+    """Largest register the machine can hold on this node flavour."""
+    n = 1
+    while True:
+        try:
+            minimum_nodes(
+                n + 1, node_type, machine=machine, buffer_factor=buffer_factor
+            )
+        except AllocationError:
+            return n
+        n += 1

@@ -1,0 +1,71 @@
+"""The ARCHER2 machine description.
+
+ARCHER2 is an HPE Cray EX: 5,860 standard nodes plus a high-memory
+partition, Slingshot interconnect with one switch per 8 nodes.  All
+constants that the performance model *calibrates* (effective bandwidths,
+powers) live in :mod:`repro.perfmodel.calibration`; this module holds
+the *architectural* facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+from repro.machine.frequency import CpuFrequency
+from repro.machine.node import HIGHMEM_NODE, STANDARD_NODE, NodeType
+from repro.mpi.topology import ARCHER2_NODES_PER_SWITCH, ARCHER2_SWITCH_POWER_W
+
+__all__ = ["Machine", "archer2"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A machine: node flavours, partition sizes, network facts."""
+
+    name: str
+    node_types: dict[str, NodeType]
+    #: Nodes available per node-type partition.
+    partition_nodes: dict[str, int]
+    nodes_per_switch: int
+    switch_power_w: float
+    default_frequency: CpuFrequency = CpuFrequency.MEDIUM
+    frequencies: tuple[CpuFrequency, ...] = field(
+        default=(CpuFrequency.LOW, CpuFrequency.MEDIUM, CpuFrequency.HIGH)
+    )
+
+    def node_type(self, name: str) -> NodeType:
+        """Look up a node flavour by name."""
+        try:
+            return self.node_types[name]
+        except KeyError:
+            raise AllocationError(
+                f"{self.name} has no node type {name!r} "
+                f"(available: {sorted(self.node_types)})"
+            ) from None
+
+    def max_nodes(self, node_type: NodeType | str) -> int:
+        """Partition size for a node flavour."""
+        name = node_type if isinstance(node_type, str) else node_type.name
+        if name not in self.partition_nodes:
+            raise AllocationError(f"{self.name} has no partition for {name!r}")
+        return self.partition_nodes[name]
+
+
+def archer2() -> Machine:
+    """The ARCHER2 system as used in the paper.
+
+    The standard partition has 5,860 nodes (so 4,096 is the largest
+    power-of-two job, as in the paper's 44-qubit runs).  The paper's
+    largest high-memory runs used 256 nodes ("a maximum of 41 qubits
+    could be simulated on 256 high memory nodes"), which bounds the
+    high-memory partition below 512; we carry 292 usable nodes (half of
+    the system's 584 high-memory node count).
+    """
+    return Machine(
+        name="ARCHER2",
+        node_types={"standard": STANDARD_NODE, "highmem": HIGHMEM_NODE},
+        partition_nodes={"standard": 5860, "highmem": 292},
+        nodes_per_switch=ARCHER2_NODES_PER_SWITCH,
+        switch_power_w=ARCHER2_SWITCH_POWER_W,
+    )

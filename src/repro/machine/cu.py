@@ -1,0 +1,54 @@
+"""Compute-unit (CU) cost accounting.
+
+ARCHER2 charges jobs in CUs: 1 CU = 1 standard-node hour, with
+high-memory nodes charged at the same nodal rate.  The paper's
+observation that "the CU cost of high memory simulations is lower"
+follows from halving the node count while less than doubling the
+runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+from repro.machine.node import NodeType
+
+__all__ = ["CuRates", "cu_cost", "DEFAULT_CU_RATES"]
+
+
+@dataclass(frozen=True)
+class CuRates:
+    """CU charged per node-hour, by node-type name."""
+
+    per_node_hour: dict[str, float]
+
+    def rate(self, node_type: NodeType | str) -> float:
+        name = node_type if isinstance(node_type, str) else node_type.name
+        try:
+            return self.per_node_hour[name]
+        except KeyError:
+            raise AllocationError(f"no CU rate for node type {name!r}") from None
+
+
+#: ARCHER2 rates: both partitions charge 1 CU per node-hour.  GPU
+#: devices (the §4 projection) are carried at a nominal per-GPU-hour
+#: rate so cross-platform CU comparisons stay meaningful.
+DEFAULT_CU_RATES = CuRates(
+    per_node_hour={"standard": 1.0, "highmem": 1.0, "gpu": 1.0}
+)
+
+
+def cu_cost(
+    num_nodes: int,
+    runtime_s: float,
+    node_type: NodeType | str,
+    *,
+    rates: CuRates = DEFAULT_CU_RATES,
+) -> float:
+    """CUs consumed by a job."""
+    if num_nodes < 1:
+        raise AllocationError(f"num_nodes must be >= 1, got {num_nodes}")
+    if runtime_s < 0:
+        raise AllocationError(f"runtime must be >= 0, got {runtime_s}")
+    return num_nodes * (runtime_s / 3600.0) * rates.rate(node_type)

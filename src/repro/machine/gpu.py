@@ -1,0 +1,54 @@
+"""A multi-GPU cluster model (paper §4: "porting QuEST to multiple GPUs").
+
+The paper closes by proposing to explore performance and energy of a
+GPU port (cf. its reference [4], Faj et al.'s GPU-accelerated
+simulations).  This module supplies the machine side of that study: an
+A100-class accelerator as the unit of distribution (one MPI rank per
+GPU, as GPU statevector simulators do), with HBM bandwidth in place of
+DDR and GPU-aware interconnect bandwidths in the matching calibration
+(:data:`repro.perfmodel.gpu.GPU_CALIBRATION`).
+
+The cost structure is unchanged -- gate kernels are memory-bound
+streams, distributed gates are pairwise exchanges -- which is exactly
+why the same model transfers: only the coefficients move.
+"""
+
+from __future__ import annotations
+
+from repro.machine.archer2 import Machine
+from repro.machine.frequency import CpuFrequency
+from repro.machine.node import NodeType
+from repro.utils.units import GIB
+
+__all__ = ["GPU_DEVICE", "gpu_machine"]
+
+#: One A100-80GB-class accelerator, treated as a "node" of the model
+#: (one rank per GPU).  `cores` approximates CUDA-core parallelism so
+#: the arithmetic term is realistically negligible next to HBM streaming;
+#: a single HBM domain means no NUMA penalty (numa_regions = 1).
+GPU_DEVICE = NodeType(
+    name="gpu",
+    memory_bytes=80 * GIB,
+    cores=6912,
+    numa_regions=1,
+    usable_memory_fraction=0.92,
+    power_factor=1.0,
+)
+
+
+def gpu_machine(num_gpus: int = 2048) -> Machine:
+    """A GPU cluster: 4 GPUs per host, 8 hosts (32 GPUs) per switch.
+
+    GPU clocks are not SLURM-steppable the way ARCHER2's CPUs are; the
+    model runs the single nominal operating point (mapped onto the
+    MEDIUM slot so the shared cost pipeline applies unchanged).
+    """
+    return Machine(
+        name="GPU cluster",
+        node_types={"gpu": GPU_DEVICE},
+        partition_nodes={"gpu": num_gpus},
+        nodes_per_switch=32,
+        switch_power_w=235.0,
+        default_frequency=CpuFrequency.MEDIUM,
+        frequencies=(CpuFrequency.MEDIUM,),
+    )

@@ -1,0 +1,74 @@
+"""Compute-node descriptions (paper section 2.2, optimisation 2).
+
+ARCHER2 nodes are dual-socket AMD EPYC 7742 (128 cores, 8 NUMA regions)
+in two memory configurations: standard (256 GiB) and high-memory
+(512 GiB).  Both share the same sockets, so per-node memory bandwidth
+and flop rate are identical -- which is exactly why high-memory nodes
+are "slower, but less than twice as slow" for a fixed statevector: the
+same bandwidth must stream twice the local data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+from repro.utils.units import GIB
+
+__all__ = ["NodeType", "STANDARD_NODE", "HIGHMEM_NODE"]
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """One node flavour of the machine."""
+
+    name: str
+    memory_bytes: int
+    cores: int
+    numa_regions: int
+    #: Fraction of node memory usable by the statevector + MPI buffers
+    #: (the rest is OS, runtime, and QuEST bookkeeping).
+    usable_memory_fraction: float
+    #: Multiplier on node power relative to the standard node (the
+    #: doubled DIMM population of high-memory nodes draws more).
+    power_factor: float
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0 or self.cores <= 0 or self.numa_regions <= 0:
+            raise CalibrationError(f"invalid node description: {self}")
+        if not 0 < self.usable_memory_fraction <= 1:
+            raise CalibrationError(
+                f"usable_memory_fraction must be in (0, 1], got "
+                f"{self.usable_memory_fraction}"
+            )
+
+    @property
+    def usable_memory_bytes(self) -> float:
+        """Memory available to the application on one node."""
+        return self.memory_bytes * self.usable_memory_fraction
+
+    @property
+    def numa_region_bytes(self) -> float:
+        """Memory per NUMA region."""
+        return self.memory_bytes / self.numa_regions
+
+
+#: ARCHER2 standard node: 256 GiB, 2 x EPYC 7742.
+STANDARD_NODE = NodeType(
+    name="standard",
+    memory_bytes=256 * GIB,
+    cores=128,
+    numa_regions=8,
+    usable_memory_fraction=0.95,
+    power_factor=1.0,
+)
+
+#: ARCHER2 high-memory node: 512 GiB, same sockets.
+HIGHMEM_NODE = NodeType(
+    name="highmem",
+    memory_bytes=512 * GIB,
+    cores=128,
+    numa_regions=8,
+    usable_memory_fraction=0.95,
+    power_factor=1.08,
+)

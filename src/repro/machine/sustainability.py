@@ -1,0 +1,90 @@
+"""Sustainability accounting: energy to carbon and cost.
+
+The paper's motivation is HPC sustainability ("Focusing on its
+efficiency therefore plays a crucial role in HPC sustainability"); this
+module converts the model's joules into the quantities sustainability
+reports use: kWh, kgCO2e and electricity cost.
+
+Default factors describe ARCHER2's situation: the service is hosted at
+EPCC's ACF in Scotland and has run on a 100%-renewable supply contract,
+so we carry both a *market-based* intensity (the contractual ~0) and a
+*location-based* one (the GB grid average, ~0.2 kgCO2e/kWh in the
+2023 era) -- reports quote both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+
+__all__ = ["SustainabilityFactors", "ImpactReport", "assess", "GB_GRID_2023"]
+
+#: GB grid average carbon intensity around the paper's period,
+#: kgCO2e per kWh (location-based accounting).
+GB_GRID_2023 = 0.207
+
+
+@dataclass(frozen=True)
+class SustainabilityFactors:
+    """Conversion factors from energy to impact."""
+
+    #: Location-based grid intensity, kgCO2e/kWh.
+    location_intensity_kg_per_kwh: float = GB_GRID_2023
+    #: Market-based intensity (renewable supply contract), kgCO2e/kWh.
+    market_intensity_kg_per_kwh: float = 0.0
+    #: Electricity price, GBP/kWh (industrial, 2023-era order).
+    price_per_kwh: float = 0.25
+    #: Data-centre overhead multiplier (cooling etc.) applied on top of
+    #: the IT energy the model reports; the paper excludes cooling, so a
+    #: PUE > 1 restores it.
+    pue: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.location_intensity_kg_per_kwh < 0:
+            raise CalibrationError("location intensity must be >= 0")
+        if self.market_intensity_kg_per_kwh < 0:
+            raise CalibrationError("market intensity must be >= 0")
+        if self.price_per_kwh < 0:
+            raise CalibrationError("price must be >= 0")
+        if self.pue < 1.0:
+            raise CalibrationError(f"PUE must be >= 1, got {self.pue}")
+
+
+@dataclass(frozen=True)
+class ImpactReport:
+    """One job's energy, expressed as sustainability quantities."""
+
+    it_energy_kwh: float
+    facility_energy_kwh: float
+    location_co2e_kg: float
+    market_co2e_kg: float
+    cost: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.facility_energy_kwh:.1f} kWh at the facility "
+            f"({self.it_energy_kwh:.1f} kWh IT), "
+            f"{self.location_co2e_kg:.1f} kgCO2e location-based "
+            f"({self.market_co2e_kg:.1f} market-based), "
+            f"~{self.cost:.0f} GBP"
+        )
+
+
+def assess(
+    energy_j: float,
+    factors: SustainabilityFactors | None = None,
+) -> ImpactReport:
+    """Convert a job's modelled energy into an impact report."""
+    if energy_j < 0:
+        raise CalibrationError(f"energy must be >= 0, got {energy_j}")
+    factors = factors if factors is not None else SustainabilityFactors()
+    it_kwh = energy_j / 3.6e6
+    facility_kwh = it_kwh * factors.pue
+    return ImpactReport(
+        it_energy_kwh=it_kwh,
+        facility_energy_kwh=facility_kwh,
+        location_co2e_kg=facility_kwh * factors.location_intensity_kg_per_kwh,
+        market_co2e_kg=facility_kwh * factors.market_intensity_kg_per_kwh,
+        cost=facility_kwh * factors.price_per_kwh,
+    )

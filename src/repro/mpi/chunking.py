@@ -1,0 +1,60 @@
+"""Message chunking under the 2 GiB MPI message cap.
+
+"Due to limitations of some implementations of MPI, individual messages
+cannot be larger than 2 GB, so the communication cannot be done in a
+single message.  Instead, 32 messages are exchanged per distributed
+gate" (paper section 2.1, for the 64 GiB per-node statevector).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CommError
+from repro.utils.units import GIB
+
+__all__ = ["MAX_MESSAGE_BYTES", "split_message", "chunk_array", "num_chunks"]
+
+#: The MPI implementation's per-message cap (2 GiB).
+MAX_MESSAGE_BYTES = 2 * GIB
+
+
+def num_chunks(nbytes: int, max_message: int = MAX_MESSAGE_BYTES) -> int:
+    """How many messages an ``nbytes`` transfer needs."""
+    if nbytes < 0:
+        raise CommError(f"nbytes must be >= 0, got {nbytes}")
+    if max_message <= 0:
+        raise CommError(f"max_message must be > 0, got {max_message}")
+    return max(1, -(-nbytes // max_message))
+
+
+def split_message(nbytes: int, max_message: int = MAX_MESSAGE_BYTES) -> list[int]:
+    """Chunk sizes for an ``nbytes`` transfer (all full except maybe the last)."""
+    n = num_chunks(nbytes, max_message)
+    if nbytes == 0:
+        return [0]
+    sizes = [max_message] * (nbytes // max_message)
+    if nbytes % max_message:
+        sizes.append(nbytes % max_message)
+    assert len(sizes) == n and sum(sizes) == nbytes
+    return sizes
+
+
+def chunk_array(
+    array: np.ndarray, max_message: int = MAX_MESSAGE_BYTES
+) -> list[np.ndarray]:
+    """Split a 1-D array into contiguous views of at most ``max_message`` bytes.
+
+    Views, not copies -- the send path must not duplicate 64 GiB buffers.
+    """
+    if array.ndim != 1:
+        raise CommError(f"chunk_array expects a 1-D array, got ndim={array.ndim}")
+    itemsize = array.dtype.itemsize
+    if max_message < itemsize:
+        raise CommError(
+            f"max_message {max_message} smaller than one element ({itemsize} B)"
+        )
+    per_chunk = max_message // itemsize
+    return [array[i : i + per_chunk] for i in range(0, len(array), per_chunk)] or [
+        array
+    ]

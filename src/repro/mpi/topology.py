@@ -1,0 +1,63 @@
+"""Network topology accounting (switch counts for the energy model).
+
+The paper estimates network energy as ``E_net = n_switches * P_switch *
+runtime`` with one switch per 8 nodes on ARCHER2 and a 235 W typical
+under-load switch power.  This module owns the node-to-switch mapping so
+the energy model and the experiments agree on ``n_switches``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CommError
+
+__all__ = ["NetworkTopology", "ARCHER2_NODES_PER_SWITCH", "ARCHER2_SWITCH_POWER_W"]
+
+#: ARCHER2's Slingshot groups: 1 switch per 8 nodes (paper section 2.4).
+ARCHER2_NODES_PER_SWITCH = 8
+
+#: Typical average power of a switch under load on ARCHER2 (paper: 235 W).
+ARCHER2_SWITCH_POWER_W = 235.0
+
+
+@dataclass(frozen=True)
+class NetworkTopology:
+    """Switch layout for a job spanning ``num_nodes`` nodes."""
+
+    num_nodes: int
+    nodes_per_switch: int = ARCHER2_NODES_PER_SWITCH
+    switch_power_w: float = ARCHER2_SWITCH_POWER_W
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise CommError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.nodes_per_switch < 1:
+            raise CommError(
+                f"nodes_per_switch must be >= 1, got {self.nodes_per_switch}"
+            )
+
+    @property
+    def num_switches(self) -> int:
+        """Switches the job touches (ceil of nodes / nodes-per-switch)."""
+        return -(-self.num_nodes // self.nodes_per_switch)
+
+    def switch_of(self, node: int) -> int:
+        """Which switch a node hangs off (dense packing)."""
+        if not 0 <= node < self.num_nodes:
+            raise CommError(f"node {node} out of range for {self.num_nodes} nodes")
+        return node // self.nodes_per_switch
+
+    def switch_power_total_w(self) -> float:
+        """Aggregate switch power attributed to the job."""
+        return self.num_switches * self.switch_power_w
+
+    def network_energy_j(self, runtime_s: float) -> float:
+        """The paper's ``E_net`` estimate for a run of ``runtime_s``."""
+        if runtime_s < 0:
+            raise CommError(f"runtime must be >= 0, got {runtime_s}")
+        return self.switch_power_total_w() * runtime_s
+
+    def same_switch(self, node_a: int, node_b: int) -> bool:
+        """True when two nodes share a switch (single-hop traffic)."""
+        return self.switch_of(node_a) == self.switch_of(node_b)

@@ -1,0 +1,100 @@
+"""Cost breakdowns of a costed trace: where did the time/energy go?
+
+The fig. 5 profile answers "MPI vs memory vs compute"; these utilities
+answer the follow-up questions an optimiser asks: which *gate kinds*
+dominate, which single gates are worst, and what does the whole run
+look like as a timeline.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from repro.gates import GateLocality
+from repro.perfmodel.trace import CostedTrace, GateCost
+from repro.utils.tables import render_table
+
+__all__ = ["KindBreakdown", "by_kind", "top_gates", "timeline_csv", "render_breakdown"]
+
+
+@dataclass(frozen=True)
+class KindBreakdown:
+    """Aggregate cost of one (gate name, locality) group."""
+
+    gate_name: str
+    locality: GateLocality
+    count: int
+    total_s: float
+    comm_s: float
+    energy_j: float
+
+    @property
+    def mean_s(self) -> float:
+        """Average wall time per gate of this kind."""
+        return self.total_s / self.count if self.count else 0.0
+
+
+def by_kind(costed: CostedTrace) -> list[KindBreakdown]:
+    """Group gate costs by (name, locality), sorted by total time."""
+    groups: dict[tuple[str, GateLocality], list[GateCost]] = {}
+    for cost in costed.gates:
+        groups.setdefault((cost.plan.gate_name, cost.plan.locality), []).append(
+            cost
+        )
+    out = [
+        KindBreakdown(
+            gate_name=name,
+            locality=locality,
+            count=len(costs),
+            total_s=sum(c.total_s for c in costs),
+            comm_s=sum(c.comm_s for c in costs),
+            energy_j=sum(c.total_energy_j for c in costs),
+        )
+        for (name, locality), costs in groups.items()
+    ]
+    return sorted(out, key=lambda b: b.total_s, reverse=True)
+
+
+def top_gates(costed: CostedTrace, k: int = 10) -> list[tuple[int, GateCost]]:
+    """The ``k`` most expensive individual gates, with their indices."""
+    indexed = list(enumerate(costed.gates))
+    return sorted(indexed, key=lambda pair: pair[1].total_s, reverse=True)[:k]
+
+
+def timeline_csv(costed: CostedTrace) -> str:
+    """Per-gate timeline as CSV (index, name, locality, start, phases)."""
+    buf = io.StringIO()
+    buf.write(
+        "index,gate,locality,start_s,comm_s,mem_s,cpu_s,total_s,energy_j\n"
+    )
+    clock = 0.0
+    for index, cost in enumerate(costed.gates):
+        buf.write(
+            f"{index},{cost.plan.gate_name},{cost.plan.locality.value},"
+            f"{clock:.6f},{cost.comm_s:.6f},{cost.mem_s:.6f},"
+            f"{cost.cpu_s:.6f},{cost.total_s:.6f},{cost.total_energy_j:.3f}\n"
+        )
+        clock += cost.total_s
+    return buf.getvalue()
+
+
+def render_breakdown(costed: CostedTrace) -> str:
+    """Human-readable by-kind table (the optimiser's first look)."""
+    total = costed.runtime_s or 1.0
+    rows = [
+        [
+            f"{b.gate_name} ({b.locality.value})",
+            b.count,
+            f"{b.total_s:.2f}",
+            f"{100 * b.total_s / total:.1f}%",
+            f"{b.comm_s:.2f}",
+            f"{b.energy_j / 1e6:.2f}",
+        ]
+        for b in by_kind(costed)
+    ]
+    return render_table(
+        ["gate kind", "count", "time [s]", "share", "MPI [s]", "energy [MJ]"],
+        rows,
+        title="cost breakdown by gate kind",
+    )

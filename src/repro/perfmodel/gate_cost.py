@@ -1,0 +1,103 @@
+"""Local gate timing: memory streaming + arithmetic, with NUMA penalties.
+
+The memory term prices the plan's traffic against the node's effective
+streaming bandwidth; pair updates whose target bit strides across NUMA
+regions (the top ``log2(numa_regions)`` local bits) pay the Table-1
+penalty ramp.  The compute term scales inversely with clock frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gates import GateLocality
+from repro.machine.frequency import CpuFrequency
+from repro.machine.node import NodeType
+from repro.perfmodel.calibration import Calibration
+from repro.statevector.partition import Partition
+from repro.statevector.plan import GatePlan
+from repro.utils.bits import log2_exact
+
+__all__ = ["LocalCost", "local_cost", "numa_level"]
+
+
+@dataclass(frozen=True)
+class LocalCost:
+    """Memory and compute components of one gate's local work."""
+
+    mem_s: float
+    cpu_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Local wall time (memory and compute do not overlap here)."""
+        return self.mem_s + self.cpu_s
+
+
+def numa_level(
+    plan: GatePlan,
+    partition: Partition,
+    node_type: NodeType,
+    *,
+    ranks_per_node: int = 1,
+) -> int:
+    """Penalty level 0 (none) .. ``log2(numa_regions)`` for a pair update.
+
+    A local array interleaved over ``R`` NUMA regions keeps contiguous
+    chunks of ``2**(m - log2 R)`` amplitudes per region, so a pair update
+    on one of the top ``log2 R`` local bits strides across regions.
+    Level 1 is the first offending bit (``m - log2 R``); level ``log2 R``
+    is the top bit -- matching Table 1's ramp at qubits 29/30/31 for the
+    64 GiB, 8-region partition (m = 32).
+
+    With several ranks per node each rank's slice spans proportionally
+    fewer regions (ranks pin to their own regions), shrinking or
+    removing the penalised window.
+    """
+    if plan.numa_target is None:
+        return 0
+    regions_per_rank = max(1, node_type.numa_regions // ranks_per_node)
+    numa_bits = log2_exact(regions_per_rank)
+    if numa_bits == 0:
+        return 0
+    first_penalised = partition.local_qubits - numa_bits
+    level = plan.numa_target - first_penalised + 1
+    return max(0, min(level, numa_bits))
+
+
+def local_cost(
+    plan: GatePlan,
+    partition: Partition,
+    node_type: NodeType,
+    freq: CpuFrequency,
+    calib: Calibration,
+    *,
+    ranks_per_node: int = 1,
+) -> LocalCost:
+    """Time a participating rank spends on the gate's local update.
+
+    With several ranks per node, each rank works on a proportionally
+    smaller slice but shares the node's bandwidth and cores; the two
+    effects cancel for uniformly active gates, and the division below
+    keeps partially-active gates honest.
+    """
+    bandwidth = (
+        calib.mem_bandwidth * calib.mem_freq_factor[freq] / ranks_per_node
+    )
+    if plan.locality is GateLocality.FULLY_LOCAL:
+        # Masked diagonal sweep: calibrated scan-read factor plus the
+        # written fraction (see Calibration.diag_scan_read_factor).
+        traffic = partition.local_bytes * (
+            calib.diag_scan_read_factor + plan.touched_fraction
+        )
+    else:
+        traffic = plan.traffic_bytes
+    mem_s = traffic / bandwidth
+    level = numa_level(plan, partition, node_type, ranks_per_node=ranks_per_node)
+    if level > 0:
+        mem_s *= calib.numa_penalty[min(level, len(calib.numa_penalty)) - 1]
+    flops_per_s = (
+        node_type.cores * freq.hz * calib.flops_per_core_cycle / ranks_per_node
+    )
+    cpu_s = plan.flops / flops_per_s
+    return LocalCost(mem_s=mem_s, cpu_s=cpu_s)

@@ -1,0 +1,43 @@
+"""Calibration for the multi-GPU projection (paper §4 future work).
+
+Coefficients follow public A100 characteristics and GPU-aware-MPI
+measurements in the literature (cf. the paper's reference [4]):
+
+* HBM2e streaming ~1.55 TB/s effective per GPU (vs 430 GB/s DDR/node);
+* GPU-aware inter-node exchanges ~20 GB/s effective per rank pair
+  (NIC-limited), with non-blocking pipelining still helping;
+* ~400 W per GPU under load, ~150 W waiting in communication.
+
+The frequency axis is collapsed (GPUs run one operating point here),
+so every table repeats its value across the three slots.
+"""
+
+from __future__ import annotations
+
+from repro.machine.frequency import CpuFrequency
+from repro.perfmodel.calibration import Calibration
+
+__all__ = ["GPU_CALIBRATION"]
+
+
+def _flat(value: float) -> dict[CpuFrequency, float]:
+    return {f: value for f in CpuFrequency}
+
+
+GPU_CALIBRATION = Calibration(
+    mem_bandwidth=1.55e12,
+    diag_scan_read_factor=0.8,
+    mem_freq_factor=_flat(1.0),
+    numa_penalty=(1.0, 1.0, 1.0),
+    flops_per_core_cycle=2.0,
+    comm_bandwidth_blocking=16e9,
+    comm_bandwidth_nonblocking=20e9,
+    blocking_scale_penalty=0.05,
+    blocking_scale_reference_nodes=64,
+    message_latency=10e-6,
+    exchange_setup=0.2e-3,
+    comm_freq_factor=_flat(1.0),
+    busy_power_w=_flat(400.0),
+    comm_power_w=_flat(150.0),
+    idle_power_w=60.0,
+)

@@ -1,0 +1,79 @@
+"""Calibration persistence: export/import coefficients as JSON.
+
+Recalibrating against a different machine (or a rerun of the paper's
+measurements) means editing coefficients; round-tripping them through a
+JSON file makes that a data-editing task instead of a code change::
+
+    save_calibration(DEFAULT_CALIBRATION, "my_machine.json")
+    # edit my_machine.json ...
+    calib = load_calibration("my_machine.json")
+    runner.run(circuit, RunOptions(calibration=calib))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+from repro.errors import CalibrationError
+from repro.machine.frequency import CpuFrequency
+from repro.perfmodel.calibration import Calibration
+
+__all__ = ["calibration_to_dict", "calibration_from_dict", "save_calibration", "load_calibration"]
+
+_FREQ_TABLES = ("mem_freq_factor", "comm_freq_factor", "busy_power_w", "comm_power_w")
+
+
+def calibration_to_dict(calibration: Calibration) -> dict:
+    """JSON-ready dict: frequency tables keyed by GHz strings."""
+    out: dict = {}
+    for field in dataclasses.fields(calibration):
+        value = getattr(calibration, field.name)
+        if field.name in _FREQ_TABLES:
+            out[field.name] = {
+                f"{freq.ghz:g}": float(v) for freq, v in value.items()
+            }
+        elif isinstance(value, tuple):
+            out[field.name] = list(value)
+        else:
+            out[field.name] = value
+    return out
+
+
+def calibration_from_dict(data: dict) -> Calibration:
+    """Inverse of :func:`calibration_to_dict` (validates on build)."""
+    known = {f.name for f in dataclasses.fields(Calibration)}
+    unknown = set(data) - known
+    if unknown:
+        raise CalibrationError(
+            f"unknown calibration fields: {sorted(unknown)}"
+        )
+    kwargs: dict = {}
+    for name, value in data.items():
+        if name in _FREQ_TABLES:
+            try:
+                kwargs[name] = {
+                    CpuFrequency.from_ghz(float(ghz)): float(v)
+                    for ghz, v in value.items()
+                }
+            except ValueError as exc:
+                raise CalibrationError(str(exc)) from None
+        elif name == "numa_penalty":
+            kwargs[name] = tuple(float(v) for v in value)
+        else:
+            kwargs[name] = value
+    return Calibration(**kwargs)
+
+
+def save_calibration(calibration: Calibration, path: str | os.PathLike) -> None:
+    """Write a calibration as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(calibration_to_dict(calibration), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_calibration(path: str | os.PathLike) -> Calibration:
+    """Read a calibration JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        return calibration_from_dict(json.load(fh))

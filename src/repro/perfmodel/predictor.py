@@ -1,0 +1,80 @@
+"""The one-call predictor: circuit + configuration -> costed run.
+
+This is the model executor's public face; everything the experiment
+harness needs (runtime, energy, profile, CU cost) comes out of
+:func:`predict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.machine.cu import DEFAULT_CU_RATES, CuRates, cu_cost
+from repro.perfmodel.energy import EnergyReport, energy_report
+from repro.perfmodel.profile import RuntimeProfile, profile_trace
+from repro.perfmodel.trace import (
+    CostedTrace,
+    RunConfiguration,
+    cost_trace,
+    trace_circuit,
+)
+
+__all__ = ["Prediction", "predict"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A priced run of one circuit on one configuration."""
+
+    circuit_name: str
+    config: RunConfiguration
+    costed: CostedTrace
+    energy: EnergyReport
+    profile: RuntimeProfile
+    cu: float
+
+    @property
+    def runtime_s(self) -> float:
+        """Predicted wall time."""
+        return self.costed.runtime_s
+
+    @property
+    def total_energy_j(self) -> float:
+        """Predicted total energy (nodes + switches)."""
+        return self.energy.total_j
+
+    def per_gate_runtime_s(self) -> float:
+        """Mean wall time per gate (the unit Table 1 / fig. 4 report)."""
+        n = len(self.costed.gates)
+        return self.runtime_s / n if n else 0.0
+
+    def per_gate_energy_j(self) -> float:
+        """Mean energy per gate."""
+        n = len(self.costed.gates)
+        return self.total_energy_j / n if n else 0.0
+
+
+def predict(
+    circuit: Circuit,
+    config: RunConfiguration,
+    *,
+    cu_rates: CuRates = DEFAULT_CU_RATES,
+) -> Prediction:
+    """Plan, price and package one run."""
+    trace = trace_circuit(circuit, config)
+    costed = cost_trace(trace)
+    energy = energy_report(costed)
+    return Prediction(
+        circuit_name=circuit.name or f"circuit{circuit.num_qubits}",
+        config=config,
+        costed=costed,
+        energy=energy,
+        profile=profile_trace(costed),
+        cu=cu_cost(
+            config.num_nodes,
+            costed.runtime_s,
+            config.node_type,
+            rates=cu_rates,
+        ),
+    )

@@ -1,0 +1,47 @@
+"""Runtime profiles: the MPI / memory / compute breakdown of fig. 5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.trace import CostedTrace
+
+__all__ = ["RuntimeProfile", "profile_trace"]
+
+
+@dataclass(frozen=True)
+class RuntimeProfile:
+    """Share of wall time in each category (sums to 1 for nonzero runs)."""
+
+    mpi_fraction: float
+    memory_fraction: float
+    compute_fraction: float
+    runtime_s: float
+
+    def as_percentages(self) -> dict[str, float]:
+        """The fig. 5 bar segments in percent."""
+        return {
+            "MPI": 100.0 * self.mpi_fraction,
+            "memory": 100.0 * self.memory_fraction,
+            "compute": 100.0 * self.compute_fraction,
+        }
+
+    def __str__(self) -> str:
+        p = self.as_percentages()
+        return (
+            f"MPI {p['MPI']:.1f}% | memory {p['memory']:.1f}% | "
+            f"compute {p['compute']:.1f}%"
+        )
+
+
+def profile_trace(costed: CostedTrace) -> RuntimeProfile:
+    """Aggregate a costed trace into its fig. 5 profile."""
+    total = costed.runtime_s
+    if total <= 0:
+        return RuntimeProfile(0.0, 0.0, 0.0, 0.0)
+    return RuntimeProfile(
+        mpi_fraction=costed.comm_s / total,
+        memory_fraction=costed.mem_s / total,
+        compute_fraction=costed.cpu_s / total,
+        runtime_s=total,
+    )

@@ -1,0 +1,64 @@
+"""Statevector simulation: dense reference, QuEST-style distributed, planner.
+
+The dense simulator is the numerical ground truth; the distributed
+simulator reproduces QuEST's data distribution and communication
+schedule over the simulated MPI layer; the planner describes each gate's
+structure for the performance model.
+"""
+
+from repro.statevector.dense import DenseStatevector
+from repro.statevector.distributed import DistributedStatevector
+from repro.statevector.fidelity import (
+    fidelity,
+    global_phase_between,
+    l2_distance,
+    states_close,
+)
+from repro.statevector.measurement import (
+    collapse_qubit,
+    expectation_z,
+    marginal_probability,
+    pauli_expectation,
+    probabilities,
+    sample_counts,
+)
+from repro.statevector.partition import AMPLITUDE_BYTES, Partition
+from repro.statevector.serialization import (
+    load_dense,
+    load_distributed,
+    save_state,
+)
+from repro.statevector.soa import SoAStatevector
+from repro.statevector.plan import (
+    FLOPS_PER_AMP_DIAGONAL,
+    FLOPS_PER_AMP_PAIR_UPDATE,
+    GatePlan,
+    plan_circuit,
+    plan_gate,
+)
+
+__all__ = [
+    "DenseStatevector",
+    "DistributedStatevector",
+    "SoAStatevector",
+    "save_state",
+    "load_dense",
+    "load_distributed",
+    "Partition",
+    "AMPLITUDE_BYTES",
+    "GatePlan",
+    "plan_gate",
+    "plan_circuit",
+    "FLOPS_PER_AMP_PAIR_UPDATE",
+    "FLOPS_PER_AMP_DIAGONAL",
+    "fidelity",
+    "states_close",
+    "global_phase_between",
+    "l2_distance",
+    "probabilities",
+    "marginal_probability",
+    "expectation_z",
+    "pauli_expectation",
+    "sample_counts",
+    "collapse_qubit",
+]

@@ -1,0 +1,164 @@
+"""Single-process dense statevector simulator (the correctness reference).
+
+This is the plain Schrodinger-algorithm simulator the paper's section 1
+describes: the full ``2**n`` amplitude vector in one array, evolved gate
+by gate.  The distributed simulator is property-tested against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.errors import SimulationError
+from repro.gates import Gate
+from repro.statevector import gate_kernels as kernels
+from repro.utils.bits import log2_exact
+
+__all__ = ["DenseStatevector"]
+
+
+class DenseStatevector:
+    """A dense ``n``-qubit statevector with in-place gate application."""
+
+    def __init__(
+        self,
+        num_qubits: int,
+        amplitudes: np.ndarray | None = None,
+        *,
+        dtype: np.dtype | type = np.complex128,
+    ):
+        if num_qubits < 1:
+            raise SimulationError(f"num_qubits must be >= 1, got {num_qubits}")
+        if num_qubits > 26:
+            raise SimulationError(
+                f"dense reference simulator capped at 26 qubits "
+                f"({num_qubits} requested); use the model executor for scale"
+            )
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.complex64), np.dtype(np.complex128)):
+            raise SimulationError(
+                f"dtype must be complex64 or complex128, got {dtype}"
+            )
+        self._num_qubits = num_qubits
+        dim = 1 << num_qubits
+        if amplitudes is None:
+            self._amps = np.zeros(dim, dtype=dtype)
+            self._amps[0] = 1.0
+        else:
+            amplitudes = np.asarray(amplitudes, dtype=dtype)
+            if amplitudes.shape != (dim,):
+                raise SimulationError(
+                    f"amplitudes must have shape ({dim},), got {amplitudes.shape}"
+                )
+            self._amps = amplitudes.copy()
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "DenseStatevector":
+        """|0...0>."""
+        return cls(num_qubits)
+
+    @classmethod
+    def basis_state(cls, num_qubits: int, index: int) -> "DenseStatevector":
+        """The computational basis state |index>."""
+        dim = 1 << num_qubits
+        if not 0 <= index < dim:
+            raise SimulationError(f"basis index {index} out of range [0, {dim})")
+        amps = np.zeros(dim, dtype=np.complex128)
+        amps[index] = 1.0
+        return cls(num_qubits, amps)
+
+    @classmethod
+    def plus_state(cls, num_qubits: int) -> "DenseStatevector":
+        """The uniform superposition (H on every qubit of |0...0>)."""
+        dim = 1 << num_qubits
+        amps = np.full(dim, 1.0 / np.sqrt(dim), dtype=np.complex128)
+        return cls(num_qubits, amps)
+
+    @classmethod
+    def from_amplitudes(cls, amplitudes: np.ndarray) -> "DenseStatevector":
+        """Wrap an existing amplitude vector (must be a power-of-two length)."""
+        amplitudes = np.asarray(amplitudes, dtype=np.complex128)
+        return cls(log2_exact(amplitudes.shape[0]), amplitudes)
+
+    # -- state access ------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Register width."""
+        return self._num_qubits
+
+    @property
+    def amplitudes(self) -> np.ndarray:
+        """A *copy* of the amplitude vector."""
+        return self._amps.copy()
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The amplitude precision (complex64 or complex128)."""
+        return self._amps.dtype
+
+    def amplitude(self, index: int) -> complex:
+        """One amplitude."""
+        return complex(self._amps[index])
+
+    def norm(self) -> float:
+        """The 2-norm of the state (1.0 for a valid state)."""
+        return float(np.linalg.norm(self._amps))
+
+    # -- evolution ---------------------------------------------------------
+
+    def apply_gate(self, gate: Gate) -> "DenseStatevector":
+        """Apply one gate in place."""
+        if gate.max_qubit >= self._num_qubits:
+            raise SimulationError(
+                f"gate {gate} touches qubit {gate.max_qubit} of a "
+                f"{self._num_qubits}-qubit state"
+            )
+        if gate.name == "fused_diag":
+            kernels.apply_fused_diagonal(self._amps, gate)
+        elif gate.is_diagonal():
+            diag = np.diag(gate.matrix())
+            kernels.apply_diagonal(self._amps, diag, gate.targets, gate.controls)
+        elif gate.is_swap():
+            kernels.apply_swap_local(
+                self._amps, gate.targets[0], gate.targets[1], gate.controls
+            )
+        else:
+            kernels.apply_matrix(
+                self._amps, gate.matrix(), gate.targets, gate.controls
+            )
+        return self
+
+    def apply_circuit(self, circuit: Circuit) -> "DenseStatevector":
+        """Apply every gate of ``circuit`` in order."""
+        if circuit.num_qubits != self._num_qubits:
+            raise SimulationError(
+                f"circuit width {circuit.num_qubits} != state width "
+                f"{self._num_qubits}"
+            )
+        for gate in circuit:
+            self.apply_gate(gate)
+        return self
+
+    # -- measurement (delegates) --------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each basis state."""
+        return np.abs(self._amps) ** 2
+
+    def probability_of(self, index: int) -> float:
+        """Probability of one basis state."""
+        return float(np.abs(self._amps[index]) ** 2)
+
+    def sample(self, shots: int, *, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Sample basis-state indices from the output distribution."""
+        from repro.statevector.measurement import sample_counts
+
+        return sample_counts(self._amps, shots, rng=rng)
+
+    def copy(self) -> "DenseStatevector":
+        """Deep copy (preserving precision)."""
+        return DenseStatevector(self._num_qubits, self._amps, dtype=self.dtype)

@@ -1,0 +1,467 @@
+"""The distributed statevector simulator (QuEST's execution model).
+
+Every rank of the :class:`~repro.statevector.partition.Partition` holds
+its slice of the statevector; gates are applied in SPMD lockstep, with
+distributed gates driving pairwise buffer exchanges through the
+simulated MPI layer.  All ranks live in-process, which makes the
+simulator exact and deterministic while the communication *schedule*
+(message counts, sizes, pairings, blocking vs non-blocking) matches what
+QuEST would issue on a real machine.
+
+Scale: functional simulation is for correctness work (tests cap out in
+the low twenties of qubits).  Paper-scale runs use the same
+:mod:`~repro.statevector.plan` through the model executor instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.errors import SimulationError
+from repro.gates import Gate, GateLocality
+from repro.mpi import CommMode, MAX_MESSAGE_BYTES, SimComm, exchange_arrays
+from repro.statevector import gate_kernels as kernels
+from repro.statevector.dense import DenseStatevector
+from repro.statevector.partition import Partition
+from repro.statevector.plan import GatePlan, plan_gate
+
+__all__ = ["DistributedStatevector"]
+
+#: Callback invoked after each gate with its plan.
+Observer = Callable[[int, Gate, GatePlan], None]
+
+
+class DistributedStatevector:
+    """An ``n``-qubit state distributed over ``2**d`` in-process ranks."""
+
+    def __init__(
+        self,
+        partition: Partition,
+        *,
+        comm_mode: CommMode = CommMode.BLOCKING,
+        halved_swaps: bool = False,
+        max_message: int = MAX_MESSAGE_BYTES,
+        observer: Observer | None = None,
+    ):
+        self.partition = partition
+        self.comm_mode = comm_mode
+        self.halved_swaps = halved_swaps
+        self.max_message = max_message
+        self.observer = observer
+        self.comm = SimComm(partition.num_ranks)
+        self._local = [
+            np.zeros(partition.local_amplitudes, dtype=np.complex128)
+            for _ in range(partition.num_ranks)
+        ]
+        self._local[0][0] = 1.0  # |0...0>
+        self._gate_index = 0
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zero_state(
+        cls, num_qubits: int, num_ranks: int, **kwargs
+    ) -> "DistributedStatevector":
+        """|0...0> over the given partition."""
+        return cls(Partition(num_qubits, num_ranks), **kwargs)
+
+    @classmethod
+    def from_amplitudes(
+        cls, amplitudes: np.ndarray, num_ranks: int, **kwargs
+    ) -> "DistributedStatevector":
+        """Scatter a full statevector across ranks."""
+        amplitudes = np.asarray(amplitudes, dtype=np.complex128)
+        from repro.utils.bits import log2_exact
+
+        n = log2_exact(amplitudes.shape[0])
+        state = cls(Partition(n, num_ranks), **kwargs)
+        per = state.partition.local_amplitudes
+        for rank in range(num_ranks):
+            state._local[rank][:] = amplitudes[rank * per : (rank + 1) * per]
+        return state
+
+    @classmethod
+    def from_dense(
+        cls, dense: DenseStatevector, num_ranks: int, **kwargs
+    ) -> "DistributedStatevector":
+        """Scatter a dense simulator's state."""
+        return cls.from_amplitudes(dense.amplitudes, num_ranks, **kwargs)
+
+    # -- state access ---------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Register width."""
+        return self.partition.num_qubits
+
+    @property
+    def num_ranks(self) -> int:
+        """Rank count."""
+        return self.partition.num_ranks
+
+    def local_array(self, rank: int) -> np.ndarray:
+        """A copy of one rank's slice."""
+        return self._local[rank].copy()
+
+    def gather(self) -> np.ndarray:
+        """The full statevector, concatenated in rank order."""
+        return np.concatenate(self._local)
+
+    def to_dense(self) -> DenseStatevector:
+        """Gather into a dense reference simulator."""
+        return DenseStatevector.from_amplitudes(self.gather())
+
+    def norm(self) -> float:
+        """Global 2-norm: per-rank partial sums combined by Allreduce.
+
+        Runs the actual recursive-doubling collective through the
+        simulated communicator (``P * log2 P`` scalar messages), exactly
+        as QuEST's ``calcTotalProb`` does.
+        """
+        if self.num_ranks == 1:
+            return float(np.linalg.norm(self._local[0]))
+        from repro.mpi.collectives import allreduce
+
+        partials = [
+            np.array([float(np.sum(np.abs(a) ** 2))]) for a in self._local
+        ]
+        totals = allreduce(self.comm, partials)
+        return float(np.sqrt(totals[0][0]))
+
+    def inner_product(self, other: "DistributedStatevector") -> complex:
+        """``<self|other>`` without gathering either state.
+
+        Each rank contributes the partial vdot over its slice; the
+        partials meet in one Allreduce (two scalars on the wire per
+        rank per round).  Both states must share the partition.
+        """
+        if (
+            other.num_qubits != self.num_qubits
+            or other.num_ranks != self.num_ranks
+        ):
+            raise SimulationError(
+                "inner product requires identically partitioned states"
+            )
+        partials = [
+            np.array(
+                [complex(np.vdot(self._local[r], other._local[r]))],
+                dtype=np.complex128,
+            )
+            for r in range(self.num_ranks)
+        ]
+        if self.num_ranks == 1:
+            return complex(partials[0][0])
+        from repro.mpi.collectives import allreduce
+
+        return complex(allreduce(self.comm, partials)[0][0])
+
+    def fidelity(self, other: "DistributedStatevector") -> float:
+        """``|<self|other>|**2`` without gathering."""
+        return float(abs(self.inner_product(other)) ** 2)
+
+    # -- measurement without gathering ---------------------------------------
+    #
+    # These mirror how a real distributed code measures: each rank
+    # reduces over its slice and only scalars (or per-rank weights)
+    # cross rank boundaries -- never amplitudes.
+
+    def probability_of(self, global_index: int) -> float:
+        """Probability of one basis state (owned by exactly one rank)."""
+        rank = self.partition.rank_of(global_index)
+        local = self.partition.local_index_of(global_index)
+        return float(np.abs(self._local[rank][local]) ** 2)
+
+    def marginal_probability(self, qubit: int, value: int) -> float:
+        """P(measuring ``qubit`` = ``value``) via per-rank partial sums.
+
+        For a local qubit every rank reduces over the matching half of
+        its slice; for a distributed qubit, ranks whose index bit
+        matches contribute their whole slice.
+        """
+        if value not in (0, 1):
+            raise SimulationError(f"measurement value must be 0/1, got {value}")
+        part = self.partition
+        partials = []
+        for rank, amps in enumerate(self._local):
+            if part.is_local(qubit):
+                view = amps.reshape(-1, 2, 1 << qubit)
+                local = float(np.sum(np.abs(view[:, value, :]) ** 2))
+            elif part.rank_bit_value(rank, qubit) == value:
+                local = float(np.sum(np.abs(amps) ** 2))
+            else:
+                local = 0.0
+            partials.append(np.array([local]))
+        if self.num_ranks == 1:
+            return float(partials[0][0])
+        from repro.mpi.collectives import allreduce
+
+        return float(allreduce(self.comm, partials)[0][0])
+
+    def expectation_z(self, qubit: int) -> float:
+        """``<Z_qubit>`` from the marginal."""
+        return 2.0 * self.marginal_probability(qubit, 0) - 1.0
+
+    def sample(
+        self, shots: int, *, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Draw basis-state indices without gathering the state.
+
+        Two-stage sampling: rank weights are Gathered to rank 0 (one
+        scalar message per rank, the real schedule), ranks are drawn
+        from those weights, then each chosen rank samples locally.
+        """
+        if shots < 1:
+            raise SimulationError(f"shots must be >= 1, got {shots}")
+        rng = np.random.default_rng() if rng is None else rng
+        partials = [
+            np.array([float(np.sum(np.abs(a) ** 2))]) for a in self._local
+        ]
+        if self.num_ranks > 1:
+            from repro.mpi.collectives import gather
+
+            partials = gather(self.comm, partials, root=0)
+        weights = np.concatenate(partials)
+        total = weights.sum()
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise SimulationError(
+                f"state is not normalised (sum p = {total:.6f})"
+            )
+        rank_draws = rng.choice(self.num_ranks, size=shots, p=weights / total)
+        out = np.empty(shots, dtype=np.int64)
+        m = self.partition.local_qubits
+        for rank in np.unique(rank_draws):
+            sel = rank_draws == rank
+            probs = np.abs(self._local[rank]) ** 2
+            probs /= probs.sum()
+            local = rng.choice(probs.shape[0], size=int(sel.sum()), p=probs)
+            out[sel] = (int(rank) << m) | local
+        return out
+
+    # -- evolution ----------------------------------------------------------------
+
+    def apply_circuit(self, circuit: Circuit) -> "DistributedStatevector":
+        """Apply every gate of ``circuit`` in order."""
+        if circuit.num_qubits != self.num_qubits:
+            raise SimulationError(
+                f"circuit width {circuit.num_qubits} != state width "
+                f"{self.num_qubits}"
+            )
+        for gate in circuit:
+            self.apply_gate(gate)
+        return self
+
+    def apply_gate(self, gate: Gate) -> "DistributedStatevector":
+        """Apply one gate across all ranks (SPMD lockstep)."""
+        if gate.max_qubit >= self.num_qubits:
+            raise SimulationError(
+                f"gate {gate} touches qubit {gate.max_qubit} of a "
+                f"{self.num_qubits}-qubit state"
+            )
+        plan = plan_gate(
+            gate,
+            self.partition,
+            halved_swaps=self.halved_swaps,
+            max_message=self.max_message,
+        )
+        if plan.locality is GateLocality.FULLY_LOCAL:
+            self._apply_diagonal(gate)
+        elif plan.locality is GateLocality.LOCAL_MEMORY:
+            self._apply_local_memory(gate)
+        elif gate.is_swap():
+            self._apply_distributed_swap(gate)
+        else:
+            self._apply_distributed_single(gate)
+        if self.observer is not None:
+            self.observer(self._gate_index, gate, plan)
+        self._gate_index += 1
+        return self
+
+    # -- rank participation helpers ----------------------------------------------
+
+    def _rank_controls_satisfied(self, gate: Gate, rank: int) -> bool:
+        """True when the rank's index bits satisfy all distributed controls."""
+        m = self.partition.local_qubits
+        return all(
+            (rank >> (c - m)) & 1 for c in gate.controls if c >= m
+        )
+
+    def _local_controls(self, gate: Gate) -> tuple[int, ...]:
+        m = self.partition.local_qubits
+        return tuple(c for c in gate.controls if c < m)
+
+    # -- gate class implementations -------------------------------------------------
+
+    def _apply_diagonal(self, gate: Gate) -> None:
+        """Fully local (diagonal) gate: one masked sweep per active rank.
+
+        Works for any mix of local/distributed targets and controls by
+        evaluating the diagonal factor on global indices.
+        """
+        m = self.partition.local_qubits
+        if gate.name == "fused_diag":
+            diag = gate.diagonal_vector()
+            targets = gate.targets
+            controls: tuple[int, ...] = ()
+        else:
+            diag = np.diag(gate.matrix())
+            targets = gate.targets
+            controls = gate.controls
+        local_amps = self.partition.local_amplitudes
+        local_idx = np.arange(local_amps, dtype=np.int64)
+        for rank in range(self.num_ranks):
+            idx = local_idx | (rank << m)
+            factors_sub = np.zeros(local_amps, dtype=np.int64)
+            for j, t in enumerate(targets):
+                factors_sub |= ((idx >> t) & 1) << j
+            factors = diag[factors_sub]
+            mask = None
+            if controls:
+                mask = np.ones(local_amps, dtype=bool)
+                for c in controls:
+                    mask &= ((idx >> c) & 1).astype(bool)
+            if mask is None:
+                self._local[rank] *= factors
+            else:
+                self._local[rank][mask] *= factors[mask]
+
+    def _apply_local_memory(self, gate: Gate) -> None:
+        """All pairing targets local; distributed controls gate rank activity."""
+        local_controls = self._local_controls(gate)
+        for rank in range(self.num_ranks):
+            if not self._rank_controls_satisfied(gate, rank):
+                continue
+            amps = self._local[rank]
+            if gate.is_swap():
+                kernels.apply_swap_local(
+                    amps, gate.targets[0], gate.targets[1], local_controls
+                )
+            else:
+                kernels.apply_matrix(
+                    amps, gate.matrix(), gate.targets, local_controls
+                )
+
+    def _comm_pairs(self, rank_bit: int, gate: Gate) -> list[tuple[int, int]]:
+        """Rank pairs (low, high) differing at ``rank_bit``, controls satisfied."""
+        pairs = []
+        for rank in range(self.num_ranks):
+            if (rank >> rank_bit) & 1:
+                continue
+            peer = rank | (1 << rank_bit)
+            if self._rank_controls_satisfied(gate, rank):
+                # Peer differs only at the target bit, so its control
+                # bits agree with ours.
+                pairs.append((rank, peer))
+        return pairs
+
+    def _apply_distributed_single(self, gate: Gate) -> None:
+        """Single-target non-diagonal gate on a rank-index bit."""
+        part = self.partition
+        target = gate.pairing_targets()[0]
+        rank_bit = part.rank_bit(target)
+        matrix = gate.matrix()
+        local_controls = self._local_controls(gate)
+        for rank, peer in self._comm_pairs(rank_bit, gate):
+            recv_lo, recv_hi = exchange_arrays(
+                self.comm,
+                rank,
+                self._local[rank],
+                peer,
+                self._local[peer],
+                mode=self.comm_mode,
+                max_message=self.max_message,
+                tag_base=self._gate_index << 8,
+            )
+            # recv_lo is what the low rank received (= peer's data).
+            kernels.combine_distributed_single(
+                self._local[rank],
+                recv_lo,
+                matrix[0, 0],
+                matrix[0, 1],
+                local_controls,
+            )
+            kernels.combine_distributed_single(
+                self._local[peer],
+                recv_hi,
+                matrix[1, 1],
+                matrix[1, 0],
+                local_controls,
+            )
+
+    def _apply_distributed_swap(self, gate: Gate) -> None:
+        """SWAP with one or both targets in the rank-index bits."""
+        part = self.partition
+        m = part.local_qubits
+        if self._local_controls(gate) or any(c >= m for c in gate.controls):
+            raise SimulationError(
+                "controlled distributed SWAP is not supported (QuEST "
+                "decomposes it); remove controls or keep targets local"
+            )
+        t_low, t_high = sorted(gate.targets)
+        if t_low >= m:
+            # Both bits are rank bits: ranks with differing bit values
+            # trade entire slices.
+            bit_a, bit_b = t_low - m, t_high - m
+            # Enumerate each unordered pair once via its (1, 0) member.
+            for rank in range(self.num_ranks):
+                if ((rank >> bit_a) & 1, (rank >> bit_b) & 1) != (1, 0):
+                    continue
+                peer = rank ^ ((1 << bit_a) | (1 << bit_b))
+                recv_a, recv_b = exchange_arrays(
+                    self.comm,
+                    rank,
+                    self._local[rank],
+                    peer,
+                    self._local[peer],
+                    mode=self.comm_mode,
+                    max_message=self.max_message,
+                    tag_base=self._gate_index << 8,
+                )
+                self._local[rank][:] = recv_a
+                self._local[peer][:] = recv_b
+            return
+
+        # One local target, one rank bit: each pair trades, and each rank
+        # rewrites the half of its slice whose local bit differs from its
+        # rank-bit value.
+        local_bit = t_low
+        rank_bit = t_high - m
+        for rank, peer in self._comm_pairs(rank_bit, gate):
+            if self.halved_swaps:
+                # Send only the half the partner needs: the sender's
+                # amplitudes whose local bit equals the *receiver's*
+                # rank-bit value.
+                view_lo = self._local[rank].reshape(-1, 2, 1 << local_bit)
+                view_hi = self._local[peer].reshape(-1, 2, 1 << local_bit)
+                # low rank (bit value 0) needs partner's local-bit-0 half;
+                # high rank (bit value 1) needs partner's local-bit-1 half.
+                send_from_lo = np.ascontiguousarray(view_lo[:, 1, :]).reshape(-1)
+                send_from_hi = np.ascontiguousarray(view_hi[:, 0, :]).reshape(-1)
+                recv_lo, recv_hi = exchange_arrays(
+                    self.comm,
+                    rank,
+                    send_from_lo,
+                    peer,
+                    send_from_hi,
+                    mode=self.comm_mode,
+                    max_message=self.max_message,
+                    tag_base=self._gate_index << 8,
+                )
+                half_shape = view_lo[:, 0, :].shape
+                view_lo[:, 1, :] = recv_lo.reshape(half_shape)
+                view_hi[:, 0, :] = recv_hi.reshape(half_shape)
+            else:
+                recv_lo, recv_hi = exchange_arrays(
+                    self.comm,
+                    rank,
+                    self._local[rank],
+                    peer,
+                    self._local[peer],
+                    mode=self.comm_mode,
+                    max_message=self.max_message,
+                    tag_base=self._gate_index << 8,
+                )
+                kernels.swap_in_halves(self._local[rank], recv_lo, local_bit, 0)
+                kernels.swap_in_halves(self._local[peer], recv_hi, local_bit, 1)

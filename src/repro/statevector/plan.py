@@ -1,0 +1,228 @@
+"""The execution planner: per-gate communication and compute structure.
+
+:func:`plan_gate` maps ``(gate, partition)`` to a :class:`GatePlan`
+describing *what happens*, independent of amplitude values: which
+fraction of ranks participates, how many bytes each sends in how many
+messages, how much local memory traffic and arithmetic the update costs,
+and whether the update strides into the NUMA-penalised regime.
+
+Both executors consume plans -- the numeric executor does the amplitude
+math alongside, the model executor prices plans directly -- so the event
+stream the performance model sees is identical at test scale and at
+paper scale.  Integration tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import SimulationError
+from repro.gates import Gate, GateLocality
+from repro.mpi.chunking import MAX_MESSAGE_BYTES, num_chunks
+from repro.statevector.partition import Partition
+
+__all__ = [
+    "GatePlan",
+    "plan_gate",
+    "plan_circuit",
+    "FLOPS_PER_AMP_PAIR_UPDATE",
+    "FLOPS_PER_AMP_DIAGONAL",
+]
+
+#: Flops to produce one output amplitude of a 2x2 row combine
+#: ``a*x + b*y`` (two complex multiplies at 6 flops + one complex add).
+FLOPS_PER_AMP_PAIR_UPDATE = 14
+
+#: Flops to scale one amplitude by a complex phase.
+FLOPS_PER_AMP_DIAGONAL = 6
+
+
+@dataclass(frozen=True)
+class GatePlan:
+    """Structural execution plan of one gate on one partition.
+
+    All per-rank quantities refer to a *participating* rank; fractions
+    scale them to machine-wide totals.
+    """
+
+    gate_name: str
+    locality: GateLocality
+    #: Fraction of ranks doing local amplitude work (distributed
+    #: controls halve it per control; both-distributed SWAP moves only
+    #: ranks whose two bits differ).
+    active_fraction: float
+    #: Fraction of ranks exchanging buffers (<= active_fraction).
+    comm_fraction: float
+    #: Bytes each communicating rank sends (one direction).
+    send_bytes: int
+    #: MPI messages each communicating rank sends.
+    num_messages: int
+    #: Local memory traffic (reads + writes) per active rank, bytes.
+    traffic_bytes: int
+    #: Arithmetic per active rank.
+    flops: int
+    #: Local bit index of a pair update (drives the NUMA stride penalty);
+    #: None for streaming/diagonal/copy updates.
+    numa_target: int | None
+    #: Fraction of local amplitudes the update touches.
+    touched_fraction: float
+    #: Highest rank-index bit at which the exchange partner differs;
+    #: None for non-communicating gates.  With several ranks packed per
+    #: node this decides whether an exchange crosses the network (bit >=
+    #: log2(ranks_per_node)) or stays in shared memory.
+    pair_rank_bit: int | None = None
+
+    @property
+    def communicates(self) -> bool:
+        """True when the gate moves bytes between ranks."""
+        return self.send_bytes > 0 and self.comm_fraction > 0
+
+
+def _control_fractions(gate: Gate, partition: Partition) -> tuple[float, float]:
+    """(active rank fraction, touched local fraction) from the controls.
+
+    Each *distributed* control bit halves the set of participating ranks;
+    each *local* control bit halves the set of touched local amplitudes.
+    """
+    m = partition.local_qubits
+    rank_controls = sum(1 for c in gate.controls if c >= m)
+    local_controls = len(gate.controls) - rank_controls
+    return 0.5**rank_controls, 0.5**local_controls
+
+
+def plan_gate(
+    gate: Gate,
+    partition: Partition,
+    *,
+    halved_swaps: bool = False,
+    max_message: int = MAX_MESSAGE_BYTES,
+) -> GatePlan:
+    """Plan one gate.  See module docstring."""
+    m = partition.local_qubits
+    locality = partition.classify(gate)
+    local_bytes = partition.local_bytes
+    local_amps = partition.local_amplitudes
+    active_fraction, touched = _control_fractions(gate, partition)
+
+    base = GatePlan(
+        gate_name=gate.name,
+        locality=locality,
+        active_fraction=active_fraction,
+        comm_fraction=0.0,
+        send_bytes=0,
+        num_messages=0,
+        traffic_bytes=0,
+        flops=0,
+        numa_target=None,
+        touched_fraction=touched,
+    )
+
+    if locality is GateLocality.FULLY_LOCAL:
+        # Diagonal sweep.  QuEST's kernels scan the whole local array
+        # (reading every amplitude and testing its bits) and write only
+        # the touched subset: a fused ladder writes everything, a
+        # controlled phase writes the control&target quarter.
+        # Distributed targets/controls of a diagonal gate cost nothing
+        # extra locally -- the factor is constant per rank.
+        if gate.name == "fused_diag":
+            write_fraction = 1.0
+        else:
+            local_target_bits = sum(1 for t in gate.targets if t < m)
+            # A diagonal with d0 == 1 (phase-like) writes only the
+            # target-bit-1 half; model all diagonals that way.
+            write_fraction = touched * 0.5**local_target_bits
+        traffic = int(local_bytes * (1.0 + write_fraction))
+        flops = int(FLOPS_PER_AMP_DIAGONAL * local_amps * write_fraction)
+        return replace(
+            base,
+            traffic_bytes=traffic,
+            flops=flops,
+            touched_fraction=write_fraction,
+        )
+
+    if locality is GateLocality.LOCAL_MEMORY:
+        if gate.is_swap():
+            # Half the (control-selected) amplitudes move, read+write.
+            traffic = int(2 * local_bytes * touched * 0.5)
+            return replace(
+                base,
+                traffic_bytes=traffic,
+                flops=0,
+                numa_target=max(gate.targets),
+            )
+        pairing = gate.pairing_targets()
+        traffic = int(2 * local_bytes * touched)
+        flops = int(FLOPS_PER_AMP_PAIR_UPDATE * local_amps * touched)
+        return replace(
+            base,
+            traffic_bytes=traffic,
+            flops=flops,
+            numa_target=max(pairing),
+        )
+
+    # Distributed gates.
+    if gate.is_swap():
+        t_low, t_high = sorted(gate.targets)
+        both_distributed = t_low >= m
+        if both_distributed:
+            # Pure rank-pair data motion: ranks whose two bits differ
+            # (half of them) swap entire local arrays.
+            send = local_bytes
+            return replace(
+                base,
+                active_fraction=active_fraction * 0.5,
+                comm_fraction=active_fraction * 0.5,
+                send_bytes=send,
+                num_messages=num_chunks(send, max_message),
+                traffic_bytes=2 * local_bytes,
+                flops=0,
+                pair_rank_bit=t_high - m,
+            )
+        # One local, one distributed target: only half the local array is
+        # modified.  QuEST exchanges the full buffer; the paper's
+        # future-work optimisation sends just the needed half.
+        send = local_bytes // 2 if halved_swaps else local_bytes
+        return replace(
+            base,
+            comm_fraction=active_fraction,
+            send_bytes=send,
+            num_messages=num_chunks(send, max_message),
+            traffic_bytes=int(2 * local_bytes * 0.5 * touched),
+            flops=0,
+            pair_rank_bit=t_high - m,
+        )
+
+    pairing = gate.pairing_targets()
+    if len(pairing) != 1:
+        raise SimulationError(
+            f"distributed execution supports single-target pair gates and "
+            f"SWAP; got {gate} with pairing targets {pairing}"
+        )
+    # Single-qubit gate on a rank-index bit: full-buffer exchange, then a
+    # streaming row combine (read local + read remote + write local).
+    send = local_bytes
+    return replace(
+        base,
+        comm_fraction=active_fraction,
+        send_bytes=send,
+        num_messages=num_chunks(send, max_message),
+        traffic_bytes=int(3 * local_bytes * touched),
+        flops=int(FLOPS_PER_AMP_PAIR_UPDATE * local_amps * touched),
+        pair_rank_bit=pairing[0] - m,
+    )
+
+
+def plan_circuit(
+    circuit,
+    partition: Partition,
+    *,
+    halved_swaps: bool = False,
+    max_message: int = MAX_MESSAGE_BYTES,
+) -> list[GatePlan]:
+    """Plan every gate of a circuit (the model executor's whole job)."""
+    return [
+        plan_gate(
+            gate, partition, halved_swaps=halved_swaps, max_message=max_message
+        )
+        for gate in circuit
+    ]

@@ -1,0 +1,71 @@
+"""Shared low-level helpers: bit/index math, units, validation, tables.
+
+These utilities are deliberately free of any simulator or machine-model
+dependencies so every other subpackage can use them.
+"""
+
+from repro.utils.bits import (
+    bit_of,
+    clear_bit,
+    flip_bit,
+    insert_bit,
+    insert_bits,
+    is_power_of_two,
+    log2_exact,
+    mask_of,
+    pair_indices,
+    set_bit,
+)
+from repro.utils.units import (
+    GIB,
+    GB,
+    KIB,
+    KB,
+    MIB,
+    MB,
+    TIB,
+    TB,
+    format_bytes,
+    format_count,
+    format_energy,
+    format_power,
+    format_time,
+)
+from repro.utils.validation import (
+    check_index,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "bit_of",
+    "clear_bit",
+    "flip_bit",
+    "insert_bit",
+    "insert_bits",
+    "is_power_of_two",
+    "log2_exact",
+    "mask_of",
+    "pair_indices",
+    "set_bit",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "format_bytes",
+    "format_count",
+    "format_energy",
+    "format_power",
+    "format_time",
+    "check_index",
+    "check_positive",
+    "check_power_of_two",
+    "check_probability",
+    "check_type",
+]

@@ -1,0 +1,122 @@
+"""Terminal line/bar plots for the figure experiments.
+
+The paper's figures are line plots (figs. 2-4) and stacked bars
+(fig. 5); these renderers let ``repro-experiments`` show the *shape* of
+each figure directly in the terminal, alongside the numeric tables.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = ["line_plot", "stacked_bar"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    y_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Plot named (x, y) series on one character grid.
+
+    Each series gets a marker; a legend follows the grid.  ``log_y``
+    spaces the y axis logarithmically (fig. 2's runtimes span decades
+    of node counts but not of seconds; energies do benefit).
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return (title or "") + "\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if log_y:
+        if y_lo <= 0:
+            raise ValueError("log_y requires positive y values")
+        y_lo, y_hi = math.log10(y_lo), math.log10(y_hi)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        if log_y:
+            y = math.log10(y)
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = round((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    legend = []
+    for i, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[i % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            place(x, y, marker)
+
+    def fmt(value: float) -> str:
+        return f"{value:.3g}"
+
+    top = fmt(10**y_hi if log_y else y_hi)
+    bottom = fmt(10**y_lo if log_y else y_lo)
+    pad = max(len(top), len(bottom))
+    lines = [] if title is None else [title]
+    for r, row in enumerate(grid):
+        label = top if r == 0 else bottom if r == height - 1 else ""
+        lines.append(f"{label.rjust(pad)} |{''.join(row)}")
+    lines.append(f"{' ' * pad} +{'-' * width}")
+    lines.append(
+        f"{' ' * pad}  {fmt(x_lo)}{' ' * max(1, width - len(fmt(x_lo)) - len(fmt(x_hi)))}{fmt(x_hi)}"
+    )
+    if y_label:
+        lines.append(f"{' ' * pad}  y: {y_label}" + ("  [log]" if log_y else ""))
+    lines.append(f"{' ' * pad}  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def stacked_bar(
+    bars: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    symbols: Mapping[str, str] | None = None,
+) -> str:
+    """Horizontal 100%-stacked bars (fig. 5's profile chart).
+
+    ``bars`` maps bar label -> {segment label: fraction}; fractions are
+    normalised per bar.
+    """
+    if not bars:
+        return (title or "") + "\n(no data)"
+    segment_names: list[str] = []
+    for segments in bars.values():
+        for name in segments:
+            if name not in segment_names:
+                segment_names.append(name)
+    if symbols is None:
+        symbols = {
+            name: _MARKERS[i % len(_MARKERS)]
+            for i, name in enumerate(segment_names)
+        }
+    label_width = max(len(label) for label in bars)
+    lines = [] if title is None else [title]
+    for label, segments in bars.items():
+        total = sum(segments.values()) or 1.0
+        cells: list[str] = []
+        for name in segment_names:
+            share = segments.get(name, 0.0) / total
+            cells.extend(symbols[name] * round(share * width))
+        bar = "".join(cells)[:width].ljust(width)
+        lines.append(f"{label.rjust(label_width)} |{bar}|")
+    lines.append(
+        " " * label_width
+        + "  "
+        + "   ".join(f"{symbols[name]} {name}" for name in segment_names)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+The experiment harness prints the same rows the paper's tables report;
+this renderer keeps that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["render_table", "render_kv"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    align_right: bool = True,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    All cells are converted with ``str``; numeric-looking columns are
+    right-aligned when ``align_right`` is set (the first column is always
+    left-aligned since it is usually a label).
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0 or not align_right:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[tuple[str, object]], *, title: str | None = None) -> str:
+    """Render key/value pairs as an aligned two-column block."""
+    items = [(str(k), str(v)) for k, v in pairs]
+    width = max((len(k) for k, _ in items), default=0)
+    lines = [] if title is None else [title]
+    lines.extend(f"{k.ljust(width)}  {v}" for k, v in items)
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Argument-validation helpers with consistent error messages.
+
+Raising early with a precise message is worth more than a traceback out of
+a vectorised kernel; the public API entry points use these so every
+misuse fails the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.utils.bits import is_power_of_two
+
+__all__ = [
+    "check_positive",
+    "check_index",
+    "check_power_of_two",
+    "check_probability",
+    "check_type",
+]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value > 0`` (or ``>= 0`` if not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_index(name: str, value: int, upper: int) -> None:
+    """Raise unless ``0 <= value < upper`` and ``value`` is integral."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if not 0 <= value < upper:
+        raise ValueError(f"{name} must be in [0, {upper}), got {value}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:
+    """Raise ``TypeError`` unless ``isinstance(value, expected)``."""
+    if not isinstance(value, expected):
+        names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(f"{name} must be {names}, got {type(value).__name__}")

@@ -1,0 +1,84 @@
+"""Tests for static circuit analysis (locality census, comm volume)."""
+
+from repro.circuits import (
+    Circuit,
+    builtin_qft_circuit,
+    cache_blocked_qft_circuit,
+    census,
+    communication_volume,
+    distributed_gate_count,
+    hadamard_benchmark,
+)
+
+
+class TestCensus:
+    def test_counts_sum(self):
+        c = builtin_qft_circuit(8)
+        out = census(c, 5)
+        assert out.total == len(c)
+
+    def test_fractions(self):
+        c = hadamard_benchmark(8, 7, gates=10)
+        out = census(c, 5)
+        assert out.distributed == 10
+        assert out.distributed_fraction == 1.0
+
+    def test_empty_circuit(self):
+        out = census(Circuit(3), 2)
+        assert out.total == 0 and out.distributed_fraction == 0.0
+
+    def test_fields(self):
+        out = census(Circuit(4).h(0).p(0.3, 3).swap(0, 3), 2)
+        assert out.local_memory == 1  # h(0)
+        assert out.fully_local == 1  # p(3)
+        assert out.distributed == 1  # swap(0,3)
+
+
+class TestDistributedGateCount:
+    def test_builtin_qft_is_2d(self):
+        n, m = 10, 6
+        assert distributed_gate_count(builtin_qft_circuit(n), m) == 2 * (n - m)
+
+    def test_blocked_qft_is_d(self):
+        n, m = 10, 6
+        assert distributed_gate_count(cache_blocked_qft_circuit(n, m), m) == n - m
+
+    def test_single_rank_zero(self):
+        assert distributed_gate_count(builtin_qft_circuit(6), 6) == 0
+
+
+class TestCommunicationVolume:
+    def test_full_exchange_volume(self):
+        n, m = 8, 5
+        local_bytes = 16 * 2**m
+        c = hadamard_benchmark(n, 7, gates=3)
+        assert communication_volume(c, m) == 3 * local_bytes
+
+    def test_halved_swaps_halve_swap_traffic(self):
+        n, m = 8, 5
+        c = Circuit(n).swap(0, 7)
+        full = communication_volume(c, m)
+        halved = communication_volume(c, m, halved_swaps=True)
+        assert halved == full // 2
+
+    def test_halved_does_not_affect_hadamards(self):
+        n, m = 8, 5
+        c = hadamard_benchmark(n, 7, gates=5)
+        assert communication_volume(c, m) == communication_volume(
+            c, m, halved_swaps=True
+        )
+
+    def test_blocked_qft_halves_volume(self):
+        n, m = 10, 6
+        builtin = communication_volume(builtin_qft_circuit(n), m)
+        blocked = communication_volume(cache_blocked_qft_circuit(n, m), m)
+        assert blocked == builtin // 2
+
+    def test_future_work_quarter_volume(self):
+        # Cache blocking + halved swaps = 4x less traffic than built-in.
+        n, m = 10, 6
+        builtin = communication_volume(builtin_qft_circuit(n), m)
+        best = communication_volume(
+            cache_blocked_qft_circuit(n, m), m, halved_swaps=True
+        )
+        assert best == builtin // 4

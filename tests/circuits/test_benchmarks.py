@@ -1,0 +1,85 @@
+"""Tests for the Hadamard and SWAP benchmark circuits."""
+
+import pytest
+
+from repro.circuits import (
+    PAPER_BENCHMARK_GATES,
+    PAPER_SWAP_DISTRIBUTED_TARGETS,
+    PAPER_SWAP_LOCAL_TARGETS,
+    census,
+    hadamard_benchmark,
+    swap_benchmark,
+)
+from repro.errors import CircuitError
+
+
+class TestHadamardBenchmark:
+    def test_default_gate_count(self):
+        c = hadamard_benchmark(38, 10)
+        assert len(c) == PAPER_BENCHMARK_GATES == 50
+        assert all(g.name == "h" and g.targets == (10,) for g in c)
+
+    def test_custom_count(self):
+        assert len(hadamard_benchmark(4, 0, gates=7)) == 7
+
+    def test_identity_for_even_counts(self):
+        import numpy as np
+
+        from repro.statevector import DenseStatevector
+
+        sim = DenseStatevector.zero_state(3)
+        sim.apply_circuit(hadamard_benchmark(3, 1, gates=50))
+        assert np.isclose(sim.probability_of(0), 1.0)
+
+    def test_target_out_of_range(self):
+        with pytest.raises(CircuitError):
+            hadamard_benchmark(4, 4)
+
+    def test_zero_gates_raise(self):
+        with pytest.raises(CircuitError):
+            hadamard_benchmark(4, 0, gates=0)
+
+    def test_worst_case_is_all_distributed(self):
+        c = hadamard_benchmark(38, 37)
+        assert census(c, 32).distributed == len(c)
+
+    def test_local_target_never_distributed(self):
+        c = hadamard_benchmark(38, 0)
+        assert census(c, 32).distributed == 0
+
+
+class TestSwapBenchmark:
+    def test_structure(self):
+        c = swap_benchmark(38, 0, 36)
+        assert len(c) == 50
+        assert all(g.name == "swap" and g.targets == (0, 36) for g in c)
+
+    def test_same_targets_raise(self):
+        with pytest.raises(CircuitError):
+            swap_benchmark(4, 1, 1)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(CircuitError):
+            swap_benchmark(4, 0, 4)
+
+    def test_zero_gates_raise(self):
+        with pytest.raises(CircuitError):
+            swap_benchmark(4, 0, 1, gates=0)
+
+    def test_even_swaps_are_identity(self):
+        import numpy as np
+
+        from repro.circuits import random_state
+        from repro.statevector import DenseStatevector
+
+        psi = random_state(4, seed=9)
+        sim = DenseStatevector.from_amplitudes(psi)
+        sim.apply_circuit(swap_benchmark(4, 0, 3, gates=50))
+        assert np.allclose(sim.amplitudes, psi)
+
+    def test_paper_target_sets(self):
+        assert PAPER_SWAP_LOCAL_TARGETS == (0, 4, 8, 12, 16)
+        assert PAPER_SWAP_DISTRIBUTED_TARGETS == (35, 36, 37)
+        # All distributed targets are above 32 local qubits on 64 nodes.
+        assert all(t >= 32 for t in PAPER_SWAP_DISTRIBUTED_TARGETS)
+        assert all(t < 32 for t in PAPER_SWAP_LOCAL_TARGETS)

@@ -1,0 +1,139 @@
+"""Unit tests for the Circuit container and builder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.errors import CircuitError
+from repro.gates import Gate
+from repro.gates import matrices as mats
+
+
+class TestConstruction:
+    def test_width_validation(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_gate_bounds_checked(self):
+        c = Circuit(2)
+        with pytest.raises(CircuitError, match="qubit 2"):
+            c.h(2)
+
+    def test_from_gates(self):
+        gates = [Gate.named("h", (0,)), Gate.named("x", (1,))]
+        c = Circuit(2, gates)
+        assert list(c) == gates
+
+    def test_len_iter_getitem(self):
+        c = Circuit(3).h(0).x(1).z(2)
+        assert len(c) == 3
+        assert c[1].name == "x"
+        assert [g.name for g in c] == ["h", "x", "z"]
+
+    def test_slice_returns_circuit(self):
+        c = Circuit(3).h(0).x(1).z(2)
+        sub = c[1:]
+        assert isinstance(sub, Circuit)
+        assert len(sub) == 2 and sub.num_qubits == 3
+
+    def test_equality(self):
+        assert Circuit(2).h(0) == Circuit(2).h(0)
+        assert Circuit(2).h(0) != Circuit(2).h(1)
+        assert Circuit(2) != Circuit(3)
+
+    def test_repr(self):
+        assert "2 qubits" in repr(Circuit(2, name="x"))
+
+
+class TestBuilder:
+    def test_fluent_chaining(self):
+        c = Circuit(3).h(0).cp(math.pi / 2, 0, 1).swap(0, 2)
+        assert [g.name for g in c] == ["h", "p", "swap"]
+
+    def test_cp_is_controlled_phase(self):
+        c = Circuit(2).cp(0.7, 0, 1)
+        g = c[0]
+        assert g.controls == (0,) and g.targets == (1,)
+        assert g.is_diagonal()
+
+    def test_cx_cz(self):
+        c = Circuit(2).cx(0, 1).cz(1, 0)
+        assert c[0].name == "x" and c[0].controls == (0,)
+        assert c[1].name == "z" and c[1].controls == (1,)
+
+    def test_all_single_qubit_builders(self):
+        c = (
+            Circuit(1)
+            .h(0).x(0).y(0).z(0).s(0).t(0)
+            .p(0.1, 0).rx(0.2, 0).ry(0.3, 0).rz(0.4, 0)
+            .u3(0.1, 0.2, 0.3, 0)
+        )
+        assert len(c) == 11
+
+    def test_unitary_builder(self):
+        c = Circuit(2).unitary(mats.swap_matrix(), (0, 1))
+        assert c[0].name == "unitary"
+
+    def test_compose(self):
+        a = Circuit(2).h(0)
+        b = Circuit(2).x(1)
+        a.compose(b)
+        assert len(a) == 2
+
+    def test_compose_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).compose(Circuit(3))
+
+
+class TestTransforms:
+    def test_inverse_undoes(self):
+        from repro.circuits import random_circuit, random_state
+        from repro.statevector import DenseStatevector
+
+        c = random_circuit(4, 30, seed=11)
+        psi = random_state(4, seed=12)
+        sim = DenseStatevector.from_amplitudes(psi)
+        sim.apply_circuit(c)
+        sim.apply_circuit(c.inverse())
+        assert np.allclose(sim.amplitudes, psi)
+
+    def test_remapped(self):
+        c = Circuit(3).cx(0, 2)
+        r = c.remapped({0: 1, 1: 0})
+        assert r[0].controls == (1,) and r[0].targets == (2,)
+
+    def test_depth_parallel_gates(self):
+        c = Circuit(4).h(0).h(1).h(2).h(3)
+        assert c.depth() == 1
+
+    def test_depth_serial_chain(self):
+        c = Circuit(2).cx(0, 1).cx(0, 1).h(0)
+        assert c.depth() == 3
+
+    def test_depth_empty(self):
+        assert Circuit(3).depth() == 0
+
+    def test_count_gates(self):
+        c = Circuit(2).h(0).h(1).cx(0, 1)
+        assert c.count_gates() == {"h": 2, "x": 1}
+
+
+class TestUnitaryMatrix:
+    def test_single_hadamard(self):
+        u = Circuit(1).h(0).unitary_matrix()
+        assert np.allclose(u, mats.hadamard())
+
+    def test_unitarity_of_random(self):
+        from repro.circuits import random_circuit
+
+        u = random_circuit(3, 20, seed=3).unitary_matrix()
+        assert np.allclose(u.conj().T @ u, np.eye(8), atol=1e-9)
+
+    def test_size_cap(self):
+        with pytest.raises(CircuitError):
+            Circuit(13).unitary_matrix()
+
+    def test_qft_rotation_angle(self):
+        assert Circuit.qft_rotation_angle(2) == math.pi / 4

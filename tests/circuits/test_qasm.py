@@ -1,0 +1,106 @@
+"""OpenQASM 2.0 round-trip tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    from_qasm,
+    qft_circuit,
+    random_circuit,
+    random_state,
+    to_qasm,
+)
+from repro.circuits.qft import builtin_qft_circuit
+from repro.errors import CircuitError
+from repro.gates import Gate
+from repro.statevector import DenseStatevector
+
+
+def roundtrip_equivalent(circuit, seed=0):
+    text = to_qasm(circuit)
+    back = from_qasm(text)
+    psi = random_state(circuit.num_qubits, seed=seed)
+    a = DenseStatevector.from_amplitudes(psi).apply_circuit(circuit).amplitudes
+    b = DenseStatevector.from_amplitudes(psi).apply_circuit(back).amplitudes
+    return np.allclose(a, b)
+
+
+class TestExport:
+    def test_header(self):
+        text = to_qasm(Circuit(3).h(0))
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in text
+
+    def test_gate_lines(self):
+        text = to_qasm(Circuit(2).h(0).cx(0, 1).cp(math.pi / 2, 0, 1))
+        assert "h q[0];" in text
+        assert "cx q[0], q[1];" in text
+        assert "cu1(pi/2) q[0], q[1];" in text
+
+    def test_pi_fractions(self):
+        text = to_qasm(Circuit(1).p(math.pi / 8, 0))
+        assert "u1(pi/8) q[0];" in text
+
+    def test_negative_angle(self):
+        text = to_qasm(Circuit(1).p(-math.pi / 4, 0))
+        assert "u1(-pi/4) q[0];" in text
+
+    def test_fused_exported_as_constituents(self):
+        ladder = [
+            Gate.named("p", (0,), controls=(1,), params=(math.pi / 2,)),
+            Gate.named("p", (0,), controls=(2,), params=(math.pi / 4,)),
+        ]
+        c = Circuit(3)
+        c.append(Gate.fused(ladder))
+        text = to_qasm(c)
+        assert text.count("cu1") == 2
+
+    def test_explicit_unitary_rejected(self):
+        import repro.gates.matrices as mats
+
+        c = Circuit(1).unitary(mats.hadamard(), (0,))
+        with pytest.raises(CircuitError):
+            to_qasm(c)
+
+    def test_toffoli(self):
+        text = to_qasm(Circuit(3).x(2, controls=(0, 1)))
+        assert "ccx q[0], q[1], q[2];" in text
+
+
+class TestImport:
+    def test_unknown_gate_raises(self):
+        with pytest.raises(CircuitError, match="unsupported"):
+            from_qasm("qreg q[1];\nmystery q[0];")
+
+    def test_missing_qreg_raises(self):
+        with pytest.raises(CircuitError):
+            from_qasm("h q[0];")
+
+    def test_no_content_raises(self):
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;")
+
+    def test_comments_ignored(self):
+        c = from_qasm("qreg q[1];\n// comment\nh q[0]; // trailing\n")
+        assert len(c) == 1
+
+    def test_malicious_param_rejected(self):
+        with pytest.raises(CircuitError):
+            from_qasm('qreg q[1];\nu1(__import__("os")) q[0];')
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_qft(self, n):
+        assert roundtrip_equivalent(qft_circuit(n), seed=n)
+
+    def test_builtin_fused_qft(self):
+        assert roundtrip_equivalent(builtin_qft_circuit(5, fused=True), seed=1)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random(self, seed):
+        c = random_circuit(5, 40, seed=seed, allow_unitaries=False)
+        assert roundtrip_equivalent(c, seed=seed)

@@ -1,0 +1,185 @@
+"""QFT circuit tests: conventions, equivalences, cache-blocking structure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    builtin_qft_circuit,
+    cache_blocked_qft_circuit,
+    census,
+    default_swap_point,
+    inverse_qft_circuit,
+    qft_circuit,
+    random_state,
+    textbook_qft_circuit,
+)
+from repro.errors import CircuitError
+from repro.statevector import DenseStatevector
+
+
+def apply_dense(circuit, psi):
+    return DenseStatevector.from_amplitudes(psi).apply_circuit(circuit).amplitudes
+
+
+def bit_reverse_state(psi, n):
+    idx = np.arange(2**n)
+    rev = np.zeros_like(idx)
+    for b in range(n):
+        rev |= (((idx >> b) & 1) << (n - 1 - b))
+    out = np.empty_like(psi)
+    out[rev] = psi
+    return out
+
+
+class TestTextbookConvention:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7])
+    def test_equals_scaled_ifft(self, n):
+        psi = random_state(n, seed=n)
+        out = apply_dense(textbook_qft_circuit(n), psi)
+        assert np.allclose(out, np.fft.ifft(psi) * math.sqrt(2**n))
+
+    def test_uniform_from_zero(self):
+        out = apply_dense(textbook_qft_circuit(4), DenseStatevector.zero_state(4).amplitudes)
+        assert np.allclose(out, np.full(16, 0.25))
+
+
+class TestPaperConvention:
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_is_bit_reversed_qft(self, n):
+        psi = random_state(n, seed=10 + n)
+        out = apply_dense(qft_circuit(n), psi)
+        expected = bit_reverse_state(
+            np.fft.ifft(bit_reverse_state(psi, n)) * math.sqrt(2**n), n
+        )
+        assert np.allclose(out, expected)
+
+    def test_relabelled_equals_textbook(self):
+        n = 5
+        reversal = {q: n - 1 - q for q in range(n)}
+        relabelled = qft_circuit(n).remapped(reversal)
+        psi = random_state(n, seed=55)
+        assert np.allclose(
+            apply_dense(relabelled, psi), apply_dense(textbook_qft_circuit(n), psi)
+        )
+
+    def test_gate_count(self):
+        n = 6
+        c = qft_circuit(n)
+        # n Hadamards + n(n-1)/2 controlled phases + n//2 swaps.
+        counts = c.count_gates()
+        assert counts["h"] == n
+        assert counts["p"] == n * (n - 1) // 2
+        assert counts["swap"] == n // 2
+
+    def test_no_swaps_option(self):
+        c = qft_circuit(5, swaps=False)
+        assert "swap" not in c.count_gates()
+
+    def test_inverse_qft(self):
+        n = 5
+        psi = random_state(n, seed=77)
+        out = apply_dense(qft_circuit(n), psi)
+        back = apply_dense(inverse_qft_circuit(n), out)
+        assert np.allclose(back, psi)
+
+
+class TestBuiltinVariant:
+    def test_unfused_equals_qft(self):
+        n = 5
+        psi = random_state(n, seed=5)
+        assert np.allclose(
+            apply_dense(builtin_qft_circuit(n), psi),
+            apply_dense(qft_circuit(n), psi),
+        )
+
+    def test_fused_equals_qft(self):
+        n = 5
+        psi = random_state(n, seed=6)
+        assert np.allclose(
+            apply_dense(builtin_qft_circuit(n, fused=True), psi),
+            apply_dense(qft_circuit(n), psi),
+        )
+
+    def test_fused_has_fused_gates(self):
+        counts = builtin_qft_circuit(6, fused=True).count_gates()
+        assert counts.get("fused_diag", 0) > 0
+
+
+class TestCacheBlockedQft:
+    @pytest.mark.parametrize("n,m", [(4, 2), (6, 3), (6, 4), (8, 5), (7, 4)])
+    def test_exactly_equals_qft(self, n, m):
+        psi = random_state(n, seed=100 + n + m)
+        assert np.allclose(
+            apply_dense(cache_blocked_qft_circuit(n, m), psi),
+            apply_dense(qft_circuit(n), psi),
+        )
+
+    @pytest.mark.parametrize("n,m", [(6, 3), (8, 5), (10, 6)])
+    def test_all_hadamards_local(self, n, m):
+        for gate in cache_blocked_qft_circuit(n, m):
+            if gate.name == "h":
+                assert gate.targets[0] < m
+
+    @pytest.mark.parametrize("n,m", [(6, 3), (8, 5), (10, 6)])
+    def test_halves_distributed_operations(self, n, m):
+        d = n - m
+        builtin = census(builtin_qft_circuit(n), m)
+        blocked = census(cache_blocked_qft_circuit(n, m), m)
+        assert builtin.distributed == 2 * d
+        assert blocked.distributed == d
+
+    def test_distributed_ops_are_only_swaps(self):
+        n, m = 8, 5
+        from repro.gates import GateLocality, classify_gate
+
+        for gate in cache_blocked_qft_circuit(n, m):
+            if classify_gate(gate, m) is GateLocality.DISTRIBUTED:
+                assert gate.is_swap()
+
+    def test_explicit_swap_point(self):
+        n, m = 8, 5
+        for k in range(n - m, m + 1):
+            psi = random_state(n, seed=200 + k)
+            blocked = cache_blocked_qft_circuit(n, m, swap_point=k)
+            assert np.allclose(
+                apply_dense(blocked, psi), apply_dense(qft_circuit(n), psi)
+            )
+
+    def test_invalid_swap_point_raises(self):
+        with pytest.raises(CircuitError):
+            cache_blocked_qft_circuit(8, 5, swap_point=2)
+
+    def test_too_few_local_qubits_raises(self):
+        with pytest.raises(CircuitError):
+            cache_blocked_qft_circuit(8, 3)
+
+    def test_invalid_local_qubits_raises(self):
+        with pytest.raises(CircuitError):
+            cache_blocked_qft_circuit(8, 0)
+
+    def test_fused_blocked_still_correct(self):
+        n, m = 6, 4
+        psi = random_state(n, seed=44)
+        assert np.allclose(
+            apply_dense(cache_blocked_qft_circuit(n, m, fused=True), psi),
+            apply_dense(qft_circuit(n), psi),
+        )
+
+
+class TestDefaultSwapPoint:
+    def test_paper_choice_when_valid(self):
+        # 44 qubits on 4096 nodes: m = 32, valid range [12, 32] -> 30.
+        assert default_swap_point(44, 32) == 30
+
+    def test_clamped_low(self):
+        # 38 qubits, m = 20: range [18, 20] -> 20? 30 clamps to 20.
+        assert default_swap_point(38, 20) == 20
+
+    def test_clamped_high(self):
+        assert default_swap_point(8, 5) == 5
+
+    def test_infeasible_raises(self):
+        with pytest.raises(CircuitError):
+            default_swap_point(10, 4)

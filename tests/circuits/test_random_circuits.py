@@ -1,0 +1,83 @@
+"""Tests for circuit generators: random, GHZ, QPE."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import ghz_circuit, qpe_circuit, random_circuit, random_state
+from repro.statevector import DenseStatevector
+
+
+class TestRandomCircuit:
+    def test_reproducible_by_seed(self):
+        assert random_circuit(5, 30, seed=1) == random_circuit(5, 30, seed=1)
+
+    def test_different_seeds_differ(self):
+        assert random_circuit(5, 30, seed=1) != random_circuit(5, 30, seed=2)
+
+    def test_gate_count(self):
+        assert len(random_circuit(5, 30, seed=1)) == 30
+
+    def test_preserves_norm(self):
+        c = random_circuit(5, 60, seed=3)
+        sim = DenseStatevector.zero_state(5)
+        sim.apply_circuit(c)
+        assert np.isclose(sim.norm(), 1.0)
+
+    def test_no_swaps_option(self):
+        c = random_circuit(5, 60, seed=4, allow_swaps=False)
+        assert "swap" not in c.count_gates()
+
+    def test_no_controls_option(self):
+        c = random_circuit(5, 60, seed=5, allow_controls=False)
+        assert all(not g.controls for g in c)
+
+    def test_no_unitaries_option(self):
+        c = random_circuit(5, 60, seed=6, allow_unitaries=False)
+        assert "unitary" not in c.count_gates()
+
+    def test_single_qubit_register(self):
+        c = random_circuit(1, 20, seed=7)
+        assert all(g.max_qubit == 0 for g in c)
+
+
+class TestRandomState:
+    def test_normalised(self):
+        assert np.isclose(np.linalg.norm(random_state(6, seed=1)), 1.0)
+
+    def test_seeded(self):
+        assert np.allclose(random_state(4, seed=2), random_state(4, seed=2))
+
+    def test_size(self):
+        assert random_state(5, seed=3).shape == (32,)
+
+
+class TestGhz:
+    @pytest.mark.parametrize("n", [2, 3, 6])
+    def test_ghz_amplitudes(self, n):
+        sim = DenseStatevector.zero_state(n)
+        sim.apply_circuit(ghz_circuit(n))
+        amps = sim.amplitudes
+        assert np.isclose(abs(amps[0]) ** 2, 0.5)
+        assert np.isclose(abs(amps[-1]) ** 2, 0.5)
+        assert np.isclose(np.sum(np.abs(amps[1:-1]) ** 2), 0.0)
+
+
+class TestQpe:
+    @pytest.mark.parametrize("phase", [0.25, 0.5, 0.125])
+    def test_exact_phase_recovered(self, phase):
+        m = 4
+        sim = DenseStatevector.zero_state(m + 1)
+        sim.apply_circuit(qpe_circuit(m, phase))
+        # Counting register should be |phase * 2**m> exactly, with the
+        # eigenstate qubit still |1>.
+        expected = int(phase * 2**m) | (1 << m)
+        assert np.isclose(sim.probability_of(expected), 1.0, atol=1e-9)
+
+    def test_inexact_phase_concentrates(self):
+        m = 5
+        phase = 0.3
+        sim = DenseStatevector.zero_state(m + 1)
+        sim.apply_circuit(qpe_circuit(m, phase))
+        probs = sim.probabilities()
+        best = int(np.argmax(probs)) & ((1 << m) - 1)
+        assert abs(best / 2**m - phase) < 2 ** -(m - 1)

@@ -1,0 +1,151 @@
+"""Tests for random circuit sampling and XEB."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.rcs import (
+    SQRT_W,
+    SQRT_X,
+    SQRT_Y,
+    linear_xeb_fidelity,
+    porter_thomas_expectation,
+    rcs_circuit,
+)
+from repro.errors import CircuitError
+from repro.gates import matrices as mats
+from repro.statevector import DenseStatevector, DistributedStatevector
+
+
+class TestGateSet:
+    @pytest.mark.parametrize(
+        "matrix,square",
+        [
+            (SQRT_X, mats.pauli_x()),
+            (SQRT_Y, mats.pauli_y()),
+        ],
+    )
+    def test_square_roots(self, matrix, square):
+        assert mats.is_unitary(matrix)
+        product = matrix @ matrix
+        # Equal up to global phase.
+        phase = product[np.nonzero(square)][0] / square[np.nonzero(square)][0]
+        assert np.isclose(abs(phase), 1.0)
+        assert np.allclose(product, phase * square)
+
+    def test_sqrt_w_unitary(self):
+        assert mats.is_unitary(SQRT_W)
+        # W = (X + Y)/sqrt(2); sqrtW**2 ~ W up to phase.
+        w = (mats.pauli_x() + mats.pauli_y()) / np.sqrt(2)
+        product = SQRT_W @ SQRT_W
+        phase = product[0, 1] / w[0, 1]
+        assert np.isclose(abs(phase), 1.0)
+        assert np.allclose(product, phase * w)
+
+
+class TestCircuit:
+    def test_structure(self):
+        c = rcs_circuit(6, 4, seed=1)
+        # 4 cycles x (6 single-qubit + couplers).
+        singles = sum(1 for g in c if g.name == "unitary")
+        assert singles == 24
+        assert c.num_qubits == 6
+
+    def test_seeded(self):
+        assert rcs_circuit(5, 6, seed=3) == rcs_circuit(5, 6, seed=3)
+        assert rcs_circuit(5, 6, seed=3) != rcs_circuit(5, 6, seed=4)
+
+    def test_no_repeat_rule(self):
+        """No qubit gets the same single-qubit gate twice in a row."""
+        c = rcs_circuit(4, 8, seed=5)
+        last: dict[int, tuple] = {}
+        for g in c:
+            if g.name != "unitary":
+                continue
+            q = g.targets[0]
+            key = tuple(np.round(g.matrix().ravel(), 12))
+            assert last.get(q) != key
+            last[q] = key
+
+    def test_alternating_couplers(self):
+        c = rcs_circuit(6, 2, seed=6)
+        cz_layers = [g for g in c if g.name == "z"]
+        first = {g.controls[0] for g in cz_layers[:3]}
+        assert first == {0, 2, 4}
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            rcs_circuit(1, 2)
+        with pytest.raises(CircuitError):
+            rcs_circuit(4, 0)
+        with pytest.raises(CircuitError):
+            rcs_circuit(4, 2, coupler="iswap")
+
+    def test_distributed_matches_dense(self):
+        c = rcs_circuit(6, 6, seed=7)
+        dense = DenseStatevector.zero_state(6).apply_circuit(c)
+        dist = DistributedStatevector.zero_state(6, 4)
+        dist.apply_circuit(c)
+        assert np.allclose(dist.gather(), dense.amplitudes)
+
+
+class TestXeb:
+    def _ideal(self, n=8, depth=14, seed=11):
+        sim = DenseStatevector.zero_state(n)
+        sim.apply_circuit(rcs_circuit(n, depth, seed=seed))
+        return sim.probabilities()
+
+    def test_ideal_samples_score_full_fidelity(self):
+        """Ideal samples score ``N sum(p**2) - 1`` (the PT second moment
+        minus one -- exactly 1 only for fully converged Porter-Thomas)."""
+        probs = self._ideal(depth=20)
+        rng = np.random.default_rng(0)
+        samples = rng.choice(len(probs), size=40_000, p=probs)
+        f = linear_xeb_fidelity(samples, probs)
+        expected = porter_thomas_expectation(probs) - 1.0
+        assert f == pytest.approx(expected, abs=0.08)
+        assert 0.7 < f < 1.3
+
+    def test_uniform_samples_score_zero(self):
+        probs = self._ideal()
+        rng = np.random.default_rng(1)
+        samples = rng.integers(len(probs), size=40_000)
+        f = linear_xeb_fidelity(samples, probs)
+        assert f == pytest.approx(0.0, abs=0.08)
+
+    def test_partial_corruption_interpolates(self):
+        probs = self._ideal(depth=20)
+        rng = np.random.default_rng(2)
+        good = rng.choice(len(probs), size=20_000, p=probs)
+        bad = rng.integers(len(probs), size=20_000)
+        f = linear_xeb_fidelity(np.concatenate([good, bad]), probs)
+        full = porter_thomas_expectation(probs) - 1.0
+        assert f == pytest.approx(full / 2, abs=0.08)
+
+    def test_out_of_range_sample_rejected(self):
+        with pytest.raises(CircuitError):
+            linear_xeb_fidelity(np.array([4]), np.ones(4) / 4)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(CircuitError):
+            linear_xeb_fidelity(np.array([], dtype=int), np.ones(2) / 2)
+
+
+class TestPorterThomas:
+    def test_deep_circuit_approaches_two(self):
+        probs_deep = (
+            DenseStatevector.zero_state(8)
+            .apply_circuit(rcs_circuit(8, 20, seed=13))
+            .probabilities()
+        )
+        assert porter_thomas_expectation(probs_deep) == pytest.approx(
+            2.0, abs=0.25
+        )
+
+    def test_uniform_state_is_one(self):
+        probs = np.full(64, 1 / 64)
+        assert porter_thomas_expectation(probs) == pytest.approx(1.0)
+
+    def test_basis_state_is_dimension(self):
+        probs = np.zeros(32)
+        probs[3] = 1.0
+        assert porter_thomas_expectation(probs) == 32.0

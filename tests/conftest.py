@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_state
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG per test."""
+    return np.random.default_rng(20231112)
+
+
+@pytest.fixture
+def psi6() -> np.ndarray:
+    """A fixed random 6-qubit state."""
+    return random_state(6, seed=6)
+
+
+@pytest.fixture
+def psi8() -> np.ndarray:
+    """A fixed random 8-qubit state."""
+    return random_state(8, seed=8)

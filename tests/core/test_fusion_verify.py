@@ -1,0 +1,126 @@
+"""Tests for the diagonal-fusion pass and the equivalence verifier."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, qft_circuit, random_state
+from repro.core.transpiler import (
+    DiagonalFusionPass,
+    assert_equivalent,
+    equivalent,
+    permute_statevector,
+)
+from repro.errors import TranspilerError
+from repro.statevector import DenseStatevector
+
+
+class TestFusion:
+    def test_qft_ladders_fused(self):
+        result = DiagonalFusionPass().run(qft_circuit(6, swaps=False))
+        counts = result.circuit.count_gates()
+        assert counts.get("fused_diag", 0) > 0
+        assert counts.get("p", 0) <= 1  # lone single-phase runs survive
+
+    def test_equivalence(self):
+        c = qft_circuit(6)
+        result = DiagonalFusionPass().run(c)
+        assert_equivalent(c, result.circuit)
+
+    def test_identity_layout(self):
+        assert DiagonalFusionPass().run(qft_circuit(5)).is_identity_layout()
+
+    def test_min_run_respected(self):
+        c = Circuit(3).p(0.1, 0).h(1).p(0.2, 0)  # no adjacent diagonals
+        result = DiagonalFusionPass().run(c)
+        assert "fused_diag" not in result.circuit.count_gates()
+
+    def test_min_run_three(self):
+        c = Circuit(3).p(0.1, 0).p(0.2, 1).h(0).p(0.3, 0).p(0.4, 1).p(0.5, 2)
+        result = DiagonalFusionPass(min_run=3).run(c)
+        counts = result.circuit.count_gates()
+        assert counts["fused_diag"] == 1
+        assert counts["p"] == 2
+
+    def test_max_fused_qubits_splits_runs(self):
+        c = Circuit(6)
+        for q in range(6):
+            c.p(0.1 * (q + 1), q)
+        result = DiagonalFusionPass(max_fused_qubits=3).run(c)
+        assert result.circuit.count_gates()["fused_diag"] == 2
+        assert_equivalent(c, result.circuit)
+
+    def test_stats(self):
+        result = DiagonalFusionPass().run(qft_circuit(5, swaps=False))
+        assert result.stats["gates_fused"] > 0
+        assert result.stats["runs_fused"] > 0
+
+    def test_bad_min_run(self):
+        with pytest.raises(TranspilerError):
+            DiagonalFusionPass(min_run=1)
+
+    def test_existing_fused_not_refused(self):
+        from repro.circuits import builtin_qft_circuit
+
+        c = builtin_qft_circuit(5, fused=True)
+        result = DiagonalFusionPass().run(c)
+        assert_equivalent(c, result.circuit)
+
+
+class TestPermuteStatevector:
+    def test_identity(self):
+        psi = random_state(3, seed=1)
+        assert np.allclose(permute_statevector(psi, {q: q for q in range(3)}), psi)
+
+    def test_swap_bits(self):
+        psi = np.zeros(4, complex)
+        psi[0b01] = 1.0
+        out = permute_statevector(psi, {0: 1, 1: 0})
+        assert np.isclose(abs(out[0b10]), 1.0)
+
+    def test_matches_swap_circuit(self):
+        psi = random_state(3, seed=2)
+        via_perm = permute_statevector(psi, {0: 2, 2: 0, 1: 1})
+        via_gate = (
+            DenseStatevector.from_amplitudes(psi)
+            .apply_circuit(Circuit(3).swap(0, 2))
+            .amplitudes
+        )
+        assert np.allclose(via_perm, via_gate)
+
+
+class TestEquivalent:
+    def test_detects_equal(self):
+        a = Circuit(2).h(0).cx(0, 1)
+        b = Circuit(2).h(0).cx(0, 1)
+        assert equivalent(a, b)
+
+    def test_detects_unequal(self):
+        a = Circuit(2).h(0)
+        b = Circuit(2).h(1)
+        assert not equivalent(a, b)
+
+    def test_width_mismatch_false(self):
+        assert not equivalent(Circuit(2).h(0), Circuit(3).h(0))
+
+    def test_phase_difference_detected(self):
+        a = Circuit(1).p(math.pi / 4, 0)
+        b = Circuit(1).rz(math.pi / 4, 0)  # differs by global phase
+        assert not equivalent(a, b)
+
+    def test_permutation_argument(self):
+        # Logical H(0) realised with qubit 0 relocated to wire 1: move
+        # the data there first, then act on wire 1.
+        a = Circuit(2).h(0)
+        b = Circuit(2).swap(0, 1).h(1)
+        assert equivalent(a, b, output_permutation={0: 1, 1: 0})
+        assert not equivalent(a, b)
+
+    def test_assert_raises_on_mismatch(self):
+        with pytest.raises(TranspilerError):
+            assert_equivalent(Circuit(2).h(0), Circuit(2).x(0))
+
+    def test_size_cap(self):
+        with pytest.raises(TranspilerError):
+            equivalent(Circuit(17).h(0), Circuit(17).h(0))

@@ -1,0 +1,149 @@
+"""Tests for the peephole optimisation pass."""
+
+import math
+
+import pytest
+
+from repro.circuits import Circuit, hadamard_benchmark, swap_benchmark
+from repro.core.transpiler import PeepholePass, assert_equivalent
+from repro.gates import Gate
+
+
+def run(circuit):
+    return PeepholePass().run(circuit)
+
+
+class TestCancellation:
+    def test_double_hadamard_cancels(self):
+        result = run(Circuit(2).h(0).h(0))
+        assert len(result.circuit) == 0
+        assert result.stats["gates_removed"] == 2
+
+    def test_intervening_gate_blocks(self):
+        c = Circuit(1).h(0).t(0).h(0)
+        result = run(c)
+        assert len(result.circuit) == 3
+
+    def test_other_wire_does_not_block(self):
+        c = Circuit(2).h(0).x(1).h(0)
+        result = run(c)
+        assert len(result.circuit) == 1
+        assert result.circuit[0].name == "x"
+
+    def test_cnot_pair_cancels(self):
+        result = run(Circuit(2).cx(0, 1).cx(0, 1))
+        assert len(result.circuit) == 0
+
+    def test_cnot_different_controls_kept(self):
+        result = run(Circuit(3).cx(0, 2).cx(1, 2))
+        assert len(result.circuit) == 2
+
+    def test_swap_pair_cancels(self):
+        result = run(Circuit(3).swap(0, 2).swap(0, 2))
+        assert len(result.circuit) == 0
+
+    def test_hadamard_benchmark_collapses(self):
+        """An even Hadamard benchmark is the identity."""
+        result = run(hadamard_benchmark(6, 3, gates=50))
+        assert len(result.circuit) == 0
+
+    def test_odd_count_leaves_one(self):
+        result = run(hadamard_benchmark(6, 3, gates=7))
+        assert len(result.circuit) == 1
+
+    def test_swap_benchmark_collapses(self):
+        result = run(swap_benchmark(6, 0, 5, gates=50))
+        assert len(result.circuit) == 0
+
+    def test_t_gate_not_self_inverse(self):
+        result = run(Circuit(1).t(0).t(0))
+        assert len(result.circuit) == 2
+
+    def test_self_inverse_unitary_detected(self):
+        import repro.gates.matrices as mats
+
+        c = Circuit(1)
+        c.unitary(mats.hadamard(), (0,))
+        c.unitary(mats.hadamard(), (0,))
+        assert len(run(c).circuit) == 0
+
+
+class TestPhaseMerging:
+    def test_adjacent_phases_merge(self):
+        result = run(Circuit(1).p(0.3, 0).p(0.4, 0))
+        assert len(result.circuit) == 1
+        assert result.circuit[0].params[0] == pytest.approx(0.7)
+        assert result.stats["phases_merged"] == 1
+
+    def test_controlled_phases_merge(self):
+        result = run(Circuit(2).cp(0.3, 0, 1).cp(0.2, 0, 1))
+        assert len(result.circuit) == 1
+        assert result.circuit[0].controls == (0,)
+
+    def test_opposite_phases_vanish(self):
+        result = run(Circuit(1).p(0.5, 0).p(-0.5, 0))
+        assert len(result.circuit) == 0
+
+    def test_full_turn_vanishes(self):
+        result = run(Circuit(1).p(math.pi, 0).p(math.pi, 0))
+        assert len(result.circuit) == 0
+
+    def test_rz_merges(self):
+        result = run(Circuit(1).rz(0.2, 0).rz(0.3, 0))
+        assert len(result.circuit) == 1
+        assert result.circuit[0].name == "rz"
+
+    def test_p_and_rz_do_not_merge(self):
+        result = run(Circuit(1).p(0.2, 0).rz(0.2, 0))
+        assert len(result.circuit) == 2
+
+    def test_different_wiring_does_not_merge(self):
+        result = run(Circuit(2).cp(0.2, 0, 1).cp(0.2, 1, 0))
+        assert len(result.circuit) == 2
+
+
+class TestIdentityRemoval:
+    def test_id_gate_dropped(self):
+        c = Circuit(1)
+        c.append(Gate.named("id", (0,)))
+        assert len(run(c).circuit) == 0
+
+    def test_zero_phase_dropped(self):
+        assert len(run(Circuit(1).p(0.0, 0)).circuit) == 0
+        assert len(run(Circuit(1).rz(0.0, 0)).circuit) == 0
+
+
+class TestFixpointAndEquivalence:
+    def test_cascading_cancellation(self):
+        # x h h x: inner pair cancels, exposing the outer pair.
+        c = Circuit(1).x(0).h(0).h(0).x(0)
+        result = run(c)
+        assert len(result.circuit) == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivalence_on_random_circuits(self, seed):
+        from repro.circuits import random_circuit
+
+        c = random_circuit(5, 60, seed=seed)
+        result = run(c)
+        assert len(result.circuit) <= len(c)
+        assert_equivalent(c, result.circuit)
+
+    def test_composes_with_cache_blocking(self):
+        from repro.circuits import distributed_gate_count, random_circuit
+        from repro.core.transpiler import CacheBlockingPass, PassManager
+
+        c = random_circuit(6, 60, seed=9)
+        pm = PassManager([PeepholePass(), CacheBlockingPass(4)])
+        result = pm.run(c)
+        assert_equivalent(
+            c, result.circuit, output_permutation=result.output_permutation
+        )
+        # Peephole first never increases the blocking pass's work.
+        direct = CacheBlockingPass(4).run(c)
+        assert distributed_gate_count(
+            result.circuit, 4
+        ) <= distributed_gate_count(direct.circuit, 4)
+
+    def test_identity_layout(self):
+        assert run(Circuit(3).h(0).h(0)).is_identity_layout()

@@ -1,0 +1,73 @@
+"""Tests for the sweep/study helpers."""
+
+import pytest
+
+from repro.circuits import builtin_qft_circuit
+from repro.core.study import (
+    DEFAULT_SETUP,
+    PAPER_SETUPS,
+    Setup,
+    relative_to_baseline,
+    sweep_qft_setups,
+)
+from repro.errors import ExperimentError
+from repro.machine import CpuFrequency
+
+
+class TestSetup:
+    def test_labels(self):
+        assert Setup("standard", CpuFrequency.MEDIUM).label == "standard/2GHz"
+        assert Setup("highmem", CpuFrequency.HIGH).label == "highmem/2.25GHz"
+
+    def test_paper_setups(self):
+        assert len(PAPER_SETUPS) == 4
+        assert DEFAULT_SETUP in PAPER_SETUPS
+
+    def test_options(self):
+        opts = Setup("highmem", CpuFrequency.HIGH).options()
+        assert opts.node_type == "highmem"
+        assert opts.frequency is CpuFrequency.HIGH
+
+
+class TestSweep:
+    def test_infeasible_points_kept(self):
+        points = sweep_qft_setups(
+            builtin_qft_circuit,
+            range(41, 43),
+            setups=(Setup("highmem", CpuFrequency.MEDIUM),),
+        )
+        by_n = {p.num_qubits: p for p in points}
+        assert by_n[41].feasible
+        assert not by_n[42].feasible
+
+    def test_point_grid_complete(self):
+        points = sweep_qft_setups(
+            builtin_qft_circuit, range(33, 35), setups=PAPER_SETUPS[:2]
+        )
+        assert len(points) == 4
+
+    def test_factory_width_checked(self):
+        with pytest.raises(ExperimentError):
+            sweep_qft_setups(
+                lambda n: builtin_qft_circuit(n + 1), range(33, 34)
+            )
+
+
+class TestRelative:
+    def test_baseline_is_one(self):
+        points = sweep_qft_setups(
+            builtin_qft_circuit, range(36, 37), setups=PAPER_SETUPS
+        )
+        ratios = relative_to_baseline(points)
+        base = ratios[(DEFAULT_SETUP.label, 36)]
+        assert base["runtime"] == pytest.approx(1.0)
+        assert base["energy"] == pytest.approx(1.0)
+
+    def test_missing_baseline_dropped(self):
+        # 42 qubits infeasible on highmem; baseline feasible on standard.
+        points = sweep_qft_setups(
+            builtin_qft_circuit, range(42, 43), setups=PAPER_SETUPS
+        )
+        ratios = relative_to_baseline(points)
+        assert ("highmem/2GHz", 42) not in ratios
+        assert ("standard/2.25GHz", 42) in ratios

@@ -1,0 +1,82 @@
+"""Shape tests for the later extension studies."""
+
+import json
+
+import pytest
+
+from repro.experiments import ext_gpu, ext_layout, ext_precision, ext_scaling
+from repro.experiments.cli import main
+
+
+class TestExtScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_scaling.run()
+
+    def test_runtime_monotone_decreasing(self, result):
+        runtimes = [
+            result.metric(f"runtime_{nodes}")
+            for nodes in (64, 128, 256, 512, 1024, 2048, 4096)
+        ]
+        assert runtimes == sorted(runtimes, reverse=True)
+
+    def test_efficiency_decays(self, result):
+        effs = [
+            result.metric(f"efficiency_{nodes}")
+            for nodes in (128, 512, 2048)
+        ]
+        assert effs == sorted(effs, reverse=True)
+        assert all(0 < e <= 1.05 for e in effs)
+
+    def test_energy_grows_with_nodes(self, result):
+        """More nodes finish sooner but burn more total energy."""
+        assert result.metric("energy_4096") > result.metric("energy_64")
+
+    def test_plot_attached(self, result):
+        assert "runtime" in result.plot
+
+
+class TestExtLayout:
+    def test_layouts_agree_numerically(self):
+        result = ext_layout.run(num_qubits=10, repeats=1)
+        assert result.metric("states_agree") == 1.0
+        assert result.metric("soa_time") > 0
+        assert result.metric("complex_time") > 0
+
+
+class TestExtGpu:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_gpu.run(qubit_sizes=(36, 38))
+
+    def test_gpu_faster(self, result):
+        assert result.metric("gpu_speedup_36q") > 3.0
+        assert result.metric("gpu_speedup_38q") > 3.0
+
+    def test_gpu_more_comm_bound(self, result):
+        assert result.metric("gpu_mpi_38q") > result.metric("archer2_mpi_38q")
+
+    def test_gpu_cheaper_energy(self, result):
+        assert result.metric("gpu_energy_38q") < result.metric(
+            "archer2_energy_38q"
+        )
+
+
+class TestExtPrecision:
+    def test_infidelity_small_but_nonzero_regime(self):
+        result = ext_precision.run(num_qubits=10, depths=(100, 800))
+        assert result.metric("qft_infidelity") < 1e-6
+        assert result.metric("random_800_infidelity") < 1e-4
+
+
+class TestJsonCli:
+    def test_json_output_parses(self, capsys):
+        assert main(["tab1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["experiment_id"] == "tab1"
+        assert "blocking_time_q32" in payload[0]["metrics"]
+
+    def test_json_multiple(self, capsys):
+        assert main(["tab1", "fig5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["experiment_id"] for p in payload] == ["tab1", "fig5"]

@@ -1,0 +1,71 @@
+"""Tests for the experiment registry, reporting and CLI."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.cli import main
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.reporting import ExperimentResult
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        for expected in ("fig2", "fig3", "fig4", "fig5", "tab1", "tab2"):
+            assert expected in EXPERIMENTS
+
+    def test_extensions_registered(self):
+        assert "ext-halved-swap" in EXPERIMENTS
+        assert "ext-generic-cb" in EXPERIMENTS
+
+    def test_run_by_id(self):
+        result = run_experiment("tab1")
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "tab1"
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_ids_order(self):
+        ids = experiment_ids()
+        assert ids[0] == "fig1"
+        assert len(ids) == len(EXPERIMENTS)
+        # Paper artefacts precede the extension studies.
+        assert all(i.startswith(("fig", "tab")) for i in ids[:7])
+
+
+class TestReporting:
+    def test_metric_lookup(self):
+        result = ExperimentResult("x", "t", ["a"], metrics={"m": 1.0})
+        assert result.metric("m") == 1.0
+
+    def test_missing_metric_lists_available(self):
+        result = ExperimentResult("x", "t", ["a"], metrics={"m": 1.0})
+        with pytest.raises(KeyError, match="m"):
+            result.metric("nope")
+
+    def test_render_includes_notes(self):
+        result = ExperimentResult("x", "title", ["a"], rows=[[1]], notes="N")
+        text = result.render()
+        assert "title" in text and text.endswith("N")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "tab2" in out
+
+    def test_run_single(self, capsys):
+        assert main(["tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "Hadamard benchmark" in out
+
+    def test_unknown_id_error_code(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_multiple(self, capsys):
+        assert main(["tab1", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "[tab1]" in out and "[fig5]" in out

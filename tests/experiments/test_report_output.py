@@ -1,0 +1,44 @@
+"""Tests for the markdown report writer."""
+
+from repro.experiments.cli import main
+from repro.experiments.reporting import ExperimentResult
+
+
+class TestToMarkdown:
+    def test_table_structure(self):
+        result = ExperimentResult(
+            "x", "Title", ["a", "b"], rows=[[1, 2], [3, 4]]
+        )
+        md = result.to_markdown()
+        lines = md.splitlines()
+        assert lines[0] == "## [x] Title"
+        assert "| a | b |" in md
+        assert "| 1 | 2 |" in md
+
+    def test_plot_fenced(self):
+        result = ExperimentResult("x", "T", ["a"], rows=[[1]], plot="PLOT")
+        md = result.to_markdown()
+        assert "```\nPLOT\n```" in md
+
+    def test_notes_italicised(self):
+        result = ExperimentResult("x", "T", ["a"], rows=[[1]], notes="N")
+        assert "*N*" in result.to_markdown()
+
+
+class TestCliReport:
+    def test_report_written(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["tab1", "--report", str(path)]) == 0
+        text = path.read_text()
+        assert text.startswith("# Reproduction report")
+        assert "[tab1]" in text
+        assert "report written" in capsys.readouterr().err
+
+    def test_report_with_json(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["fig5", "--json", "--report", str(path)]) == 0
+        import json
+
+        out = capsys.readouterr().out
+        assert json.loads(out)[0]["experiment_id"] == "fig5"
+        assert path.exists()

@@ -1,0 +1,87 @@
+"""Unit tests for the gate-locality taxonomy (paper section 2.1)."""
+
+import pytest
+
+from repro.gates import (
+    Gate,
+    GateLocality,
+    classify_gate,
+    distributed_targets,
+    local_targets,
+)
+
+
+class TestFullyLocal:
+    """Diagonal gates never communicate, wherever their qubits live."""
+
+    @pytest.mark.parametrize("target", [0, 5, 9])
+    def test_phase_is_fully_local(self, target):
+        g = Gate.named("p", (target,), params=(0.3,))
+        assert classify_gate(g, 6) is GateLocality.FULLY_LOCAL
+
+    def test_controlled_phase_with_distributed_control(self):
+        g = Gate.named("p", (0,), controls=(9,), params=(0.3,))
+        assert classify_gate(g, 6) is GateLocality.FULLY_LOCAL
+
+    def test_fused_ladder(self):
+        ladder = [
+            Gate.named("p", (0,), controls=(c,), params=(0.1,)) for c in (7, 8)
+        ]
+        assert classify_gate(Gate.fused(ladder), 6) is GateLocality.FULLY_LOCAL
+
+    @pytest.mark.parametrize("name", ["z", "s", "t", "rz"])
+    def test_all_diagonal_names(self, name):
+        params = (0.5,) if name == "rz" else ()
+        g = Gate.named(name, (9,), params=params)
+        assert classify_gate(g, 6) is GateLocality.FULLY_LOCAL
+
+
+class TestLocalMemory:
+    def test_low_hadamard(self):
+        assert classify_gate(Gate.named("h", (5,)), 6) is GateLocality.LOCAL_MEMORY
+
+    def test_boundary_is_exclusive(self):
+        # Qubit m-1 local, qubit m distributed.
+        assert classify_gate(Gate.named("h", (5,)), 6) is GateLocality.LOCAL_MEMORY
+        assert classify_gate(Gate.named("h", (6,)), 6) is GateLocality.DISTRIBUTED
+
+    def test_distributed_control_does_not_distribute(self):
+        g = Gate.named("x", (0,), controls=(9,))
+        assert classify_gate(g, 6) is GateLocality.LOCAL_MEMORY
+
+    def test_local_swap(self):
+        assert classify_gate(Gate.named("swap", (0, 5)), 6) is GateLocality.LOCAL_MEMORY
+
+    def test_single_rank_everything_local(self):
+        assert classify_gate(Gate.named("h", (9,)), 10) is GateLocality.LOCAL_MEMORY
+
+
+class TestDistributed:
+    def test_high_hadamard(self):
+        assert classify_gate(Gate.named("h", (9,)), 6) is GateLocality.DISTRIBUTED
+
+    def test_swap_one_high(self):
+        assert classify_gate(Gate.named("swap", (0, 9)), 6) is GateLocality.DISTRIBUTED
+
+    def test_swap_both_high(self):
+        assert classify_gate(Gate.named("swap", (7, 9)), 6) is GateLocality.DISTRIBUTED
+
+    def test_distributed_x_with_local_control(self):
+        g = Gate.named("x", (8,), controls=(1,))
+        assert classify_gate(g, 6) is GateLocality.DISTRIBUTED
+
+
+class TestTargetHelpers:
+    def test_split(self):
+        g = Gate.named("swap", (2, 9))
+        assert local_targets(g, 6) == (2,)
+        assert distributed_targets(g, 6) == (9,)
+
+    def test_diagonal_has_no_pairing_targets(self):
+        g = Gate.named("rz", (9,), params=(0.2,))
+        assert local_targets(g, 6) == ()
+        assert distributed_targets(g, 6) == ()
+
+    def test_sorted_output(self):
+        g = Gate.named("swap", (9, 7))
+        assert distributed_targets(g, 6) == (7, 9)

@@ -1,0 +1,97 @@
+"""Unit tests for gate decompositions (verified by dense simulation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, random_state
+from repro.errors import GateError
+from repro.gates import Gate
+from repro.gates.decompose import (
+    controlled_phase_pair,
+    controlled_rotation_ladder,
+    cphase,
+    hadamard_sandwich_x,
+    phase_to_rz_global,
+    swap_to_cnots,
+    toffoli,
+)
+from repro.statevector import DenseStatevector
+
+
+def _apply(gates, n, psi):
+    sim = DenseStatevector.from_amplitudes(psi)
+    for g in gates:
+        sim.apply_gate(g)
+    return sim.amplitudes
+
+
+class TestSwapToCnots:
+    def test_equals_swap(self):
+        psi = random_state(3, seed=1)
+        direct = _apply([Gate.named("swap", (0, 2))], 3, psi)
+        decomposed = _apply(swap_to_cnots(0, 2), 3, psi)
+        assert np.allclose(direct, decomposed)
+
+    def test_same_target_raises(self):
+        with pytest.raises(GateError):
+            swap_to_cnots(1, 1)
+
+
+class TestControlledPhasePair:
+    @pytest.mark.parametrize("theta", [0.3, math.pi / 2, -1.2])
+    def test_equals_cp(self, theta):
+        psi = random_state(2, seed=2)
+        direct = _apply([cphase(theta, 0, 1)], 2, psi)
+        decomposed = _apply(controlled_phase_pair(theta, 0, 1), 2, psi)
+        assert np.allclose(direct, decomposed)
+
+
+class TestHadamardSandwich:
+    def test_equals_x(self):
+        psi = random_state(2, seed=3)
+        assert np.allclose(
+            _apply([Gate.named("x", (1,))], 2, psi),
+            _apply(hadamard_sandwich_x(1), 2, psi),
+        )
+
+
+class TestPhaseToRz:
+    def test_global_phase_accounted(self):
+        theta = 0.77
+        psi = random_state(1, seed=4)
+        gates, global_phase = phase_to_rz_global(theta, 0)
+        via_rz = _apply(gates, 1, psi) * np.exp(1j * global_phase)
+        direct = _apply([Gate.named("p", (0,), params=(theta,))], 1, psi)
+        assert np.allclose(via_rz, direct)
+
+
+class TestCphaseSymmetry:
+    def test_control_target_symmetric(self):
+        psi = random_state(2, seed=5)
+        a = _apply([cphase(0.9, 0, 1)], 2, psi)
+        b = _apply([cphase(0.9, 1, 0)], 2, psi)
+        assert np.allclose(a, b)
+
+
+class TestToffoli:
+    def test_truth_table(self):
+        for basis in range(8):
+            sim = DenseStatevector.basis_state(3, basis)
+            sim.apply_gate(toffoli(0, 1, 2))
+            expected = basis ^ (1 << 2) if (basis & 0b11) == 0b11 else basis
+            assert np.isclose(sim.probability_of(expected), 1.0)
+
+
+class TestRotationLadder:
+    def test_matches_qft_block_angles(self):
+        gates = controlled_rotation_ladder(3, [0, 1, 2])
+        angles = [g.params[0] for g in gates]
+        assert angles == [math.pi / 8, math.pi / 4, math.pi / 2]
+        assert all(g.controls == (c,) for g, c in zip(gates, [0, 1, 2]))
+
+    def test_applies_cleanly(self):
+        circuit = Circuit(4)
+        circuit.extend(controlled_rotation_ladder(3, [0, 1, 2]))
+        assert len(circuit) == 3

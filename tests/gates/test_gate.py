@@ -1,0 +1,158 @@
+"""Unit tests for the Gate IR."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GateError
+from repro.gates import GATE_REGISTRY, Gate
+from repro.gates import matrices as mats
+
+
+class TestConstruction:
+    def test_named_gate(self):
+        g = Gate.named("h", (3,))
+        assert g.name == "h" and g.targets == (3,)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(GateError, match="unknown gate"):
+            Gate.named("foo", (0,))
+
+    def test_wrong_target_count_raises(self):
+        with pytest.raises(GateError, match="target"):
+            Gate.named("swap", (0,))
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(GateError, match="parameter"):
+            Gate.named("p", (0,))
+
+    def test_duplicate_qubits_raise(self):
+        with pytest.raises(GateError, match="duplicate"):
+            Gate.named("swap", (1, 1))
+        with pytest.raises(GateError, match="duplicate"):
+            Gate.named("x", (1,), controls=(1,))
+
+    def test_negative_qubit_raises(self):
+        with pytest.raises(GateError, match="negative"):
+            Gate.named("h", (-1,))
+
+    def test_explicit_unitary(self):
+        g = Gate.unitary(mats.hadamard(), (2,))
+        assert np.allclose(g.matrix(), mats.hadamard())
+
+    def test_non_unitary_matrix_raises(self):
+        with pytest.raises(GateError, match="not unitary"):
+            Gate.unitary(np.array([[1, 1], [0, 1.0]]), (0,))
+
+    def test_registry_covers_paper_gates(self):
+        for name in ("h", "x", "z", "s", "t", "p", "rz", "swap"):
+            assert name in GATE_REGISTRY
+
+
+class TestProperties:
+    def test_num_and_max_qubit(self):
+        g = Gate.named("x", (1,), controls=(5,))
+        assert g.num_qubits == 2
+        assert g.max_qubit == 5
+
+    def test_full_matrix_cnot(self):
+        g = Gate.named("x", (0,), controls=(1,))
+        assert np.allclose(g.full_matrix(), mats.controlled(mats.pauli_x()))
+
+    def test_diagonal_classification(self):
+        assert Gate.named("p", (0,), params=(0.3,)).is_diagonal()
+        assert Gate.named("z", (0,), controls=(3,)).is_diagonal()
+        assert not Gate.named("h", (0,)).is_diagonal()
+        assert not Gate.named("swap", (0, 1)).is_diagonal()
+
+    def test_diagonal_unitary_detected(self):
+        g = Gate.unitary(np.diag([1, 1j]), (0,))
+        assert g.is_diagonal()
+
+    def test_pairing_targets(self):
+        assert Gate.named("p", (2,), controls=(0,), params=(0.1,)).pairing_targets() == ()
+        assert Gate.named("h", (2,)).pairing_targets() == (2,)
+        assert Gate.named("swap", (1, 4)).pairing_targets() == (1, 4)
+
+    def test_str_contains_wires(self):
+        text = str(Gate.named("p", (2,), controls=(0,), params=(math.pi / 4,)))
+        assert "q2" in text and "ctrl" in text
+
+
+class TestDagger:
+    def test_self_inverse_returns_self(self):
+        g = Gate.named("h", (0,))
+        assert g.dagger() is g
+
+    def test_phase_dagger(self):
+        g = Gate.named("p", (0,), params=(0.3,))
+        assert np.allclose(g.dagger().matrix(), mats.phase(-0.3))
+
+    def test_dagger_undoes(self):
+        g = Gate.named("u3", (0,), params=(0.2, 0.5, 0.8))
+        assert np.allclose(g.dagger().matrix() @ g.matrix(), np.eye(2))
+
+
+class TestRemapped:
+    def test_targets_and_controls_move(self):
+        g = Gate.named("p", (2,), controls=(0,), params=(0.1,))
+        r = g.remapped({0: 5, 2: 1})
+        assert r.targets == (1,) and r.controls == (5,)
+        assert r.params == g.params
+
+    def test_missing_keys_unchanged(self):
+        g = Gate.named("h", (3,))
+        assert g.remapped({}) == g
+
+
+class TestFusedDiagonal:
+    def _ladder(self):
+        return [
+            Gate.named("p", (0,), controls=(1,), params=(math.pi / 2,)),
+            Gate.named("p", (0,), controls=(2,), params=(math.pi / 4,)),
+        ]
+
+    def test_fused_targets_are_union(self):
+        f = Gate.fused(self._ladder())
+        assert f.targets == (0, 1, 2)
+        assert f.is_diagonal()
+
+    def test_fused_requires_diagonal(self):
+        with pytest.raises(GateError, match="not diagonal"):
+            Gate.fused([Gate.named("h", (0,))])
+
+    def test_fused_requires_gates(self):
+        with pytest.raises(GateError):
+            Gate.fused([])
+
+    def test_diagonal_vector_matches_product(self):
+        f = Gate.fused(self._ladder())
+        diag = f.diagonal_vector()
+        # Build expected by embedding each CP into the 3-qubit space.
+        expected = np.ones(8, dtype=complex)
+        for idx in range(8):
+            if (idx >> 1) & 1 and idx & 1:
+                expected[idx] *= np.exp(1j * math.pi / 2)
+            if (idx >> 2) & 1 and idx & 1:
+                expected[idx] *= np.exp(1j * math.pi / 4)
+        assert np.allclose(diag, expected)
+
+    def test_matrix_is_diag_of_vector(self):
+        f = Gate.fused(self._ladder())
+        assert np.allclose(f.matrix(), np.diag(f.diagonal_vector()))
+
+    def test_fused_dagger_inverts(self):
+        f = Gate.fused(self._ladder())
+        assert np.allclose(
+            f.diagonal_vector() * f.dagger().diagonal_vector(), np.ones(8)
+        )
+
+    def test_fused_remap(self):
+        f = Gate.fused(self._ladder())
+        r = f.remapped({0: 4, 1: 1, 2: 2})
+        assert r.targets == (1, 2, 4)
+
+    def test_diagonal_vector_on_plain_gate_raises(self):
+        with pytest.raises(GateError):
+            Gate.named("z", (0,)).diagonal_vector()

@@ -1,0 +1,113 @@
+"""Unit tests for repro.gates.matrices."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gates import matrices as mats
+
+
+ALL_FIXED = [
+    mats.identity(),
+    mats.hadamard(),
+    mats.pauli_x(),
+    mats.pauli_y(),
+    mats.pauli_z(),
+    mats.s_gate(),
+    mats.s_dagger(),
+    mats.t_gate(),
+    mats.t_dagger(),
+    mats.swap_matrix(),
+]
+
+
+class TestUnitarity:
+    @pytest.mark.parametrize("m", ALL_FIXED, ids=lambda m: f"dim{m.shape[0]}")
+    def test_fixed_gates_unitary(self, m):
+        assert mats.is_unitary(m)
+
+    @pytest.mark.parametrize("theta", [-1.0, 0.0, 0.3, math.pi])
+    def test_parameterised_gates_unitary(self, theta):
+        for m in (mats.phase(theta), mats.rx(theta), mats.ry(theta), mats.rz(theta)):
+            assert mats.is_unitary(m)
+
+    def test_u3_unitary(self):
+        assert mats.is_unitary(mats.u3(0.3, 1.1, -0.7))
+
+    def test_non_unitary_detected(self):
+        assert not mats.is_unitary(np.array([[1, 0], [0, 2.0]]))
+        assert not mats.is_unitary(np.ones((2, 3)))
+
+
+class TestAlgebraicIdentities:
+    def test_hzh_equals_x(self):
+        h, z, x = mats.hadamard(), mats.pauli_z(), mats.pauli_x()
+        assert np.allclose(h @ z @ h, x)
+
+    def test_s_squared_is_z(self):
+        s = mats.s_gate()
+        assert np.allclose(s @ s, mats.pauli_z())
+
+    def test_t_squared_is_s(self):
+        t = mats.t_gate()
+        assert np.allclose(t @ t, mats.s_gate())
+
+    def test_s_sdg_is_identity(self):
+        assert np.allclose(mats.s_gate() @ mats.s_dagger(), np.eye(2))
+
+    def test_xyz_phase(self):
+        x, y, z = mats.pauli_x(), mats.pauli_y(), mats.pauli_z()
+        assert np.allclose(x @ y, 1j * z)
+
+    def test_rz_matches_phase_up_to_global(self):
+        theta = 0.7
+        rz, p = mats.rz(theta), mats.phase(theta)
+        ratio = p @ np.linalg.inv(rz)
+        # Proportional to identity with |phase| 1.
+        assert np.allclose(ratio, ratio[0, 0] * np.eye(2))
+        assert np.isclose(abs(ratio[0, 0]), 1.0)
+
+    def test_u3_recovers_standard_gates(self):
+        assert np.allclose(mats.u3(0, 0, 0), np.eye(2))
+        assert np.allclose(mats.u3(math.pi, 0, math.pi), mats.pauli_x())
+
+    def test_swap_is_self_inverse(self):
+        s = mats.swap_matrix()
+        assert np.allclose(s @ s, np.eye(4))
+
+
+class TestControlled:
+    def test_cnot_structure(self):
+        cx = mats.controlled(mats.pauli_x())
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+            dtype=complex,
+        )
+        assert np.allclose(cx, expected)
+
+    def test_double_controlled_dim(self):
+        ccx = mats.controlled(mats.controlled(mats.pauli_x()))
+        assert ccx.shape == (8, 8)
+        assert mats.is_unitary(ccx)
+
+    def test_controlled_preserves_unitarity(self):
+        assert mats.is_unitary(mats.controlled(mats.u3(0.2, 0.4, 0.6)))
+
+
+class TestDiagonal:
+    def test_diagonal_detection(self):
+        assert mats.is_diagonal(mats.pauli_z())
+        assert mats.is_diagonal(mats.phase(0.3))
+        assert mats.is_diagonal(mats.rz(1.0))
+        assert not mats.is_diagonal(mats.hadamard())
+        assert not mats.is_diagonal(mats.swap_matrix())
+
+
+class TestKron:
+    def test_kron_n_dims(self):
+        out = mats.kron_n(mats.pauli_x(), mats.identity(), mats.hadamard())
+        assert out.shape == (8, 8)
+
+    def test_kron_empty_is_scalar_one(self):
+        assert np.allclose(mats.kron_n(), [[1.0]])

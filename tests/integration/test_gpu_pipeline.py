@@ -1,0 +1,59 @@
+"""Integration: the full runner pipeline on the GPU machine variant."""
+
+import pytest
+
+from repro.circuits import builtin_qft_circuit
+from repro.core import RunOptions, SimulationRunner
+from repro.machine import gpu_machine
+from repro.mpi import CommMode
+from repro.perfmodel.gpu import GPU_CALIBRATION
+
+
+@pytest.fixture(scope="module")
+def gpu_runner():
+    return SimulationRunner(machine=gpu_machine())
+
+
+class TestGpuRunner:
+    def test_minimal_sizing(self, gpu_runner):
+        report = gpu_runner.run(
+            builtin_qft_circuit(40),
+            RunOptions(node_type="gpu", calibration=GPU_CALIBRATION),
+        )
+        assert report.num_nodes == 512  # 512 GPU ranks
+
+    def test_fast_config_wins_on_gpu_too(self, gpu_runner):
+        opts = RunOptions(node_type="gpu", calibration=GPU_CALIBRATION)
+        base = gpu_runner.run(builtin_qft_circuit(40), opts)
+        fast = gpu_runner.run(builtin_qft_circuit(40), opts.fast())
+        assert fast.runtime_s < base.runtime_s
+        assert fast.energy_j < base.energy_j
+
+    def test_frequency_locked(self, gpu_runner):
+        from repro.errors import ExperimentError
+        from repro.machine import CpuFrequency
+
+        with pytest.raises(ExperimentError):
+            gpu_runner.run(
+                builtin_qft_circuit(36),
+                RunOptions(
+                    node_type="gpu",
+                    frequency=CpuFrequency.HIGH,
+                    calibration=GPU_CALIBRATION,
+                ),
+            )
+
+    def test_nonblocking_helps_on_gpu(self, gpu_runner):
+        blocking = gpu_runner.run(
+            builtin_qft_circuit(38),
+            RunOptions(node_type="gpu", calibration=GPU_CALIBRATION),
+        )
+        nonblocking = gpu_runner.run(
+            builtin_qft_circuit(38),
+            RunOptions(
+                node_type="gpu",
+                comm_mode=CommMode.NONBLOCKING,
+                calibration=GPU_CALIBRATION,
+            ),
+        )
+        assert nonblocking.runtime_s < blocking.runtime_s

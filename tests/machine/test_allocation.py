@@ -1,0 +1,124 @@
+"""Tests for job sizing -- the paper's §3.1 allocation facts."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.machine import (
+    FULL_BUFFER_FACTOR,
+    HALVED_BUFFER_FACTOR,
+    HIGHMEM_NODE,
+    STANDARD_NODE,
+    allocate,
+    archer2,
+    feasible_node_counts,
+    max_qubits,
+    minimum_nodes,
+)
+from repro.utils.units import GIB
+
+MACHINE = archer2()
+
+
+class TestPaperAllocationFacts:
+    def test_33_qubits_fit_one_standard_node(self):
+        """Paper: '33 qubits will fit on a standard node'."""
+        assert minimum_nodes(33, STANDARD_NODE, machine=MACHINE) == 1
+
+    def test_34_qubits_need_four_nodes(self):
+        """Paper: 'but 4 nodes are required for a 34 qubit simulation'."""
+        assert minimum_nodes(34, STANDARD_NODE, machine=MACHINE) == 4
+
+    def test_34_qubits_fit_one_highmem_node(self):
+        """Paper fig. 2: single-node 34-qubit high-memory runs."""
+        assert minimum_nodes(34, HIGHMEM_NODE, machine=MACHINE) == 1
+
+    def test_44_qubits_on_4096(self):
+        assert minimum_nodes(44, STANDARD_NODE, machine=MACHINE) == 4096
+
+    def test_45_qubits_do_not_fit_standard(self):
+        """Paper: ARCHER2 maxes out at 44 qubits with full buffers."""
+        with pytest.raises(AllocationError):
+            minimum_nodes(45, STANDARD_NODE, machine=MACHINE)
+
+    def test_45_qubits_fit_with_halved_buffers(self):
+        """Paper §4: halved-swap buffers enable 45 qubits."""
+        assert (
+            minimum_nodes(
+                45,
+                STANDARD_NODE,
+                machine=MACHINE,
+                buffer_factor=HALVED_BUFFER_FACTOR,
+            )
+            == 4096
+        )
+
+    def test_max_41_qubits_on_highmem(self):
+        """Paper: 'a maximum of 41 qubits could be simulated on 256 high
+        memory nodes'."""
+        assert max_qubits(HIGHMEM_NODE, MACHINE) == 41
+        assert minimum_nodes(41, HIGHMEM_NODE, machine=MACHINE) == 256
+
+    def test_max_44_qubits_on_standard(self):
+        assert max_qubits(STANDARD_NODE, MACHINE) == 44
+
+    def test_max_45_with_halved(self):
+        assert (
+            max_qubits(
+                STANDARD_NODE, MACHINE, buffer_factor=HALVED_BUFFER_FACTOR
+            )
+            == 45
+        )
+
+
+class TestMinimumNodes:
+    def test_two_nodes_never_minimal(self):
+        """Half the statevector plus an equal buffer fills the node: any
+        register too big for 1 node skips straight to 4."""
+        for n in range(20, 45):
+            nodes = minimum_nodes(n, STANDARD_NODE, machine=MACHINE)
+            assert nodes != 2
+
+    def test_buffer_doubles_requirement(self):
+        # 34 qubits = 256 GiB of amplitudes; without the exception for
+        # single-node jobs it would need 512 GiB.
+        alloc = allocate(34, STANDARD_NODE, machine=MACHINE)
+        assert alloc.num_nodes == 4
+        assert alloc.per_node_bytes == 2 * (256 * GIB) / 4
+
+    def test_single_node_no_buffer(self):
+        alloc = allocate(33, STANDARD_NODE, machine=MACHINE)
+        assert alloc.per_node_bytes == 128 * GIB
+
+    def test_feasible_counts_monotone(self):
+        counts = feasible_node_counts(38, STANDARD_NODE, MACHINE)
+        assert counts[0] == 64
+        assert counts == sorted(counts)
+        assert all(c & (c - 1) == 0 for c in counts)
+
+    def test_ranks_capped_by_amplitudes(self):
+        # A 2-qubit register cannot use more than 4 ranks.
+        counts = feasible_node_counts(2, STANDARD_NODE, MACHINE)
+        assert max(counts) <= 4
+
+    def test_bad_qubits_raise(self):
+        with pytest.raises(AllocationError):
+            minimum_nodes(0, STANDARD_NODE)
+
+
+class TestAllocate:
+    def test_explicit_nodes_validated(self):
+        with pytest.raises(AllocationError):
+            allocate(44, STANDARD_NODE, machine=MACHINE, num_nodes=64)
+
+    def test_partition_shape(self):
+        alloc = allocate(38, STANDARD_NODE, machine=MACHINE)
+        assert alloc.partition.local_qubits == 32
+        assert alloc.partition.local_bytes == 64 * GIB
+
+    def test_exceeding_partition_raises(self):
+        with pytest.raises(AllocationError, match="partition"):
+            allocate(44, STANDARD_NODE, machine=MACHINE, num_nodes=8192)
+
+    def test_statevector_bytes(self):
+        alloc = allocate(33, STANDARD_NODE, machine=MACHINE)
+        assert alloc.statevector_bytes == 128 * GIB

@@ -1,0 +1,45 @@
+"""Tests for the ARCHER2 machine description."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.machine import CpuFrequency, archer2
+
+
+class TestArcher2:
+    def test_partitions(self):
+        m = archer2()
+        assert m.max_nodes("standard") == 5860
+        assert m.max_nodes("highmem") == 292
+
+    def test_node_type_lookup(self):
+        m = archer2()
+        assert m.node_type("standard").name == "standard"
+        assert m.node_type("highmem").memory_bytes == 2 * m.node_type(
+            "standard"
+        ).memory_bytes
+
+    def test_unknown_node_type_raises(self):
+        with pytest.raises(AllocationError, match="no node type"):
+            archer2().node_type("gpu")
+
+    def test_unknown_partition_raises(self):
+        with pytest.raises(AllocationError):
+            archer2().max_nodes("gpu")
+
+    def test_default_frequency_is_medium(self):
+        """Paper: 'The default currently is 2.00 GHz (medium)'."""
+        assert archer2().default_frequency is CpuFrequency.MEDIUM
+
+    def test_all_three_frequencies_offered(self):
+        assert set(archer2().frequencies) == set(CpuFrequency)
+
+    def test_switch_facts(self):
+        m = archer2()
+        assert m.nodes_per_switch == 8
+        assert m.switch_power_w == 235.0
+
+    def test_largest_power_of_two_job(self):
+        # 4,096 is the largest power-of-two standard job (paper's 44q run).
+        m = archer2()
+        assert 4096 <= m.max_nodes("standard") < 8192

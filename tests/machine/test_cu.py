@@ -1,0 +1,45 @@
+"""Tests for CU cost accounting."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.machine import DEFAULT_CU_RATES, HIGHMEM_NODE, STANDARD_NODE, CuRates, cu_cost
+
+
+class TestCuCost:
+    def test_one_node_hour(self):
+        assert cu_cost(1, 3600.0, STANDARD_NODE) == 1.0
+
+    def test_scales_with_nodes_and_time(self):
+        assert cu_cost(4096, 476.0, STANDARD_NODE) == pytest.approx(
+            4096 * 476.0 / 3600.0
+        )
+
+    def test_highmem_same_rate(self):
+        assert cu_cost(2, 1800.0, HIGHMEM_NODE) == cu_cost(
+            2, 1800.0, STANDARD_NODE
+        )
+
+    def test_fewer_highmem_nodes_cost_less(self):
+        """The paper's CU observation: half the nodes at <2x the runtime."""
+        standard = cu_cost(64, 100.0, STANDARD_NODE)
+        highmem = cu_cost(32, 185.0, HIGHMEM_NODE)
+        assert highmem < standard
+
+    def test_custom_rates(self):
+        rates = CuRates(per_node_hour={"standard": 2.0})
+        assert cu_cost(1, 3600.0, STANDARD_NODE, rates=rates) == 2.0
+
+    def test_missing_rate_raises(self):
+        rates = CuRates(per_node_hour={})
+        with pytest.raises(AllocationError):
+            cu_cost(1, 1.0, STANDARD_NODE, rates=rates)
+
+    def test_string_node_type(self):
+        assert cu_cost(1, 3600.0, "standard", rates=DEFAULT_CU_RATES) == 1.0
+
+    def test_bad_inputs_raise(self):
+        with pytest.raises(AllocationError):
+            cu_cost(0, 1.0, STANDARD_NODE)
+        with pytest.raises(AllocationError):
+            cu_cost(1, -1.0, STANDARD_NODE)

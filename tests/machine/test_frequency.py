@@ -1,0 +1,29 @@
+"""Tests for CPU frequency settings."""
+
+import pytest
+
+from repro.machine import CpuFrequency
+
+
+class TestCpuFrequency:
+    def test_paper_values(self):
+        assert CpuFrequency.LOW.ghz == 1.50
+        assert CpuFrequency.MEDIUM.ghz == 2.00
+        assert CpuFrequency.HIGH.ghz == 2.25
+
+    def test_hz(self):
+        assert CpuFrequency.MEDIUM.hz == 2.0e9
+
+    def test_labels(self):
+        assert "2.00 GHz" in CpuFrequency.MEDIUM.label
+        assert "medium" in CpuFrequency.MEDIUM.label
+
+    def test_from_ghz(self):
+        assert CpuFrequency.from_ghz(2.25) is CpuFrequency.HIGH
+
+    def test_from_ghz_unknown_raises(self):
+        with pytest.raises(ValueError):
+            CpuFrequency.from_ghz(3.0)
+
+    def test_three_settings(self):
+        assert len(CpuFrequency) == 3

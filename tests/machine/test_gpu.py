@@ -1,0 +1,75 @@
+"""Tests for the GPU machine model and calibration."""
+
+import pytest
+
+from repro.machine import CpuFrequency, GPU_DEVICE, gpu_machine
+from repro.perfmodel.gpu import GPU_CALIBRATION
+from repro.utils.units import GIB
+
+
+class TestGpuDevice:
+    def test_memory(self):
+        assert GPU_DEVICE.memory_bytes == 80 * GIB
+
+    def test_single_hbm_domain(self):
+        assert GPU_DEVICE.numa_regions == 1
+
+    def test_machine_layout(self):
+        m = gpu_machine(512)
+        assert m.max_nodes("gpu") == 512
+        assert m.nodes_per_switch == 32
+        assert m.frequencies == (CpuFrequency.MEDIUM,)
+
+
+class TestGpuCalibration:
+    def test_hbm_faster_than_ddr(self):
+        from repro.perfmodel import DEFAULT_CALIBRATION
+
+        assert GPU_CALIBRATION.mem_bandwidth > 3 * DEFAULT_CALIBRATION.mem_bandwidth
+
+    def test_no_numa_penalty(self):
+        assert all(p == 1.0 for p in GPU_CALIBRATION.numa_penalty)
+
+    def test_flat_frequency_tables(self):
+        assert len(set(GPU_CALIBRATION.busy_power_w.values())) == 1
+        assert len(set(GPU_CALIBRATION.mem_freq_factor.values())) == 1
+
+
+class TestGpuAllocation:
+    def test_40_qubits_need_512_gpus(self):
+        from repro.machine import minimum_nodes
+
+        assert minimum_nodes(40, GPU_DEVICE, machine=gpu_machine()) == 512
+
+    def test_ceiling_on_2048_gpus(self):
+        from repro.machine import max_qubits
+
+        assert max_qubits(GPU_DEVICE, gpu_machine(2048)) == 42
+
+
+class TestGpuRuns:
+    def test_numa_free_flat_local_cost(self):
+        """No NUMA ramp on a single HBM domain."""
+        from repro.circuits import hadamard_benchmark
+        from repro.perfmodel import RunConfiguration, predict
+        from repro.statevector import Partition
+
+        times = []
+        for q in (0, 28, 30, 31):
+            cfg = RunConfiguration(
+                partition=Partition(38, 64),
+                node_type=GPU_DEVICE,
+                frequency=CpuFrequency.MEDIUM,
+                calibration=GPU_CALIBRATION,
+            )
+            times.append(
+                predict(hadamard_benchmark(38, q), cfg).per_gate_runtime_s()
+            )
+        assert max(times) - min(times) < 1e-9
+
+    def test_gpu_experiment_shape(self):
+        from repro.experiments import ext_gpu
+
+        result = ext_gpu.run(qubit_sizes=(36, 40))
+        assert result.metric("gpu_speedup_36q") > 3.0
+        assert result.metric("gpu_mpi_40q") > result.metric("archer2_mpi_40q")

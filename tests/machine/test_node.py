@@ -1,0 +1,38 @@
+"""Tests for node descriptions."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.machine import HIGHMEM_NODE, STANDARD_NODE, NodeType
+from repro.utils.units import GIB
+
+
+class TestArcherNodes:
+    def test_memory_sizes(self):
+        assert STANDARD_NODE.memory_bytes == 256 * GIB
+        assert HIGHMEM_NODE.memory_bytes == 512 * GIB
+
+    def test_same_sockets(self):
+        assert STANDARD_NODE.cores == HIGHMEM_NODE.cores == 128
+        assert STANDARD_NODE.numa_regions == HIGHMEM_NODE.numa_regions == 8
+
+    def test_usable_memory(self):
+        assert STANDARD_NODE.usable_memory_bytes == pytest.approx(
+            0.95 * 256 * GIB
+        )
+
+    def test_numa_region_bytes(self):
+        assert STANDARD_NODE.numa_region_bytes == 32 * GIB
+
+    def test_highmem_power_premium(self):
+        assert HIGHMEM_NODE.power_factor > STANDARD_NODE.power_factor == 1.0
+
+
+class TestValidation:
+    def test_bad_memory_raises(self):
+        with pytest.raises(CalibrationError):
+            NodeType("bad", 0, 128, 8, 0.9, 1.0)
+
+    def test_bad_fraction_raises(self):
+        with pytest.raises(CalibrationError):
+            NodeType("bad", 1, 128, 8, 1.5, 1.0)

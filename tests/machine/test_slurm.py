@@ -1,0 +1,45 @@
+"""Tests for the SLURM job facade."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.machine import CpuFrequency, HIGHMEM_NODE, STANDARD_NODE, SlurmJob
+
+
+class TestSlurmJob:
+    def test_preamble_contents(self):
+        job = SlurmJob(nodes=64, node_type=STANDARD_NODE)
+        text = job.sbatch_preamble()
+        assert "--nodes=64" in text
+        assert "--ntasks-per-node=1" in text
+        assert "--cpus-per-task=128" in text
+        assert "--cpu-freq=2000000" in text
+
+    def test_highmem_partition_line(self):
+        job = SlurmJob(nodes=8, node_type=HIGHMEM_NODE)
+        assert "--partition=highmem" in job.sbatch_preamble()
+
+    def test_frequency_encoding(self):
+        job = SlurmJob(
+            nodes=1, node_type=STANDARD_NODE, cpu_freq=CpuFrequency.HIGH
+        )
+        assert "--cpu-freq=2250000" in job.sbatch_preamble()
+
+    def test_too_many_nodes_raise(self):
+        with pytest.raises(ExperimentError):
+            SlurmJob(nodes=8192, node_type=STANDARD_NODE)
+
+    def test_zero_nodes_raise(self):
+        with pytest.raises(ExperimentError):
+            SlurmJob(nodes=0, node_type=STANDARD_NODE)
+
+
+class TestAccounting:
+    def test_total_includes_network(self):
+        job = SlurmJob(nodes=64, node_type=STANDARD_NODE)
+        acct = job.account(10.0, 1000.0, 50.0)
+        assert acct.consumed_energy_j == 1000.0
+        assert acct.network_energy_j == 50.0
+        assert acct.total_energy_j == 1050.0
+        assert acct.elapsed_s == 10.0
+        assert acct.nodes == 64

@@ -1,0 +1,87 @@
+"""Tests for the sustainability accounting."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.machine.sustainability import (
+    GB_GRID_2023,
+    ImpactReport,
+    SustainabilityFactors,
+    assess,
+)
+
+
+class TestAssess:
+    def test_kwh_conversion(self):
+        report = assess(3.6e6, SustainabilityFactors(pue=1.0))
+        assert report.it_energy_kwh == pytest.approx(1.0)
+        assert report.facility_energy_kwh == pytest.approx(1.0)
+
+    def test_pue_overhead(self):
+        report = assess(3.6e6, SustainabilityFactors(pue=1.5))
+        assert report.facility_energy_kwh == pytest.approx(1.5)
+
+    def test_dual_intensities(self):
+        factors = SustainabilityFactors(
+            location_intensity_kg_per_kwh=0.2,
+            market_intensity_kg_per_kwh=0.0,
+            pue=1.0,
+        )
+        report = assess(3.6e6, factors)
+        assert report.location_co2e_kg == pytest.approx(0.2)
+        assert report.market_co2e_kg == 0.0
+
+    def test_cost(self):
+        report = assess(
+            2 * 3.6e6, SustainabilityFactors(price_per_kwh=0.30, pue=1.0)
+        )
+        assert report.cost == pytest.approx(0.60)
+
+    def test_zero_energy(self):
+        report = assess(0.0)
+        assert report.facility_energy_kwh == 0.0
+        assert report.location_co2e_kg == 0.0
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(CalibrationError):
+            assess(-1.0)
+
+    def test_str_renders(self):
+        assert "kWh" in str(assess(1e9))
+
+
+class TestFactors:
+    def test_defaults_sane(self):
+        f = SustainabilityFactors()
+        assert f.location_intensity_kg_per_kwh == GB_GRID_2023
+        assert f.market_intensity_kg_per_kwh == 0.0
+        assert f.pue >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            SustainabilityFactors(pue=0.9)
+        with pytest.raises(CalibrationError):
+            SustainabilityFactors(location_intensity_kg_per_kwh=-0.1)
+        with pytest.raises(CalibrationError):
+            SustainabilityFactors(price_per_kwh=-1)
+
+
+class TestPaperHeadline:
+    def test_table2_saving_in_real_terms(self):
+        """The paper's 233 MJ saving is ~65 kWh IT: at GB grid intensity
+        with a 1.1 PUE that is ~15 kgCO2e and ~18 GBP per run."""
+        report = assess(233e6)
+        assert report.it_energy_kwh == pytest.approx(64.7, abs=0.5)
+        assert 12 < report.location_co2e_kg < 18
+        assert 10 < report.cost < 25
+
+    def test_from_model_prediction(self):
+        from repro.circuits import builtin_qft_circuit
+        from repro.core import RunOptions, SimulationRunner
+
+        runner = SimulationRunner()
+        base = runner.run(builtin_qft_circuit(40))
+        fast = runner.run(builtin_qft_circuit(40), RunOptions().fast())
+        saved = assess(base.energy_j - fast.energy_j)
+        assert saved.location_co2e_kg > 0
+        assert isinstance(saved, ImpactReport)

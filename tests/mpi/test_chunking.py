@@ -1,0 +1,77 @@
+"""Tests for message chunking under the 2 GiB MPI cap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError
+from repro.mpi import MAX_MESSAGE_BYTES, chunk_array, num_chunks, split_message
+from repro.utils.units import GIB
+
+
+class TestNumChunks:
+    def test_paper_32_messages(self):
+        """64 GiB at a 2 GiB cap -> 32 messages (paper §2.1)."""
+        assert num_chunks(64 * GIB, MAX_MESSAGE_BYTES) == 32
+
+    def test_exact_fit(self):
+        assert num_chunks(4 * GIB, 2 * GIB) == 2
+
+    def test_remainder(self):
+        assert num_chunks(5 * GIB, 2 * GIB) == 3
+
+    def test_small_message(self):
+        assert num_chunks(10, MAX_MESSAGE_BYTES) == 1
+
+    def test_zero_bytes(self):
+        assert num_chunks(0) == 1
+
+    def test_negative_raises(self):
+        with pytest.raises(CommError):
+            num_chunks(-1)
+
+    def test_bad_cap_raises(self):
+        with pytest.raises(CommError):
+            num_chunks(10, 0)
+
+
+class TestSplitMessage:
+    def test_sizes_sum(self):
+        sizes = split_message(5 * GIB, 2 * GIB)
+        assert sizes == [2 * GIB, 2 * GIB, GIB]
+
+    def test_zero(self):
+        assert split_message(0) == [0]
+
+    def test_all_full_when_divisible(self):
+        assert split_message(64 * GIB) == [2 * GIB] * 32
+
+
+class TestChunkArray:
+    def test_views_not_copies(self):
+        arr = np.arange(8, dtype=np.complex128)
+        chunks = chunk_array(arr, 64)  # 4 elements per chunk
+        assert len(chunks) == 2
+        chunks[0][0] = 99
+        assert arr[0] == 99
+
+    def test_reassembles(self):
+        arr = np.arange(10, dtype=np.complex128)
+        chunks = chunk_array(arr, 48)  # 3 elements per chunk
+        assert np.allclose(np.concatenate(chunks), arr)
+
+    def test_single_chunk(self):
+        arr = np.arange(4, dtype=np.complex128)
+        assert len(chunk_array(arr, MAX_MESSAGE_BYTES)) == 1
+
+    def test_empty_array(self):
+        arr = np.array([], dtype=np.complex128)
+        chunks = chunk_array(arr, 64)
+        assert len(chunks) == 1 and chunks[0].size == 0
+
+    def test_2d_rejected(self):
+        with pytest.raises(CommError):
+            chunk_array(np.zeros((2, 2)), 64)
+
+    def test_cap_below_itemsize_rejected(self):
+        with pytest.raises(CommError):
+            chunk_array(np.zeros(4, dtype=np.complex128), 8)

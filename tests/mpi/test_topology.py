@@ -1,0 +1,62 @@
+"""Tests for the switch-topology / network-energy model."""
+
+import pytest
+
+from repro.errors import CommError
+from repro.mpi import (
+    ARCHER2_NODES_PER_SWITCH,
+    ARCHER2_SWITCH_POWER_W,
+    NetworkTopology,
+)
+
+
+class TestSwitchCounts:
+    def test_paper_constants(self):
+        assert ARCHER2_NODES_PER_SWITCH == 8
+        assert ARCHER2_SWITCH_POWER_W == 235.0
+
+    @pytest.mark.parametrize(
+        "nodes,switches", [(1, 1), (8, 1), (9, 2), (64, 8), (4096, 512)]
+    )
+    def test_num_switches(self, nodes, switches):
+        assert NetworkTopology(nodes).num_switches == switches
+
+    def test_switch_of(self):
+        topo = NetworkTopology(16)
+        assert topo.switch_of(0) == 0
+        assert topo.switch_of(7) == 0
+        assert topo.switch_of(8) == 1
+
+    def test_same_switch(self):
+        topo = NetworkTopology(16)
+        assert topo.same_switch(0, 7)
+        assert not topo.same_switch(7, 8)
+
+    def test_node_out_of_range(self):
+        with pytest.raises(CommError):
+            NetworkTopology(8).switch_of(8)
+
+    def test_bad_nodes_raise(self):
+        with pytest.raises(CommError):
+            NetworkTopology(0)
+
+
+class TestNetworkEnergy:
+    def test_paper_formula(self):
+        """E_net = n_switches * 235 W * runtime (paper §2.4)."""
+        topo = NetworkTopology(64)
+        assert topo.network_energy_j(10.0) == 8 * 235.0 * 10.0
+
+    def test_table1_share(self):
+        # 64 nodes, 9.63 s distributed gate: ~18 kJ of switch energy.
+        topo = NetworkTopology(64)
+        assert abs(topo.network_energy_j(9.63) - 18.1e3) < 0.2e3
+
+    def test_negative_runtime_raises(self):
+        with pytest.raises(CommError):
+            NetworkTopology(8).network_energy_j(-1.0)
+
+    def test_custom_parameters(self):
+        topo = NetworkTopology(10, nodes_per_switch=5, switch_power_w=100.0)
+        assert topo.num_switches == 2
+        assert topo.switch_power_total_w() == 200.0

@@ -1,0 +1,116 @@
+"""Tests for the cost-breakdown utilities."""
+
+import pytest
+
+from repro.circuits import builtin_qft_circuit, hadamard_benchmark
+from repro.gates import GateLocality
+from repro.machine import CpuFrequency, STANDARD_NODE
+from repro.perfmodel import RunConfiguration, cost_trace, trace_circuit
+from repro.perfmodel.breakdown import (
+    by_kind,
+    render_breakdown,
+    timeline_csv,
+    top_gates,
+)
+from repro.statevector import Partition
+
+
+@pytest.fixture(scope="module")
+def qft_costed():
+    config = RunConfiguration(
+        partition=Partition(38, 64),
+        node_type=STANDARD_NODE,
+        frequency=CpuFrequency.MEDIUM,
+    )
+    return cost_trace(trace_circuit(builtin_qft_circuit(38), config))
+
+
+class TestByKind:
+    def test_totals_preserved(self, qft_costed):
+        groups = by_kind(qft_costed)
+        assert sum(g.total_s for g in groups) == pytest.approx(
+            qft_costed.runtime_s
+        )
+        assert sum(g.count for g in groups) == len(qft_costed.gates)
+
+    def test_sorted_by_time(self, qft_costed):
+        totals = [g.total_s for g in by_kind(qft_costed)]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_groups_split_by_locality(self, qft_costed):
+        """H appears twice: local-memory and distributed."""
+        h_groups = [g for g in by_kind(qft_costed) if g.gate_name == "h"]
+        localities = {g.locality for g in h_groups}
+        assert localities == {
+            GateLocality.LOCAL_MEMORY,
+            GateLocality.DISTRIBUTED,
+        }
+
+    def test_qft_dominated_by_phases_and_exchanges(self, qft_costed):
+        groups = by_kind(qft_costed)
+        names = [g.gate_name for g in groups[:3]]
+        assert "p" in names  # 703 controlled phases
+        assert any(
+            g.locality is GateLocality.DISTRIBUTED for g in groups[:3]
+        )
+
+    def test_mean(self, qft_costed):
+        for g in by_kind(qft_costed):
+            assert g.mean_s == pytest.approx(g.total_s / g.count)
+
+
+class TestTopGates:
+    def test_k_most_expensive(self, qft_costed):
+        top = top_gates(qft_costed, k=5)
+        assert len(top) == 5
+        costs = [c.total_s for _, c in top]
+        assert costs == sorted(costs, reverse=True)
+        # The most expensive gates of the QFT are the distributed ops.
+        assert all(c.plan.communicates for _, c in top)
+
+    def test_indices_valid(self, qft_costed):
+        for index, cost in top_gates(qft_costed, k=3):
+            assert qft_costed.gates[index] is cost
+
+
+class TestTimeline:
+    def test_csv_structure(self, qft_costed):
+        text = timeline_csv(qft_costed)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("index,gate,locality")
+        assert len(lines) == len(qft_costed.gates) + 1
+
+    def test_clock_monotone(self, qft_costed):
+        starts = [
+            float(line.split(",")[3])
+            for line in timeline_csv(qft_costed).strip().splitlines()[1:]
+        ]
+        assert starts == sorted(starts)
+        assert starts[0] == 0.0
+
+    def test_last_start_plus_duration_is_runtime(self, qft_costed):
+        lines = timeline_csv(qft_costed).strip().splitlines()[1:]
+        last = lines[-1].split(",")
+        assert float(last[3]) + float(last[7]) == pytest.approx(
+            qft_costed.runtime_s, rel=1e-4
+        )
+
+
+class TestRender:
+    def test_renders(self, qft_costed):
+        text = render_breakdown(qft_costed)
+        assert "cost breakdown" in text
+        assert "distributed" in text
+
+    def test_worst_case_benchmark_is_one_group(self):
+        config = RunConfiguration(
+            partition=Partition(38, 64),
+            node_type=STANDARD_NODE,
+            frequency=CpuFrequency.MEDIUM,
+        )
+        costed = cost_trace(
+            trace_circuit(hadamard_benchmark(38, 37), config)
+        )
+        groups = by_kind(costed)
+        assert len(groups) == 1
+        assert groups[0].count == 50

@@ -1,0 +1,70 @@
+"""Tests for calibration-constant validation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.machine import CpuFrequency
+from repro.perfmodel import DEFAULT_CALIBRATION, Calibration
+
+
+class TestValidation:
+    def test_default_valid(self):
+        Calibration()
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(CalibrationError):
+            replace(DEFAULT_CALIBRATION, mem_bandwidth=-1.0)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(CalibrationError):
+            replace(DEFAULT_CALIBRATION, blocking_scale_penalty=-0.1)
+
+    def test_numa_below_one_rejected(self):
+        with pytest.raises(CalibrationError):
+            replace(DEFAULT_CALIBRATION, numa_penalty=(0.9, 1.5, 2.0))
+
+    def test_incomplete_power_table_rejected(self):
+        with pytest.raises(CalibrationError):
+            replace(
+                DEFAULT_CALIBRATION,
+                busy_power_w={CpuFrequency.MEDIUM: 400.0},
+            )
+
+    def test_nonpositive_power_rejected(self):
+        with pytest.raises(CalibrationError):
+            replace(
+                DEFAULT_CALIBRATION,
+                comm_power_w={f: 0.0 for f in CpuFrequency},
+            )
+
+
+class TestShape:
+    def test_frequency_orderings(self):
+        c = DEFAULT_CALIBRATION
+        # Higher clock: more power, never less memory bandwidth.
+        assert (
+            c.busy_power_w[CpuFrequency.LOW]
+            < c.busy_power_w[CpuFrequency.MEDIUM]
+            < c.busy_power_w[CpuFrequency.HIGH]
+        )
+        assert (
+            c.mem_freq_factor[CpuFrequency.LOW]
+            < c.mem_freq_factor[CpuFrequency.MEDIUM]
+            <= c.mem_freq_factor[CpuFrequency.HIGH]
+        )
+
+    def test_comm_cheaper_than_busy(self):
+        c = DEFAULT_CALIBRATION
+        for f in CpuFrequency:
+            assert c.comm_power_w[f] < c.busy_power_w[f]
+        assert c.idle_power_w < min(c.comm_power_w.values())
+
+    def test_nonblocking_faster_than_blocking(self):
+        c = DEFAULT_CALIBRATION
+        assert c.comm_bandwidth_nonblocking > c.comm_bandwidth_blocking
+
+    def test_numa_penalties_increase(self):
+        p = DEFAULT_CALIBRATION.numa_penalty
+        assert list(p) == sorted(p)

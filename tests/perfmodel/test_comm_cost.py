@@ -1,0 +1,70 @@
+"""Tests for exchange timing."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.machine import CpuFrequency
+from repro.mpi import CommMode
+from repro.perfmodel import DEFAULT_CALIBRATION, effective_bandwidth, exchange_time
+from repro.utils.units import GIB
+
+CAL = DEFAULT_CALIBRATION
+MED = CpuFrequency.MEDIUM
+
+
+class TestEffectiveBandwidth:
+    def test_blocking_base_at_reference(self):
+        bw = effective_bandwidth(CommMode.BLOCKING, 64, MED, CAL)
+        assert bw == pytest.approx(CAL.comm_bandwidth_blocking)
+
+    def test_blocking_degrades_with_scale(self):
+        bw64 = effective_bandwidth(CommMode.BLOCKING, 64, MED, CAL)
+        bw4096 = effective_bandwidth(CommMode.BLOCKING, 4096, MED, CAL)
+        assert bw4096 < bw64
+
+    def test_no_penalty_below_reference(self):
+        bw8 = effective_bandwidth(CommMode.BLOCKING, 8, MED, CAL)
+        assert bw8 == pytest.approx(CAL.comm_bandwidth_blocking)
+
+    def test_nonblocking_scale_free(self):
+        bw64 = effective_bandwidth(CommMode.NONBLOCKING, 64, MED, CAL)
+        bw4096 = effective_bandwidth(CommMode.NONBLOCKING, 4096, MED, CAL)
+        assert bw64 == bw4096 == pytest.approx(CAL.comm_bandwidth_nonblocking)
+
+    def test_frequency_factor(self):
+        low = effective_bandwidth(CommMode.BLOCKING, 64, CpuFrequency.LOW, CAL)
+        med = effective_bandwidth(CommMode.BLOCKING, 64, MED, CAL)
+        assert low < med
+
+    def test_bad_nodes_raise(self):
+        with pytest.raises(CalibrationError):
+            effective_bandwidth(CommMode.BLOCKING, 0, MED, CAL)
+
+
+class TestExchangeTime:
+    def test_zero_bytes_free(self):
+        assert exchange_time(0, 0, CommMode.BLOCKING, 64, MED, CAL) == 0.0
+
+    def test_monotone_in_bytes(self):
+        t1 = exchange_time(GIB, 1, CommMode.BLOCKING, 64, MED, CAL)
+        t2 = exchange_time(2 * GIB, 1, CommMode.BLOCKING, 64, MED, CAL)
+        assert t2 > t1
+
+    def test_blocking_pays_per_message_latency(self):
+        few = exchange_time(GIB, 1, CommMode.BLOCKING, 64, MED, CAL)
+        many = exchange_time(GIB, 32, CommMode.BLOCKING, 64, MED, CAL)
+        assert many - few == pytest.approx(31 * CAL.message_latency)
+
+    def test_nonblocking_hides_latency(self):
+        few = exchange_time(GIB, 1, CommMode.NONBLOCKING, 64, MED, CAL)
+        many = exchange_time(GIB, 32, CommMode.NONBLOCKING, 64, MED, CAL)
+        assert few == pytest.approx(many)
+
+    def test_paper_exchange_magnitude(self):
+        """A 64 GiB exchange at 64 nodes takes ~9 s blocking."""
+        t = exchange_time(64 * GIB, 32, CommMode.BLOCKING, 64, MED, CAL)
+        assert 8.5 < t < 9.5
+
+    def test_negative_bytes_raise(self):
+        with pytest.raises(CalibrationError):
+            exchange_time(-1, 1, CommMode.BLOCKING, 64, MED, CAL)

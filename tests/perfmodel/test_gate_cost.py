@@ -1,0 +1,83 @@
+"""Tests for local gate timing and NUMA penalties."""
+
+import pytest
+
+from repro.gates import Gate
+from repro.machine import CpuFrequency, HIGHMEM_NODE, STANDARD_NODE
+from repro.perfmodel import DEFAULT_CALIBRATION, local_cost, numa_level
+from repro.statevector import Partition, plan_gate
+
+CAL = DEFAULT_CALIBRATION
+MED = CpuFrequency.MEDIUM
+PART = Partition(38, 64)  # m = 32, the Table-1 partition
+
+
+def h_plan(target):
+    return plan_gate(Gate.named("h", (target,)), PART)
+
+
+class TestNumaLevel:
+    def test_below_threshold_no_penalty(self):
+        for q in (0, 10, 28):
+            assert numa_level(h_plan(q), PART, STANDARD_NODE) == 0
+
+    def test_table1_ramp(self):
+        """Qubits 29/30/31 hit levels 1/2/3 on the 8-region node."""
+        assert numa_level(h_plan(29), PART, STANDARD_NODE) == 1
+        assert numa_level(h_plan(30), PART, STANDARD_NODE) == 2
+        assert numa_level(h_plan(31), PART, STANDARD_NODE) == 3
+
+    def test_streaming_updates_unpenalised(self):
+        plan = plan_gate(Gate.named("p", (31,), params=(0.1,)), PART)
+        assert numa_level(plan, PART, STANDARD_NODE) == 0
+
+    def test_distributed_gate_unpenalised(self):
+        plan = plan_gate(Gate.named("h", (37,)), PART)
+        assert numa_level(plan, PART, STANDARD_NODE) == 0
+
+    def test_highmem_threshold_shifts(self):
+        # Half the nodes: m = 33, penalties start at qubit 30.
+        part = Partition(38, 32)
+        plan = plan_gate(Gate.named("h", (29,)), part)
+        assert numa_level(plan, part, HIGHMEM_NODE) == 0
+
+
+class TestLocalCost:
+    def test_table1_local_hadamard(self):
+        """~0.5 s per local Hadamard on a 64 GiB partition."""
+        cost = local_cost(h_plan(0), PART, STANDARD_NODE, MED, CAL)
+        assert 0.45 < cost.total_s < 0.55
+
+    def test_numa_penalty_applies_to_memory_only(self):
+        base = local_cost(h_plan(0), PART, STANDARD_NODE, MED, CAL)
+        worst = local_cost(h_plan(31), PART, STANDARD_NODE, MED, CAL)
+        assert worst.cpu_s == pytest.approx(base.cpu_s)
+        assert worst.mem_s == pytest.approx(base.mem_s * CAL.numa_penalty[2])
+
+    def test_cpu_scales_inverse_frequency(self):
+        med = local_cost(h_plan(0), PART, STANDARD_NODE, MED, CAL)
+        low = local_cost(h_plan(0), PART, STANDARD_NODE, CpuFrequency.LOW, CAL)
+        assert low.cpu_s == pytest.approx(med.cpu_s * (2.0 / 1.5))
+
+    def test_memory_frequency_factor(self):
+        med = local_cost(h_plan(0), PART, STANDARD_NODE, MED, CAL)
+        high = local_cost(h_plan(0), PART, STANDARD_NODE, CpuFrequency.HIGH, CAL)
+        assert high.mem_s < med.mem_s
+
+    def test_memory_compute_split_roughly_2_to_1(self):
+        """Fig. 5's non-MPI split anchor."""
+        cost = local_cost(h_plan(0), PART, STANDARD_NODE, MED, CAL)
+        ratio = cost.mem_s / cost.cpu_s
+        assert 1.5 < ratio < 3.0
+
+    def test_diagonal_sweep_cost(self):
+        plan = plan_gate(Gate.named("p", (5,), controls=(1,), params=(0.1,)), PART)
+        cost = local_cost(plan, PART, STANDARD_NODE, MED, CAL)
+        # The masked quarter-write sweep is cheaper than a pair update.
+        h = local_cost(h_plan(0), PART, STANDARD_NODE, MED, CAL)
+        assert cost.total_s < h.total_s
+
+    def test_swap_has_no_flops(self):
+        plan = plan_gate(Gate.named("swap", (0, 5)), PART)
+        cost = local_cost(plan, PART, STANDARD_NODE, MED, CAL)
+        assert cost.cpu_s == 0.0

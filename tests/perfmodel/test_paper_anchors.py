@@ -1,0 +1,220 @@
+"""Anchor tests: the calibrated model against the paper's measurements.
+
+Each test states the paper's number and the tolerance band we hold the
+model to.  Absolute values are expected within ~15% (our substrate is a
+model, not ARCHER2); *shape* claims (who wins, by what factor, where
+the crossover sits) are asserted tightly.
+"""
+
+import math
+
+import pytest
+
+from repro.circuits import (
+    builtin_qft_circuit,
+    cache_blocked_qft_circuit,
+    hadamard_benchmark,
+    swap_benchmark,
+)
+from repro.machine import CpuFrequency, STANDARD_NODE
+from repro.mpi import CommMode
+from repro.perfmodel import RunConfiguration, predict
+from repro.statevector import Partition
+
+
+def cfg(n, nodes, mode=CommMode.BLOCKING, freq=CpuFrequency.MEDIUM):
+    return RunConfiguration(
+        partition=Partition(n, nodes),
+        node_type=STANDARD_NODE,
+        frequency=freq,
+        comm_mode=mode,
+    )
+
+
+def within(value, target, tol):
+    assert target * (1 - tol) <= value <= target * (1 + tol), (
+        f"{value:.3g} not within {tol:.0%} of {target:.3g}"
+    )
+
+
+class TestTable1:
+    """Hadamard benchmark, 38 qubits, 64 nodes."""
+
+    def test_local_gate_time(self):
+        p = predict(hadamard_benchmark(38, 0), cfg(38, 64))
+        within(p.per_gate_runtime_s(), 0.5, 0.10)
+
+    def test_local_gate_energy(self):
+        p = predict(hadamard_benchmark(38, 0), cfg(38, 64))
+        within(p.per_gate_energy_j(), 15e3, 0.15)
+
+    def test_flat_below_numa(self):
+        times = [
+            predict(hadamard_benchmark(38, q), cfg(38, 64)).per_gate_runtime_s()
+            for q in (0, 8, 16, 24, 28)
+        ]
+        assert max(times) - min(times) < 0.02
+
+    def test_numa_ramp(self):
+        t29 = predict(hadamard_benchmark(38, 29), cfg(38, 64)).per_gate_runtime_s()
+        t30 = predict(hadamard_benchmark(38, 30), cfg(38, 64)).per_gate_runtime_s()
+        t31 = predict(hadamard_benchmark(38, 31), cfg(38, 64)).per_gate_runtime_s()
+        within(t29, 0.53, 0.10)
+        within(t30, 0.74, 0.10)
+        within(t31, 0.97, 0.10)
+
+    def test_distributed_blocking(self):
+        p = predict(hadamard_benchmark(38, 32), cfg(38, 64))
+        within(p.per_gate_runtime_s(), 9.63, 0.10)
+        within(p.per_gate_energy_j(), 191e3, 0.10)
+
+    def test_distributed_nonblocking(self):
+        p = predict(
+            hadamard_benchmark(38, 32), cfg(38, 64, CommMode.NONBLOCKING)
+        )
+        within(p.per_gate_runtime_s(), 8.82, 0.10)
+        within(p.per_gate_energy_j(), 179e3, 0.10)
+
+    def test_twenty_fold_jump(self):
+        """'The twenty-fold increase in runtime is caused by MPI.'"""
+        local = predict(hadamard_benchmark(38, 28), cfg(38, 64))
+        dist = predict(hadamard_benchmark(38, 32), cfg(38, 64))
+        ratio = dist.per_gate_runtime_s() / local.per_gate_runtime_s()
+        assert 15 < ratio < 25
+
+    def test_flat_above_threshold(self):
+        t32 = predict(hadamard_benchmark(38, 32), cfg(38, 64)).per_gate_runtime_s()
+        t37 = predict(hadamard_benchmark(38, 37), cfg(38, 64)).per_gate_runtime_s()
+        assert t32 == pytest.approx(t37)
+
+
+class TestFig4:
+    """SWAP benchmark ranges."""
+
+    @pytest.mark.parametrize("local", [0, 8, 16])
+    @pytest.mark.parametrize("dist", [35, 36, 37])
+    def test_blocking_in_paper_range(self, local, dist):
+        p = predict(swap_benchmark(38, local, dist), cfg(38, 64))
+        assert 8.5 <= p.per_gate_runtime_s() <= 9.75
+        assert 160e3 <= p.per_gate_energy_j() <= 195e3
+
+    @pytest.mark.parametrize("local", [0, 16])
+    def test_nonblocking_cheaper(self, local):
+        blk = predict(swap_benchmark(38, local, 36), cfg(38, 64))
+        nb = predict(
+            swap_benchmark(38, local, 36), cfg(38, 64, CommMode.NONBLOCKING)
+        )
+        assert nb.per_gate_runtime_s() < blk.per_gate_runtime_s()
+        assert nb.per_gate_energy_j() < blk.per_gate_energy_j()
+        assert 7.5 <= nb.per_gate_runtime_s() <= 9.0
+
+
+class TestFig5:
+    """Runtime profiles."""
+
+    def test_hadamard_mpi_dominates(self):
+        p = predict(hadamard_benchmark(38, 37), cfg(38, 64))
+        assert p.profile.mpi_fraction > 0.90
+
+    def test_builtin_qft_mpi_share(self):
+        p = predict(builtin_qft_circuit(38), cfg(38, 64))
+        assert 0.33 <= p.profile.mpi_fraction <= 0.50  # paper: 0.43
+
+    def test_blocked_qft_mpi_share(self):
+        p = predict(
+            cache_blocked_qft_circuit(38, 32),
+            cfg(38, 64, CommMode.NONBLOCKING),
+        )
+        assert 0.18 <= p.profile.mpi_fraction <= 0.30  # paper: 0.25
+
+    def test_cache_blocking_reduces_mpi_share(self):
+        builtin = predict(builtin_qft_circuit(38), cfg(38, 64))
+        blocked = predict(
+            cache_blocked_qft_circuit(38, 32),
+            cfg(38, 64, CommMode.NONBLOCKING),
+        )
+        assert blocked.profile.mpi_fraction < builtin.profile.mpi_fraction
+
+    def test_memory_compute_split(self):
+        p = predict(builtin_qft_circuit(38), cfg(38, 64))
+        ratio = p.profile.memory_fraction / p.profile.compute_fraction
+        assert 1.5 < ratio < 8.0
+
+
+class TestTable2:
+    """The headline 43/44-qubit runs."""
+
+    @pytest.mark.parametrize(
+        "n,nodes,paper_builtin,paper_fast",
+        [(43, 2048, (417.0, 294e6), (270.0, 206e6)),
+         (44, 4096, (476.0, 664e6), (285.0, 431e6))],
+    )
+    def test_absolute_within_15_percent(self, n, nodes, paper_builtin, paper_fast):
+        m = n - int(math.log2(nodes))
+        builtin = predict(builtin_qft_circuit(n), cfg(n, nodes))
+        fast = predict(
+            cache_blocked_qft_circuit(n, m),
+            cfg(n, nodes, CommMode.NONBLOCKING),
+        )
+        within(builtin.runtime_s, paper_builtin[0], 0.15)
+        within(fast.runtime_s, paper_fast[0], 0.15)
+        within(builtin.total_energy_j, paper_builtin[1], 0.15)
+        within(fast.total_energy_j, paper_fast[1], 0.15)
+
+    def test_headline_runtime_improvement(self):
+        """Paper: 40% faster at 44 qubits (we require 30-45%)."""
+        builtin = predict(builtin_qft_circuit(44), cfg(44, 4096))
+        fast = predict(
+            cache_blocked_qft_circuit(44, 32),
+            cfg(44, 4096, CommMode.NONBLOCKING),
+        )
+        improvement = 1 - fast.runtime_s / builtin.runtime_s
+        assert 0.30 <= improvement <= 0.45
+
+    def test_headline_energy_saving(self):
+        """Paper: 35% energy saved at 44 qubits (we require 25-40%)."""
+        builtin = predict(builtin_qft_circuit(44), cfg(44, 4096))
+        fast = predict(
+            cache_blocked_qft_circuit(44, 32),
+            cfg(44, 4096, CommMode.NONBLOCKING),
+        )
+        saving = 1 - fast.total_energy_j / builtin.total_energy_j
+        assert 0.25 <= saving <= 0.40
+
+    def test_energy_saved_magnitude(self):
+        """Paper: 'The biggest energy improvement was 233 MJ'."""
+        builtin = predict(builtin_qft_circuit(44), cfg(44, 4096))
+        fast = predict(
+            cache_blocked_qft_circuit(44, 32),
+            cfg(44, 4096, CommMode.NONBLOCKING),
+        )
+        saved = builtin.total_energy_j - fast.total_energy_j
+        assert 150e6 <= saved <= 320e6
+
+    def test_43q_faster_than_44q(self):
+        b43 = predict(builtin_qft_circuit(43), cfg(43, 2048))
+        b44 = predict(builtin_qft_circuit(44), cfg(44, 4096))
+        assert b43.runtime_s < b44.runtime_s
+
+
+class TestFrequencyShape:
+    """Fig. 3 / conclusions: the frequency trade-off."""
+
+    def test_high_freq_faster_but_hungrier(self):
+        med = predict(builtin_qft_circuit(40), cfg(40, 256))
+        high = predict(
+            builtin_qft_circuit(40), cfg(40, 256, freq=CpuFrequency.HIGH)
+        )
+        speedup = 1 - high.runtime_s / med.runtime_s
+        premium = high.total_energy_j / med.total_energy_j - 1
+        assert 0.03 <= speedup <= 0.12  # paper: 5-10%
+        assert 0.12 <= premium <= 0.30  # paper: ~25%
+
+    def test_low_freq_not_of_benefit(self):
+        """Paper: 1.5 GHz inflates runtime at roughly fixed energy."""
+        med = predict(builtin_qft_circuit(40), cfg(40, 256))
+        low = predict(
+            builtin_qft_circuit(40), cfg(40, 256, freq=CpuFrequency.LOW)
+        )
+        assert low.runtime_s > 1.05 * med.runtime_s
+        assert abs(low.total_energy_j / med.total_energy_j - 1) < 0.10

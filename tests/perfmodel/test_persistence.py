@@ -1,0 +1,74 @@
+"""Tests for calibration JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.machine import CpuFrequency
+from repro.perfmodel import DEFAULT_CALIBRATION
+from repro.perfmodel.persistence import (
+    calibration_from_dict,
+    calibration_to_dict,
+    load_calibration,
+    save_calibration,
+)
+
+
+class TestRoundTrip:
+    def test_identity(self, tmp_path):
+        path = tmp_path / "calib.json"
+        save_calibration(DEFAULT_CALIBRATION, path)
+        loaded = load_calibration(path)
+        assert loaded == DEFAULT_CALIBRATION
+
+    def test_json_is_editable(self, tmp_path):
+        path = tmp_path / "calib.json"
+        save_calibration(DEFAULT_CALIBRATION, path)
+        data = json.loads(path.read_text())
+        data["mem_bandwidth"] = 500e9
+        data["busy_power_w"]["2"] = 400.0
+        path.write_text(json.dumps(data))
+        loaded = load_calibration(path)
+        assert loaded.mem_bandwidth == 500e9
+        assert loaded.busy_power_w[CpuFrequency.MEDIUM] == 400.0
+
+    def test_frequency_keys_human_readable(self):
+        data = calibration_to_dict(DEFAULT_CALIBRATION)
+        assert set(data["busy_power_w"]) == {"1.5", "2", "2.25"}
+
+    def test_numa_tuple_preserved(self):
+        data = calibration_to_dict(DEFAULT_CALIBRATION)
+        rebuilt = calibration_from_dict(data)
+        assert rebuilt.numa_penalty == DEFAULT_CALIBRATION.numa_penalty
+        assert isinstance(rebuilt.numa_penalty, tuple)
+
+    def test_unknown_field_rejected(self):
+        data = calibration_to_dict(DEFAULT_CALIBRATION)
+        data["warp_drive"] = 9
+        with pytest.raises(CalibrationError, match="warp_drive"):
+            calibration_from_dict(data)
+
+    def test_unknown_frequency_rejected(self):
+        data = calibration_to_dict(DEFAULT_CALIBRATION)
+        data["busy_power_w"]["3.5"] = 700.0
+        with pytest.raises(CalibrationError):
+            calibration_from_dict(data)
+
+    def test_invalid_values_still_validated(self):
+        data = calibration_to_dict(DEFAULT_CALIBRATION)
+        data["mem_bandwidth"] = -1.0
+        with pytest.raises(CalibrationError):
+            calibration_from_dict(data)
+
+    def test_loaded_calibration_usable(self, tmp_path):
+        from repro.circuits import builtin_qft_circuit
+        from repro.core import RunOptions, SimulationRunner
+
+        path = tmp_path / "calib.json"
+        save_calibration(DEFAULT_CALIBRATION, path)
+        report = SimulationRunner().run(
+            builtin_qft_circuit(36),
+            RunOptions(calibration=load_calibration(path)),
+        )
+        assert report.runtime_s > 0

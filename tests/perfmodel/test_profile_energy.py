@@ -1,0 +1,99 @@
+"""Tests for profiles and energy reports."""
+
+import pytest
+
+from repro.circuits import hadamard_benchmark, qft_circuit
+from repro.machine import CpuFrequency, HIGHMEM_NODE, STANDARD_NODE
+from repro.perfmodel import (
+    RunConfiguration,
+    cost_trace,
+    energy_report,
+    node_phase_power,
+    profile_trace,
+    trace_circuit,
+    DEFAULT_CALIBRATION,
+)
+from repro.statevector import Partition
+
+
+def costed(circuit, n=6, ranks=4):
+    cfg = RunConfiguration(
+        partition=Partition(n, ranks),
+        node_type=STANDARD_NODE,
+        frequency=CpuFrequency.MEDIUM,
+    )
+    return cost_trace(trace_circuit(circuit, cfg))
+
+
+class TestProfile:
+    def test_fractions_sum_to_one(self):
+        prof = profile_trace(costed(qft_circuit(6)))
+        total = prof.mpi_fraction + prof.memory_fraction + prof.compute_fraction
+        assert total == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        from repro.circuits import Circuit
+
+        prof = profile_trace(costed(Circuit(6)))
+        assert prof.runtime_s == 0.0
+
+    def test_worst_case_is_mpi_dominated(self):
+        prof = profile_trace(costed(hadamard_benchmark(6, 5)))
+        assert prof.mpi_fraction > 0.8
+
+    def test_local_workload_has_no_mpi(self):
+        prof = profile_trace(costed(hadamard_benchmark(6, 0)))
+        assert prof.mpi_fraction == 0.0
+
+    def test_percentages(self):
+        prof = profile_trace(costed(qft_circuit(6)))
+        pct = prof.as_percentages()
+        assert set(pct) == {"MPI", "memory", "compute"}
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_str_renders(self):
+        assert "MPI" in str(profile_trace(costed(qft_circuit(6))))
+
+
+class TestEnergyReport:
+    def test_totals(self):
+        rep = energy_report(costed(qft_circuit(6)))
+        assert rep.total_j == pytest.approx(
+            rep.node_energy_j + rep.switch_energy_j
+        )
+
+    def test_average_node_power_in_range(self):
+        rep = energy_report(costed(qft_circuit(6)))
+        cal = DEFAULT_CALIBRATION
+        assert cal.idle_power_w / 2 < rep.average_node_power_w < 700
+
+    def test_kwh_conversion(self):
+        rep = energy_report(costed(qft_circuit(6)))
+        assert rep.kwh == pytest.approx(rep.total_j / 3.6e6)
+
+    def test_zero_runtime_power(self):
+        from repro.circuits import Circuit
+
+        rep = energy_report(costed(Circuit(6)))
+        assert rep.average_node_power_w == 0.0
+
+
+class TestPhasePower:
+    def test_phases(self):
+        cal = DEFAULT_CALIBRATION
+        f = CpuFrequency.MEDIUM
+        busy = node_phase_power("busy", f, STANDARD_NODE, cal)
+        comm = node_phase_power("comm", f, STANDARD_NODE, cal)
+        idle = node_phase_power("idle", f, STANDARD_NODE, cal)
+        assert busy > comm > idle
+
+    def test_highmem_premium(self):
+        cal = DEFAULT_CALIBRATION
+        f = CpuFrequency.MEDIUM
+        assert node_phase_power("busy", f, HIGHMEM_NODE, cal) > node_phase_power(
+            "busy", f, STANDARD_NODE, cal
+        )
+
+    def test_unknown_phase_raises(self):
+        with pytest.raises(ValueError):
+            node_phase_power("sleep", CpuFrequency.LOW, STANDARD_NODE, DEFAULT_CALIBRATION)

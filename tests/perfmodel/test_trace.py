@@ -1,0 +1,134 @@
+"""Tests for traces, the trace builder, and trace costing."""
+
+import pytest
+
+from repro.circuits import hadamard_benchmark, qft_circuit
+from repro.gates import Gate
+from repro.machine import CpuFrequency, STANDARD_NODE
+from repro.mpi import CommMode
+from repro.perfmodel import (
+    RunConfiguration,
+    TraceBuilder,
+    cost_trace,
+    trace_circuit,
+)
+from repro.statevector import DistributedStatevector, Partition
+
+
+def config(n=6, ranks=4, **kwargs):
+    return RunConfiguration(
+        partition=Partition(n, ranks),
+        node_type=STANDARD_NODE,
+        frequency=CpuFrequency.MEDIUM,
+        **kwargs,
+    )
+
+
+class TestTraceCircuit:
+    def test_one_plan_per_gate(self):
+        c = qft_circuit(6)
+        trace = trace_circuit(c, config())
+        assert len(trace) == len(c)
+
+    def test_distributed_count(self):
+        c = hadamard_benchmark(6, 5, gates=3)
+        trace = trace_circuit(c, config())
+        assert trace.distributed_gate_count() == 3
+
+    def test_bytes_per_rank(self):
+        c = hadamard_benchmark(6, 5, gates=2)
+        trace = trace_circuit(c, config())
+        assert trace.total_bytes_sent_per_rank() == 2 * Partition(6, 4).local_bytes
+
+    def test_paper_scale_planning_is_cheap(self):
+        """Planning a 44-qubit QFT over 4,096 ranks must not allocate
+        amplitude storage."""
+        c = qft_circuit(44)
+        trace = trace_circuit(c, config(44, 4096))
+        assert len(trace) == len(c)
+
+
+class TestTraceBuilder:
+    def test_numeric_executor_fills_trace(self):
+        cfg = config()
+        builder = TraceBuilder(cfg)
+        state = DistributedStatevector(
+            cfg.partition, observer=builder
+        )
+        c = qft_circuit(6)
+        state.apply_circuit(c)
+        assert len(builder.trace) == len(c)
+
+    def test_matches_model_trace_exactly(self):
+        """The numeric and model executors emit identical plan streams."""
+        cfg = config(7, 8)
+        builder = TraceBuilder(cfg)
+        state = DistributedStatevector(cfg.partition, observer=builder)
+        c = qft_circuit(7)
+        state.apply_circuit(c)
+        model = trace_circuit(c, cfg)
+        assert builder.trace.plans == model.plans
+
+    def test_out_of_order_rejected(self):
+        builder = TraceBuilder(config())
+        plan = trace_circuit(qft_circuit(6), config()).plans[0]
+        with pytest.raises(ValueError):
+            builder(5, Gate.named("h", (0,)), plan)
+
+
+class TestCostTrace:
+    def test_totals_are_sums(self):
+        costed = cost_trace(trace_circuit(qft_circuit(6), config()))
+        assert costed.runtime_s == pytest.approx(
+            sum(g.total_s for g in costed.gates)
+        )
+        assert costed.total_energy_j == pytest.approx(
+            costed.node_energy_j + costed.switch_energy_j
+        )
+
+    def test_runtime_decomposes(self):
+        costed = cost_trace(trace_circuit(qft_circuit(6), config()))
+        assert costed.runtime_s == pytest.approx(
+            costed.comm_s + costed.mem_s + costed.cpu_s
+        )
+
+    def test_local_gates_no_comm_cost(self):
+        costed = cost_trace(
+            trace_circuit(hadamard_benchmark(6, 0, gates=4), config())
+        )
+        assert costed.comm_s == 0.0
+
+    def test_nonblocking_beats_blocking_on_distributed(self):
+        c = hadamard_benchmark(6, 5, gates=4)
+        blocking = cost_trace(
+            trace_circuit(c, config(comm_mode=CommMode.BLOCKING))
+        )
+        nonblocking = cost_trace(
+            trace_circuit(c, config(comm_mode=CommMode.NONBLOCKING))
+        )
+        assert nonblocking.runtime_s < blocking.runtime_s
+
+    def test_energy_positive(self):
+        costed = cost_trace(trace_circuit(qft_circuit(6), config()))
+        assert costed.node_energy_j > 0
+        assert costed.switch_energy_j > 0
+
+    def test_inactive_ranks_draw_idle_power(self):
+        # A gate with a distributed control: half the ranks idle.
+        cfg = config()
+        full = cost_trace(
+            trace_circuit(
+                hadamard_benchmark(6, 0, gates=1), cfg
+            )
+        )
+        from repro.circuits import Circuit
+
+        gated = cost_trace(
+            trace_circuit(Circuit(6).x(0, controls=(5,)), cfg)
+        )
+        assert gated.node_energy_j < full.node_energy_j
+
+    def test_config_properties(self):
+        cfg = config(6, 4)
+        assert cfg.num_nodes == 4
+        assert cfg.topology.num_switches == 1

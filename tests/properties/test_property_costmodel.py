@@ -1,0 +1,152 @@
+"""Property-based invariants of the performance/energy model.
+
+These guard the model's *economics*: costs are positive and monotone in
+the obvious directions, energy decomposes consistently, non-blocking
+never loses, and the fast configuration never loses to the built-in on
+the circuits the paper studies.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import builtin_qft_circuit, cache_blocked_qft_circuit
+from repro.gates import Gate
+from repro.machine import CpuFrequency, STANDARD_NODE
+from repro.mpi import CommMode
+from repro.perfmodel import (
+    DEFAULT_CALIBRATION,
+    RunConfiguration,
+    exchange_time,
+    predict,
+)
+from repro.statevector import Partition, plan_gate
+
+CAL = DEFAULT_CALIBRATION
+
+qubit_counts = st.integers(min_value=8, max_value=20)
+rank_exponents = st.integers(min_value=1, max_value=5)
+
+
+@given(
+    st.integers(min_value=1, max_value=2**36),
+    st.sampled_from(list(CommMode)),
+    st.sampled_from([64, 256, 4096]),
+)
+@settings(max_examples=50, deadline=None)
+def test_exchange_time_positive_and_monotone(nbytes, mode, nodes):
+    t = exchange_time(nbytes, 1, mode, nodes, CpuFrequency.MEDIUM, CAL)
+    t2 = exchange_time(2 * nbytes, 1, mode, nodes, CpuFrequency.MEDIUM, CAL)
+    assert t > 0
+    assert t2 > t
+
+
+@given(
+    st.integers(min_value=1, max_value=2**36),
+    st.sampled_from([64, 512, 4096]),
+    st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=50, deadline=None)
+def test_nonblocking_never_slower(nbytes, nodes, messages):
+    blocking = exchange_time(
+        nbytes, messages, CommMode.BLOCKING, nodes, CpuFrequency.MEDIUM, CAL
+    )
+    nonblocking = exchange_time(
+        nbytes, messages, CommMode.NONBLOCKING, nodes, CpuFrequency.MEDIUM, CAL
+    )
+    assert nonblocking <= blocking
+
+
+@given(qubit_counts, rank_exponents)
+@settings(max_examples=30, deadline=None)
+def test_fast_configuration_never_loses(n, d):
+    d = min(d, n // 2)
+    ranks = 1 << d
+    m = n - d
+    base = predict(
+        builtin_qft_circuit(n),
+        RunConfiguration(Partition(n, ranks), STANDARD_NODE, CpuFrequency.MEDIUM),
+    )
+    fast = predict(
+        cache_blocked_qft_circuit(n, m),
+        RunConfiguration(
+            Partition(n, ranks),
+            STANDARD_NODE,
+            CpuFrequency.MEDIUM,
+            comm_mode=CommMode.NONBLOCKING,
+        ),
+    )
+    assert fast.runtime_s <= base.runtime_s
+    assert fast.total_energy_j <= base.total_energy_j
+
+
+@given(qubit_counts, rank_exponents)
+@settings(max_examples=30, deadline=None)
+def test_energy_decomposition(n, d):
+    d = min(d, n // 2)
+    p = predict(
+        builtin_qft_circuit(n),
+        RunConfiguration(
+            Partition(n, 1 << d), STANDARD_NODE, CpuFrequency.MEDIUM
+        ),
+    )
+    assert p.total_energy_j > 0
+    assert p.energy.node_energy_j > p.energy.switch_energy_j * 0  # both >= 0
+    assert math.isclose(
+        p.total_energy_j,
+        p.energy.node_energy_j + p.energy.switch_energy_j,
+        rel_tol=1e-12,
+    )
+    # Runtime equals the sum of the profile pieces.
+    assert math.isclose(
+        p.runtime_s,
+        p.costed.comm_s + p.costed.mem_s + p.costed.cpu_s,
+        rel_tol=1e-9,
+    )
+
+
+@given(qubit_counts, rank_exponents)
+@settings(max_examples=30, deadline=None)
+def test_halved_swaps_never_lose(n, d):
+    d = min(d, n // 2)
+    m = n - d
+    circuit = cache_blocked_qft_circuit(n, m)
+    full = predict(
+        circuit,
+        RunConfiguration(
+            Partition(n, 1 << d),
+            STANDARD_NODE,
+            CpuFrequency.MEDIUM,
+            comm_mode=CommMode.NONBLOCKING,
+        ),
+    )
+    halved = predict(
+        circuit,
+        RunConfiguration(
+            Partition(n, 1 << d),
+            STANDARD_NODE,
+            CpuFrequency.MEDIUM,
+            comm_mode=CommMode.NONBLOCKING,
+            halved_swaps=True,
+        ),
+    )
+    assert halved.runtime_s <= full.runtime_s
+
+
+@given(
+    st.integers(min_value=0, max_value=19),
+    qubit_counts,
+    rank_exponents,
+)
+@settings(max_examples=50, deadline=None)
+def test_plan_quantities_non_negative(target, n, d):
+    d = min(d, n // 2)
+    target = target % n
+    plan = plan_gate(Gate.named("h", (target,)), Partition(n, 1 << d))
+    assert plan.send_bytes >= 0
+    assert plan.traffic_bytes > 0
+    assert plan.flops >= 0
+    assert 0 <= plan.active_fraction <= 1
+    assert 0 <= plan.comm_fraction <= plan.active_fraction
+    assert 0 < plan.touched_fraction <= 1

@@ -1,0 +1,56 @@
+"""Property-based tests for the peephole pass."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_circuit
+from repro.core.transpiler import PeepholePass, equivalent
+
+params = st.tuples(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=60),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+@given(params)
+@settings(max_examples=40, deadline=None)
+def test_preserves_action(p):
+    n, gates, seed = p
+    circuit = random_circuit(n, gates, seed=seed)
+    result = PeepholePass().run(circuit)
+    assert equivalent(circuit, result.circuit, trials=2, seed=seed)
+
+
+@given(params)
+@settings(max_examples=30, deadline=None)
+def test_never_grows(p):
+    n, gates, seed = p
+    circuit = random_circuit(n, gates, seed=seed)
+    result = PeepholePass().run(circuit)
+    assert len(result.circuit) <= len(circuit)
+
+
+@given(params)
+@settings(max_examples=20, deadline=None)
+def test_idempotent(p):
+    """Running the pass twice changes nothing more (fixpoint reached)."""
+    n, gates, seed = p
+    circuit = random_circuit(n, gates, seed=seed)
+    once = PeepholePass().run(circuit).circuit
+    twice = PeepholePass().run(once).circuit
+    assert list(twice.gates) == list(once.gates)
+
+
+@given(params)
+@settings(max_examples=20, deadline=None)
+def test_no_identities_survive(p):
+    import math
+
+    n, gates, seed = p
+    circuit = random_circuit(n, gates, seed=seed)
+    result = PeepholePass().run(circuit)
+    for gate in result.circuit:
+        assert gate.name != "id"
+        if gate.name in ("p", "rz"):
+            assert abs(math.remainder(gate.params[0], 2 * math.pi)) > 1e-12

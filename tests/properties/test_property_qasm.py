@@ -1,0 +1,44 @@
+"""Property-based round-trip tests for the QASM serialiser."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import from_qasm, random_circuit, random_state, to_qasm
+from repro.statevector import DenseStatevector
+
+params = st.tuples(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+@given(params)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_preserves_action(p):
+    n, gates, seed = p
+    circuit = random_circuit(n, gates, seed=seed, allow_unitaries=False)
+    back = from_qasm(to_qasm(circuit))
+    psi = random_state(n, seed=seed)
+    a = DenseStatevector.from_amplitudes(psi).apply_circuit(circuit).amplitudes
+    b = DenseStatevector.from_amplitudes(psi).apply_circuit(back).amplitudes
+    assert np.allclose(a, b, atol=1e-9)
+
+
+@given(params)
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_preserves_width_and_length(p):
+    n, gates, seed = p
+    circuit = random_circuit(n, gates, seed=seed, allow_unitaries=False)
+    back = from_qasm(to_qasm(circuit))
+    assert back.num_qubits == circuit.num_qubits
+    assert len(back) == len(circuit)
+
+
+@given(params)
+@settings(max_examples=20, deadline=None)
+def test_export_is_deterministic(p):
+    n, gates, seed = p
+    circuit = random_circuit(n, gates, seed=seed, allow_unitaries=False)
+    assert to_qasm(circuit) == to_qasm(circuit)

@@ -1,0 +1,98 @@
+"""Property-based tests: distributed simulator == dense reference.
+
+Hypothesis drives random circuits, rank counts and initial states
+through both simulators and checks exact agreement, norm preservation,
+and communication-schedule invariants.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_circuit, random_state
+from repro.mpi import CommMode
+from repro.statevector import (
+    DenseStatevector,
+    DistributedStatevector,
+    Partition,
+    plan_circuit,
+)
+
+circuit_params = st.tuples(
+    st.integers(min_value=2, max_value=6),   # qubits
+    st.integers(min_value=5, max_value=40),  # gates
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+@given(circuit_params, st.sampled_from([2, 4]))
+@settings(max_examples=40, deadline=None)
+def test_distributed_matches_dense(params, ranks):
+    n, gates, seed = params
+    if ranks > 2**n:
+        ranks = 2
+    circuit = random_circuit(n, gates, seed=seed)
+    psi = random_state(n, seed=seed + 1)
+    dense = DenseStatevector.from_amplitudes(psi).apply_circuit(circuit)
+    dist = DistributedStatevector.from_amplitudes(psi, ranks)
+    dist.apply_circuit(circuit)
+    assert np.allclose(dist.gather(), dense.amplitudes, atol=1e-10)
+
+
+@given(circuit_params)
+@settings(max_examples=25, deadline=None)
+def test_halved_swaps_equals_full(params):
+    n, gates, seed = params
+    circuit = random_circuit(n, gates, seed=seed)
+    psi = random_state(n, seed=seed + 2)
+    full = DistributedStatevector.from_amplitudes(psi, 2)
+    full.apply_circuit(circuit)
+    halved = DistributedStatevector.from_amplitudes(
+        psi, 2, halved_swaps=True, comm_mode=CommMode.NONBLOCKING
+    )
+    halved.apply_circuit(circuit)
+    assert np.allclose(full.gather(), halved.gather(), atol=1e-10)
+
+
+@given(circuit_params)
+@settings(max_examples=25, deadline=None)
+def test_norm_preserved(params):
+    n, gates, seed = params
+    circuit = random_circuit(n, gates, seed=seed)
+    dist = DistributedStatevector.zero_state(n, 2)
+    dist.apply_circuit(circuit)
+    assert np.isclose(dist.norm(), 1.0, atol=1e-9)
+
+
+@given(circuit_params)
+@settings(max_examples=25, deadline=None)
+def test_traffic_matches_plan(params):
+    """The bytes the executor actually moves equal the planner's bytes."""
+    n, gates, seed = params
+    ranks = 4 if n >= 2 else 2
+    circuit = random_circuit(n, gates, seed=seed)
+    partition = Partition(n, ranks)
+    plans = plan_circuit(circuit, partition)
+    expected = sum(
+        int(round(p.send_bytes * p.comm_fraction * ranks)) for p in plans
+    )
+    dist = DistributedStatevector.zero_state(n, ranks)
+    dist.apply_circuit(circuit)
+    assert dist.comm.stats.bytes_sent == expected
+
+
+@given(circuit_params)
+@settings(max_examples=20, deadline=None)
+def test_comm_mode_does_not_change_results(params):
+    n, gates, seed = params
+    circuit = random_circuit(n, gates, seed=seed)
+    psi = random_state(n, seed=seed + 3)
+    blocking = DistributedStatevector.from_amplitudes(
+        psi, 2, comm_mode=CommMode.BLOCKING
+    )
+    blocking.apply_circuit(circuit)
+    nonblocking = DistributedStatevector.from_amplitudes(
+        psi, 2, comm_mode=CommMode.NONBLOCKING
+    )
+    nonblocking.apply_circuit(circuit)
+    assert np.allclose(blocking.gather(), nonblocking.gather())

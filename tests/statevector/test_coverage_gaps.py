@@ -1,0 +1,121 @@
+"""Gap-filling tests for paths the main suites exercise only implicitly."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, random_state
+from repro.errors import SimulationError
+from repro.gates import Gate
+from repro.gates import matrices as mats
+from repro.statevector import (
+    DenseStatevector,
+    DistributedStatevector,
+    load_dense,
+    save_state,
+)
+
+
+class TestSerializationErrorPaths:
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(99),
+            num_qubits=np.int64(2),
+            num_ranks=np.int64(1),
+            amplitudes=np.zeros(4, complex),
+        )
+        with pytest.raises(SimulationError, match="version"):
+            load_dense(path)
+
+    def test_corrupt_amplitude_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(1),
+            num_qubits=np.int64(3),
+            num_ranks=np.int64(1),
+            amplitudes=np.zeros(4, complex),
+        )
+        with pytest.raises(SimulationError, match="corrupt"):
+            load_dense(path)
+
+
+class TestTwoQubitUnitaryDistributedControl:
+    def test_local_targets_distributed_control(self):
+        """A 2-target unitary with both targets local and a control in
+        the rank bits is LOCAL_MEMORY and must run exactly."""
+        n = 5
+        matrix = np.kron(mats.hadamard(), mats.t_gate())
+        c = Circuit(n)
+        c.append(Gate.unitary(matrix, (0, 1), controls=(4,)))
+        psi = random_state(n, seed=1)
+        dense = DenseStatevector.from_amplitudes(psi).apply_circuit(c)
+        dist = DistributedStatevector.from_amplitudes(psi, 4)
+        dist.apply_circuit(c)
+        assert np.allclose(dist.gather(), dense.amplitudes)
+        assert dist.comm.stats.messages_sent == 0
+
+
+class TestPredictorEdgeCases:
+    def test_empty_circuit_prediction(self):
+        from repro.machine import CpuFrequency, STANDARD_NODE
+        from repro.perfmodel import RunConfiguration, predict
+        from repro.statevector import Partition
+
+        p = predict(
+            Circuit(6),
+            RunConfiguration(
+                Partition(6, 4), STANDARD_NODE, CpuFrequency.MEDIUM
+            ),
+        )
+        assert p.runtime_s == 0.0
+        assert p.per_gate_runtime_s() == 0.0
+        assert p.per_gate_energy_j() == 0.0
+
+    def test_circuit_name_fallback(self):
+        from repro.machine import CpuFrequency, STANDARD_NODE
+        from repro.perfmodel import RunConfiguration, predict
+        from repro.statevector import Partition
+
+        p = predict(
+            Circuit(6).h(0),
+            RunConfiguration(
+                Partition(6, 4), STANDARD_NODE, CpuFrequency.MEDIUM
+            ),
+        )
+        assert p.circuit_name == "circuit6"
+
+
+class TestFusedDiagonalOnSingleRank:
+    def test_fused_via_runner_numeric(self):
+        import math
+
+        from repro.circuits import builtin_qft_circuit
+        from repro.core import RunOptions, SimulationRunner
+
+        runner = SimulationRunner()
+        circuit = builtin_qft_circuit(8, fused=True)
+        out, _ = runner.execute_numeric(
+            circuit, RunOptions(num_nodes=4), num_ranks=4
+        )
+        from repro.circuits import qft_circuit
+
+        expected = (
+            DenseStatevector.zero_state(8)
+            .apply_circuit(qft_circuit(8))
+            .amplitudes
+        )
+        assert np.allclose(out, expected)
+
+
+class TestReportPermutationExposure:
+    def test_blocked_run_report_permutation_is_usable(self):
+        from repro.circuits import qft_circuit
+        from repro.core import RunOptions, SimulationRunner
+
+        runner = SimulationRunner()
+        report = runner.run(qft_circuit(38), RunOptions(cache_block=True))
+        perm = report.output_permutation
+        assert sorted(perm) == list(range(38))
+        assert sorted(perm.values()) == list(range(38))

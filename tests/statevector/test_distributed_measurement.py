@@ -1,0 +1,87 @@
+"""Tests for gather-free measurement on the distributed state."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import ghz_circuit, qft_circuit, random_state
+from repro.errors import SimulationError
+from repro.statevector import (
+    DistributedStatevector,
+    expectation_z,
+    marginal_probability,
+)
+
+
+def make_state(n=6, ranks=4, seed=1):
+    psi = random_state(n, seed=seed)
+    return psi, DistributedStatevector.from_amplitudes(psi, ranks)
+
+
+class TestProbabilityOf:
+    def test_matches_gathered(self):
+        psi, d = make_state()
+        for idx in (0, 13, 37, 63):
+            assert np.isclose(d.probability_of(idx), abs(psi[idx]) ** 2)
+
+
+class TestMarginals:
+    @pytest.mark.parametrize("qubit", range(6))
+    def test_local_and_distributed_qubits(self, qubit):
+        psi, d = make_state()
+        for value in (0, 1):
+            assert np.isclose(
+                d.marginal_probability(qubit, value),
+                marginal_probability(psi, qubit, value),
+            )
+
+    def test_bad_value(self):
+        _, d = make_state()
+        with pytest.raises(SimulationError):
+            d.marginal_probability(0, 2)
+
+    def test_expectation_z(self):
+        psi, d = make_state(seed=3)
+        for q in range(6):
+            assert np.isclose(d.expectation_z(q), expectation_z(psi, q))
+
+    def test_ghz_correlations(self):
+        d = DistributedStatevector.zero_state(5, 4)
+        d.apply_circuit(ghz_circuit(5))
+        for q in range(5):
+            assert np.isclose(d.marginal_probability(q, 0), 0.5)
+
+
+class TestSampling:
+    def test_deterministic_state(self):
+        d = DistributedStatevector.zero_state(5, 4)
+        rng = np.random.default_rng(0)
+        assert np.all(d.sample(50, rng=rng) == 0)
+
+    def test_distribution_matches_gathered(self):
+        _, d = make_state(seed=4)
+        rng = np.random.default_rng(1)
+        samples = d.sample(20_000, rng=rng)
+        empirical = np.bincount(samples, minlength=64) / 20_000
+        exact = np.abs(d.gather()) ** 2
+        assert np.abs(empirical - exact).max() < 0.02
+
+    def test_samples_span_ranks(self):
+        d = DistributedStatevector.zero_state(6, 4)
+        d.apply_circuit(qft_circuit(6))  # uniform output
+        rng = np.random.default_rng(2)
+        samples = d.sample(4000, rng=rng)
+        ranks_hit = set(np.asarray(samples) >> 4)
+        assert ranks_hit == {0, 1, 2, 3}
+
+    def test_zero_shots_raise(self):
+        _, d = make_state()
+        with pytest.raises(SimulationError):
+            d.sample(0)
+
+    def test_ghz_only_extreme_outcomes(self):
+        d = DistributedStatevector.zero_state(5, 4)
+        d.apply_circuit(ghz_circuit(5))
+        rng = np.random.default_rng(3)
+        samples = set(d.sample(200, rng=rng).tolist())
+        assert samples <= {0, 31}
+        assert len(samples) == 2

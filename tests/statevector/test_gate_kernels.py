@@ -1,0 +1,158 @@
+"""Direct tests of the vectorised kernels."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_state
+from repro.errors import SimulationError
+from repro.gates import matrices as mats
+from repro.statevector import gate_kernels as k
+
+
+class TestControlMask:
+    def test_none_without_controls(self):
+        assert k.control_mask(8, ()) is None
+
+    def test_single_control(self):
+        mask = k.control_mask(8, (1,))
+        assert mask.tolist() == [(i >> 1) & 1 == 1 for i in range(8)]
+
+    def test_multiple_controls(self):
+        mask = k.control_mask(8, (0, 2))
+        assert mask.tolist() == [i & 0b101 == 0b101 for i in range(8)]
+
+    def test_restricted_indices(self):
+        idx = np.array([0, 5, 7])
+        mask = k.control_mask(8, (0,), indices=idx)
+        assert mask.tolist() == [False, True, True]
+
+
+class TestApplyMatrix:
+    def test_single_qubit_fast_path(self):
+        psi = random_state(4, seed=1)
+        amps = psi.copy()
+        k.apply_matrix(amps, mats.hadamard(), (2,))
+        # Reference via reshaping.
+        ref = psi.copy().reshape(-1, 2, 4)
+        lo, hi = ref[:, 0, :].copy(), ref[:, 1, :].copy()
+        s = 1 / np.sqrt(2)
+        ref[:, 0, :], ref[:, 1, :] = s * (lo + hi), s * (lo - hi)
+        assert np.allclose(amps, ref.reshape(-1))
+
+    def test_controlled_path(self):
+        amps = np.zeros(4, dtype=complex)
+        amps[0b01] = 1.0  # control (bit 0) set
+        k.apply_matrix(amps, mats.pauli_x(), (1,), controls=(0,))
+        assert np.isclose(abs(amps[0b11]) ** 2, 1.0)
+
+    def test_control_not_satisfied(self):
+        amps = np.zeros(4, dtype=complex)
+        amps[0b00] = 1.0
+        k.apply_matrix(amps, mats.pauli_x(), (1,), controls=(0,))
+        assert np.isclose(abs(amps[0b00]) ** 2, 1.0)
+
+    def test_two_qubit_matrix_order(self):
+        # swap_matrix with targets (a, b): first target is sub-index LSB.
+        amps = np.zeros(8, dtype=complex)
+        amps[0b001] = 1.0  # bit0=1, bit2=0
+        k.apply_matrix(amps, mats.swap_matrix(), (0, 2))
+        assert np.isclose(abs(amps[0b100]) ** 2, 1.0)
+
+    def test_matrix_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            k.apply_matrix(np.zeros(4, complex), mats.swap_matrix(), (0,))
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(SimulationError):
+            k.apply_matrix(np.zeros(4, complex), mats.hadamard(), (2,))
+
+    def test_norm_preserved(self):
+        amps = random_state(5, seed=2).copy()
+        k.apply_matrix(amps, mats.u3(0.2, 0.4, 0.6), (3,), controls=(1,))
+        assert np.isclose(np.linalg.norm(amps), 1.0)
+
+
+class TestApplyDiagonal:
+    def test_plain_phase(self):
+        amps = np.ones(4, dtype=complex) / 2
+        k.apply_diagonal(amps, np.array([1, 1j]), (1,))
+        assert np.allclose(amps, [0.5, 0.5, 0.5j, 0.5j])
+
+    def test_rz_d0_not_one(self):
+        amps = np.ones(2, dtype=complex) / np.sqrt(2)
+        diag = np.diag(mats.rz(0.8))
+        k.apply_diagonal(amps, diag, (0,))
+        assert np.allclose(amps, diag / np.sqrt(2))
+
+    def test_controlled_diagonal(self):
+        amps = np.ones(4, dtype=complex) / 2
+        k.apply_diagonal(amps, np.array([1, -1]), (1,), controls=(0,))
+        assert np.allclose(amps, [0.5, 0.5, 0.5, -0.5])
+
+    def test_multi_target_diagonal(self):
+        amps = np.ones(4, dtype=complex) / 2
+        diag = np.array([1, 1, 1, -1])  # CZ over bits (0, 1)
+        k.apply_diagonal(amps, diag, (0, 1))
+        assert np.allclose(amps, [0.5, 0.5, 0.5, -0.5])
+
+
+class TestSwapLocal:
+    def test_permutes(self):
+        amps = np.arange(8, dtype=complex)
+        k.apply_swap_local(amps, 0, 2)
+        expected = np.arange(8)
+        for i in (0b001, 0b011):
+            j = i ^ 0b101
+            expected[i], expected[j] = expected[j], expected[i]
+        assert np.allclose(amps, expected)
+
+    def test_same_bits_raise(self):
+        with pytest.raises(SimulationError):
+            k.apply_swap_local(np.zeros(4, complex), 1, 1)
+
+    def test_controlled_swap(self):
+        amps = np.zeros(8, dtype=complex)
+        amps[0b001] = 1.0  # control bit 2 clear: no swap
+        k.apply_swap_local(amps, 0, 1, controls=(2,))
+        assert np.isclose(abs(amps[0b001]), 1.0)
+
+
+class TestDistributedHelpers:
+    def test_combine_row(self):
+        local = np.array([1.0, 2.0], dtype=complex)
+        remote = np.array([10.0, 20.0], dtype=complex)
+        k.combine_distributed_single(local, remote, 0.5, 0.25)
+        assert np.allclose(local, [3.0, 6.0])
+
+    def test_combine_with_controls(self):
+        local = np.array([1.0, 2.0], dtype=complex)
+        remote = np.array([10.0, 20.0], dtype=complex)
+        k.combine_distributed_single(local, remote, 0.0, 1.0, controls=(0,))
+        assert np.allclose(local, [1.0, 20.0])
+
+    def test_combine_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            k.combine_distributed_single(
+                np.zeros(2, complex), np.zeros(4, complex), 1, 0
+            )
+
+    def test_swap_in_halves_low_rank(self):
+        local = np.arange(4, dtype=complex)  # bit0 = local bit
+        remote = np.arange(10, 14, dtype=complex)
+        k.swap_in_halves(local, remote, 0, 0)
+        # Local-bit-1 half replaced by remote's local-bit-0 half.
+        assert np.allclose(local, [0, 10, 2, 12])
+
+    def test_swap_in_halves_high_rank(self):
+        local = np.arange(4, dtype=complex)
+        remote = np.arange(10, 14, dtype=complex)
+        k.swap_in_halves(local, remote, 0, 1)
+        assert np.allclose(local, [11, 1, 13, 3])
+
+    def test_swap_in_halves_bad_bit(self):
+        with pytest.raises(SimulationError):
+            k.swap_in_halves(np.zeros(4, complex), np.zeros(4, complex), 2, 0)
+
+    def test_swap_in_halves_bad_value(self):
+        with pytest.raises(SimulationError):
+            k.swap_in_halves(np.zeros(4, complex), np.zeros(4, complex), 0, 2)

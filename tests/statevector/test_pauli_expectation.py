@@ -1,0 +1,118 @@
+"""Tests for Pauli-string expectation values."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_state, tfim_hamiltonian, tfim_trotter_circuit
+from repro.errors import SimulationError
+from repro.gates import matrices as mats
+from repro.statevector import DenseStatevector
+from repro.statevector.measurement import expectation_z, pauli_expectation
+
+
+def explicit_expectation(psi, paulis, n):
+    """Reference via the dense Kronecker operator."""
+    op = np.array([[1.0]])
+    table = {"X": mats.pauli_x(), "Y": mats.pauli_y(), "Z": mats.pauli_z()}
+    for q in range(n - 1, -1, -1):
+        factor = table.get(paulis.get(q, ""), np.eye(2))
+        op = np.kron(op, factor)
+    return float(np.real(np.vdot(psi, op @ psi)))
+
+
+class TestAgainstDenseOperator:
+    @pytest.mark.parametrize(
+        "paulis",
+        [
+            {0: "Z"},
+            {2: "X"},
+            {1: "Y"},
+            {0: "Z", 2: "Z"},
+            {0: "X", 1: "X"},
+            {0: "Y", 1: "Y"},
+            {0: "X", 1: "Y", 2: "Z"},
+            {0: "Y", 1: "Z", 3: "Y"},
+            {},
+        ],
+    )
+    def test_matches_kron(self, paulis):
+        n = 4
+        psi = random_state(n, seed=sum(paulis) + len(paulis))
+        assert pauli_expectation(psi, paulis) == pytest.approx(
+            explicit_expectation(psi, paulis, n), abs=1e-10
+        )
+
+    def test_identity_string_is_norm(self):
+        psi = random_state(3, seed=1)
+        assert pauli_expectation(psi, {}) == pytest.approx(1.0)
+
+    def test_z_matches_expectation_z(self):
+        psi = random_state(5, seed=2)
+        for q in range(5):
+            assert pauli_expectation(psi, {q: "Z"}) == pytest.approx(
+                expectation_z(psi, q)
+            )
+
+    def test_bounds(self):
+        psi = random_state(4, seed=3)
+        for paulis in ({0: "X"}, {1: "Y", 2: "Z"}):
+            assert -1.0 <= pauli_expectation(psi, paulis) <= 1.0
+
+    def test_bad_pauli_raises(self):
+        psi = random_state(2, seed=4)
+        with pytest.raises(SimulationError):
+            pauli_expectation(psi, {0: "W"})
+
+    def test_bad_qubit_raises(self):
+        psi = random_state(2, seed=5)
+        with pytest.raises(SimulationError):
+            pauli_expectation(psi, {2: "Z"})
+
+    def test_lowercase_accepted(self):
+        psi = random_state(2, seed=6)
+        assert pauli_expectation(psi, {0: "z"}) == pytest.approx(
+            pauli_expectation(psi, {0: "Z"})
+        )
+
+
+class TestPhysics:
+    def _tfim_energy(self, amps, n, j=1.0, h=1.0):
+        """<H> of the TFIM from Pauli strings."""
+        energy = 0.0
+        for i in range(n - 1):
+            energy += -j * pauli_expectation(amps, {i: "Z", i + 1: "Z"})
+        for q in range(n):
+            energy += -h * pauli_expectation(amps, {q: "X"})
+        return energy
+
+    def test_energy_conservation_under_trotter(self):
+        """<H> is conserved by exp(-iHt); second-order Trotter keeps it
+        to O(dt**2)."""
+        n = 5
+        psi = random_state(n, seed=7)
+        e0 = self._tfim_energy(psi, n)
+        circuit = tfim_trotter_circuit(n, time=1.0, steps=100, order=2)
+        out = (
+            DenseStatevector.from_amplitudes(psi).apply_circuit(circuit).amplitudes
+        )
+        e1 = self._tfim_energy(out, n)
+        assert e1 == pytest.approx(e0, abs=2e-3)
+
+    def test_energy_matches_dense_hamiltonian(self):
+        n = 5
+        psi = random_state(n, seed=8)
+        h = tfim_hamiltonian(n)
+        exact = float(np.real(np.vdot(psi, h @ psi)))
+        assert self._tfim_energy(psi, n) == pytest.approx(exact, abs=1e-10)
+
+    def test_ghz_stabilisers(self):
+        """GHZ is stabilised by X...X and Z_i Z_j."""
+        from repro.circuits import ghz_circuit
+
+        n = 4
+        sim = DenseStatevector.zero_state(n)
+        sim.apply_circuit(ghz_circuit(n))
+        amps = sim.amplitudes
+        assert pauli_expectation(amps, {q: "X" for q in range(n)}) == pytest.approx(1.0)
+        assert pauli_expectation(amps, {0: "Z", 3: "Z"}) == pytest.approx(1.0)
+        assert pauli_expectation(amps, {0: "Z"}) == pytest.approx(0.0)

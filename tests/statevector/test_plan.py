@@ -1,0 +1,139 @@
+"""Tests for the execution planner (gate plans)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gates import Gate, GateLocality
+from repro.statevector import Partition, plan_circuit, plan_gate
+from repro.statevector.plan import FLOPS_PER_AMP_PAIR_UPDATE
+
+
+PART = Partition(10, 4)  # m = 8, local bytes = 4096
+LOCAL_BYTES = PART.local_bytes
+
+
+class TestFullyLocalPlans:
+    def test_controlled_phase(self):
+        plan = plan_gate(Gate.named("p", (3,), controls=(1,), params=(0.2,)), PART)
+        assert plan.locality is GateLocality.FULLY_LOCAL
+        assert not plan.communicates
+        assert plan.touched_fraction == 0.25
+        assert plan.traffic_bytes == int(LOCAL_BYTES * 1.25)
+        assert plan.numa_target is None
+
+    def test_plain_phase(self):
+        plan = plan_gate(Gate.named("p", (3,), params=(0.2,)), PART)
+        assert plan.touched_fraction == 0.5
+
+    def test_fused_full_sweep(self):
+        ladder = [
+            Gate.named("p", (0,), controls=(c,), params=(0.1,)) for c in (1, 2)
+        ]
+        plan = plan_gate(Gate.fused(ladder), PART)
+        assert plan.touched_fraction == 1.0
+        assert plan.traffic_bytes == 2 * LOCAL_BYTES
+
+    def test_distributed_control_halves_active_ranks(self):
+        plan = plan_gate(Gate.named("p", (0,), controls=(9,), params=(0.1,)), PART)
+        assert plan.active_fraction == 0.5
+        assert not plan.communicates
+
+    def test_distributed_target_diagonal_no_comm(self):
+        plan = plan_gate(Gate.named("rz", (9,), params=(0.3,)), PART)
+        assert plan.locality is GateLocality.FULLY_LOCAL
+        assert plan.send_bytes == 0
+
+
+class TestLocalMemoryPlans:
+    def test_hadamard(self):
+        plan = plan_gate(Gate.named("h", (4,)), PART)
+        assert plan.locality is GateLocality.LOCAL_MEMORY
+        assert plan.traffic_bytes == 2 * LOCAL_BYTES
+        assert plan.flops == FLOPS_PER_AMP_PAIR_UPDATE * PART.local_amplitudes
+        assert plan.numa_target == 4
+
+    def test_local_control_halves_touched(self):
+        plan = plan_gate(Gate.named("x", (4,), controls=(1,)), PART)
+        assert plan.touched_fraction == 0.5
+        assert plan.traffic_bytes == LOCAL_BYTES
+
+    def test_local_swap(self):
+        plan = plan_gate(Gate.named("swap", (2, 6)), PART)
+        assert plan.traffic_bytes == LOCAL_BYTES  # half moves, read+write
+        assert plan.flops == 0
+        assert plan.numa_target == 6
+
+
+class TestDistributedPlans:
+    def test_distributed_hadamard(self):
+        plan = plan_gate(Gate.named("h", (9,)), PART)
+        assert plan.locality is GateLocality.DISTRIBUTED
+        assert plan.communicates
+        assert plan.send_bytes == LOCAL_BYTES
+        assert plan.comm_fraction == 1.0
+        assert plan.traffic_bytes == 3 * LOCAL_BYTES
+        assert plan.numa_target is None
+
+    def test_swap_one_distributed_full(self):
+        plan = plan_gate(Gate.named("swap", (0, 9)), PART)
+        assert plan.send_bytes == LOCAL_BYTES
+        assert plan.traffic_bytes == LOCAL_BYTES
+
+    def test_swap_one_distributed_halved(self):
+        plan = plan_gate(Gate.named("swap", (0, 9)), PART, halved_swaps=True)
+        assert plan.send_bytes == LOCAL_BYTES // 2
+
+    def test_swap_both_distributed(self):
+        plan = plan_gate(Gate.named("swap", (8, 9)), PART)
+        assert plan.comm_fraction == 0.5
+        assert plan.active_fraction == 0.5
+        assert plan.send_bytes == LOCAL_BYTES
+
+    def test_halved_does_not_change_both_distributed(self):
+        full = plan_gate(Gate.named("swap", (8, 9)), PART)
+        halved = plan_gate(Gate.named("swap", (8, 9)), PART, halved_swaps=True)
+        assert full.send_bytes == halved.send_bytes
+
+    def test_distributed_control_on_distributed_target(self):
+        plan = plan_gate(Gate.named("x", (9,), controls=(8,)), PART)
+        assert plan.comm_fraction == 0.5
+        assert plan.active_fraction == 0.5
+
+    def test_message_chunking(self):
+        plan = plan_gate(
+            Gate.named("h", (9,)), PART, max_message=LOCAL_BYTES // 4
+        )
+        assert plan.num_messages == 4
+
+    def test_paper_32_messages(self):
+        """64 GiB exchange with a 2 GiB cap = 32 messages (paper §2.1)."""
+        part = Partition(44, 4096)
+        plan = plan_gate(Gate.named("h", (43,)), part)
+        assert plan.num_messages == 32
+
+    def test_multi_target_distributed_unitary_rejected(self):
+        import numpy as np
+
+        from repro.gates import matrices as mats
+
+        gate = Gate.unitary(np.kron(mats.hadamard(), mats.hadamard()), (0, 9))
+        with pytest.raises(SimulationError):
+            plan_gate(gate, PART)
+
+
+class TestPlanCircuit:
+    def test_one_plan_per_gate(self):
+        from repro.circuits import qft_circuit
+
+        c = qft_circuit(10)
+        plans = plan_circuit(c, PART)
+        assert len(plans) == len(c)
+
+    def test_blocked_qft_distributed_plans_are_swaps(self):
+        from repro.circuits import cache_blocked_qft_circuit
+
+        c = cache_blocked_qft_circuit(10, 8)
+        plans = plan_circuit(c, PART)
+        comm = [p for p in plans if p.communicates]
+        assert len(comm) == 2
+        assert all(p.gate_name == "swap" for p in comm)

@@ -1,0 +1,60 @@
+"""Tests for single-precision simulation support."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import qft_circuit, random_circuit, random_state
+from repro.errors import SimulationError
+from repro.statevector import DenseStatevector
+from repro.statevector.fidelity import fidelity
+
+
+class TestDtypeSupport:
+    def test_default_is_double(self):
+        assert DenseStatevector.zero_state(3).dtype == np.complex128
+
+    def test_single_precision_state(self):
+        sim = DenseStatevector(3, dtype=np.complex64)
+        assert sim.dtype == np.complex64
+        assert np.isclose(sim.norm(), 1.0)
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(SimulationError):
+            DenseStatevector(3, dtype=np.float64)
+
+    def test_gates_preserve_dtype(self):
+        sim = DenseStatevector(4, random_state(4, seed=1), dtype=np.complex64)
+        sim.apply_circuit(random_circuit(4, 30, seed=1))
+        assert sim.dtype == np.complex64
+
+    def test_copy_preserves_dtype(self):
+        sim = DenseStatevector(3, dtype=np.complex64)
+        assert sim.copy().dtype == np.complex64
+
+
+class TestPrecisionBehaviour:
+    def test_single_close_to_double(self):
+        n = 8
+        psi = random_state(n, seed=2)
+        circuit = qft_circuit(n)
+        double = DenseStatevector(n, psi).apply_circuit(circuit)
+        single = DenseStatevector(n, psi, dtype=np.complex64).apply_circuit(
+            circuit
+        )
+        f = fidelity(
+            double.amplitudes,
+            single.amplitudes.astype(np.complex128) / single.norm(),
+        )
+        assert f > 1 - 1e-6
+
+    def test_single_norm_roughly_preserved(self):
+        sim = DenseStatevector(6, dtype=np.complex64)
+        sim.apply_circuit(random_circuit(6, 200, seed=3))
+        assert abs(sim.norm() - 1.0) < 1e-4
+
+    def test_experiment_runs(self):
+        from repro.experiments import ext_precision
+
+        result = ext_precision.run(num_qubits=8, depths=(50, 200))
+        assert result.metric("qft_infidelity") < 1e-6
+        assert result.metric("random_200_infidelity") < 1e-5

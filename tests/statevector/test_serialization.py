@@ -1,0 +1,83 @@
+"""Tests for statevector checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import qft_circuit, random_state
+from repro.errors import SimulationError
+from repro.statevector import (
+    DenseStatevector,
+    DistributedStatevector,
+    load_dense,
+    load_distributed,
+    save_state,
+)
+
+
+class TestDenseRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        psi = random_state(6, seed=1)
+        path = tmp_path / "state.npz"
+        save_state(DenseStatevector.from_amplitudes(psi), path)
+        loaded = load_dense(path)
+        assert np.allclose(loaded.amplitudes, psi)
+        assert loaded.num_qubits == 6
+
+    def test_rejects_wrong_type(self, tmp_path):
+        with pytest.raises(SimulationError):
+            save_state(object(), tmp_path / "x.npz")
+
+
+class TestDistributedRoundTrip:
+    def test_roundtrip_same_ranks(self, tmp_path):
+        psi = random_state(6, seed=2)
+        state = DistributedStatevector.from_amplitudes(psi, 4)
+        path = tmp_path / "dist.npz"
+        save_state(state, path)
+        loaded = load_distributed(path)
+        assert loaded.num_ranks == 4
+        assert np.allclose(loaded.gather(), psi)
+
+    def test_restart_on_different_rank_count(self, tmp_path):
+        psi = random_state(6, seed=3)
+        state = DistributedStatevector.from_amplitudes(psi, 8)
+        path = tmp_path / "dist.npz"
+        save_state(state, path)
+        loaded = load_distributed(path, num_ranks=2)
+        assert loaded.num_ranks == 2
+        assert np.allclose(loaded.gather(), psi)
+
+    def test_checkpoint_mid_circuit(self, tmp_path):
+        """Checkpoint between circuit halves == uninterrupted run."""
+        n = 6
+        circuit = qft_circuit(n)
+        half = len(circuit) // 2
+        state = DistributedStatevector.zero_state(n, 4)
+        state.apply_circuit(circuit[:half])
+        path = tmp_path / "mid.npz"
+        save_state(state, path)
+        resumed = load_distributed(path)
+        resumed.apply_circuit(circuit[half:])
+        direct = DistributedStatevector.zero_state(n, 4)
+        direct.apply_circuit(circuit)
+        assert np.allclose(resumed.gather(), direct.gather())
+
+    def test_load_into_dense(self, tmp_path):
+        psi = random_state(5, seed=4)
+        state = DistributedStatevector.from_amplitudes(psi, 4)
+        path = tmp_path / "dist.npz"
+        save_state(state, path)
+        assert np.allclose(load_dense(path).amplitudes, psi)
+
+    def test_comm_options_forwarded(self, tmp_path):
+        from repro.mpi import CommMode
+
+        psi = random_state(5, seed=5)
+        save_state(
+            DistributedStatevector.from_amplitudes(psi, 4), tmp_path / "s.npz"
+        )
+        loaded = load_distributed(
+            tmp_path / "s.npz", comm_mode=CommMode.NONBLOCKING, halved_swaps=True
+        )
+        assert loaded.comm_mode is CommMode.NONBLOCKING
+        assert loaded.halved_swaps

@@ -1,0 +1,96 @@
+"""Tests for the structure-of-arrays (QuEST-layout) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    qft_circuit,
+    random_circuit,
+    random_state,
+)
+from repro.errors import SimulationError
+from repro.gates import Gate
+from repro.statevector import DenseStatevector, SoAStatevector
+
+
+class TestConstruction:
+    def test_zero_state(self):
+        s = SoAStatevector.zero_state(3)
+        assert s.re[0] == 1.0
+        assert np.isclose(s.norm(), 1.0)
+
+    def test_roundtrip(self):
+        psi = random_state(4, seed=1)
+        s = SoAStatevector.from_amplitudes(psi)
+        assert np.allclose(s.amplitudes(), psi)
+
+    def test_components_are_real(self):
+        s = SoAStatevector.from_amplitudes(random_state(3, seed=2))
+        assert s.re.dtype == np.float64
+        assert s.im.dtype == np.float64
+
+    def test_width_bounds(self):
+        with pytest.raises(SimulationError):
+            SoAStatevector(0)
+        with pytest.raises(SimulationError):
+            SoAStatevector(27)
+
+    def test_shape_validation(self):
+        with pytest.raises(SimulationError):
+            SoAStatevector(2, np.zeros(3), np.zeros(4))
+
+
+class TestAgainstDense:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuits(self, seed):
+        n = 6
+        psi = random_state(n, seed=seed)
+        circuit = random_circuit(n, 60, seed=seed)
+        dense = DenseStatevector.from_amplitudes(psi).apply_circuit(circuit)
+        soa = SoAStatevector.from_amplitudes(psi).apply_circuit(circuit)
+        assert np.allclose(soa.amplitudes(), dense.amplitudes, atol=1e-10)
+
+    def test_qft(self):
+        n = 7
+        psi = random_state(n, seed=10)
+        dense = DenseStatevector.from_amplitudes(psi).apply_circuit(qft_circuit(n))
+        soa = SoAStatevector.from_amplitudes(psi).apply_circuit(qft_circuit(n))
+        assert np.allclose(soa.amplitudes(), dense.amplitudes, atol=1e-10)
+
+    def test_fused_diagonal(self):
+        import math
+
+        ladder = [
+            Gate.named("p", (0,), controls=(1,), params=(math.pi / 2,)),
+            Gate.named("p", (0,), controls=(2,), params=(math.pi / 4,)),
+        ]
+        c = Circuit(3)
+        c.append(Gate.fused(ladder))
+        psi = random_state(3, seed=3)
+        dense = DenseStatevector.from_amplitudes(psi).apply_circuit(c)
+        soa = SoAStatevector.from_amplitudes(psi).apply_circuit(c)
+        assert np.allclose(soa.amplitudes(), dense.amplitudes)
+
+    def test_controlled_swap(self):
+        c = Circuit(3)
+        c.append(Gate.named("swap", (0, 1), controls=(2,)))
+        psi = random_state(3, seed=4)
+        dense = DenseStatevector.from_amplitudes(psi).apply_circuit(c)
+        soa = SoAStatevector.from_amplitudes(psi).apply_circuit(c)
+        assert np.allclose(soa.amplitudes(), dense.amplitudes)
+
+
+class TestInvariants:
+    def test_norm_preserved(self):
+        s = SoAStatevector.zero_state(5)
+        s.apply_circuit(random_circuit(5, 80, seed=6))
+        assert np.isclose(s.norm(), 1.0)
+
+    def test_gate_out_of_range(self):
+        with pytest.raises(SimulationError):
+            SoAStatevector.zero_state(2).apply_gate(Gate.named("h", (2,)))
+
+    def test_width_mismatch(self):
+        with pytest.raises(SimulationError):
+            SoAStatevector.zero_state(2).apply_circuit(Circuit(3).h(0))

@@ -1,0 +1,74 @@
+"""Tests for the terminal plot renderers."""
+
+import pytest
+
+from repro.utils.ascii_plot import line_plot, stacked_bar
+
+
+class TestLinePlot:
+    def test_renders_markers_and_legend(self):
+        text = line_plot({"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 1)]})
+        assert "o a" in text and "x b" in text
+        assert "o" in text.splitlines()[0] or any(
+            "o" in line for line in text.splitlines()
+        )
+
+    def test_axis_labels(self):
+        text = line_plot(
+            {"s": [(33, 100), (44, 500)]}, y_label="runtime [s]"
+        )
+        assert "33" in text and "44" in text
+        assert "runtime [s]" in text
+        assert "100" in text and "500" in text
+
+    def test_empty(self):
+        assert "(no data)" in line_plot({}, title="t")
+
+    def test_single_point(self):
+        text = line_plot({"a": [(1, 1)]})
+        assert "o" in text
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": [(0, 0.0), (1, 2.0)]}, log_y=True)
+
+    def test_log_scale_renders(self):
+        text = line_plot({"a": [(0, 1), (1, 1000)]}, log_y=True)
+        assert "[log]" not in text  # only shown with y_label
+        text = line_plot(
+            {"a": [(0, 1), (1, 1000)]}, log_y=True, y_label="E"
+        )
+        assert "[log]" in text
+
+    def test_title(self):
+        assert line_plot({"a": [(0, 1)]}, title="T").splitlines()[0] == "T"
+
+
+class TestStackedBar:
+    def test_shares_fill_width(self):
+        text = stacked_bar(
+            {"w": {"MPI": 0.5, "memory": 0.5}},
+            width=40,
+            symbols={"MPI": "#", "memory": "="},
+        )
+        bar_line = text.splitlines()[0]
+        assert bar_line.count("#") == 20
+        assert bar_line.count("=") == 20
+
+    def test_normalises(self):
+        text = stacked_bar(
+            {"w": {"a": 2.0, "b": 2.0}}, width=10, symbols={"a": "#", "b": "="}
+        )
+        assert text.splitlines()[0].count("#") == 5
+
+    def test_legend(self):
+        text = stacked_bar({"w": {"a": 1.0}})
+        assert "a" in text.splitlines()[-1]
+
+    def test_labels_aligned(self):
+        text = stacked_bar({"long-name": {"a": 1.0}, "x": {"a": 1.0}})
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty(self):
+        assert "(no data)" in stacked_bar({}, title="t")

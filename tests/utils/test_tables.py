@@ -1,0 +1,46 @@
+"""Unit tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import render_kv, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[1].startswith("---")
+        # Numeric column right-aligned: both rows end at the same column.
+        assert lines[2].rstrip().endswith("1")
+        assert lines[3].rstrip().endswith("22")
+        assert len(lines[2]) == len(lines[3])
+
+    def test_title(self):
+        text = render_table(["a"], [["x"]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+    def test_left_align_option(self):
+        text = render_table(["a", "b"], [["x", "y"]], align_right=False)
+        assert "x" in text and "y" in text
+
+
+class TestRenderKv:
+    def test_keys_aligned(self):
+        text = render_kv([("short", 1), ("a-longer-key", 2)])
+        lines = text.splitlines()
+        assert lines[0].index("1") == lines[1].index("2")
+
+    def test_title(self):
+        assert render_kv([("k", "v")], title="T").splitlines()[0] == "T"
+
+    def test_empty(self):
+        assert render_kv([]) == ""

@@ -1,0 +1,82 @@
+"""Unit tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_index,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1.0)
+
+    def test_rejects_zero_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_accepts_zero_nonstrict(self):
+        check_positive("x", 0, strict=False)
+
+    def test_rejects_negative_nonstrict(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+
+class TestCheckIndex:
+    def test_in_range(self):
+        check_index("q", 3, 4)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_index("q", 4, 4)
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            check_index("q", -1, 4)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            check_index("q", True, 4)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            check_index("q", 1.0, 4)
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts(self):
+        check_power_of_two("n", 64)
+
+    def test_rejects(self):
+        with pytest.raises(ValueError):
+            check_power_of_two("n", 48)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts(self, p):
+        check_probability("p", p)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_rejects(self, p):
+        with pytest.raises(ValueError):
+            check_probability("p", p)
+
+
+class TestCheckType:
+    def test_accepts(self):
+        check_type("s", "abc", str)
+
+    def test_rejects_with_name(self):
+        with pytest.raises(TypeError, match="s must be str"):
+            check_type("s", 1, str)
+
+    def test_union(self):
+        check_type("v", 1, (int, float))
+        with pytest.raises(TypeError, match="int | float"):
+            check_type("v", "x", (int, float))
