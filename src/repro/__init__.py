@@ -34,6 +34,7 @@ from repro.core import (
     RunReport,
     SimulationRunner,
 )
+from repro.des import DesResult, Timeline, crosscheck, simulate
 from repro.errors import ReproError
 from repro.gates import Gate, GateLocality
 from repro.machine import CpuFrequency, Machine, archer2
@@ -70,4 +71,8 @@ __all__ = [
     "RunReport",
     "CacheBlockingPass",
     "DiagonalFusionPass",
+    "DesResult",
+    "Timeline",
+    "simulate",
+    "crosscheck",
 ]

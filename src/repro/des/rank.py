@@ -1,0 +1,216 @@
+"""Rank actors: replay one rank's schedule against shared resources.
+
+Each rank is a process on the event engine.  It walks its op list in
+order: compute spans hold a node compute token for their duration;
+exchanges rendezvous with the partner rank (first arrival waits -- that
+wait is the skew the closed-form model can only average), then a driver
+process moves the chunked payload over the fabric honouring the run's
+communication mode:
+
+* ``BLOCKING`` -- one ``Sendrecv`` chunk pair in flight at a time; the
+  next chunk starts only when both directions of the previous one have
+  completed, paying the per-message latency every chunk (QuEST's stock
+  exchange loop, :func:`repro.mpi.exchange.exchange_arrays`).
+* ``NONBLOCKING`` -- every chunk posted up front and completed by one
+  wait; chunks queue back-to-back on the NIC so only the first latency
+  stays on the critical path (the paper's ``Isend``/``Irecv`` rewrite).
+
+Both drivers reserve real link capacity, so co-located ranks and
+oversubscribed up-links contend instead of being averaged away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.des.engine import Engine, Signal, Timeout
+from repro.des.resources import Fabric, TokenPool
+from repro.des.schedule import ComputeOp, ExchangeOp, ScheduleSet
+from repro.des.timeline import Span, Timeline
+from repro.mpi.datatypes import CommMode
+
+__all__ = ["ReplayContext", "ExchangeCoordinator", "rank_process"]
+
+
+@dataclass
+class ReplayContext:
+    """Everything the rank actors share during one replay."""
+
+    engine: Engine
+    fabric: Fabric
+    schedule: ScheduleSet
+    timeline: Timeline
+    tokens: list[TokenPool]
+    mode: CommMode
+    setup_s: float
+    latency_s: float
+    intranode_bandwidth: float
+    ranks_per_node: int
+    coordinator: "ExchangeCoordinator" = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.coordinator = ExchangeCoordinator(self)
+
+    def node_of(self, rank: int) -> int:
+        """Node hosting a rank (consecutive packing, as in the cost model)."""
+        return rank // self.ranks_per_node
+
+
+class ExchangeCoordinator:
+    """Pairwise rendezvous: both ranks arrive, then one driver runs.
+
+    The first arriver parks on the exchange's completion signal; the
+    second spawns the driver process.  The signal fires with the
+    ``(start, end)`` of the transfer so both ranks can attribute their
+    wait and communication spans precisely.
+    """
+
+    def __init__(self, ctx: ReplayContext):
+        self._ctx = ctx
+        self._pending: dict[tuple[int, int], Signal] = {}
+
+    def arrive(self, op: ExchangeOp, rank: int) -> Signal:
+        key = (op.gate_index, min(rank, op.partner))
+        done = self._pending.pop(key, None)
+        if done is None:
+            done = self._ctx.engine.signal()
+            self._pending[key] = done
+            return done
+        # Both sides present: drive the exchange from this instant.
+        self._ctx.engine.process(_drive_exchange(self._ctx, op, rank, done))
+        return done
+
+    @property
+    def outstanding(self) -> int:
+        """Rendezvous still waiting for a partner (0 after a clean run)."""
+        return len(self._pending)
+
+
+def _drive_exchange(
+    ctx: ReplayContext, op: ExchangeOp, rank: int, done: Signal
+):
+    """Move one exchange's chunks; fires ``done`` with (start, end)."""
+    engine = ctx.engine
+    start = engine.now
+    node_a = ctx.node_of(rank)
+    node_b = ctx.node_of(op.partner)
+
+    if op.intranode or node_a == node_b:
+        # Shared-memory copy through node RAM: no network involvement.
+        yield Timeout(ctx.setup_s + op.send_bytes / ctx.intranode_bandwidth)
+        done.fire((start, engine.now))
+        return
+
+    yield Timeout(ctx.setup_s)
+    if ctx.mode is CommMode.BLOCKING:
+        for size in op.chunk_sizes:
+            fwd = ctx.fabric.transfer(
+                node_a, node_b, size, earliest=engine.now, latency=ctx.latency_s
+            )
+            rev = ctx.fabric.transfer(
+                node_b, node_a, size, earliest=engine.now, latency=ctx.latency_s
+            )
+            # Sendrecv semantics: the chunk pair must complete in both
+            # directions before the next pair is posted.
+            target = max(fwd.end, rev.end)
+            if target > engine.now:
+                yield Timeout(target - engine.now)
+    else:
+        end = engine.now
+        first = True
+        for size in op.chunk_sizes:
+            latency = ctx.latency_s if first else 0.0
+            fwd = ctx.fabric.transfer(
+                node_a, node_b, size, earliest=engine.now, latency=latency
+            )
+            rev = ctx.fabric.transfer(
+                node_b, node_a, size, earliest=engine.now, latency=latency
+            )
+            end = max(end, fwd.end, rev.end)
+            first = False
+        # All chunks posted at once; one Waitall completes them.
+        if end > engine.now:
+            yield Timeout(end - engine.now)
+    done.fire((start, engine.now))
+
+
+def rank_process(ctx: ReplayContext, rank: int):
+    """The SPMD actor: replay one rank's ops in order (a generator)."""
+    engine = ctx.engine
+    timeline = ctx.timeline
+    pool = ctx.tokens[ctx.node_of(rank)]
+
+    for op in ctx.schedule.ops_for(rank):
+        if isinstance(op, ComputeOp):
+            arrived = engine.now
+            grant = pool.request()
+            if grant is not None:
+                yield grant
+                timeline.add(
+                    Span(rank, "wait", arrived, engine.now, op.gate_lo, op.gate_hi)
+                )
+            begun = engine.now
+            yield Timeout(op.seconds)
+            timeline.add(
+                Span(rank, "compute", begun, engine.now, op.gate_lo, op.gate_hi)
+            )
+            pool.release()
+            continue
+
+        arrived = engine.now
+        done = ctx.coordinator.arrive(op, rank)
+        yield done
+        comm_start, comm_end = done.value
+        timeline.add(
+            Span(
+                rank,
+                "wait",
+                arrived,
+                comm_start,
+                op.gate_index,
+                op.gate_index,
+                blocked_on=op.partner,
+            )
+        )
+        timeline.add(
+            Span(rank, "comm", comm_start, comm_end, op.gate_index, op.gate_index)
+        )
+        if op.local_s <= 0:
+            continue
+        if op.overlap:
+            # Chunk-pipelined update: local work hides behind the
+            # transfer; only the excess extends the gate.
+            resume_at = max(comm_end, comm_start + op.local_s)
+            timeline.add(
+                Span(
+                    rank,
+                    "compute",
+                    comm_start,
+                    comm_start + op.local_s,
+                    op.gate_index,
+                    op.gate_index,
+                )
+            )
+            if resume_at > engine.now:
+                yield Timeout(resume_at - engine.now)
+            continue
+        arrived = engine.now
+        grant = pool.request()
+        if grant is not None:
+            yield grant
+            timeline.add(
+                Span(
+                    rank,
+                    "wait",
+                    arrived,
+                    engine.now,
+                    op.gate_index,
+                    op.gate_index,
+                )
+            )
+        begun = engine.now
+        yield Timeout(op.local_s)
+        timeline.add(
+            Span(rank, "compute", begun, engine.now, op.gate_index, op.gate_index)
+        )
+        pool.release()

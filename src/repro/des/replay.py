@@ -1,0 +1,145 @@
+"""Top-level DES replay: trace in, contended timeline out.
+
+:func:`simulate_trace` builds the fabric and rank actors for a trace's
+configuration, runs the event loop to exhaustion, and packages the
+result.  The fabric's per-flow rate is the *same* calibrated effective
+bandwidth the closed-form model prices with
+(:func:`repro.perfmodel.comm_cost.effective_bandwidth`), so any
+difference between the two predictors comes from what only the DES
+captures: message-level serialisation vs pipelining, rendezvous skew
+between partially-active gates, and link contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import Circuit
+from repro.des.engine import Engine
+from repro.des.rank import ReplayContext, rank_process
+from repro.des.resources import Fabric, TokenPool
+from repro.des.schedule import ScheduleSet, export_schedules
+from repro.des.timeline import Timeline, utilisation_series
+from repro.errors import DesError
+from repro.perfmodel.comm_cost import effective_bandwidth
+from repro.perfmodel.trace import ExecutionTrace, RunConfiguration, trace_circuit
+
+__all__ = ["DesResult", "simulate", "simulate_trace"]
+
+#: Above this rank count, per-link busy intervals are not recorded by
+#: default (aggregate utilisation is always available); Table-2-scale
+#: replays would otherwise hold millions of interval tuples.
+AUTO_INTERVAL_RANK_LIMIT = 256
+
+
+@dataclass
+class DesResult:
+    """One contention-aware replay of a run configuration."""
+
+    config: RunConfiguration
+    makespan_s: float
+    timeline: Timeline
+    events_processed: int
+    num_exchanges: int
+    network_bytes: int
+    #: Mean busy fraction of the NIC / up-link pools over the replay.
+    nic_utilisation: float
+    uplink_utilisation: float
+    #: Named (t, busy-fraction) series; empty unless intervals recorded.
+    utilisation: dict[str, list[tuple[float, float]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def runtime_s(self) -> float:
+        """Predicted wall time (alias mirroring the analytic predictor)."""
+        return self.makespan_s
+
+
+def simulate_trace(
+    trace: ExecutionTrace,
+    *,
+    record_intervals: bool | None = None,
+    uplink_oversubscription: float = 1.0,
+) -> DesResult:
+    """Replay a trace's per-rank schedules on the event engine.
+
+    Fully deterministic: no wall clock, no randomness -- two calls with
+    the same trace produce identical timelines.
+    """
+    config = trace.config
+    calib = config.calibration
+    num_ranks = config.partition.num_ranks
+    if record_intervals is None:
+        record_intervals = num_ranks <= AUTO_INTERVAL_RANK_LIMIT
+
+    schedule = export_schedules(trace)
+    engine = Engine()
+    fabric = Fabric(
+        config.num_nodes,
+        bandwidth=effective_bandwidth(
+            config.comm_mode, config.num_nodes, config.frequency, calib
+        ),
+        nodes_per_switch=config.nodes_per_switch,
+        uplink_oversubscription=uplink_oversubscription,
+        record_intervals=record_intervals,
+    )
+    timeline = Timeline(num_ranks)
+    ctx = ReplayContext(
+        engine=engine,
+        fabric=fabric,
+        schedule=schedule,
+        timeline=timeline,
+        tokens=[
+            TokenPool(engine, config.ranks_per_node)
+            for _ in range(config.num_nodes)
+        ],
+        mode=config.comm_mode,
+        setup_s=calib.exchange_setup,
+        latency_s=calib.message_latency,
+        intranode_bandwidth=calib.intranode_bandwidth,
+        ranks_per_node=config.ranks_per_node,
+    )
+    for rank in range(num_ranks):
+        engine.process(rank_process(ctx, rank))
+    engine.run()
+
+    if ctx.coordinator.outstanding:
+        raise DesError(
+            f"replay deadlocked: {ctx.coordinator.outstanding} exchanges "
+            f"never found their partner"
+        )
+
+    makespan = timeline.makespan
+    utilisation: dict[str, list[tuple[float, float]]] = {}
+    if record_intervals and makespan > 0:
+        nic_series = utilisation_series(fabric.nic_links(), horizon=makespan)
+        up_series = utilisation_series(fabric.uplink_links(), horizon=makespan)
+        if nic_series:
+            utilisation["NIC"] = nic_series
+        if up_series:
+            utilisation["uplink"] = up_series
+
+    def _pool_utilisation(links) -> float:
+        if makespan <= 0 or not links:
+            return 0.0
+        return sum(link.utilisation(makespan) for link in links) / len(links)
+
+    return DesResult(
+        config=config,
+        makespan_s=makespan,
+        timeline=timeline,
+        events_processed=engine.events_processed,
+        num_exchanges=schedule.num_exchanges,
+        network_bytes=fabric.bytes_on_network(),
+        nic_utilisation=_pool_utilisation(fabric.nic_links()),
+        uplink_utilisation=_pool_utilisation(fabric.uplink_links()),
+        utilisation=utilisation,
+    )
+
+
+def simulate(
+    circuit: Circuit, config: RunConfiguration, **kwargs
+) -> DesResult:
+    """Plan a circuit and replay it (the one-call DES entry point)."""
+    return simulate_trace(trace_circuit(circuit, config), **kwargs)

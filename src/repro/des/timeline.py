@@ -1,0 +1,206 @@
+"""Timeline output of a DES replay: Gantt spans, utilisation, critical path.
+
+Every rank actor records what it was doing and when -- computing,
+exchanging, or waiting (on a partner's arrival or a contended
+resource).  The :class:`Timeline` turns that into the three artefacts
+the cross-check experiment reports: an ASCII per-rank Gantt chart, a
+link-utilisation series (rendered through
+:func:`repro.utils.ascii_plot.line_plot`), and the critical path --
+the chain of spans that actually sets the makespan, hopping between
+ranks at the waits that coupled them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.des.resources import Link
+from repro.utils.ascii_plot import line_plot
+
+__all__ = ["Span", "Timeline", "utilisation_series", "render_utilisation"]
+
+#: Gantt symbol per span kind (priority when bins overlap: comm wins).
+_SYMBOLS = {"comm": "#", "compute": "=", "wait": "."}
+_PRIORITY = {"comm": 3, "compute": 2, "wait": 1}
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous activity of one rank."""
+
+    rank: int
+    kind: str  # "compute" | "comm" | "wait"
+    start: float
+    end: float
+    #: Gate index range [gate_lo, gate_hi] this span belongs to.
+    gate_lo: int
+    gate_hi: int
+    #: For "wait" spans: the partner rank whose progress was awaited
+    #: (None when waiting on a resource rather than a rank).
+    blocked_on: int | None = None
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds."""
+        return self.end - self.start
+
+
+class Timeline:
+    """Per-rank span lists plus the queries the experiments need."""
+
+    def __init__(self, num_ranks: int):
+        self.num_ranks = num_ranks
+        self._spans: list[list[Span]] = [[] for _ in range(num_ranks)]
+
+    def add(self, span: Span) -> None:
+        """Record one span (zero-length spans are dropped)."""
+        if span.end > span.start:
+            self._spans[span.rank].append(span)
+
+    def spans_of(self, rank: int) -> list[Span]:
+        """All spans of one rank, in recording (= time) order."""
+        return self._spans[rank]
+
+    def all_spans(self) -> list[Span]:
+        """Every span of every rank."""
+        return [span for spans in self._spans for span in spans]
+
+    @property
+    def makespan(self) -> float:
+        """Finish time of the slowest rank."""
+        ends = [spans[-1].end for spans in self._spans if spans]
+        return max(ends) if ends else 0.0
+
+    def finish_of(self, rank: int) -> float:
+        """When one rank's schedule completed."""
+        spans = self._spans[rank]
+        return spans[-1].end if spans else 0.0
+
+    def busy_seconds(self, rank: int, kind: str) -> float:
+        """Total time a rank spent in one span kind."""
+        return sum(s.duration for s in self._spans[rank] if s.kind == kind)
+
+    # -- rendering -----------------------------------------------------------
+
+    def gantt(
+        self,
+        *,
+        width: int = 72,
+        max_ranks: int = 8,
+        ranks: list[int] | None = None,
+    ) -> str:
+        """ASCII Gantt chart: one row per rank, ``#``=comm ``=``=compute ``.``=wait.
+
+        Large jobs are symmetric, so showing the first ``max_ranks``
+        ranks (or an explicit ``ranks`` selection) tells the story.
+        """
+        horizon = self.makespan
+        if horizon <= 0:
+            return "(empty timeline)"
+        if ranks is None:
+            ranks = list(range(min(self.num_ranks, max_ranks)))
+        label_width = max(len(f"rank {r}") for r in ranks)
+        lines = []
+        for rank in ranks:
+            row = [" "] * width
+            priority = [0] * width
+            for span in self._spans[rank]:
+                lo = int(span.start / horizon * width)
+                hi = int(span.end / horizon * width)
+                hi = min(max(hi, lo + 1), width)
+                p = _PRIORITY[span.kind]
+                symbol = _SYMBOLS[span.kind]
+                for col in range(lo, hi):
+                    if p > priority[col]:
+                        priority[col] = p
+                        row[col] = symbol
+            lines.append(f"{f'rank {rank}'.rjust(label_width)} |{''.join(row)}|")
+        pad = " " * label_width
+        lines.append(f"{pad} 0{' ' * (width - len(f'{horizon:.3g}'))}{horizon:.3g}s")
+        lines.append(
+            f"{pad}  " + "   ".join(f"{sym} {kind}" for kind, sym in _SYMBOLS.items())
+        )
+        return "\n".join(lines)
+
+    def critical_path(self) -> list[Span]:
+        """The span chain that sets the makespan.
+
+        Walks backwards from the last-finishing rank; a wait span hands
+        the walk to the partner rank that was being waited for, so the
+        returned chain crosses ranks exactly where synchronisation
+        coupled them.  Resource waits (no partner) stay on-rank.
+        """
+        candidates = [r for r in range(self.num_ranks) if self._spans[r]]
+        if not candidates:
+            return []
+        rank = max(candidates, key=self.finish_of)
+        t = self.finish_of(rank)
+        path: list[Span] = []
+        while t > 0:
+            spans = [s for s in self._spans[rank] if s.start < t]
+            if not spans:
+                break
+            span = spans[-1]
+            if (
+                span.kind == "wait"
+                and span.blocked_on is not None
+                and span.blocked_on != rank
+                and self._spans[span.blocked_on]
+            ):
+                rank = span.blocked_on
+                if span.end < t:
+                    t = span.end
+                else:
+                    t = span.start  # guard: time must strictly decrease
+                continue
+            path.append(span)
+            if span.start >= t:
+                break
+            t = span.start
+        path.reverse()
+        return path
+
+
+def utilisation_series(
+    links: list[Link], *, horizon: float, bins: int = 32
+) -> list[tuple[float, float]]:
+    """Mean busy fraction of a link set over time, as (t, fraction) points.
+
+    Requires the links to have been built with ``record_intervals``;
+    links without recorded intervals contribute nothing.
+    """
+    if horizon <= 0 or bins < 1 or not links:
+        return []
+    width = horizon / bins
+    busy = [0.0] * bins
+    recorded = 0
+    for link in links:
+        if link.intervals is None:
+            continue
+        recorded += 1
+        for start, end in link.intervals:
+            lo = max(0, int(start / width))
+            hi = min(bins - 1, int(end / width))
+            for b in range(lo, hi + 1):
+                bin_lo, bin_hi = b * width, (b + 1) * width
+                busy[b] += max(0.0, min(end, bin_hi) - max(start, bin_lo))
+    if not recorded:
+        return []
+    return [
+        ((b + 0.5) * width, busy[b] / (width * recorded)) for b in range(bins)
+    ]
+
+
+def render_utilisation(
+    series: dict[str, list[tuple[float, float]]], *, width: int = 64
+) -> str:
+    """Terminal plot of named utilisation series (NICs, up-links, ...)."""
+    populated = {name: pts for name, pts in series.items() if pts}
+    if not populated:
+        return "(no link-utilisation data recorded)"
+    return line_plot(
+        populated,
+        width=width,
+        title="link utilisation over replay",
+        y_label="busy fraction",
+    )

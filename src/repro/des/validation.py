@@ -1,0 +1,91 @@
+"""The cross-check gate: analytic predictor vs DES replay.
+
+The two predictors share one calibration but disagree in machinery --
+closed-form summation vs event-level replay.  When they agree within
+tolerance, each vouches for the other; when they diverge, the delta
+localises what the closed form is averaging away (rendezvous skew,
+contention, overlap structure).  ``DEFAULT_TOLERANCE`` is calibrated on
+the paper's QFT runs, where the residual is percent-level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.des.replay import DesResult, simulate_trace
+from repro.errors import DesError
+from repro.perfmodel.trace import RunConfiguration, cost_trace, trace_circuit
+
+__all__ = ["DEFAULT_TOLERANCE", "CrossCheck", "crosscheck", "assert_crosscheck"]
+
+#: Relative runtime disagreement tolerated on the paper's QFT runs.
+DEFAULT_TOLERANCE = 0.10
+
+
+@dataclass(frozen=True)
+class CrossCheck:
+    """One analytic-vs-DES comparison."""
+
+    circuit_name: str
+    analytic_s: float
+    des_s: float
+    tolerance: float
+    des: DesResult
+
+    @property
+    def delta(self) -> float:
+        """Relative disagreement, (DES - analytic) / analytic."""
+        if self.analytic_s == 0:
+            return 0.0 if self.des_s == 0 else float("inf")
+        return (self.des_s - self.analytic_s) / self.analytic_s
+
+    @property
+    def within(self) -> bool:
+        """True when the predictors agree within tolerance."""
+        return abs(self.delta) <= self.tolerance
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        verdict = "OK" if self.within else "DIVERGED"
+        return (
+            f"{self.circuit_name}: analytic {self.analytic_s:.2f} s, "
+            f"DES {self.des_s:.2f} s, delta {100 * self.delta:+.1f}% "
+            f"[{verdict} at {100 * self.tolerance:.0f}%]"
+        )
+
+
+def crosscheck(
+    circuit: Circuit,
+    config: RunConfiguration,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    **sim_kwargs,
+) -> CrossCheck:
+    """Run both predictors on one circuit/configuration pair."""
+    if tolerance <= 0:
+        raise DesError(f"tolerance must be > 0, got {tolerance}")
+    trace = trace_circuit(circuit, config)
+    analytic = cost_trace(trace).runtime_s
+    des = simulate_trace(trace, **sim_kwargs)
+    return CrossCheck(
+        circuit_name=circuit.name or f"circuit{circuit.num_qubits}",
+        analytic_s=analytic,
+        des_s=des.makespan_s,
+        tolerance=tolerance,
+        des=des,
+    )
+
+
+def assert_crosscheck(
+    circuit: Circuit,
+    config: RunConfiguration,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    **sim_kwargs,
+) -> CrossCheck:
+    """The validation gate: raise :class:`DesError` on divergence."""
+    check = crosscheck(circuit, config, tolerance=tolerance, **sim_kwargs)
+    if not check.within:
+        raise DesError(f"predictors diverged: {check.describe()}")
+    return check

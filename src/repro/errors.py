@@ -18,6 +18,7 @@ __all__ = [
     "TranspilerError",
     "CalibrationError",
     "ExperimentError",
+    "DesError",
 ]
 
 
@@ -59,3 +60,7 @@ class CalibrationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class DesError(ReproError):
+    """Discrete-event engine misuse or a failed analytic-vs-DES gate."""

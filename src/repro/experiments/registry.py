@@ -7,6 +7,7 @@ from collections.abc import Callable
 from repro.errors import ExperimentError
 from repro.experiments import (
     ext_comm_modes,
+    ext_des_crosscheck,
     ext_frequency,
     ext_fusion,
     ext_generic_cb,
@@ -52,6 +53,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "ext-ranks-per-node": ext_ranks_per_node.run,
     "ext-workloads": ext_workloads.run,
     "ext-overlap": ext_overlap.run,
+    "ext-des-crosscheck": ext_des_crosscheck.run,
     "validate": validate.run,
 }
 
@@ -62,12 +64,13 @@ def experiment_ids() -> list[str]:
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by id."""
-    try:
-        runner = EXPERIMENTS[experiment_id]
-    except KeyError:
+    """Run one experiment by id (underscores accepted as dashes)."""
+    runner = EXPERIMENTS.get(experiment_id) or EXPERIMENTS.get(
+        experiment_id.replace("_", "-")
+    )
+    if runner is None:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r} "
             f"(available: {', '.join(EXPERIMENTS)})"
-        ) from None
+        )
     return runner()

@@ -105,6 +105,25 @@ def _check_executed_equals_planned() -> bool:
     return builder.trace.plans == model.plans
 
 
+def _check_des_crosscheck() -> bool:
+    from repro.des import assert_crosscheck
+    from repro.errors import DesError
+
+    n, ranks = 26, 8
+    for mode in (CommMode.BLOCKING, CommMode.NONBLOCKING):
+        config = RunConfiguration(
+            partition=Partition(n, ranks),
+            node_type=STANDARD_NODE,
+            frequency=CpuFrequency.MEDIUM,
+            comm_mode=mode,
+        )
+        try:
+            assert_crosscheck(qft_circuit(n), config)
+        except DesError:
+            return False
+    return True
+
+
 def _check_generic_transpiler() -> bool:
     from repro.core.transpiler import CacheBlockingPass, equivalent
 
@@ -126,6 +145,7 @@ CHECKS = [
     ("separate re/im layout == complex layout", _check_soa_layout),
     ("executed schedule == planned schedule", _check_executed_equals_planned),
     ("generic cache-blocking pass preserves action", _check_generic_transpiler),
+    ("discrete-event replay agrees with closed form", _check_des_crosscheck),
 ]
 
 

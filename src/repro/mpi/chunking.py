@@ -49,6 +49,8 @@ def chunk_array(
     """
     if array.ndim != 1:
         raise CommError(f"chunk_array expects a 1-D array, got ndim={array.ndim}")
+    if max_message <= 0:
+        raise CommError(f"max_message must be > 0, got {max_message}")
     itemsize = array.dtype.itemsize
     if max_message < itemsize:
         raise CommError(

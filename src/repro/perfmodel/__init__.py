@@ -25,7 +25,7 @@ from repro.perfmodel.persistence import (
 from repro.perfmodel.comm_cost import effective_bandwidth, exchange_time
 from repro.perfmodel.energy import EnergyReport, energy_report, node_phase_power
 from repro.perfmodel.gate_cost import LocalCost, local_cost, numa_level
-from repro.perfmodel.predictor import Prediction, predict
+from repro.perfmodel.predictor import PREDICTION_BACKENDS, Prediction, predict
 from repro.perfmodel.profile import RuntimeProfile, profile_trace
 from repro.perfmodel.trace import (
     CostedTrace,
@@ -59,6 +59,7 @@ __all__ = [
     "node_phase_power",
     "Prediction",
     "predict",
+    "PREDICTION_BACKENDS",
     "KindBreakdown",
     "by_kind",
     "top_gates",

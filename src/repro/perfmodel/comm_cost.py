@@ -61,8 +61,13 @@ def exchange_time(
     NIC (all of them exchange simultaneously in SPMD), dividing the
     per-rank effective bandwidth by ``ranks_per_node``.
     """
-    if send_bytes < 0 or num_messages < 0:
-        raise CalibrationError("send_bytes/num_messages must be >= 0")
+    if send_bytes < 0:
+        raise CalibrationError(f"send_bytes must be >= 0, got {send_bytes}")
+    if num_messages < 1:
+        raise CalibrationError(
+            f"num_messages must be >= 1, got {num_messages} "
+            f"(even an empty exchange is one message)"
+        )
     if ranks_per_node < 1:
         raise CalibrationError(
             f"ranks_per_node must be >= 1, got {ranks_per_node}"

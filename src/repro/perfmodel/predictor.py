@@ -3,13 +3,21 @@
 This is the model executor's public face; everything the experiment
 harness needs (runtime, energy, profile, CU cost) comes out of
 :func:`predict`.
+
+Two runtime backends share this interface: the closed-form analytic
+model (``backend="analytic"``, the default) and the discrete-event
+replay (``backend="des"``), which re-times the same trace on a
+contention-aware fabric model.  Both price energy from the analytic
+per-gate power split; the DES only replaces the wall-time estimate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.circuits.circuit import Circuit
+from repro.errors import CalibrationError
 from repro.machine.cu import DEFAULT_CU_RATES, CuRates, cu_cost
 from repro.perfmodel.energy import EnergyReport, energy_report
 from repro.perfmodel.profile import RuntimeProfile, profile_trace
@@ -20,7 +28,13 @@ from repro.perfmodel.trace import (
     trace_circuit,
 )
 
-__all__ = ["Prediction", "predict"]
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids an import cycle
+    from repro.des.replay import DesResult
+
+__all__ = ["Prediction", "predict", "PREDICTION_BACKENDS"]
+
+#: Runtime backends :func:`predict` accepts.
+PREDICTION_BACKENDS = ("analytic", "des")
 
 
 @dataclass(frozen=True)
@@ -33,10 +47,19 @@ class Prediction:
     energy: EnergyReport
     profile: RuntimeProfile
     cu: float
+    #: Discrete-event replay of the same trace (``backend="des"`` only).
+    des: DesResult | None = None
 
     @property
     def runtime_s(self) -> float:
-        """Predicted wall time."""
+        """Predicted wall time (DES makespan when that backend ran)."""
+        if self.des is not None:
+            return self.des.makespan_s
+        return self.costed.runtime_s
+
+    @property
+    def analytic_runtime_s(self) -> float:
+        """The closed-form wall time, whichever backend was asked for."""
         return self.costed.runtime_s
 
     @property
@@ -60,11 +83,30 @@ def predict(
     config: RunConfiguration,
     *,
     cu_rates: CuRates = DEFAULT_CU_RATES,
+    backend: str = "analytic",
 ) -> Prediction:
-    """Plan, price and package one run."""
+    """Plan, price and package one run.
+
+    ``backend="des"`` replays the trace on the discrete-event fabric
+    model and reports its makespan as the runtime; the analytic costing
+    is still attached (``analytic_runtime_s``) so callers can compare.
+    """
+    if backend not in PREDICTION_BACKENDS:
+        raise CalibrationError(
+            f"unknown prediction backend {backend!r} "
+            f"(choose from {', '.join(PREDICTION_BACKENDS)})"
+        )
     trace = trace_circuit(circuit, config)
     costed = cost_trace(trace)
     energy = energy_report(costed)
+    des = None
+    if backend == "des":
+        # Imported lazily: repro.des sits on top of the perfmodel
+        # package, so a top-level import here would be circular.
+        from repro.des.replay import simulate_trace
+
+        des = simulate_trace(trace)
+    runtime_s = des.makespan_s if des is not None else costed.runtime_s
     return Prediction(
         circuit_name=circuit.name or f"circuit{circuit.num_qubits}",
         config=config,
@@ -73,8 +115,9 @@ def predict(
         profile=profile_trace(costed),
         cu=cu_cost(
             config.num_nodes,
-            costed.runtime_s,
+            runtime_s,
             config.node_type,
             rates=cu_rates,
         ),
+        des=des,
     )

@@ -1,0 +1,135 @@
+"""Tests for the trace -> per-rank DES schedule exporter."""
+
+import pytest
+
+from repro.circuits import qft_circuit
+from repro.des import ComputeOp, ExchangeOp, export_schedules
+from repro.des.schedule import _mask_for_fraction
+from repro.errors import DesError
+from repro.machine import CpuFrequency, STANDARD_NODE
+from repro.mpi import CommMode
+from repro.perfmodel import RunConfiguration, trace_circuit
+from repro.statevector import Partition
+
+
+def make_config(n=20, ranks=8, **kwargs):
+    return RunConfiguration(
+        partition=Partition(n, ranks),
+        node_type=STANDARD_NODE,
+        frequency=CpuFrequency.MEDIUM,
+        **kwargs,
+    )
+
+
+class TestMaskForFraction:
+    def test_full_participation_is_empty_mask(self):
+        assert _mask_for_fraction(1.0, 8) == 0
+
+    def test_half_uses_lowest_bit(self):
+        assert _mask_for_fraction(0.5, 8) == 0b1
+
+    def test_quarter_uses_two_bits(self):
+        assert _mask_for_fraction(0.25, 8) == 0b11
+
+    def test_skip_bit_respected(self):
+        assert _mask_for_fraction(0.5, 8, skip_bit=0) == 0b10
+        assert _mask_for_fraction(0.25, 8, skip_bit=1) == 0b101
+
+    def test_partners_always_agree(self):
+        """The predicate is invariant under XOR with the pair bit."""
+        for pair_bit in range(4):
+            mask = _mask_for_fraction(0.25, 4, skip_bit=pair_bit)
+            for rank in range(16):
+                partner = rank ^ (1 << pair_bit)
+                assert ((rank & mask) == mask) == ((partner & mask) == mask)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(DesError):
+            _mask_for_fraction(0.0, 8)
+
+
+class TestExportSchedules:
+    def test_one_exchange_record_per_distributed_gate(self):
+        config = make_config()
+        trace = trace_circuit(qft_circuit(20), config)
+        schedule = export_schedules(trace)
+        assert schedule.num_exchanges == trace.distributed_gate_count()
+
+    def test_all_ones_rank_participates_in_everything(self):
+        config = make_config()
+        trace = trace_circuit(qft_circuit(20), config)
+        schedule = export_schedules(trace)
+        top = schedule.rank_schedule(config.partition.num_ranks - 1)
+        assert len(top.exchanges()) == schedule.num_exchanges
+
+    def test_chunks_sum_to_send_bytes(self):
+        config = make_config()
+        trace = trace_circuit(qft_circuit(20), config)
+        for op in export_schedules(trace).rank_schedule(7).exchanges():
+            assert sum(op.chunk_sizes) == op.send_bytes
+            assert op.send_bytes > 0
+
+    def test_small_cap_multiplies_chunks(self):
+        base = make_config()
+        capped = make_config(max_message=1024)
+        circuit = qft_circuit(20)
+        one = export_schedules(trace_circuit(circuit, base)).rank_schedule(7)
+        many = export_schedules(trace_circuit(circuit, capped)).rank_schedule(7)
+        for a, b in zip(one.exchanges(), many.exchanges()):
+            assert len(b.chunk_sizes) > len(a.chunk_sizes)
+            assert max(b.chunk_sizes) <= 1024
+
+    def test_local_gates_merge_into_blocks(self):
+        """Consecutive non-communicating gates collapse into one ComputeOp."""
+        config = make_config()
+        trace = trace_circuit(qft_circuit(20), config)
+        ops = list(export_schedules(trace).ops_for(7))
+        compute_ops = [op for op in ops if isinstance(op, ComputeOp)]
+        local_gates = len(trace) - trace.distributed_gate_count()
+        assert 0 < len(compute_ops) < local_gates
+        assert all(op.seconds > 0 for op in compute_ops)
+
+    def test_partner_is_pair_bit_flip(self):
+        config = make_config()
+        trace = trace_circuit(qft_circuit(20), config)
+        schedule = export_schedules(trace)
+        for rank in range(8):
+            for op in schedule.rank_schedule(rank).exchanges():
+                assert op.partner != rank
+                assert bin(op.partner ^ rank).count("1") == 1
+
+    def test_intranode_flag_for_low_pair_bits(self):
+        config = make_config(ranks_per_node=4)
+        trace = trace_circuit(qft_circuit(20), config)
+        schedule = export_schedules(trace)
+        saw_intra = saw_inter = False
+        for op in schedule.rank_schedule(7).exchanges():
+            pair_bit = (op.partner ^ 7).bit_length() - 1
+            if pair_bit < 2:  # log2(ranks_per_node)
+                assert op.intranode
+                saw_intra = True
+            else:
+                assert not op.intranode
+                saw_inter = True
+        assert saw_intra and saw_inter
+
+    def test_out_of_range_rank_rejected(self):
+        config = make_config()
+        schedule = export_schedules(trace_circuit(qft_circuit(20), config))
+        with pytest.raises(DesError):
+            schedule.rank_schedule(8)
+
+    def test_overlap_option_propagates(self):
+        config = make_config(
+            comm_mode=CommMode.NONBLOCKING, overlap_comm_compute=True
+        )
+        trace = trace_circuit(qft_circuit(20), config)
+        ops = export_schedules(trace).rank_schedule(7).exchanges()
+        assert ops and all(op.overlap for op in ops)
+
+    def test_exchange_ops_expose_gate_names(self):
+        config = make_config()
+        trace = trace_circuit(qft_circuit(20), config)
+        for op in export_schedules(trace).rank_schedule(7).exchanges():
+            assert isinstance(op, ExchangeOp)
+            assert op.gate_name

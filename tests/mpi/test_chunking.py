@@ -75,3 +75,11 @@ class TestChunkArray:
     def test_cap_below_itemsize_rejected(self):
         with pytest.raises(CommError):
             chunk_array(np.zeros(4, dtype=np.complex128), 8)
+
+    def test_zero_cap_rejected(self):
+        with pytest.raises(CommError, match="max_message"):
+            chunk_array(np.zeros(4, dtype=np.complex128), 0)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(CommError, match="max_message"):
+            chunk_array(np.zeros(4, dtype=np.complex128), -16)

@@ -43,7 +43,15 @@ class TestEffectiveBandwidth:
 
 class TestExchangeTime:
     def test_zero_bytes_free(self):
-        assert exchange_time(0, 0, CommMode.BLOCKING, 64, MED, CAL) == 0.0
+        assert exchange_time(0, 1, CommMode.BLOCKING, 64, MED, CAL) == 0.0
+
+    def test_zero_messages_raise(self):
+        with pytest.raises(CalibrationError, match="num_messages"):
+            exchange_time(GIB, 0, CommMode.BLOCKING, 64, MED, CAL)
+
+    def test_negative_messages_raise(self):
+        with pytest.raises(CalibrationError, match="num_messages"):
+            exchange_time(GIB, -3, CommMode.NONBLOCKING, 64, MED, CAL)
 
     def test_monotone_in_bytes(self):
         t1 = exchange_time(GIB, 1, CommMode.BLOCKING, 64, MED, CAL)

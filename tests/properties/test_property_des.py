@@ -1,0 +1,86 @@
+"""Property-based invariants of the discrete-event replay.
+
+The DES can reorder and contend work, but it cannot beat physics: the
+makespan of a replay is bounded below by the busiest rank's pure
+communication time and by its pure compute time -- no schedule finishes
+before its longest single-resource stream.  Control-free circuits keep
+every rank fully participating, so the closed-form totals are exactly
+those per-rank streams.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import hadamard_benchmark, qft_circuit
+from repro.machine import CpuFrequency, STANDARD_NODE
+from repro.mpi import CommMode
+from repro.perfmodel import RunConfiguration, cost_trace, trace_circuit
+from repro.statevector import Partition
+from repro.des import simulate_trace
+
+SLACK = 1e-9
+
+qubit_counts = st.integers(min_value=12, max_value=18)
+rank_exponents = st.integers(min_value=1, max_value=3)
+modes = st.sampled_from([CommMode.BLOCKING, CommMode.NONBLOCKING])
+
+
+def _config(n, ranks, mode, **kwargs):
+    return RunConfiguration(
+        partition=Partition(n, ranks),
+        node_type=STANDARD_NODE,
+        frequency=CpuFrequency.MEDIUM,
+        comm_mode=mode,
+        **kwargs,
+    )
+
+
+@given(qubit_counts, rank_exponents, modes)
+@settings(max_examples=20, deadline=None)
+def test_makespan_dominates_pure_comm_and_pure_compute(n, d, mode):
+    """DES total >= max(pure-compute, pure-comm) of the lockstep model."""
+    config = _config(n, 1 << d, mode)
+    trace = trace_circuit(qft_circuit(n), config)
+    costed = cost_trace(trace)
+    result = simulate_trace(trace)
+    pure_comm = costed.comm_s
+    pure_compute = costed.mem_s + costed.cpu_s
+    assert result.makespan_s + SLACK >= max(pure_comm, pure_compute)
+
+
+@given(qubit_counts, rank_exponents, modes)
+@settings(max_examples=20, deadline=None)
+def test_control_free_circuit_bound_is_tight(n, d, mode):
+    """With every rank fully active (no controls), the replay cannot beat
+    the serial sum either -- and must stay within it plus rendezvous
+    effects, i.e. equal for a symmetric SPMD schedule."""
+    config = _config(n, 1 << d, mode)
+    circuit = hadamard_benchmark(n, n - 1, gates=10)
+    trace = trace_circuit(circuit, config)
+    costed = cost_trace(trace)
+    result = simulate_trace(trace)
+    assert result.makespan_s + SLACK >= max(
+        costed.comm_s, costed.mem_s + costed.cpu_s
+    )
+    # Symmetric schedule, uncontended fabric: DES == closed form.
+    assert abs(result.makespan_s - costed.runtime_s) <= max(
+        SLACK, 1e-6 * costed.runtime_s
+    )
+
+
+@given(qubit_counts, rank_exponents)
+@settings(max_examples=15, deadline=None)
+def test_makespan_monotone_in_message_cap_pressure(n, d):
+    """Shrinking the message cap (more chunks) never speeds up blocking
+    replays: every extra chunk adds latency and a serialisation point."""
+    circuit = qft_circuit(n)
+    coarse = simulate_trace(
+        trace_circuit(circuit, _config(n, 1 << d, CommMode.BLOCKING))
+    )
+    fine = simulate_trace(
+        trace_circuit(
+            circuit,
+            _config(n, 1 << d, CommMode.BLOCKING, max_message=256 * 1024),
+        )
+    )
+    assert fine.makespan_s + SLACK >= coarse.makespan_s

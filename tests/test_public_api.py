@@ -44,6 +44,7 @@ class TestErrorHierarchy:
             "TranspilerError",
             "CalibrationError",
             "ExperimentError",
+            "DesError",
         ],
     )
     def test_all_derive_from_repro_error(self, name):
