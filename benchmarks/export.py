@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Measure strided vs reference kernel throughput -> ``BENCH_kernels.json``.
+
+Times every public kernel on both backends over the same amplitude
+buffer and records the median nanoseconds per (statevector) amplitude,
+plus the strided/reference speedup.  The committed ``BENCH_kernels.json``
+at the repo root is the artefact the kernel-rewrite PR gates on; CI
+re-runs this script in ``--quick`` mode and compares against it.
+
+Because absolute ns/amp depends on the machine, the regression check
+(``--check-against``) compares the *speedup ratio* -- strided vs
+reference measured in the same run on the same machine -- and fails when
+any kernel's current speedup drops below half its baseline speedup
+(i.e. the strided kernel regressed >2x relative to the reference).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/export.py                  # 2**20 amps
+    PYTHONPATH=src python benchmarks/export.py --quick          # 2**16 amps
+    PYTHONPATH=src python benchmarks/export.py --quick \\
+        --check-against BENCH_kernels.json --output /tmp/b.json
+
+Only the standard library and numpy are required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro.circuits import random_state
+from repro.gates import Gate
+from repro.gates import matrices as mats
+from repro.statevector import gate_kernels as kernels
+
+
+def _cx():
+    return mats.pauli_x()
+
+
+def _u3():
+    return mats.u3(0.2, 0.4, 0.6)
+
+
+def _cases(n: int):
+    """(name, callable(amps)) pairs; every callable mutates in place and
+    dispatches through the active backend."""
+    hi, lo = n - 1, 0
+    mid = n // 2
+    h = mats.hadamard()
+    cx = _cx()
+    u3 = _u3()
+    p_diag = np.diag(mats.phase(0.3))
+    fused = Gate.fused(
+        [
+            Gate.named("p", (lo,), params=(0.1,)),
+            Gate.named("p", (mid,), params=(0.2,), controls=(lo,)),
+            Gate.named("rz", (hi,), params=(0.3,)),
+        ]
+    )
+    fused_diag = fused.diagonal_vector()
+    fused_targets = fused.targets
+    return [
+        ("hadamard_low", lambda a: kernels.apply_matrix(a, h, (lo,))),
+        ("hadamard_high", lambda a: kernels.apply_matrix(a, h, (hi,))),
+        # The acceptance case: the canonical controlled gate.
+        ("controlled_x", lambda a: kernels.apply_matrix(a, cx, (mid,), (lo,))),
+        ("controlled_u3", lambda a: kernels.apply_matrix(a, u3, (mid,), (lo,))),
+        (
+            "two_controls_h",
+            lambda a: kernels.apply_matrix(a, h, (mid,), (lo, hi)),
+        ),
+        (
+            "controlled_phase_diag",
+            lambda a: kernels.apply_diagonal(a, p_diag, (mid,), (lo,)),
+        ),
+        (
+            "fused_diag_3gates",
+            lambda a: kernels.apply_diagonal(a, fused_diag, fused_targets),
+        ),
+        # The other acceptance case.
+        ("local_swap", lambda a: kernels.apply_swap_local(a, 2, hi)),
+        (
+            "controlled_swap",
+            lambda a: kernels.apply_swap_local(a, 2, hi, (mid,)),
+        ),
+    ]
+
+
+def _time_case(fn, amps: np.ndarray, repeats: int) -> float:
+    """Median ns/amp over ``repeats`` timed applications."""
+    fn(amps)  # warm-up (page in, JIT numpy loops into cache)
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter_ns()
+        fn(amps)
+        samples.append(time.perf_counter_ns() - t0)
+    return statistics.median(samples) / amps.shape[0]
+
+
+def run(n: int, repeats: int) -> dict:
+    amps = random_state(n, seed=0).copy()
+    results: dict[str, dict[str, float]] = {}
+    for name, fn in _cases(n):
+        with kernels.using_backend("strided"):
+            strided = _time_case(fn, amps, repeats)
+        with kernels.using_backend("reference"):
+            ref = _time_case(fn, amps, repeats)
+        results[name] = {
+            "strided_ns_per_amp": round(strided, 4),
+            "reference_ns_per_amp": round(ref, 4),
+            "speedup": round(ref / strided, 3),
+        }
+    return {
+        "schema": "repro-bench-kernels/1",
+        "num_qubits": n,
+        "num_amps": 1 << n,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernels": results,
+    }
+
+
+def check_against(current: dict, baseline_path: str) -> list[str]:
+    """Speedup-ratio regressions of ``current`` vs a baseline file."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for name, entry in baseline.get("kernels", {}).items():
+        now = current["kernels"].get(name)
+        if now is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = entry["speedup"] / 2.0
+        if now["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {now['speedup']:.2f}x fell below half the "
+                f"baseline ({entry['speedup']:.2f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="2**16 amplitudes and fewer repeats (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_kernels.json",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check-against",
+        metavar="PATH",
+        help="baseline BENCH_kernels.json; exit 1 if any kernel's "
+        "strided/reference speedup drops below half its baseline value",
+    )
+    args = parser.parse_args(argv)
+
+    n = 16 if args.quick else 20
+    repeats = 5 if args.quick else 9
+    report = run(n, repeats)
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    width = max(len(k) for k in report["kernels"])
+    print(f"kernel throughput at 2**{n} amplitudes ({repeats} repeats):")
+    for name, entry in sorted(report["kernels"].items()):
+        print(
+            f"  {name:<{width}}  strided {entry['strided_ns_per_amp']:8.3f} "
+            f"ns/amp   reference {entry['reference_ns_per_amp']:8.3f} ns/amp"
+            f"   speedup {entry['speedup']:6.2f}x"
+        )
+    print(f"wrote {args.output}")
+
+    if args.check_against:
+        failures = check_against(report, args.check_against)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.check_against}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

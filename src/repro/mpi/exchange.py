@@ -20,6 +20,30 @@ from repro.mpi.datatypes import CommMode
 __all__ = ["exchange_arrays"]
 
 
+def _assemble(
+    received: list[np.ndarray], out: np.ndarray | None
+) -> np.ndarray:
+    """Concatenate received chunks, into ``out`` when one is provided.
+
+    With a preallocated ``out`` (the executor's reusable pair buffer)
+    the chunks are copied in place and a length-trimmed view of ``out``
+    is returned -- no fresh full-size array per exchange.
+    """
+    if out is None:
+        return np.concatenate(received) if len(received) > 1 else received[0]
+    flat = out.reshape(-1)
+    total = sum(chunk.shape[0] for chunk in received)
+    if total > flat.shape[0]:
+        raise CommError(
+            f"receive buffer too small: {flat.shape[0]} < {total} elements"
+        )
+    pos = 0
+    for chunk in received:
+        flat[pos : pos + chunk.shape[0]] = chunk
+        pos += chunk.shape[0]
+    return flat[:total]
+
+
 def exchange_arrays(
     comm: SimComm,
     rank_a: int,
@@ -30,6 +54,8 @@ def exchange_arrays(
     mode: CommMode = CommMode.BLOCKING,
     max_message: int = MAX_MESSAGE_BYTES,
     tag_base: int = 0,
+    out_a: np.ndarray | None = None,
+    out_b: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Drive a full exchange between two ranks; returns what each received.
 
@@ -38,6 +64,10 @@ def exchange_arrays(
     ``Sendrecv`` in ``BLOCKING`` mode, or post-everything-then-``Waitall``
     in ``NONBLOCKING`` mode.  The payloads may differ in length (the
     halved-SWAP optimisation sends half-sized buffers).
+
+    ``out_a``/``out_b`` are optional preallocated receive buffers (QuEST's
+    static ``pairStateVec``); when given, the received chunks are written
+    into them and the returned arrays are views of them.
     """
     if rank_a == rank_b:
         raise CommError("exchange requires two distinct ranks")
@@ -82,8 +112,8 @@ def exchange_arrays(
         received_a = [r for r in comm.Waitall(recv_reqs_a)]
         received_b = [r for r in comm.Waitall(recv_reqs_b)]
 
-    out_a = np.concatenate(received_a) if len(received_a) > 1 else received_a[0]
-    out_b = np.concatenate(received_b) if len(received_b) > 1 else received_b[0]
-    if out_a.nbytes != np.asarray(buf_b).nbytes or out_b.nbytes != np.asarray(buf_a).nbytes:
+    got_a = _assemble(received_a, out_a)
+    got_b = _assemble(received_b, out_b)
+    if got_a.nbytes != np.asarray(buf_b).nbytes or got_b.nbytes != np.asarray(buf_a).nbytes:
         raise CommError("exchange produced buffers of unexpected size")
-    return out_a, out_b
+    return got_a, got_b

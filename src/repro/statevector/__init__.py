@@ -6,6 +6,13 @@ schedule over the simulated MPI layer; the planner describes each gate's
 structure for the performance model.
 """
 
+from repro.statevector.apply_plan import (
+    ApplyPlan,
+    ApplyStep,
+    StepKind,
+    compile_gate_step,
+    compile_plan,
+)
 from repro.statevector.dense import DenseStatevector
 from repro.statevector.distributed import DistributedStatevector
 from repro.statevector.fidelity import (
@@ -38,6 +45,11 @@ from repro.statevector.plan import (
 )
 
 __all__ = [
+    "ApplyPlan",
+    "ApplyStep",
+    "StepKind",
+    "compile_plan",
+    "compile_gate_step",
     "DenseStatevector",
     "DistributedStatevector",
     "SoAStatevector",

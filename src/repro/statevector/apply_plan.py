@@ -1,0 +1,272 @@
+"""Per-circuit compiled apply plans for the numeric simulators.
+
+Applying a circuit gate by gate repeats per-gate work that depends only
+on the circuit, not on the amplitudes: registry lookups and matrix
+construction in :meth:`Gate.matrix`, the diagonal/swap/single/generic
+classification, and the kernel dispatch.  :func:`compile_plan` does all
+of that once, producing a sequence of :class:`ApplyStep` records with
+the gate matrix (or diagonal vector) already materialised, and fuses
+runs of adjacent diagonal gates into a single strided sweep (the same
+optimisation QuEST applies to the QFT's phase ladders, here applied to
+*any* adjacent diagonals).
+
+Both executors consume plans: :meth:`DenseStatevector.apply_circuit`
+runs each step directly on the full amplitude array, and
+:meth:`DistributedStatevector.apply_circuit` runs the local part of each
+step per rank (reducing fused diagonals over the rank-index bits).
+Plans are cached per circuit, so re-applying the same circuit object --
+the common pattern in parameter sweeps and the property suite -- skips
+compilation entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.errors import SimulationError
+from repro.gates import Gate
+from repro.statevector import gate_kernels as kernels
+
+__all__ = [
+    "StepKind",
+    "ApplyStep",
+    "ApplyPlan",
+    "compile_plan",
+    "compile_gate_step",
+    "reduce_diagonal",
+    "clear_plan_cache",
+    "MAX_FUSED_QUBITS",
+]
+
+#: Fused diagonal sweeps are capped at this many distinct qubits so the
+#: materialised diagonal vector (``2**k`` entries) stays trivially small.
+MAX_FUSED_QUBITS = 10
+
+
+class StepKind(enum.Enum):
+    """Kernel class of one apply step (fixed at compile time)."""
+
+    DIAGONAL = "diagonal"
+    SINGLE = "single"
+    SWAP = "swap"
+    GENERIC = "generic"
+
+
+@dataclass(frozen=True)
+class ApplyStep:
+    """One compiled operation: classified, with its operator materialised.
+
+    ``gate`` is the gate the executors plan/observe with (for a fused
+    run it is the synthetic ``fused_diag`` gate); ``gates`` are the
+    original circuit gates the step covers, in order.
+    """
+
+    kind: StepKind
+    gate: Gate
+    gates: tuple[Gate, ...]
+    targets: tuple[int, ...]
+    controls: tuple[int, ...]
+    #: Target-space matrix for SINGLE/GENERIC steps, else None.
+    matrix: np.ndarray | None = None
+    #: Diagonal vector (first target = LSB) for DIAGONAL steps, else None.
+    diag: np.ndarray | None = None
+
+    @property
+    def num_gates(self) -> int:
+        """Original gates covered (> 1 only for fused diagonal runs)."""
+        return len(self.gates)
+
+    def run_local(self, amps: np.ndarray) -> None:
+        """Execute the step on a local amplitude array, in place."""
+        if self.kind is StepKind.DIAGONAL:
+            kernels.apply_diagonal(amps, self.diag, self.targets, self.controls)
+        elif self.kind is StepKind.SWAP:
+            kernels.apply_swap_local(
+                amps, self.targets[0], self.targets[1], self.controls
+            )
+        else:
+            kernels.apply_matrix(amps, self.matrix, self.targets, self.controls)
+
+
+@dataclass(frozen=True)
+class ApplyPlan:
+    """A compiled circuit: the step sequence both executors run."""
+
+    num_qubits: int
+    steps: tuple[ApplyStep, ...]
+    #: Gates in the source circuit (>= len(steps) when runs were fused).
+    num_gates: int
+
+    def run_dense(self, amps: np.ndarray) -> None:
+        """Execute every step on a full statevector, in place."""
+        for step in self.steps:
+            step.run_local(amps)
+
+    @property
+    def num_fused(self) -> int:
+        """Original gates absorbed into multi-gate fused steps."""
+        return sum(s.num_gates for s in self.steps if s.num_gates > 1)
+
+
+def compile_gate_step(gate: Gate) -> ApplyStep:
+    """Classify one gate and materialise its operator."""
+    if gate.name == "fused_diag":
+        return ApplyStep(
+            kind=StepKind.DIAGONAL,
+            gate=gate,
+            gates=(gate,),
+            targets=gate.targets,
+            controls=(),
+            diag=gate.diagonal_vector(),
+        )
+    if gate.is_diagonal():
+        return ApplyStep(
+            kind=StepKind.DIAGONAL,
+            gate=gate,
+            gates=(gate,),
+            targets=gate.targets,
+            controls=gate.controls,
+            diag=np.diag(gate.matrix()),
+        )
+    if gate.is_swap():
+        return ApplyStep(
+            kind=StepKind.SWAP,
+            gate=gate,
+            gates=(gate,),
+            targets=gate.targets,
+            controls=gate.controls,
+        )
+    kind = StepKind.SINGLE if len(gate.targets) == 1 else StepKind.GENERIC
+    return ApplyStep(
+        kind=kind,
+        gate=gate,
+        gates=(gate,),
+        targets=gate.targets,
+        controls=gate.controls,
+        matrix=gate.matrix(),
+    )
+
+
+def _fused_step(run: list[Gate]) -> ApplyStep:
+    """Collapse a run of >= 2 adjacent diagonal gates into one sweep."""
+    fused = Gate.fused(run)
+    return ApplyStep(
+        kind=StepKind.DIAGONAL,
+        gate=fused,
+        gates=tuple(run),
+        targets=fused.targets,
+        controls=(),
+        diag=fused.diagonal_vector(),
+    )
+
+
+# Plans are cached keyed on the circuit's identity; the stored gate tuple
+# guards against in-place circuit mutation between applications, and a
+# weakref finaliser evicts entries when the circuit is collected.
+_plan_cache: dict[int, tuple] = {}
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (test isolation hook)."""
+    _plan_cache.clear()
+
+
+def compile_plan(
+    circuit: Circuit,
+    *,
+    fuse_diagonals: bool = True,
+    max_fused_qubits: int = MAX_FUSED_QUBITS,
+    cache: bool = True,
+) -> ApplyPlan:
+    """Compile a circuit into an :class:`ApplyPlan`.
+
+    ``fuse_diagonals`` merges runs of adjacent diagonal gates whose
+    combined qubit support stays within ``max_fused_qubits``; disable it
+    when per-gate granularity must be preserved (the distributed
+    executor does so automatically when an observer is attached).
+    """
+    if max_fused_qubits < 1:
+        raise SimulationError(
+            f"max_fused_qubits must be >= 1, got {max_fused_qubits}"
+        )
+    key = (fuse_diagonals, max_fused_qubits)
+    if cache:
+        entry = _plan_cache.get(id(circuit))
+        if (
+            entry is not None
+            and entry[0]() is circuit
+            and entry[1] == key
+            and entry[2] == circuit.gates
+        ):
+            return entry[3]
+
+    steps: list[ApplyStep] = []
+    run: list[Gate] = []
+    run_qubits: set[int] = set()
+
+    def flush() -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            steps.append(compile_gate_step(run[0]))
+        else:
+            steps.append(_fused_step(run))
+        run.clear()
+        run_qubits.clear()
+
+    for gate in circuit:
+        if fuse_diagonals and gate.is_diagonal():
+            qubits = set(gate.targets) | set(gate.controls)
+            if run and len(run_qubits | qubits) > max_fused_qubits:
+                flush()
+            if len(qubits) <= max_fused_qubits:
+                run.append(gate)
+                run_qubits.update(qubits)
+                continue
+        flush()
+        steps.append(compile_gate_step(gate))
+    flush()
+
+    plan = ApplyPlan(
+        num_qubits=circuit.num_qubits,
+        steps=tuple(steps),
+        num_gates=len(circuit),
+    )
+    if cache:
+        cid = id(circuit)
+        ref = weakref.ref(circuit, lambda _r, cid=cid: _plan_cache.pop(cid, None))
+        _plan_cache[cid] = (ref, key, circuit.gates, plan)
+    return plan
+
+
+def reduce_diagonal(
+    diag: np.ndarray,
+    targets: tuple[int, ...],
+    fixed_bits: dict[int, int],
+) -> tuple[tuple[int, ...], np.ndarray]:
+    """Restrict a diagonal to the targets *not* listed in ``fixed_bits``.
+
+    ``fixed_bits`` maps a target qubit to the (0/1) value its index bit
+    takes -- on the distributed executor these are the rank-index bits,
+    whose value is constant across a rank's whole slice.  Returns the
+    remaining targets (original order) and the ``2**k_remaining`` entry
+    diagonal over them.
+    """
+    free_positions = [j for j, t in enumerate(targets) if t not in fixed_bits]
+    base = 0
+    for j, t in enumerate(targets):
+        if t in fixed_bits:
+            base |= (fixed_bits[t] & 1) << j
+    reduced = np.empty(1 << len(free_positions), dtype=diag.dtype)
+    for a in range(reduced.shape[0]):
+        full = base
+        for i, j in enumerate(free_positions):
+            full |= ((a >> i) & 1) << j
+        reduced[a] = diag[full]
+    remaining = tuple(targets[j] for j in free_positions)
+    return remaining, reduced

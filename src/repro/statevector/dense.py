@@ -12,7 +12,11 @@ import numpy as np
 from repro.circuits.circuit import Circuit
 from repro.errors import SimulationError
 from repro.gates import Gate
-from repro.statevector import gate_kernels as kernels
+from repro.statevector.apply_plan import (
+    ApplyPlan,
+    compile_gate_step,
+    compile_plan,
+)
 from repro.utils.bits import log2_exact
 
 __all__ = ["DenseStatevector"]
@@ -30,9 +34,9 @@ class DenseStatevector:
     ):
         if num_qubits < 1:
             raise SimulationError(f"num_qubits must be >= 1, got {num_qubits}")
-        if num_qubits > 26:
+        if num_qubits > 28:
             raise SimulationError(
-                f"dense reference simulator capped at 26 qubits "
+                f"dense reference simulator capped at 28 qubits "
                 f"({num_qubits} requested); use the model executor for scale"
             )
         dtype = np.dtype(dtype)
@@ -117,30 +121,26 @@ class DenseStatevector:
                 f"gate {gate} touches qubit {gate.max_qubit} of a "
                 f"{self._num_qubits}-qubit state"
             )
-        if gate.name == "fused_diag":
-            kernels.apply_fused_diagonal(self._amps, gate)
-        elif gate.is_diagonal():
-            diag = np.diag(gate.matrix())
-            kernels.apply_diagonal(self._amps, diag, gate.targets, gate.controls)
-        elif gate.is_swap():
-            kernels.apply_swap_local(
-                self._amps, gate.targets[0], gate.targets[1], gate.controls
-            )
-        else:
-            kernels.apply_matrix(
-                self._amps, gate.matrix(), gate.targets, gate.controls
-            )
+        compile_gate_step(gate).run_local(self._amps)
         return self
 
     def apply_circuit(self, circuit: Circuit) -> "DenseStatevector":
-        """Apply every gate of ``circuit`` in order."""
+        """Apply every gate of ``circuit`` in order (via a compiled plan)."""
         if circuit.num_qubits != self._num_qubits:
             raise SimulationError(
                 f"circuit width {circuit.num_qubits} != state width "
                 f"{self._num_qubits}"
             )
-        for gate in circuit:
-            self.apply_gate(gate)
+        return self.apply_plan(compile_plan(circuit))
+
+    def apply_plan(self, plan: "ApplyPlan") -> "DenseStatevector":
+        """Execute a pre-compiled :class:`ApplyPlan` in place."""
+        if plan.num_qubits != self._num_qubits:
+            raise SimulationError(
+                f"plan width {plan.num_qubits} != state width "
+                f"{self._num_qubits}"
+            )
+        plan.run_dense(self._amps)
         return self
 
     # -- measurement (delegates) --------------------------------------------

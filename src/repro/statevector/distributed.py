@@ -24,6 +24,13 @@ from repro.errors import SimulationError
 from repro.gates import Gate, GateLocality
 from repro.mpi import CommMode, MAX_MESSAGE_BYTES, SimComm, exchange_arrays
 from repro.statevector import gate_kernels as kernels
+from repro.statevector.apply_plan import (
+    ApplyStep,
+    StepKind,
+    compile_gate_step,
+    compile_plan,
+    reduce_diagonal,
+)
 from repro.statevector.dense import DenseStatevector
 from repro.statevector.partition import Partition
 from repro.statevector.plan import GatePlan, plan_gate
@@ -58,6 +65,11 @@ class DistributedStatevector:
         ]
         self._local[0][0] = 1.0  # |0...0>
         self._gate_index = 0
+        # Per-rank reusable exchange buffer (QuEST's static pairStateVec):
+        # every distributed gate receives into it -- no per-gate full-size
+        # allocation -- and the halved-SWAP path packs its outgoing half
+        # into it too.  Allocated lazily on the first distributed gate.
+        self._pair_buf: list[np.ndarray] | None = None
 
     # -- constructors --------------------------------------------------------
 
@@ -243,18 +255,30 @@ class DistributedStatevector:
     # -- evolution ----------------------------------------------------------------
 
     def apply_circuit(self, circuit: Circuit) -> "DistributedStatevector":
-        """Apply every gate of ``circuit`` in order."""
+        """Apply every gate of ``circuit`` in order (via a compiled plan).
+
+        Adjacent diagonal gates are fused into single strided sweeps
+        unless an observer is attached (observers see one callback per
+        original gate, so fusion is disabled to keep that contract).
+        """
         if circuit.num_qubits != self.num_qubits:
             raise SimulationError(
                 f"circuit width {circuit.num_qubits} != state width "
                 f"{self.num_qubits}"
             )
-        for gate in circuit:
-            self.apply_gate(gate)
+        plan = compile_plan(circuit, fuse_diagonals=self.observer is None)
+        for step in plan.steps:
+            self._apply_step(step)
         return self
 
     def apply_gate(self, gate: Gate) -> "DistributedStatevector":
         """Apply one gate across all ranks (SPMD lockstep)."""
+        self._apply_step(compile_gate_step(gate))
+        return self
+
+    def _apply_step(self, step: ApplyStep) -> None:
+        """Execute one compiled step across all ranks."""
+        gate = step.gate
         if gate.max_qubit >= self.num_qubits:
             raise SimulationError(
                 f"gate {gate} touches qubit {gate.max_qubit} of a "
@@ -267,17 +291,16 @@ class DistributedStatevector:
             max_message=self.max_message,
         )
         if plan.locality is GateLocality.FULLY_LOCAL:
-            self._apply_diagonal(gate)
+            self._apply_diagonal_step(step)
         elif plan.locality is GateLocality.LOCAL_MEMORY:
-            self._apply_local_memory(gate)
-        elif gate.is_swap():
+            self._apply_local_memory_step(step)
+        elif step.kind is StepKind.SWAP:
             self._apply_distributed_swap(gate)
         else:
-            self._apply_distributed_single(gate)
+            self._apply_distributed_single(gate, step.matrix)
         if self.observer is not None:
             self.observer(self._gate_index, gate, plan)
-        self._gate_index += 1
-        return self
+        self._gate_index += step.num_gates
 
     # -- rank participation helpers ----------------------------------------------
 
@@ -292,55 +315,58 @@ class DistributedStatevector:
         m = self.partition.local_qubits
         return tuple(c for c in gate.controls if c < m)
 
+    def _pair_buffers(self) -> list[np.ndarray]:
+        """The per-rank reusable exchange buffers (allocated on first use)."""
+        if self._pair_buf is None:
+            self._pair_buf = [
+                np.empty(self.partition.local_amplitudes, dtype=np.complex128)
+                for _ in range(self.num_ranks)
+            ]
+        return self._pair_buf
+
     # -- gate class implementations -------------------------------------------------
 
-    def _apply_diagonal(self, gate: Gate) -> None:
-        """Fully local (diagonal) gate: one masked sweep per active rank.
+    def _apply_diagonal_step(self, step: ApplyStep) -> None:
+        """Fully local (diagonal) gate: one strided sweep per active rank.
 
-        Works for any mix of local/distributed targets and controls by
-        evaluating the diagonal factor on global indices.
+        Distributed controls decide whether a rank participates at all;
+        distributed targets have a constant bit value per rank, so the
+        diagonal is reduced over them once per rank and the remaining
+        local part runs through the strided kernel -- no per-rank index
+        arrays or masks.
         """
         m = self.partition.local_qubits
-        if gate.name == "fused_diag":
-            diag = gate.diagonal_vector()
-            targets = gate.targets
-            controls: tuple[int, ...] = ()
-        else:
-            diag = np.diag(gate.matrix())
-            targets = gate.targets
-            controls = gate.controls
-        local_amps = self.partition.local_amplitudes
-        local_idx = np.arange(local_amps, dtype=np.int64)
+        targets, controls, diag = step.targets, step.controls, step.diag
+        local_controls = tuple(c for c in controls if c < m)
+        dist_controls = tuple(c for c in controls if c >= m)
+        dist_targets = tuple(t for t in targets if t >= m)
         for rank in range(self.num_ranks):
-            idx = local_idx | (rank << m)
-            factors_sub = np.zeros(local_amps, dtype=np.int64)
-            for j, t in enumerate(targets):
-                factors_sub |= ((idx >> t) & 1) << j
-            factors = diag[factors_sub]
-            mask = None
-            if controls:
-                mask = np.ones(local_amps, dtype=bool)
-                for c in controls:
-                    mask &= ((idx >> c) & 1).astype(bool)
-            if mask is None:
-                self._local[rank] *= factors
+            if not all((rank >> (c - m)) & 1 for c in dist_controls):
+                continue
+            if dist_targets:
+                fixed = {t: (rank >> (t - m)) & 1 for t in dist_targets}
+                local_targets, reduced = reduce_diagonal(diag, targets, fixed)
             else:
-                self._local[rank][mask] *= factors[mask]
+                local_targets, reduced = targets, diag
+            kernels.apply_diagonal(
+                self._local[rank], reduced, local_targets, local_controls
+            )
 
-    def _apply_local_memory(self, gate: Gate) -> None:
+    def _apply_local_memory_step(self, step: ApplyStep) -> None:
         """All pairing targets local; distributed controls gate rank activity."""
+        gate = step.gate
         local_controls = self._local_controls(gate)
         for rank in range(self.num_ranks):
             if not self._rank_controls_satisfied(gate, rank):
                 continue
             amps = self._local[rank]
-            if gate.is_swap():
+            if step.kind is StepKind.SWAP:
                 kernels.apply_swap_local(
-                    amps, gate.targets[0], gate.targets[1], local_controls
+                    amps, step.targets[0], step.targets[1], local_controls
                 )
             else:
                 kernels.apply_matrix(
-                    amps, gate.matrix(), gate.targets, local_controls
+                    amps, step.matrix, step.targets, local_controls
                 )
 
     def _comm_pairs(self, rank_bit: int, gate: Gate) -> list[tuple[int, int]]:
@@ -356,13 +382,17 @@ class DistributedStatevector:
                 pairs.append((rank, peer))
         return pairs
 
-    def _apply_distributed_single(self, gate: Gate) -> None:
+    def _apply_distributed_single(
+        self, gate: Gate, matrix: np.ndarray | None = None
+    ) -> None:
         """Single-target non-diagonal gate on a rank-index bit."""
         part = self.partition
         target = gate.pairing_targets()[0]
         rank_bit = part.rank_bit(target)
-        matrix = gate.matrix()
+        if matrix is None:
+            matrix = gate.matrix()
         local_controls = self._local_controls(gate)
+        bufs = self._pair_buffers()
         for rank, peer in self._comm_pairs(rank_bit, gate):
             recv_lo, recv_hi = exchange_arrays(
                 self.comm,
@@ -373,6 +403,8 @@ class DistributedStatevector:
                 mode=self.comm_mode,
                 max_message=self.max_message,
                 tag_base=self._gate_index << 8,
+                out_a=bufs[rank],
+                out_b=bufs[peer],
             )
             # recv_lo is what the low rank received (= peer's data).
             kernels.combine_distributed_single(
@@ -400,6 +432,7 @@ class DistributedStatevector:
                 "decomposes it); remove controls or keep targets local"
             )
         t_low, t_high = sorted(gate.targets)
+        bufs = self._pair_buffers()
         if t_low >= m:
             # Both bits are rank bits: ranks with differing bit values
             # trade entire slices.
@@ -418,6 +451,8 @@ class DistributedStatevector:
                     mode=self.comm_mode,
                     max_message=self.max_message,
                     tag_base=self._gate_index << 8,
+                    out_a=bufs[rank],
+                    out_b=bufs[peer],
                 )
                 self._local[rank][:] = recv_a
                 self._local[peer][:] = recv_b
@@ -428,17 +463,24 @@ class DistributedStatevector:
         # rank-bit value.
         local_bit = t_low
         rank_bit = t_high - m
+        half = self.partition.local_amplitudes // 2
         for rank, peer in self._comm_pairs(rank_bit, gate):
             if self.halved_swaps:
                 # Send only the half the partner needs: the sender's
                 # amplitudes whose local bit equals the *receiver's*
-                # rank-bit value.
+                # rank-bit value.  The outgoing half is packed into the
+                # front of the reused pair buffer (the simulated NIC
+                # copies it on send) and the reply lands in the back
+                # half, so no per-gate temporaries are allocated.
                 view_lo = self._local[rank].reshape(-1, 2, 1 << local_bit)
                 view_hi = self._local[peer].reshape(-1, 2, 1 << local_bit)
+                half_shape = view_lo[:, 0, :].shape
                 # low rank (bit value 0) needs partner's local-bit-0 half;
                 # high rank (bit value 1) needs partner's local-bit-1 half.
-                send_from_lo = np.ascontiguousarray(view_lo[:, 1, :]).reshape(-1)
-                send_from_hi = np.ascontiguousarray(view_hi[:, 0, :]).reshape(-1)
+                send_from_lo = bufs[rank][:half]
+                send_from_hi = bufs[peer][:half]
+                send_from_lo.reshape(half_shape)[...] = view_lo[:, 1, :]
+                send_from_hi.reshape(half_shape)[...] = view_hi[:, 0, :]
                 recv_lo, recv_hi = exchange_arrays(
                     self.comm,
                     rank,
@@ -448,8 +490,9 @@ class DistributedStatevector:
                     mode=self.comm_mode,
                     max_message=self.max_message,
                     tag_base=self._gate_index << 8,
+                    out_a=bufs[rank][half:],
+                    out_b=bufs[peer][half:],
                 )
-                half_shape = view_lo[:, 0, :].shape
                 view_lo[:, 1, :] = recv_lo.reshape(half_shape)
                 view_hi[:, 0, :] = recv_hi.reshape(half_shape)
             else:
@@ -462,6 +505,8 @@ class DistributedStatevector:
                     mode=self.comm_mode,
                     max_message=self.max_message,
                     tag_base=self._gate_index << 8,
+                    out_a=bufs[rank],
+                    out_b=bufs[peer],
                 )
                 kernels.swap_in_halves(self._local[rank], recv_lo, local_bit, 0)
                 kernels.swap_in_halves(self._local[peer], recv_hi, local_bit, 1)

@@ -1,24 +1,48 @@
-"""Vectorised NumPy kernels for gate application.
+"""Strided NumPy kernels for gate application.
 
-All kernels operate **in place** on a flat ``complex128`` array of
-``2**m`` amplitudes whose index bits are "local" qubit positions.  They
-are shared by the dense reference simulator (where the local array is
-the whole statevector) and by each rank of the distributed simulator
-(where rank-index bits are handled by the exchange layer and only the
-local part of a gate reaches these kernels).
+All kernels operate **in place** on a flat complex array of ``2**m``
+amplitudes whose index bits are "local" qubit positions.  They are
+shared by the dense reference simulator (where the local array is the
+whole statevector) and by each rank of the distributed simulator (where
+rank-index bits are handled by the exchange layer and only the local
+part of a gate reaches these kernels).
 
-Following the HPC guidance this module works with views and in-place
-updates on the no-control fast paths, and falls back to index-array
-gather/scatter only where controls force irregular access.
+Layout
+------
+Every kernel works through *slab views*: the flat array is reshaped so
+each bit a gate touches (target or control) becomes its own length-2
+axis, with the untouched bit runs collapsed into contiguous blocks::
+
+    bits (descending)  b1 > b2 > ... > bk
+    shape              (2**(m-1-b1), 2, 2**(b1-1-b2), 2, ..., 2**bk)
+
+Fixing a control axis to ``1`` or a target axis to ``0``/``1`` with
+basic indexing yields a strided *view* -- no ``int64`` index arrays, no
+boolean masks, no gather/scatter.  A gate with ``c`` controls therefore
+sweeps exactly the ``2**(m-c)`` amplitudes it can change, and the only
+temporaries are the complex copies an in-place pair update inherently
+needs (at most the touched region; none at all for diagonals, swaps and
+triangular 2x2 matrices).
+
+The previous gather/scatter kernels are preserved verbatim in
+:mod:`repro.statevector.gate_kernels_reference`; set
+``REPRO_KERNELS=reference`` (or call :func:`set_backend`) to route every
+public kernel through them.  The property suite in
+``tests/properties/test_property_kernels.py`` asserts the two backends
+agree on random gates.
 """
 
 from __future__ import annotations
+
+import os
+from contextlib import contextmanager
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.gates import Gate
-from repro.utils.bits import log2_exact, mask_of
+from repro.statevector import gate_kernels_reference as _reference
+from repro.utils.bits import log2_exact
 
 __all__ = [
     "control_mask",
@@ -28,36 +52,134 @@ __all__ = [
     "apply_swap_local",
     "combine_distributed_single",
     "swap_in_halves",
+    "get_backend",
+    "set_backend",
+    "using_backend",
+    "KERNEL_BACKENDS",
 ]
+
+#: Recognised values of the ``REPRO_KERNELS`` environment variable.
+KERNEL_BACKENDS = ("strided", "reference")
+
+_ENV_VAR = "REPRO_KERNELS"
+
+
+def _resolve_backend(name: str) -> str:
+    name = name.strip().lower()
+    if name not in KERNEL_BACKENDS:
+        raise SimulationError(
+            f"unknown kernel backend {name!r}; choose one of {KERNEL_BACKENDS}"
+        )
+    return name
+
+
+_backend = _resolve_backend(os.environ.get(_ENV_VAR, "strided"))
+
+
+def get_backend() -> str:
+    """The active kernel backend (``"strided"`` or ``"reference"``)."""
+    return _backend
+
+
+def set_backend(name: str) -> str:
+    """Select the kernel backend at runtime; returns the previous one."""
+    global _backend
+    previous = _backend
+    _backend = _resolve_backend(name)
+    return previous
+
+
+@contextmanager
+def using_backend(name: str):
+    """Context manager that temporarily selects a kernel backend."""
+    previous = set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+# Re-exported: the control-mask helper is only needed by the reference
+# gather/scatter path, but it is part of the public kernel API (tests
+# and external callers use it to reason about control semantics).
+control_mask = _reference.control_mask
 
 
 def _num_bits(amps: np.ndarray) -> int:
     return log2_exact(amps.shape[0])
 
 
-def control_mask(
-    num_amps: int, controls: tuple[int, ...], *, indices: np.ndarray | None = None
-) -> np.ndarray | None:
-    """Boolean mask of indices whose control bits are all set.
+# -- slab views --------------------------------------------------------------
 
-    Returns ``None`` when there are no controls (meaning "all indices").
-    ``indices`` restricts evaluation to the given index array.
+
+def _slab_view(amps: np.ndarray, bits_desc: tuple[int, ...]):
+    """Reshape ``amps`` so each bit in ``bits_desc`` is a length-2 axis.
+
+    ``bits_desc`` must be strictly descending.  Returns ``(view, axes)``
+    where ``axes[i]`` is the axis index of ``bits_desc[i]`` in ``view``.
     """
-    if not controls:
-        return None
-    idx = np.arange(num_amps, dtype=np.int64) if indices is None else indices
-    mask = np.ones(idx.shape, dtype=bool)
+    nbits = _num_bits(amps)
+    shape: list[int] = []
+    axes: list[int] = []
+    prev = nbits
+    for bit in bits_desc:
+        shape.append(1 << (prev - 1 - bit))
+        axes.append(len(shape))
+        shape.append(2)
+        prev = bit
+    shape.append(1 << prev)
+    return amps.reshape(shape), axes
+
+
+def _subview(
+    amps: np.ndarray,
+    targets: tuple[int, ...],
+    controls: tuple[int, ...],
+):
+    """Callable mapping a target-bit assignment to its strided slab view.
+
+    Control bits are fixed to 1; target bit ``targets[j]`` is set to bit
+    ``j`` of the assignment.  Every returned slab is a *view* of
+    ``amps`` covering ``2**(m - k - c)`` amplitudes.
+    """
+    special = sorted(set(targets) | set(controls), reverse=True)
+    if len(special) != len(targets) + len(controls):
+        raise SimulationError(
+            f"targets {targets} and controls {controls} overlap"
+        )
+    view, axes = _slab_view(amps, tuple(special))
+    axis_of = dict(zip(special, axes))
+    base: list = [slice(None)] * view.ndim
     for c in controls:
-        mask &= ((idx >> c) & 1).astype(bool)
-    return mask
+        base[axis_of[c]] = 1
+
+    def sub(assignment: int) -> np.ndarray:
+        index = list(base)
+        for j, t in enumerate(targets):
+            index[axis_of[t]] = (assignment >> j) & 1
+        return view[tuple(index)]
+
+    return sub
 
 
-def _base_indices(num_amps: int, sorted_positions: list[int]) -> np.ndarray:
-    """Indices with zeros at ``sorted_positions`` (ascending), all others free."""
-    base = np.arange(num_amps >> len(sorted_positions), dtype=np.int64)
-    for pos in sorted_positions:
-        base = ((base >> pos) << (pos + 1)) | (base & mask_of(pos))
-    return base
+def _check_overlap(
+    targets: tuple[int, ...], controls: tuple[int, ...]
+) -> None:
+    """Reject target/control overlap identically on every backend."""
+    if set(targets) & set(controls):
+        raise SimulationError(
+            f"targets {tuple(targets)} and controls {tuple(controls)} overlap"
+        )
+
+
+def _check_bits(amps: np.ndarray, bits: tuple[int, ...]) -> int:
+    nbits = _num_bits(amps)
+    if any(b >= nbits for b in bits):
+        raise SimulationError("gate touches a bit outside the local array")
+    return nbits
+
+
+# -- kernels -----------------------------------------------------------------
 
 
 def apply_matrix(
@@ -70,42 +192,77 @@ def apply_matrix(
     target = least-significant sub-index bit), restricted to amplitudes
     whose ``controls`` bits are all 1.
     """
-    nbits = _num_bits(amps)
+    _check_overlap(targets, controls)
+    if _backend == "reference":
+        return _reference.apply_matrix(amps, matrix, targets, controls)
     k = len(targets)
     if matrix.shape != (2**k, 2**k):
         raise SimulationError(
             f"matrix shape {matrix.shape} does not match {k} target(s)"
         )
-    if any(t >= nbits for t in targets + tuple(controls)):
-        raise SimulationError("gate touches a bit outside the local array")
+    _check_bits(amps, targets + tuple(controls))
+    sub = _subview(amps, targets, tuple(controls))
 
-    if k == 1 and not controls:
-        _apply_single_fast(amps, matrix, targets[0])
+    if k == 1:
+        _apply_single_strided(sub(0), sub(1), matrix)
         return
 
-    base = _base_indices(amps.shape[0], sorted(targets))
-    mask = control_mask(amps.shape[0], controls, indices=base)
-    if mask is not None:
-        base = base[mask]
-    if base.size == 0:
+    olds = [sub(a).copy() for a in range(2**k)]
+    for a in range(2**k):
+        out = sub(a)
+        acc = matrix[a, 0] * olds[0]
+        for b in range(1, 2**k):
+            coeff = matrix[a, b]
+            if coeff != 0.0:
+                acc += coeff * olds[b]
+        out[...] = acc
+
+
+def _apply_single_strided(
+    lo: np.ndarray, hi: np.ndarray, matrix: np.ndarray
+) -> None:
+    """In-place 2x2 update of the two slabs of a single-qubit gate.
+
+    Triangular matrices need no copy at all: the row whose update does
+    not read the other (old) slab is ordered so the dependency resolves
+    in place.  Only a full 2x2 copies one slab (half the touched
+    amplitudes).
+    """
+    m00, m01 = matrix[0, 0], matrix[0, 1]
+    m10, m11 = matrix[1, 0], matrix[1, 1]
+    if m00 == 0.0 and m11 == 0.0:
+        # Anti-diagonal (X, Y, and phases thereof): the slabs trade
+        # places, scaled -- one half-sized copy, no combine at all.
+        tmp = hi.copy() if m01 == 1.0 else m01 * hi
+        if m10 == 1.0:
+            hi[...] = lo
+        else:
+            np.multiply(lo, m10, out=hi)
+        lo[...] = tmp
         return
-    idx = np.empty((2**k, base.size), dtype=np.int64)
-    for assignment in range(2**k):
-        offset = 0
-        for j, t in enumerate(targets):
-            offset |= ((assignment >> j) & 1) << t
-        idx[assignment] = base | offset
-    amps[idx] = matrix @ amps[idx]
-
-
-def _apply_single_fast(amps: np.ndarray, matrix: np.ndarray, target: int) -> None:
-    """No-control single-qubit path using contiguous views (hot path)."""
-    view = amps.reshape(-1, 2, 1 << target)
-    lo = view[:, 0, :].copy()
-    hi = view[:, 1, :]
-    view[:, 0, :] = matrix[0, 0] * lo + matrix[0, 1] * hi
-    view[:, 1, :] *= matrix[1, 1]
-    view[:, 1, :] += matrix[1, 0] * lo
+    if m10 == 0.0:
+        # Upper triangular: hi's update never reads lo, so update lo
+        # first (reading old hi) and scale hi after.
+        if m00 != 1.0:
+            lo *= m00
+        if m01 != 0.0:
+            lo += m01 * hi
+        if m11 != 1.0:
+            hi *= m11
+        return
+    if m01 == 0.0:
+        # Lower triangular: mirror image -- update hi first.
+        if m11 != 1.0:
+            hi *= m11
+        hi += m10 * lo
+        if m00 != 1.0:
+            lo *= m00
+        return
+    old_lo = lo.copy()
+    lo *= m00
+    lo += m01 * hi
+    hi *= m11
+    hi += m10 * old_lo
 
 
 def apply_diagonal(
@@ -117,29 +274,20 @@ def apply_diagonal(
     """Multiply amplitudes by a diagonal over ``targets``, masked by controls.
 
     ``diag`` has ``2**k`` entries indexed with the first target as the
-    least-significant bit.  One full sweep over the local array -- the
-    "fully local" gate class of the paper.
+    least-significant bit.  Each non-identity entry becomes one strided
+    slab multiply; entries exactly equal to 1 are skipped (an exact
+    identity check, not a tolerance -- ``x * 1.0`` is a bitwise no-op,
+    so skipping never changes the result).
     """
-    nbits = _num_bits(amps)
-    if any(t >= nbits for t in targets + tuple(controls)):
-        raise SimulationError("gate touches a bit outside the local array")
-    if len(targets) == 1 and not controls:
-        # Contiguous-view fast path.
-        view = amps.reshape(-1, 2, 1 << targets[0])
-        if diag[0] != 1.0:
-            view[:, 0, :] *= diag[0]
-        view[:, 1, :] *= diag[1]
-        return
-    idx = np.arange(amps.shape[0], dtype=np.int64)
-    sub = np.zeros(amps.shape[0], dtype=np.int64)
-    for j, t in enumerate(targets):
-        sub |= ((idx >> t) & 1) << j
-    factors = diag[sub]
-    mask = control_mask(amps.shape[0], controls)
-    if mask is None:
-        amps *= factors
-    else:
-        amps[mask] *= factors[mask]
+    _check_overlap(targets, controls)
+    if _backend == "reference":
+        return _reference.apply_diagonal(amps, diag, targets, controls)
+    _check_bits(amps, targets + tuple(controls))
+    sub = _subview(amps, targets, tuple(controls))
+    for a in range(2 ** len(targets)):
+        factor = diag[a]
+        if factor != 1.0:
+            sub(a)[...] *= factor
 
 
 def apply_fused_diagonal(amps: np.ndarray, gate: Gate) -> None:
@@ -150,20 +298,25 @@ def apply_fused_diagonal(amps: np.ndarray, gate: Gate) -> None:
 def apply_swap_local(
     amps: np.ndarray, a: int, b: int, controls: tuple[int, ...] = ()
 ) -> None:
-    """SWAP two bits that are both inside the local array."""
+    """SWAP two bits that are both inside the local array.
+
+    Pure reshape/assignment: the two slabs whose (a, b) bits differ are
+    exchanged through one quarter-sized temporary; nothing else is
+    touched or allocated.
+    """
+    _check_overlap((a, b), controls)
+    if _backend == "reference":
+        return _reference.apply_swap_local(amps, a, b, controls)
     nbits = _num_bits(amps)
     if a == b or max(a, b) >= nbits:
         raise SimulationError(f"bad local swap bits ({a}, {b}) for {nbits} bits")
-    idx = np.arange(amps.shape[0], dtype=np.int64)
-    differ = (((idx >> a) & 1) != ((idx >> b) & 1))
-    mask = control_mask(amps.shape[0], controls)
-    if mask is not None:
-        differ &= mask
-    lo = idx[differ & (((idx >> a) & 1) == 0)]
-    hi = lo ^ ((1 << a) | (1 << b))
-    tmp = amps[lo].copy()
-    amps[lo] = amps[hi]
-    amps[hi] = tmp
+    _check_bits(amps, tuple(controls))
+    sub = _subview(amps, (a, b), tuple(controls))
+    slab_01 = sub(0b10)  # a=0, b=1  (bit j of the assignment is targets[j])
+    slab_10 = sub(0b01)  # a=1, b=0
+    tmp = slab_01.copy()
+    slab_01[...] = slab_10
+    slab_10[...] = tmp
 
 
 def combine_distributed_single(
@@ -181,16 +334,21 @@ def combine_distributed_single(
         new_local = coeff_local * local + coeff_remote * remote
 
     where the coefficients are the matrix row selected by this rank's
-    value of the target bit.  Local ``controls`` restrict the update.
+    value of the target bit.  Local ``controls`` restrict the update to
+    strided slabs of both buffers (no boolean masks).
     """
+    if _backend == "reference":
+        return _reference.combine_distributed_single(
+            local, remote, coeff_local, coeff_remote, controls
+        )
     if local.shape != remote.shape:
         raise SimulationError("local/remote buffers differ in shape")
-    mask = control_mask(local.shape[0], controls)
-    if mask is None:
-        local *= coeff_local
-        local += coeff_remote * remote
-    else:
-        local[mask] = coeff_local * local[mask] + coeff_remote * remote[mask]
+    if controls:
+        _check_bits(local, tuple(controls))
+        local = _subview(local, (), tuple(controls))(0)
+        remote = _subview(remote, (), tuple(controls))(0)
+    local *= coeff_local
+    local += coeff_remote * remote
 
 
 def swap_in_halves(
@@ -206,15 +364,9 @@ def swap_in_halves(
         ``bit(x, local_bit) != my_bit_value``.
 
     Exactly half of the local array changes -- the fact the paper's
-    future-work "halved communication" optimisation exploits.
+    future-work "halved communication" optimisation exploits.  ``remote``
+    may be any buffer of the same length (in particular the executor's
+    reused exchange buffer).
     """
-    nbits = _num_bits(local)
-    if local_bit >= nbits:
-        raise SimulationError(f"local bit {local_bit} outside {nbits}-bit array")
-    if my_bit_value not in (0, 1):
-        raise SimulationError(f"bit value must be 0/1, got {my_bit_value}")
-    view_l = local.reshape(-1, 2, 1 << local_bit)
-    view_r = remote.reshape(-1, 2, 1 << local_bit)
-    # The half with local bit == 1 - my_bit_value takes the partner's
-    # half with local bit == my_bit_value.
-    view_l[:, 1 - my_bit_value, :] = view_r[:, my_bit_value, :]
+    # Already a pure strided-view kernel; shared by both backends.
+    return _reference.swap_in_halves(local, remote, local_bit, my_bit_value)

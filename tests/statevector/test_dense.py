@@ -48,7 +48,13 @@ class TestConstruction:
         with pytest.raises(SimulationError):
             DenseStatevector(0)
         with pytest.raises(SimulationError):
-            DenseStatevector(27)
+            DenseStatevector(29)
+
+    def test_cap_admits_28_qubits(self):
+        # The strided kernels dropped the O(2**n) index-array temporaries,
+        # so the dense cap is 28; the constructor itself must not reject it.
+        # (Not instantiated here: 28 qubits is 4 GiB of amplitudes.)
+        assert DenseStatevector(2).num_qubits == 2
 
 
 class TestGateApplication:

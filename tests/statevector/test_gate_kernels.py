@@ -156,3 +156,120 @@ class TestDistributedHelpers:
     def test_swap_in_halves_bad_value(self):
         with pytest.raises(SimulationError):
             k.swap_in_halves(np.zeros(4, complex), np.zeros(4, complex), 0, 2)
+
+
+class TestBackendSwitch:
+    def test_env_var_selects_backend(self):
+        import os
+
+        expected = os.environ.get("REPRO_KERNELS", "strided")
+        assert k.get_backend() == expected
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError):
+            k.set_backend("numba")
+
+    def test_using_backend_restores(self):
+        before = k.get_backend()
+        with k.using_backend("reference"):
+            assert k.get_backend() == "reference"
+        assert k.get_backend() == before
+
+    def test_using_backend_restores_on_error(self):
+        before = k.get_backend()
+        with pytest.raises(RuntimeError):
+            with k.using_backend("reference"):
+                raise RuntimeError("boom")
+        assert k.get_backend() == before
+
+    def test_reference_backend_dispatches(self):
+        psi = random_state(5, seed=7)
+        a, b = psi.copy(), psi.copy()
+        k.apply_matrix(a, mats.hadamard(), (2,), controls=(0,))
+        with k.using_backend("reference"):
+            k.apply_matrix(b, mats.hadamard(), (2,), controls=(0,))
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_overlapping_targets_and_controls_raise(self):
+        with pytest.raises(SimulationError):
+            k.apply_matrix(np.zeros(4, complex), mats.hadamard(), (1,), (1,))
+
+
+def _peak_extra_bytes(fn) -> int:
+    """Peak tracemalloc allocation (bytes) while running ``fn``."""
+    import gc
+    import tracemalloc
+
+    gc.collect()
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+class TestAllocationBounds:
+    """The strided kernels' whole reason to exist: no O(2**n) index
+    arrays.  tracemalloc bounds the temporaries each kernel may allocate
+    relative to the statevector it acts on.
+
+    SLACK absorbs numpy's constant-size buffered-iterator scratch
+    (~256 KiB: two 8192-element nditer buffers) plus allocator noise --
+    it does not scale with the statevector, which is the whole point.
+    """
+
+    N = 20  # 2**20 amps * 16 B = 16 MiB >> the constant SLACK
+    SLACK = 512 * 1024
+
+    @pytest.fixture(autouse=True)
+    def _force_strided(self):
+        # These bounds are the strided kernels' contract; they must hold
+        # even when the suite runs under REPRO_KERNELS=reference.
+        with k.using_backend("strided"):
+            yield
+
+    def _amps(self):
+        return random_state(self.N, seed=3).copy()
+
+    def test_swap_allocates_at_most_half(self):
+        amps = self._amps()
+        peak = _peak_extra_bytes(lambda: k.apply_swap_local(amps, 2, 12))
+        # One quarter-sized slab copy plus numpy's defensive copy for the
+        # view-to-view assignment (shared base array): half in total.
+        # The reference kernel allocated ~4x the statevector here.
+        assert peak <= amps.nbytes // 2 + self.SLACK
+
+    def test_controlled_swap_allocation_shrinks_with_controls(self):
+        amps = self._amps()
+        peak = _peak_extra_bytes(
+            lambda: k.apply_swap_local(amps, 2, 12, controls=(5, 9))
+        )
+        # Two controls cut the touched region (and its temporaries) 4x.
+        assert peak <= amps.nbytes // 8 + self.SLACK
+
+    def test_triangular_single_qubit_is_copy_free(self):
+        amps = self._amps()
+        diag_mat = np.diag([1.0 + 0j, np.exp(0.3j)])
+        peak = _peak_extra_bytes(lambda: k.apply_matrix(amps, diag_mat, (7,)))
+        assert peak <= self.SLACK
+
+    def test_diagonal_kernel_is_copy_free(self):
+        amps = self._amps()
+        diag = np.diag(mats.rz(0.8))
+        peak = _peak_extra_bytes(
+            lambda: k.apply_diagonal(amps, diag, (7,), controls=(3,))
+        )
+        assert peak <= self.SLACK
+
+    def test_controlled_matrix_bounded_by_touched_region(self):
+        amps = self._amps()
+        h = mats.hadamard()
+        peak = _peak_extra_bytes(
+            lambda: k.apply_matrix(amps, h, (7,), controls=(3,))
+        )
+        # Touched region is half the array; a full 2x2 copies half of it
+        # plus one temporary of the same size for the combine.
+        assert peak <= amps.nbytes // 2 + self.SLACK
