@@ -36,6 +36,7 @@ from repro.core import (
 )
 from repro.des import DesResult, Timeline, crosscheck, simulate
 from repro.errors import ReproError
+from repro.faults import FaultPlan, optimise_checkpoint_interval
 from repro.gates import Gate, GateLocality
 from repro.machine import CpuFrequency, Machine, archer2
 from repro.mpi import CommMode
@@ -75,4 +76,6 @@ __all__ = [
     "Timeline",
     "simulate",
     "crosscheck",
+    "FaultPlan",
+    "optimise_checkpoint_interval",
 ]

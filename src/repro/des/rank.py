@@ -22,12 +22,16 @@ oversubscribed up-links contend instead of being averaged away.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.des.engine import Engine, Signal, Timeout
 from repro.des.resources import Fabric, TokenPool
 from repro.des.schedule import ComputeOp, ExchangeOp, ScheduleSet
-from repro.des.timeline import Span, Timeline
+from repro.des.timeline import Span, Timeline, TimelineEvent
 from repro.mpi.datatypes import CommMode
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids an import cycle
+    from repro.faults.inject import ChunkFaultModel
 
 __all__ = ["ReplayContext", "ExchangeCoordinator", "rank_process"]
 
@@ -46,6 +50,8 @@ class ReplayContext:
     latency_s: float
     intranode_bandwidth: float
     ranks_per_node: int
+    #: Seeded per-chunk failure/retry decisions (None = healthy fabric).
+    chunk_faults: "ChunkFaultModel | None" = None
     coordinator: "ExchangeCoordinator" = field(init=False)
 
     def __post_init__(self) -> None:
@@ -101,24 +107,52 @@ def _drive_exchange(
         done.fire((start, engine.now))
         return
 
+    faults = ctx.chunk_faults
+    pair_low = min(rank, op.partner)
+
+    def retries_of(chunk: int) -> int:
+        if faults is None:
+            return 0
+        return faults.attempts(op.gate_index, pair_low, chunk) - 1
+
+    def note_retry(at: float, attempt: int) -> None:
+        faults.retries += 1
+        ctx.timeline.annotate(
+            TimelineEvent(
+                time=at,
+                kind="retry",
+                rank=rank,
+                label=f"gate {op.gate_index} chunk retry #{attempt + 1}",
+            )
+        )
+
     yield Timeout(ctx.setup_s)
     if ctx.mode is CommMode.BLOCKING:
-        for size in op.chunk_sizes:
-            fwd = ctx.fabric.transfer(
-                node_a, node_b, size, earliest=engine.now, latency=ctx.latency_s
-            )
-            rev = ctx.fabric.transfer(
-                node_b, node_a, size, earliest=engine.now, latency=ctx.latency_s
-            )
+        for chunk, size in enumerate(op.chunk_sizes):
             # Sendrecv semantics: the chunk pair must complete in both
-            # directions before the next pair is posted.
-            target = max(fwd.end, rev.end)
-            if target > engine.now:
-                yield Timeout(target - engine.now)
+            # directions before the next pair is posted -- and a failed
+            # pair is retransmitted (after backoff) before moving on.
+            retries = retries_of(chunk)
+            for attempt in range(retries + 1):
+                fwd = ctx.fabric.transfer(
+                    node_a, node_b, size, earliest=engine.now, latency=ctx.latency_s
+                )
+                rev = ctx.fabric.transfer(
+                    node_b, node_a, size, earliest=engine.now, latency=ctx.latency_s
+                )
+                target = max(fwd.end, rev.end)
+                if attempt < retries:
+                    # Corrupt/dropped chunk: detected at completion,
+                    # retransmitted after exponential backoff.
+                    note_retry(target, attempt)
+                    target += faults.backoff_s(attempt)
+                if target > engine.now:
+                    yield Timeout(target - engine.now)
     else:
         end = engine.now
         first = True
-        for size in op.chunk_sizes:
+        failed: list[tuple[int, int, int, float]] = []
+        for chunk, size in enumerate(op.chunk_sizes):
             latency = ctx.latency_s if first else 0.0
             fwd = ctx.fabric.transfer(
                 node_a, node_b, size, earliest=engine.now, latency=latency
@@ -126,8 +160,27 @@ def _drive_exchange(
             rev = ctx.fabric.transfer(
                 node_b, node_a, size, earliest=engine.now, latency=latency
             )
-            end = max(end, fwd.end, rev.end)
+            chunk_end = max(fwd.end, rev.end)
+            retries = retries_of(chunk)
+            if retries:
+                failed.append((chunk, size, retries, chunk_end))
+            end = max(end, chunk_end)
             first = False
+        # Failed chunks surface at the Waitall: each is retransmitted
+        # (with backoff) until it lands, pipelined like the first pass.
+        for chunk, size, retries, chunk_end in failed:
+            at = chunk_end
+            for attempt in range(retries):
+                note_retry(at, attempt)
+                at += faults.backoff_s(attempt)
+                fwd = ctx.fabric.transfer(
+                    node_a, node_b, size, earliest=at, latency=0.0
+                )
+                rev = ctx.fabric.transfer(
+                    node_b, node_a, size, earliest=at, latency=0.0
+                )
+                at = max(fwd.end, rev.end)
+            end = max(end, at)
         # All chunks posted at once; one Waitall completes them.
         if end > engine.now:
             yield Timeout(end - engine.now)

@@ -13,16 +13,21 @@ between partially-active gates, and link contention.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.circuits.circuit import Circuit
 from repro.des.engine import Engine
 from repro.des.rank import ReplayContext, rank_process
 from repro.des.resources import Fabric, TokenPool
 from repro.des.schedule import ScheduleSet, export_schedules
-from repro.des.timeline import Timeline, utilisation_series
+from repro.des.timeline import Timeline, TimelineEvent, utilisation_series
 from repro.errors import DesError
 from repro.perfmodel.comm_cost import effective_bandwidth
 from repro.perfmodel.trace import ExecutionTrace, RunConfiguration, trace_circuit
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids an import cycle
+    from repro.faults.inject import FaultReport
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["DesResult", "simulate", "simulate_trace"]
 
@@ -49,6 +54,11 @@ class DesResult:
     utilisation: dict[str, list[tuple[float, float]]] = field(
         default_factory=dict
     )
+    #: Fault-injection accounting (None when no plan was supplied).
+    #: When present, ``makespan_s`` already includes the
+    #: checkpoint/failure overlay; the pre-overlay replay makespan is
+    #: ``faults.base_makespan_s``.
+    faults: "FaultReport | None" = None
 
     @property
     def runtime_s(self) -> float:
@@ -61,19 +71,42 @@ def simulate_trace(
     *,
     record_intervals: bool | None = None,
     uplink_oversubscription: float = 1.0,
+    faults: "FaultPlan | None" = None,
 ) -> DesResult:
     """Replay a trace's per-rank schedules on the event engine.
 
     Fully deterministic: no wall clock, no randomness -- two calls with
-    the same trace produce identical timelines.
+    the same trace (and the same ``faults`` plan) produce identical
+    timelines.  A :class:`~repro.faults.FaultPlan` bends the replay:
+    stragglers stretch per-rank compute, degraded NICs slow their links,
+    lossy chunks are retransmitted with backoff, and node failures plus
+    checkpoint/restart are overlaid on the makespan afterwards
+    (coordinated checkpointing freezes every rank, so the overlay
+    composes with the timeline instead of rewinding the event heap).
     """
+    # Imported lazily: repro.faults imports repro.des at module level,
+    # so the reverse edge must not exist at import time.
+    from repro.faults.checkpoint import apply_overlay
+    from repro.faults.inject import (
+        ChunkFaultModel,
+        FaultySchedule,
+        build_report,
+        degrade_fabric,
+    )
+
     config = trace.config
     calib = config.calibration
     num_ranks = config.partition.num_ranks
     if record_intervals is None:
         record_intervals = num_ranks <= AUTO_INTERVAL_RANK_LIMIT
+    if faults is not None:
+        faults.validate_against(num_ranks, config.num_nodes)
+        if faults.is_zero:
+            faults = None  # zero plan: byte-identical fault-free path
 
-    schedule = export_schedules(trace)
+    schedule: ScheduleSet = export_schedules(trace)
+    if faults is not None and faults.stragglers:
+        schedule = FaultySchedule(schedule, faults)
     engine = Engine()
     fabric = Fabric(
         config.num_nodes,
@@ -84,7 +117,12 @@ def simulate_trace(
         uplink_oversubscription=uplink_oversubscription,
         record_intervals=record_intervals,
     )
+    if faults is not None and faults.link_degradations:
+        degrade_fabric(fabric, faults)
     timeline = Timeline(num_ranks)
+    chunk_faults = None
+    if faults is not None and faults.chunk_failure_rate > 0:
+        chunk_faults = ChunkFaultModel(faults)
     ctx = ReplayContext(
         engine=engine,
         fabric=fabric,
@@ -99,6 +137,7 @@ def simulate_trace(
         latency_s=calib.message_latency,
         intranode_bandwidth=calib.intranode_bandwidth,
         ranks_per_node=config.ranks_per_node,
+        chunk_faults=chunk_faults,
     )
     for rank in range(num_ranks):
         engine.process(rank_process(ctx, rank))
@@ -111,6 +150,24 @@ def simulate_trace(
         )
 
     makespan = timeline.makespan
+    fault_report = None
+    if faults is not None:
+        overlay = apply_overlay(makespan, faults, config.num_nodes)
+        for event in overlay.events:
+            timeline.annotate(
+                TimelineEvent(
+                    time=event.time_s,
+                    kind=event.kind,
+                    node=event.node,
+                    label=event.detail,
+                )
+            )
+        fault_report = build_report(
+            faults,
+            makespan,
+            overlay,
+            chunk_retries=chunk_faults.retries if chunk_faults else 0,
+        )
     utilisation: dict[str, list[tuple[float, float]]] = {}
     if record_intervals and makespan > 0:
         nic_series = utilisation_series(fabric.nic_links(), horizon=makespan)
@@ -125,9 +182,12 @@ def simulate_trace(
             return 0.0
         return sum(link.utilisation(makespan) for link in links) / len(links)
 
+    # Utilisation metrics stay on the pre-overlay replay makespan (the
+    # overlay's stretch is spent frozen, not moving bytes); the result's
+    # makespan is the wall clock the user actually waits out.
     return DesResult(
         config=config,
-        makespan_s=makespan,
+        makespan_s=fault_report.wall_s if fault_report else makespan,
         timeline=timeline,
         events_processed=engine.events_processed,
         num_exchanges=schedule.num_exchanges,
@@ -135,6 +195,7 @@ def simulate_trace(
         nic_utilisation=_pool_utilisation(fabric.nic_links()),
         uplink_utilisation=_pool_utilisation(fabric.uplink_links()),
         utilisation=utilisation,
+        faults=fault_report,
     )
 
 

@@ -20,6 +20,7 @@ when occupancy is uniform.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import NamedTuple
 
@@ -52,8 +53,10 @@ class Link:
         channels: int = 1,
         record_intervals: bool = False,
     ):
-        if bandwidth <= 0:
-            raise DesError(f"link bandwidth must be > 0, got {bandwidth}")
+        if not math.isfinite(bandwidth) or bandwidth <= 0:
+            raise DesError(
+                f"link bandwidth must be finite and > 0, got {bandwidth}"
+            )
         if channels < 1:
             raise DesError(f"link needs >= 1 channel, got {channels}")
         self.name = name
@@ -165,9 +168,10 @@ class Fabric:
     ):
         if num_nodes < 1:
             raise DesError(f"num_nodes must be >= 1, got {num_nodes}")
-        if uplink_oversubscription < 1.0:
+        if not math.isfinite(uplink_oversubscription) or uplink_oversubscription < 1.0:
             raise DesError(
-                "uplink_oversubscription must be >= 1 (1 = full bisection)"
+                "uplink_oversubscription must be finite and >= 1 "
+                f"(1 = full bisection), got {uplink_oversubscription}"
             )
         self.num_nodes = num_nodes
         self.nodes_per_switch = nodes_per_switch

@@ -17,11 +17,22 @@ from dataclasses import dataclass
 from repro.des.resources import Link
 from repro.utils.ascii_plot import line_plot
 
-__all__ = ["Span", "Timeline", "utilisation_series", "render_utilisation"]
+__all__ = [
+    "Span",
+    "TimelineEvent",
+    "Timeline",
+    "utilisation_series",
+    "render_utilisation",
+]
 
 #: Gantt symbol per span kind (priority when bins overlap: comm wins).
 _SYMBOLS = {"comm": "#", "compute": "=", "wait": "."}
 _PRIORITY = {"comm": 3, "compute": 2, "wait": 1}
+
+#: Marker symbol per injected-event kind on the Gantt event row.
+_EVENT_SYMBOLS = {"failure": "F", "restart": "R", "checkpoint": "C", "retry": "~"}
+#: Priority when several events land in one column (failures win).
+_EVENT_PRIORITY = {"failure": 4, "restart": 3, "checkpoint": 2, "retry": 1}
 
 
 @dataclass(frozen=True)
@@ -45,12 +56,40 @@ class Span:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One injected occurrence (failure, checkpoint, restart, retry).
+
+    Unlike spans, events are instants; they are annotated onto the
+    timeline by the fault-injection layer so Gantt output shows *where*
+    a replay was bent, not just that it got longer.  ``time`` may
+    exceed the span makespan: checkpoint/restart overlay events live on
+    the stretched wall clock.
+    """
+
+    time: float
+    kind: str  # "failure" | "restart" | "checkpoint" | "retry"
+    rank: int | None = None
+    node: int | None = None
+    label: str = ""
+
+
 class Timeline:
     """Per-rank span lists plus the queries the experiments need."""
 
     def __init__(self, num_ranks: int):
         self.num_ranks = num_ranks
         self._spans: list[list[Span]] = [[] for _ in range(num_ranks)]
+        #: Injected events, in annotation order (sorted by the fault layer).
+        self.events: list[TimelineEvent] = []
+
+    def annotate(self, event: TimelineEvent) -> None:
+        """Record one injected event."""
+        self.events.append(event)
+
+    def events_of(self, kind: str) -> list[TimelineEvent]:
+        """All annotated events of one kind."""
+        return [e for e in self.events if e.kind == kind]
 
     def add(self, span: Span) -> None:
         """Record one span (zero-length spans are dropped)."""
@@ -116,11 +155,53 @@ class Timeline:
                         row[col] = symbol
             lines.append(f"{f'rank {rank}'.rjust(label_width)} |{''.join(row)}|")
         pad = " " * label_width
+        if self.events:
+            lines.append(self._event_row(pad, width, horizon))
         lines.append(f"{pad} 0{' ' * (width - len(f'{horizon:.3g}'))}{horizon:.3g}s")
         lines.append(
             f"{pad}  " + "   ".join(f"{sym} {kind}" for kind, sym in _SYMBOLS.items())
         )
+        if self.events:
+            lines.extend(self._event_legend(pad))
         return "\n".join(lines)
+
+    def _event_row(self, pad: str, width: int, horizon: float) -> str:
+        """One marker row placing each injected event on the time axis."""
+        row = [" "] * width
+        priority = [0] * width
+        for event in self.events:
+            if event.time > horizon:
+                continue  # overlay events past the replay; listed below
+            col = min(width - 1, int(event.time / horizon * width))
+            p = _EVENT_PRIORITY.get(event.kind, 0)
+            if p > priority[col]:
+                priority[col] = p
+                row[col] = _EVENT_SYMBOLS.get(event.kind, "!")
+        return f"{'faults'.rjust(len(pad))} |{''.join(row)}|"
+
+    def _event_legend(self, pad: str, max_listed: int = 8) -> list[str]:
+        """Textual annotations: one line per event (capped)."""
+        lines = [
+            f"{pad}  "
+            + "   ".join(
+                f"{sym} {kind}" for kind, sym in _EVENT_SYMBOLS.items()
+            )
+        ]
+        for event in sorted(self.events, key=lambda e: e.time)[:max_listed]:
+            where = ""
+            if event.node is not None:
+                where = f" node {event.node}"
+            elif event.rank is not None:
+                where = f" rank {event.rank}"
+            label = f" ({event.label})" if event.label else ""
+            lines.append(
+                f"{pad}  @ {event.time:.4g}s {event.kind}{where}{label}"
+            )
+        if len(self.events) > max_listed:
+            lines.append(
+                f"{pad}  ... and {len(self.events) - max_listed} more events"
+            )
+        return lines
 
     def critical_path(self) -> list[Span]:
         """The span chain that sets the makespan.

@@ -10,6 +10,7 @@ the paper's QFT runs, where the residual is percent-level.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.circuits.circuit import Circuit
@@ -63,8 +64,11 @@ def crosscheck(
     **sim_kwargs,
 ) -> CrossCheck:
     """Run both predictors on one circuit/configuration pair."""
-    if tolerance <= 0:
-        raise DesError(f"tolerance must be > 0, got {tolerance}")
+    # NaN would sail through a bare ``<= 0`` guard (all comparisons with
+    # NaN are false) and then make ``within`` vacuously false or true
+    # depending on the delta -- reject it explicitly.
+    if not math.isfinite(tolerance) or tolerance <= 0:
+        raise DesError(f"tolerance must be finite and > 0, got {tolerance}")
     trace = trace_circuit(circuit, config)
     analytic = cost_trace(trace).runtime_s
     des = simulate_trace(trace, **sim_kwargs)

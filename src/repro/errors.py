@@ -19,6 +19,8 @@ __all__ = [
     "CalibrationError",
     "ExperimentError",
     "DesError",
+    "FaultError",
+    "ValidationError",
 ]
 
 
@@ -64,3 +66,16 @@ class ExperimentError(ReproError):
 
 class DesError(ReproError):
     """Discrete-event engine misuse or a failed analytic-vs-DES gate."""
+
+
+class FaultError(ReproError):
+    """Invalid fault-injection plan or resilience-model input."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A value failed argument validation.
+
+    Also a :class:`ValueError`, so callers that guarded on the stdlib
+    type keep working while library-level handlers can catch
+    :class:`ReproError` uniformly.
+    """

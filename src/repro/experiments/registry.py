@@ -17,6 +17,7 @@ from repro.experiments import (
     ext_overlap,
     ext_precision,
     ext_ranks_per_node,
+    ext_resilience,
     ext_scaling,
     ext_workloads,
     fig1_circuits,
@@ -54,6 +55,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "ext-workloads": ext_workloads.run,
     "ext-overlap": ext_overlap.run,
     "ext-des-crosscheck": ext_des_crosscheck.run,
+    "ext-resilience": ext_resilience.run,
     "validate": validate.run,
 }
 

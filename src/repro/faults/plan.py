@@ -1,0 +1,285 @@
+"""The fault model: what can go wrong, declared up front.
+
+A :class:`FaultPlan` is a frozen, fully-validated description of every
+deviation from a healthy machine that one replay should suffer:
+
+* **Fail-stop node failures** -- either pinned to explicit simulated
+  times (:class:`NodeFailure`) or drawn from a seeded exponential
+  process with a job-level :attr:`~FaultPlan.mtbf_s`.  Failures roll the
+  job back to its last checkpoint (see
+  :mod:`repro.faults.checkpoint`); without a
+  :class:`CheckpointPolicy` the job restarts from scratch.
+* **Straggler ranks** (:class:`Straggler`) -- a per-rank compute
+  slowdown factor, the "one slow NUMA domain / thermally-throttled
+  socket" scenario that dominates synchronous SPMD jobs.
+* **Link degradation** (:class:`LinkDegradation`) -- a node's NIC runs
+  at a fraction of its calibrated bandwidth (flaky Slingshot link,
+  congested PCIe root), stretching every exchange that crosses it.
+* **Chunk-level message failures** -- each exchange chunk fails with
+  probability :attr:`~FaultPlan.chunk_failure_rate` and is retried
+  after exponential backoff, modelling the retry semantics of a
+  reliable transport over a lossy fabric.
+
+Everything is validated at construction with
+:class:`repro.errors.FaultError`; NaN and out-of-range factors are
+rejected here so they can never silently corrupt a timeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+from repro.faults.rng import exponential, mix64
+
+__all__ = [
+    "NodeFailure",
+    "Straggler",
+    "LinkDegradation",
+    "CheckpointPolicy",
+    "FaultPlan",
+    "ZERO_FAULTS",
+]
+
+
+def _check_finite(name: str, value: float) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FaultError(f"{name} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value):
+        raise FaultError(f"{name} must be finite, got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """A fail-stop failure of one node at a simulated wall-clock time."""
+
+    time_s: float
+    node: int
+
+    def __post_init__(self) -> None:
+        if _check_finite("failure time_s", self.time_s) < 0:
+            raise FaultError(
+                f"failure time_s must be >= 0, got {self.time_s!r}"
+            )
+        if not isinstance(self.node, int) or isinstance(self.node, bool) or self.node < 0:
+            raise FaultError(f"failure node must be an int >= 0, got {self.node!r}")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """One rank computing ``slowdown`` times slower than calibrated."""
+
+    rank: int
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rank, int) or isinstance(self.rank, bool) or self.rank < 0:
+            raise FaultError(f"straggler rank must be an int >= 0, got {self.rank!r}")
+        if _check_finite("straggler slowdown", self.slowdown) < 1.0:
+            raise FaultError(
+                f"straggler slowdown must be >= 1, got {self.slowdown!r}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """One node's NIC running at ``factor`` of calibrated bandwidth."""
+
+    node: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.node, int) or isinstance(self.node, bool) or self.node < 0:
+            raise FaultError(f"degraded node must be an int >= 0, got {self.node!r}")
+        f = _check_finite("degradation factor", self.factor)
+        if not 0.0 < f <= 1.0:
+            raise FaultError(
+                f"degradation factor must be in (0, 1], got {self.factor!r}"
+            )
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Coordinated checkpoint/restart parameters.
+
+    ``interval_s`` is the *work* between checkpoints (Young/Daly's tau),
+    ``write_s`` the cost of writing one checkpoint, and ``restart_s``
+    the recovery cost after a failure (re-queue + read-back).  Use
+    :func:`repro.faults.checkpoint.daly_interval` to pick the
+    near-optimal interval for a given MTBF.
+    """
+
+    interval_s: float
+    write_s: float
+    restart_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if _check_finite("checkpoint interval_s", self.interval_s) <= 0:
+            raise FaultError(
+                f"checkpoint interval_s must be > 0, got {self.interval_s!r}"
+            )
+        if _check_finite("checkpoint write_s", self.write_s) < 0:
+            raise FaultError(
+                f"checkpoint write_s must be >= 0, got {self.write_s!r}"
+            )
+        if _check_finite("checkpoint restart_s", self.restart_s) < 0:
+            raise FaultError(
+                f"checkpoint restart_s must be >= 0, got {self.restart_s!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seed-driven fault schedule for one replay.
+
+    The default-constructed plan (``FaultPlan()``) injects nothing and
+    is guaranteed to reproduce the fault-free timeline bit-for-bit --
+    the property suite pins this.
+    """
+
+    seed: int = 0
+    node_failures: tuple[NodeFailure, ...] = ()
+    #: Job-level mean time between failures; ``None`` disables drawn
+    #: failures (explicit ``node_failures`` still apply).
+    mtbf_s: float | None = None
+    checkpoint: CheckpointPolicy | None = None
+    stragglers: tuple[Straggler, ...] = ()
+    link_degradations: tuple[LinkDegradation, ...] = ()
+    #: Per-chunk failure probability of an exchange transfer.
+    chunk_failure_rate: float = 0.0
+    #: Base backoff before a failed chunk is retransmitted (doubles per
+    #: attempt).
+    retry_backoff_s: float = 1e-4
+    #: Retransmissions after which a chunk is forced through (reliable
+    #: transport gives up on fast retry and falls back to a clean path).
+    max_retries: int = 16
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise FaultError(f"seed must be an int, got {self.seed!r}")
+        object.__setattr__(self, "node_failures", tuple(self.node_failures))
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        object.__setattr__(
+            self, "link_degradations", tuple(self.link_degradations)
+        )
+        if self.mtbf_s is not None and _check_finite("mtbf_s", self.mtbf_s) <= 0:
+            raise FaultError(f"mtbf_s must be > 0, got {self.mtbf_s!r}")
+        rate = _check_finite("chunk_failure_rate", self.chunk_failure_rate)
+        if not 0.0 <= rate < 1.0:
+            raise FaultError(
+                f"chunk_failure_rate must be in [0, 1), got {rate!r}"
+            )
+        if _check_finite("retry_backoff_s", self.retry_backoff_s) < 0:
+            raise FaultError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s!r}"
+            )
+        if not isinstance(self.max_retries, int) or self.max_retries < 1:
+            raise FaultError(
+                f"max_retries must be an int >= 1, got {self.max_retries!r}"
+            )
+        seen_ranks = [s.rank for s in self.stragglers]
+        if len(seen_ranks) != len(set(seen_ranks)):
+            raise FaultError("duplicate straggler rank in plan")
+        seen_nodes = [d.node for d in self.link_degradations]
+        if len(seen_nodes) != len(set(seen_nodes)):
+            raise FaultError("duplicate degraded node in plan")
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan changes nothing at all.
+
+        A checkpoint policy alone is *not* zero: even without failures
+        the job pays the periodic write pauses.
+        """
+        return (
+            not self.node_failures
+            and self.mtbf_s is None
+            and self.checkpoint is None
+            and not self.stragglers
+            and not self.link_degradations
+            and self.chunk_failure_rate == 0.0
+        )
+
+    @property
+    def max_slowdown(self) -> float:
+        """The worst straggler factor (1.0 when none)."""
+        return max((s.slowdown for s in self.stragglers), default=1.0)
+
+    @property
+    def min_link_factor(self) -> float:
+        """The worst link-degradation factor (1.0 when none)."""
+        return min((d.factor for d in self.link_degradations), default=1.0)
+
+    def slowdown_of(self, rank: int) -> float:
+        """The compute slowdown of one rank."""
+        for straggler in self.stragglers:
+            if straggler.rank == rank:
+                return straggler.slowdown
+        return 1.0
+
+    def link_factor_of(self, node: int) -> float:
+        """The NIC bandwidth factor of one node."""
+        for degradation in self.link_degradations:
+            if degradation.node == node:
+                return degradation.factor
+        return 1.0
+
+    def validate_against(self, num_ranks: int, num_nodes: int) -> None:
+        """Reject stragglers/degradations/failures outside the job."""
+        for straggler in self.stragglers:
+            if straggler.rank >= num_ranks:
+                raise FaultError(
+                    f"straggler rank {straggler.rank} out of range for "
+                    f"{num_ranks} ranks"
+                )
+        for degradation in self.link_degradations:
+            if degradation.node >= num_nodes:
+                raise FaultError(
+                    f"degraded node {degradation.node} out of range for "
+                    f"{num_nodes} nodes"
+                )
+        for failure in self.node_failures:
+            if failure.node >= num_nodes:
+                raise FaultError(
+                    f"failing node {failure.node} out of range for "
+                    f"{num_nodes} nodes"
+                )
+
+    # -- failure stream ------------------------------------------------------
+
+    def failure_stream(self, num_nodes: int):
+        """Yield :class:`NodeFailure` events in time order, without end.
+
+        Explicit ``node_failures`` come first (merged by time); when
+        :attr:`mtbf_s` is set, further failures are drawn from the
+        seeded exponential process indefinitely -- callers stop pulling
+        once their simulated horizon is passed.
+        """
+        explicit = sorted(self.node_failures, key=lambda f: f.time_s)
+        if self.mtbf_s is None:
+            yield from explicit
+            return
+        drawn_time = 0.0
+        draw_index = 0
+        next_drawn: NodeFailure | None = None
+        while True:
+            if next_drawn is None:
+                drawn_time += exponential(
+                    self.mtbf_s, self.seed, 0xFA11, draw_index
+                )
+                node = mix64(self.seed, 0x0D1E, draw_index) % num_nodes
+                next_drawn = NodeFailure(drawn_time, node)
+                draw_index += 1
+            if explicit and explicit[0].time_s <= next_drawn.time_s:
+                yield explicit.pop(0)
+            else:
+                yield next_drawn
+                next_drawn = None
+
+
+#: The canonical do-nothing plan.
+ZERO_FAULTS = FaultPlan()

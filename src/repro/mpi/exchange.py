@@ -6,6 +6,11 @@ sequence of blocking ``MPI_Sendrecv`` calls over 2 GiB chunks; the
 paper's modified version posts all ``Isend``/``Irecv`` pairs and waits
 once.  Both drivers are implemented here so the numeric executor
 produces the same message schedule the performance model prices.
+
+The DES replay re-times this exact chunk protocol on a contended
+fabric (:mod:`repro.des.rank`), including the failure story the
+numeric layer does not model: per-chunk loss with retry/backoff
+semantics, injected deterministically by :mod:`repro.faults`.
 """
 
 from __future__ import annotations

@@ -30,6 +30,8 @@ from repro.perfmodel.trace import (
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids an import cycle
     from repro.des.replay import DesResult
+    from repro.faults.inject import FaultReport
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["Prediction", "predict", "PREDICTION_BACKENDS"]
 
@@ -49,12 +51,20 @@ class Prediction:
     cu: float
     #: Discrete-event replay of the same trace (``backend="des"`` only).
     des: DesResult | None = None
+    #: Fault-injection accounting (only when a plan was supplied).
+    faults: "FaultReport | None" = None
 
     @property
     def runtime_s(self) -> float:
-        """Predicted wall time (DES makespan when that backend ran)."""
+        """Predicted wall time (DES makespan when that backend ran).
+
+        With a fault plan, both backends fold the plan's degradation
+        and checkpoint/failure overlay into this number.
+        """
         if self.des is not None:
             return self.des.makespan_s
+        if self.faults is not None:
+            return self.faults.wall_s
         return self.costed.runtime_s
 
     @property
@@ -84,12 +94,20 @@ def predict(
     *,
     cu_rates: CuRates = DEFAULT_CU_RATES,
     backend: str = "analytic",
+    faults: "FaultPlan | None" = None,
 ) -> Prediction:
     """Plan, price and package one run.
 
     ``backend="des"`` replays the trace on the discrete-event fabric
     model and reports its makespan as the runtime; the analytic costing
     is still attached (``analytic_runtime_s``) so callers can compare.
+
+    A :class:`~repro.faults.FaultPlan` injects stragglers, degraded
+    links, lossy chunks and fail-stop failures: the DES backend replays
+    them event by event, the analytic backend prices them in closed
+    form, and both fold the checkpoint/failure overlay into
+    ``runtime_s``, the energy report and the CU cost.  A zero plan is
+    guaranteed to change nothing.
     """
     if backend not in PREDICTION_BACKENDS:
         raise CalibrationError(
@@ -100,13 +118,30 @@ def predict(
     costed = cost_trace(trace)
     energy = energy_report(costed)
     des = None
+    fault_report = None
     if backend == "des":
         # Imported lazily: repro.des sits on top of the perfmodel
         # package, so a top-level import here would be circular.
         from repro.des.replay import simulate_trace
 
-        des = simulate_trace(trace)
-    runtime_s = des.makespan_s if des is not None else costed.runtime_s
+        des = simulate_trace(trace, faults=faults)
+        fault_report = des.faults
+    elif faults is not None and not faults.is_zero:
+        from repro.faults.analytic import analytic_fault_report
+
+        faults.validate_against(config.partition.num_ranks, config.num_nodes)
+        fault_report = analytic_fault_report(costed, faults)
+    if fault_report is not None:
+        from repro.faults.analytic import fault_adjusted_energy
+
+        energy = fault_adjusted_energy(costed, fault_report)
+    runtime_s = (
+        des.makespan_s
+        if des is not None
+        else fault_report.wall_s
+        if fault_report is not None
+        else costed.runtime_s
+    )
     return Prediction(
         circuit_name=circuit.name or f"circuit{circuit.num_qubits}",
         config=config,
@@ -120,4 +155,5 @@ def predict(
             rates=cu_rates,
         ),
         des=des,
+        faults=fault_report,
     )

@@ -32,6 +32,8 @@ from repro.utils.units import (
     format_time,
 )
 from repro.utils.validation import (
+    check_finite,
+    check_fraction,
     check_index,
     check_positive,
     check_power_of_two,
@@ -63,6 +65,8 @@ __all__ = [
     "format_energy",
     "format_power",
     "format_time",
+    "check_finite",
+    "check_fraction",
     "check_index",
     "check_positive",
     "check_power_of_two",

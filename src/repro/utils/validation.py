@@ -3,16 +3,26 @@
 Raising early with a precise message is worth more than a traceback out of
 a vectorised kernel; the public API entry points use these so every
 misuse fails the same way.
+
+Every value check raises :class:`repro.errors.ValidationError` (which is
+also a ``ValueError``, so pre-existing ``except ValueError`` guards keep
+working).  NaN is rejected everywhere: a NaN slips through ordinary
+comparison guards (``nan > 0`` and ``nan < 0`` are both false) and then
+silently corrupts whatever model consumed it.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
+from repro.errors import ValidationError
 from repro.utils.bits import is_power_of_two
 
 __all__ = [
     "check_positive",
+    "check_finite",
+    "check_fraction",
     "check_index",
     "check_power_of_two",
     "check_probability",
@@ -20,12 +30,37 @@ __all__ = [
 ]
 
 
+def check_finite(name: str, value: float) -> None:
+    """Raise :class:`ValidationError` unless ``value`` is a finite number."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(
+            f"{name} must be a number, got {type(value).__name__}"
+        )
+    if not math.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+
+
 def check_positive(name: str, value: float, *, strict: bool = True) -> None:
-    """Raise ``ValueError`` unless ``value > 0`` (or ``>= 0`` if not strict)."""
+    """Raise :class:`ValidationError` unless ``value > 0`` (``>= 0`` if not strict).
+
+    NaN and infinities are always rejected.
+    """
+    check_finite(name, value)
     if strict and not value > 0:
-        raise ValueError(f"{name} must be > 0, got {value!r}")
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
     if not strict and not value >= 0:
-        raise ValueError(f"{name} must be >= 0, got {value!r}")
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_fraction(
+    name: str, value: float, *, zero_ok: bool = False
+) -> None:
+    """Raise unless ``value`` is a finite factor in ``(0, 1]`` (or ``[0, 1]``)."""
+    check_finite(name, value)
+    low_ok = value >= 0 if zero_ok else value > 0
+    if not (low_ok and value <= 1.0):
+        bounds = "[0, 1]" if zero_ok else "(0, 1]"
+        raise ValidationError(f"{name} must be in {bounds}, got {value!r}")
 
 
 def check_index(name: str, value: int, upper: int) -> None:
@@ -33,19 +68,22 @@ def check_index(name: str, value: int, upper: int) -> None:
     if not isinstance(value, (int,)) or isinstance(value, bool):
         raise TypeError(f"{name} must be an int, got {type(value).__name__}")
     if not 0 <= value < upper:
-        raise ValueError(f"{name} must be in [0, {upper}), got {value}")
+        raise ValidationError(f"{name} must be in [0, {upper}), got {value}")
 
 
 def check_power_of_two(name: str, value: int) -> None:
-    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    """Raise :class:`ValidationError` unless ``value`` is a positive power of two."""
     if not is_power_of_two(value):
-        raise ValueError(f"{name} must be a positive power of two, got {value}")
+        raise ValidationError(
+            f"{name} must be a positive power of two, got {value}"
+        )
 
 
 def check_probability(name: str, value: float) -> None:
-    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    """Raise :class:`ValidationError` unless ``0 <= value <= 1`` (and not NaN)."""
+    check_finite(name, value)
     if not 0.0 <= value <= 1.0:
-        raise ValueError(f"{name} must be in [0, 1], got {value}")
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
 
 
 def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:

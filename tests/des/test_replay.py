@@ -135,6 +135,13 @@ class TestCrossCheck:
         with pytest.raises(DesError, match="tolerance"):
             crosscheck(qft_circuit(22), config, tolerance=0.0)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -0.1])
+    def test_non_finite_tolerance_rejected(self, bad):
+        # A NaN tolerance would make `abs(delta) > tolerance` silently
+        # false and bless any divergence.
+        with pytest.raises(DesError, match="tolerance"):
+            crosscheck(qft_circuit(22), make_config(), tolerance=bad)
+
     def test_describe_mentions_verdict(self):
         check = crosscheck(qft_circuit(22), make_config())
         assert "OK" in check.describe()

@@ -91,6 +91,17 @@ class TestFabricTopology:
         with pytest.raises(DesError):
             Fabric(8, bandwidth=1e9, uplink_oversubscription=0.5)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_bandwidth_rejected(self, bad):
+        # NaN passes a bare `<= 0` guard and then poisons every
+        # transfer-time computation downstream.
+        with pytest.raises(DesError, match="finite"):
+            Fabric(8, bandwidth=bad)
+
+    def test_non_finite_oversubscription_rejected(self):
+        with pytest.raises(DesError, match="finite"):
+            Fabric(8, bandwidth=1e9, uplink_oversubscription=float("nan"))
+
     def test_same_node_path_is_empty(self):
         fabric = Fabric(8, bandwidth=1e9)
         assert fabric.path(3, 3) == []

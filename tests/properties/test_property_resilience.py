@@ -1,0 +1,155 @@
+"""Property-based invariants of the fault-injection layer.
+
+Three contracts hold for *every* plan, not just the hand-picked ones:
+
+* **Determinism** -- all injected randomness is a pure function of
+  ``(seed, coordinates)``, so a fixed-seed replay is bit-identical
+  across runs: same makespan, same spans, same fault report.
+* **Zero-fault identity** -- ``FaultPlan()`` must reproduce the
+  fault-free prediction exactly (runtime and energy deltas identically
+  zero, not merely close), on both backends.
+* **Differential gate** -- for the degradations both sides model
+  (stragglers, degraded links), the analytic closed form must track the
+  DES replay within the same <=10% tolerance the fault-free cross-check
+  enforces (:data:`repro.des.DEFAULT_TOLERANCE`).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import qft_circuit
+from repro.des import DEFAULT_TOLERANCE, simulate_trace
+from repro.faults import (
+    FaultPlan,
+    LinkDegradation,
+    NodeFailure,
+    Straggler,
+    analytic_fault_report,
+)
+from repro.machine import CpuFrequency, STANDARD_NODE
+from repro.mpi import CommMode
+from repro.perfmodel import (
+    RunConfiguration,
+    cost_trace,
+    predict,
+    trace_circuit,
+)
+from repro.statevector import Partition
+
+qubit_counts = st.integers(min_value=12, max_value=16)
+rank_exponents = st.integers(min_value=1, max_value=3)
+seeds = st.integers(min_value=0, max_value=2**32)
+modes = st.sampled_from([CommMode.BLOCKING, CommMode.NONBLOCKING])
+slowdowns = st.floats(
+    min_value=1.0, max_value=4.0, allow_nan=False, allow_infinity=False
+)
+link_factors = st.floats(
+    min_value=0.2, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _config(n, ranks, mode=CommMode.NONBLOCKING, **kwargs):
+    return RunConfiguration(
+        partition=Partition(n, ranks),
+        node_type=STANDARD_NODE,
+        frequency=CpuFrequency.MEDIUM,
+        comm_mode=mode,
+        **kwargs,
+    )
+
+
+@given(qubit_counts, rank_exponents, seeds, modes)
+@settings(max_examples=15, deadline=None)
+def test_fixed_seed_replay_bit_identical(n, d, seed, mode):
+    """Two replays of the same seeded plan agree bit-for-bit."""
+    config = _config(n, 1 << d, mode)
+    trace = trace_circuit(qft_circuit(n), config)
+    base = simulate_trace(trace).makespan_s
+    plan = FaultPlan(
+        seed=seed,
+        mtbf_s=max(base, 1e-9),
+        stragglers=(Straggler(rank=0, slowdown=1.5),),
+        chunk_failure_rate=0.1,
+    )
+    first = simulate_trace(trace, faults=plan)
+    second = simulate_trace(trace, faults=plan)
+    assert first.makespan_s == second.makespan_s
+    assert first.events_processed == second.events_processed
+    assert first.faults == second.faults
+    assert first.timeline.events == second.timeline.events
+    for rank in range(config.partition.num_ranks):
+        assert first.timeline.spans_of(rank) == second.timeline.spans_of(rank)
+
+
+@given(qubit_counts, rank_exponents, modes)
+@settings(max_examples=15, deadline=None)
+def test_zero_fault_plan_reproduces_fault_free_run_exactly(n, d, mode):
+    """FaultPlan() is the identity: zero runtime and energy deltas."""
+    config = _config(n, 1 << d, mode)
+    circuit = qft_circuit(n)
+    for backend in ("analytic", "des"):
+        clean = predict(circuit, config, backend=backend)
+        zero = predict(circuit, config, backend=backend, faults=FaultPlan())
+        assert zero.runtime_s - clean.runtime_s == 0.0
+        assert zero.total_energy_j - clean.total_energy_j == 0.0
+        assert zero.cu == clean.cu
+    clean_des = simulate_trace(trace_circuit(circuit, config))
+    zero_des = simulate_trace(
+        trace_circuit(circuit, config), faults=FaultPlan()
+    )
+    for rank in range(config.partition.num_ranks):
+        assert zero_des.timeline.spans_of(rank) == clean_des.timeline.spans_of(
+            rank
+        )
+
+
+@given(qubit_counts, rank_exponents, slowdowns, modes)
+@settings(max_examples=15, deadline=None)
+def test_analytic_tracks_des_under_stragglers(n, d, slowdown, mode):
+    """Straggler plans keep the analytic/DES gap within the 10% gate."""
+    ranks = 1 << d
+    config = _config(n, ranks, mode)
+    trace = trace_circuit(qft_circuit(n), config)
+    # The all-ones rank participates in every gate, so pinning the
+    # straggler there matches the lockstep worst-case closed form.
+    plan = FaultPlan(stragglers=(Straggler(rank=ranks - 1, slowdown=slowdown),))
+    des = simulate_trace(trace, faults=plan)
+    analytic = analytic_fault_report(cost_trace(trace), plan)
+    delta = abs(analytic.wall_s - des.makespan_s) / des.makespan_s
+    assert delta <= DEFAULT_TOLERANCE
+
+
+@given(qubit_counts, rank_exponents, link_factors)
+@settings(max_examples=15, deadline=None)
+def test_analytic_tracks_des_under_link_degradation(n, d, factor):
+    """Degraded-NIC plans stay within the same differential gate."""
+    config = _config(n, 1 << d, CommMode.NONBLOCKING)
+    trace = trace_circuit(qft_circuit(n), config)
+    plan = FaultPlan(link_degradations=(LinkDegradation(node=0, factor=factor),))
+    des = simulate_trace(trace, faults=plan)
+    analytic = analytic_fault_report(cost_trace(trace), plan)
+    delta = abs(analytic.wall_s - des.makespan_s) / des.makespan_s
+    assert delta <= DEFAULT_TOLERANCE
+
+
+@given(qubit_counts, seeds)
+@settings(max_examples=15, deadline=None)
+def test_overlay_shared_exactly_between_backends(n, seed):
+    """Fail-stop arithmetic is backend-independent: same plan, same
+    overlay slowdown on whatever base each backend produced."""
+    config = _config(n, 4)
+    circuit = qft_circuit(n)
+    base = predict(circuit, config)
+    plan = FaultPlan(
+        seed=seed,
+        node_failures=(NodeFailure(time_s=base.runtime_s / 3, node=1),),
+    )
+    analytic = predict(circuit, config, faults=plan)
+    des = predict(circuit, config, backend="des", faults=plan)
+    assert analytic.faults is not None and des.faults is not None
+    assert analytic.faults.num_failures == des.faults.num_failures
+    # Same rollback fraction relative to each backend's own base.
+    assert abs(
+        analytic.faults.wall_s / analytic.faults.base_makespan_s
+        - des.faults.wall_s / des.faults.base_makespan_s
+    ) <= 0.02

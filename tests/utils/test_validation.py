@@ -2,13 +2,19 @@
 
 import pytest
 
+from repro.errors import ReproError, ValidationError
 from repro.utils.validation import (
+    check_finite,
+    check_fraction,
     check_index,
     check_positive,
     check_power_of_two,
     check_probability,
     check_type,
 )
+
+NAN = float("nan")
+INF = float("inf")
 
 
 class TestCheckPositive:
@@ -66,6 +72,72 @@ class TestCheckProbability:
     def test_rejects(self, p):
         with pytest.raises(ValueError):
             check_probability("p", p)
+
+
+class TestCheckFinite:
+    @pytest.mark.parametrize("value", [0, -3, 1.5, 1e300])
+    def test_accepts_finite_numbers(self, value):
+        check_finite("x", value)
+
+    @pytest.mark.parametrize("value", [NAN, INF, -INF])
+    def test_rejects_non_finite(self, value):
+        with pytest.raises(ValidationError, match="finite"):
+            check_finite("x", value)
+
+    @pytest.mark.parametrize("value", ["1", None, True])
+    def test_rejects_non_numbers(self, value):
+        with pytest.raises(ValidationError, match="number"):
+            check_finite("x", value)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.1, 0.5, 1.0])
+    def test_accepts_fractions(self, value):
+        check_fraction("f", value)
+
+    def test_zero_needs_opt_in(self):
+        with pytest.raises(ValidationError, match=r"\(0, 1\]"):
+            check_fraction("f", 0.0)
+        check_fraction("f", 0.0, zero_ok=True)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, NAN, INF])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValidationError):
+            check_fraction("f", value)
+
+
+class TestNanRejectedEverywhere:
+    """NaN passes bare comparison guards; these helpers must not."""
+
+    def test_check_positive_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_positive("x", NAN)
+        with pytest.raises(ValidationError, match="finite"):
+            check_positive("x", NAN, strict=False)
+
+    def test_check_probability_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_probability("p", NAN)
+
+    def test_check_positive_rejects_infinity(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_positive("x", INF)
+
+
+class TestValidationErrorHierarchy:
+    """ValidationError must satisfy both old and new except clauses."""
+
+    def test_is_value_error(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+    def test_is_repro_error(self):
+        with pytest.raises(ReproError):
+            check_positive("x", -1)
+
+    def test_explicit_class(self):
+        with pytest.raises(ValidationError):
+            check_fraction("f", 2.0)
 
 
 class TestCheckType:
