@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""Measure strided vs reference kernel throughput -> ``BENCH_kernels.json``.
+"""Benchmark exports: kernel throughput and parallel-executor speedups.
 
-Times every public kernel on both backends over the same amplitude
-buffer and records the median nanoseconds per (statevector) amplitude,
-plus the strided/reference speedup.  The committed ``BENCH_kernels.json``
-at the repo root is the artefact the kernel-rewrite PR gates on; CI
-re-runs this script in ``--quick`` mode and compares against it.
+``--suite kernels`` (default) times every public kernel on both
+backends over the same amplitude buffer and records the median
+nanoseconds per (statevector) amplitude, plus the strided/reference
+speedup.  The committed ``BENCH_kernels.json`` at the repo root is the
+artefact the kernel-rewrite PR gates on; CI re-runs this script in
+``--quick`` mode and compares against it.
 
 Because absolute ns/amp depends on the machine, the regression check
 (``--check-against``) compares the *speedup ratio* -- strided vs
@@ -13,12 +14,22 @@ reference measured in the same run on the same machine -- and fails when
 any kernel's current speedup drops below half its baseline speedup
 (i.e. the strided kernel regressed >2x relative to the reference).
 
+``--suite parallel`` measures the shared-memory pool executor against
+serial on a QFT (22 qubits x 8 ranks; 18 qubits under ``--quick``) and
+the prediction cache cold vs warm on a DES-backend sweep, writing
+``BENCH_parallel.json``.  The pool can only beat serial wall-clock
+with >=2 physical cores, so the report records ``cpu_count`` and the
+``--require-speedup`` gate skips (loudly) on single-core or shm-less
+hosts instead of failing on hardware the code cannot control.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/export.py                  # 2**20 amps
     PYTHONPATH=src python benchmarks/export.py --quick          # 2**16 amps
     PYTHONPATH=src python benchmarks/export.py --quick \\
         --check-against BENCH_kernels.json --output /tmp/b.json
+    PYTHONPATH=src python benchmarks/export.py --suite parallel \\
+        --require-speedup 1.5
 
 Only the standard library and numpy are required.
 """
@@ -128,6 +139,97 @@ def run(n: int, repeats: int) -> dict:
     }
 
 
+def _time_executor(circuit, num_qubits: int, ranks: int, executor: str, repeats: int):
+    from repro.statevector import DistributedStatevector
+
+    samples = []
+    for _ in range(repeats):
+        state = DistributedStatevector.zero_state(num_qubits, ranks, executor=executor)
+        t0 = time.perf_counter()
+        state.apply_circuit(circuit)
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def _time_cache_sweep(configs):
+    """One pass of DES-backend predictions over ``configs``; wall seconds."""
+    from repro.circuits import qft_circuit
+    from repro.machine.frequency import CpuFrequency
+    from repro.machine.node import STANDARD_NODE
+    from repro.perfmodel.predictor import predict
+    from repro.perfmodel.trace import RunConfiguration
+    from repro.statevector import Partition
+
+    t0 = time.perf_counter()
+    for n, ranks in configs:
+        config = RunConfiguration(
+            partition=Partition(n, ranks),
+            node_type=STANDARD_NODE,
+            frequency=CpuFrequency.MEDIUM,
+        )
+        predict(qft_circuit(n), config, backend="des")
+    return time.perf_counter() - t0
+
+
+def run_parallel(quick: bool) -> dict:
+    import os
+    import tempfile
+
+    from repro.circuits import qft_circuit
+    from repro.parallel import shm_available
+    from repro.parallel.cache import CACHE_DIR_ENV
+
+    n = 18 if quick else 22
+    ranks = 8
+    repeats = 3
+    circuit = qft_circuit(n)
+    serial_s = _time_executor(circuit, n, ranks, "serial", repeats)
+    pool_s = (
+        _time_executor(circuit, n, ranks, "pool", repeats) if shm_available() else None
+    )
+
+    # Cache: the honest workload is where predictions are slow -- the
+    # discrete-event backend at paper-scale rank counts.  The circuit
+    # fingerprints are *not* reused across the two sweeps' qft_circuit
+    # objects' memoisation (fresh objects), so the warm pass pays full
+    # key-derivation cost and only skips the model evaluation.
+    cache_configs = [(28, 64)] if quick else [(30, 64), (32, 128), (34, 256)]
+    saved = os.environ.get(CACHE_DIR_ENV)
+    with tempfile.TemporaryDirectory() as tmp:
+        os.environ[CACHE_DIR_ENV] = tmp
+        try:
+            cache_cold_s = _time_cache_sweep(cache_configs)
+            cache_warm_s = _time_cache_sweep(cache_configs)
+        finally:
+            if saved is None:
+                os.environ.pop(CACHE_DIR_ENV, None)
+            else:
+                os.environ[CACHE_DIR_ENV] = saved
+
+    return {
+        "schema": "repro-bench-parallel/1",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "shm_available": shm_available(),
+        "qft": {
+            "num_qubits": n,
+            "num_ranks": ranks,
+            "repeats": repeats,
+            "serial_s": round(serial_s, 4),
+            "pool_s": round(pool_s, 4) if pool_s is not None else None,
+            "pool_speedup": round(serial_s / pool_s, 3) if pool_s else None,
+        },
+        "cache": {
+            "configs": [list(c) for c in cache_configs],
+            "backend": "des",
+            "cold_s": round(cache_cold_s, 4),
+            "warm_s": round(cache_warm_s, 4),
+            "speedup": round(cache_cold_s / cache_warm_s, 3),
+        },
+    }
+
+
 def check_against(current: dict, baseline_path: str) -> list[str]:
     """Speedup-ratio regressions of ``current`` vs a baseline file."""
     with open(baseline_path) as fh:
@@ -150,14 +252,21 @@ def check_against(current: dict, baseline_path: str) -> list[str]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--suite",
+        choices=("kernels", "parallel"),
+        default="kernels",
+        help="what to measure (default: %(default)s)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
-        help="2**16 amplitudes and fewer repeats (CI smoke mode)",
+        help="smaller problem sizes and fewer repeats (CI smoke mode)",
     )
     parser.add_argument(
         "--output",
-        default="BENCH_kernels.json",
-        help="where to write the JSON report (default: %(default)s)",
+        default=None,
+        help="where to write the JSON report "
+        "(default: BENCH_<suite>.json at the repo root)",
     )
     parser.add_argument(
         "--check-against",
@@ -165,13 +274,61 @@ def main(argv: list[str] | None = None) -> int:
         help="baseline BENCH_kernels.json; exit 1 if any kernel's "
         "strided/reference speedup drops below half its baseline value",
     )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        metavar="X",
+        help="parallel suite: exit 1 if the pool-vs-serial QFT speedup "
+        "is below X (skipped on single-core or shm-less hosts)",
+    )
     args = parser.parse_args(argv)
+    output = args.output or f"BENCH_{args.suite}.json"
+
+    if args.suite == "parallel":
+        report = run_parallel(args.quick)
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        qft, cache = report["qft"], report["cache"]
+        print(
+            f"QFT {qft['num_qubits']}q x {qft['num_ranks']} ranks: "
+            f"serial {qft['serial_s']:.3f}s  pool "
+            + (
+                f"{qft['pool_s']:.3f}s  speedup {qft['pool_speedup']:.2f}x"
+                if qft["pool_s"] is not None
+                else "n/a (no shared memory)"
+            )
+        )
+        print(
+            f"prediction cache (des backend, {len(cache['configs'])} configs): "
+            f"cold {cache['cold_s']:.3f}s  warm {cache['warm_s']:.3f}s  "
+            f"speedup {cache['speedup']:.1f}x"
+        )
+        print(f"wrote {output}")
+        if args.require_speedup is not None:
+            if not report["shm_available"]:
+                print("speedup gate skipped: no usable shared memory on this host")
+            elif (report["cpu_count"] or 1) < 2:
+                print(
+                    "speedup gate skipped: single-core host -- the pool "
+                    "cannot beat serial wall-clock without parallel hardware"
+                )
+            elif qft["pool_speedup"] < args.require_speedup:
+                print(
+                    f"REGRESSION pool speedup {qft['pool_speedup']:.2f}x below "
+                    f"required {args.require_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+                return 1
+            else:
+                print(f"pool speedup gate passed (>= {args.require_speedup:.2f}x)")
+        return 0
 
     n = 16 if args.quick else 20
     repeats = 5 if args.quick else 9
     report = run(n, repeats)
 
-    with open(args.output, "w") as fh:
+    with open(output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
@@ -183,7 +340,7 @@ def main(argv: list[str] | None = None) -> int:
             f"ns/amp   reference {entry['reference_ns_per_amp']:8.3f} ns/amp"
             f"   speedup {entry['speedup']:6.2f}x"
         )
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
 
     if args.check_against:
         failures = check_against(report, args.check_against)

@@ -32,6 +32,10 @@ class RunOptions:
     num_nodes: int | None = None
     max_message: int = MAX_MESSAGE_BYTES
     calibration: Calibration = field(default=DEFAULT_CALIBRATION)
+    #: Numeric-execution engine: ``None`` defers to ``REPRO_EXECUTOR``
+    #: (default serial); ``"pool"`` runs rank sweeps across the
+    #: shared-memory worker pool.  Model-only runs ignore this.
+    executor: str | None = None
 
     def fast(self) -> "RunOptions":
         """The paper's 'Fast' configuration: cache-blocked, non-blocking."""
@@ -44,4 +48,5 @@ class RunOptions:
             num_nodes=self.num_nodes,
             max_message=self.max_message,
             calibration=self.calibration,
+            executor=self.executor,
         )

@@ -29,8 +29,12 @@ from repro.statevector.distributed import DistributedStatevector
 
 __all__ = ["SimulationRunner", "NUMERIC_QUBIT_LIMIT"]
 
-#: Above this register size only the model executor runs.
-NUMERIC_QUBIT_LIMIT = 22
+#: Above this register size only the model executor runs.  Raised from
+#: 22 after the lazy-slice + pool-executor work: a 24-qubit state is
+#: 256 MiB of amplitudes, allocated only as gates actually touch ranks,
+#: and the shared-memory pool spreads the sweep across cores (see
+#: BENCH_parallel.json for the measurements behind the bump).
+NUMERIC_QUBIT_LIMIT = 24
 
 
 class SimulationRunner:
@@ -138,6 +142,7 @@ class SimulationRunner:
                 ranks,
                 comm_mode=options.comm_mode,
                 halved_swaps=options.halved_swaps,
+                executor=options.executor,
             )
         else:
             state = DistributedStatevector.from_amplitudes(
@@ -145,6 +150,7 @@ class SimulationRunner:
                 ranks,
                 comm_mode=options.comm_mode,
                 halved_swaps=options.halved_swaps,
+                executor=options.executor,
             )
         state.apply_circuit(to_run)
         return state.gather(), report

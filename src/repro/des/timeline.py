@@ -74,14 +74,91 @@ class TimelineEvent:
     label: str = ""
 
 
+#: Span.kind <-> compact code for the columnar pickle form.
+_KIND_CODES = {"compute": 0, "comm": 1, "wait": 2}
+_KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
+
+
 class Timeline:
-    """Per-rank span lists plus the queries the experiments need."""
+    """Per-rank span lists plus the queries the experiments need.
+
+    A replay at thousands of ranks records hundreds of thousands of
+    spans; pickling them as dataclass instances is what dominated
+    prediction-cache hits.  The timeline therefore pickles *columnar*
+    (seven numpy arrays) and re-inflates the per-rank ``Span`` lists
+    lazily -- a cache hit that never looks at the timeline pays only
+    the array load.
+    """
 
     def __init__(self, num_ranks: int):
         self.num_ranks = num_ranks
-        self._spans: list[list[Span]] = [[] for _ in range(num_ranks)]
+        self._spans_cache: list[list[Span]] | None = [
+            [] for _ in range(num_ranks)
+        ]
+        self._packed = None
         #: Injected events, in annotation order (sorted by the fault layer).
         self.events: list[TimelineEvent] = []
+
+    @property
+    def _spans(self) -> list[list[Span]]:
+        if self._spans_cache is None:
+            self._spans_cache = self._inflate(self._packed)
+            self._packed = None
+        return self._spans_cache
+
+    def __getstate__(self):
+        import numpy as np
+
+        spans = [span for rank_spans in self._spans for span in rank_spans]
+        packed = {
+            "rank": np.array([s.rank for s in spans], dtype=np.int32),
+            "kind": np.array(
+                [_KIND_CODES[s.kind] for s in spans], dtype=np.int8
+            ),
+            "start": np.array([s.start for s in spans], dtype=np.float64),
+            "end": np.array([s.end for s in spans], dtype=np.float64),
+            "gate_lo": np.array([s.gate_lo for s in spans], dtype=np.int32),
+            "gate_hi": np.array([s.gate_hi for s in spans], dtype=np.int32),
+            "blocked_on": np.array(
+                [-1 if s.blocked_on is None else s.blocked_on for s in spans],
+                dtype=np.int32,
+            ),
+        }
+        return {
+            "num_ranks": self.num_ranks,
+            "events": self.events,
+            "packed": packed,
+        }
+
+    def __setstate__(self, state):
+        self.num_ranks = state["num_ranks"]
+        self.events = state["events"]
+        self._packed = state["packed"]
+        self._spans_cache = None
+
+    def _inflate(self, packed) -> list[list[Span]]:
+        spans: list[list[Span]] = [[] for _ in range(self.num_ranks)]
+        for rank, kind, start, end, gate_lo, gate_hi, blocked_on in zip(
+            packed["rank"].tolist(),
+            packed["kind"].tolist(),
+            packed["start"].tolist(),
+            packed["end"].tolist(),
+            packed["gate_lo"].tolist(),
+            packed["gate_hi"].tolist(),
+            packed["blocked_on"].tolist(),
+        ):
+            spans[rank].append(
+                Span(
+                    rank=rank,
+                    kind=_KIND_NAMES[kind],
+                    start=start,
+                    end=end,
+                    gate_lo=gate_lo,
+                    gate_hi=gate_hi,
+                    blocked_on=None if blocked_on < 0 else blocked_on,
+                )
+            )
+        return spans
 
     def annotate(self, event: TimelineEvent) -> None:
         """Record one injected event."""

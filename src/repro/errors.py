@@ -20,6 +20,7 @@ __all__ = [
     "ExperimentError",
     "DesError",
     "FaultError",
+    "PoolError",
     "ValidationError",
 ]
 
@@ -70,6 +71,10 @@ class DesError(ReproError):
 
 class FaultError(ReproError):
     """Invalid fault-injection plan or resilience-model input."""
+
+
+class PoolError(ReproError):
+    """The shared-memory worker pool failed (dead worker, broken barrier)."""
 
 
 class ValidationError(ReproError, ValueError):

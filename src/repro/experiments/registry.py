@@ -15,6 +15,7 @@ from repro.experiments import (
     ext_halved_swap,
     ext_layout,
     ext_overlap,
+    ext_parallel,
     ext_precision,
     ext_ranks_per_node,
     ext_resilience,
@@ -54,6 +55,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "ext-ranks-per-node": ext_ranks_per_node.run,
     "ext-workloads": ext_workloads.run,
     "ext-overlap": ext_overlap.run,
+    "ext-parallel": ext_parallel.run,
     "ext-des-crosscheck": ext_des_crosscheck.run,
     "ext-resilience": ext_resilience.run,
     "validate": validate.run,

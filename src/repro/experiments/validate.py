@@ -124,6 +124,25 @@ def _check_des_crosscheck() -> bool:
     return True
 
 
+def _check_pool_equals_serial() -> bool:
+    from repro.parallel import shm_available
+
+    if not shm_available():
+        # Hosts without /dev/shm cannot run the pool: the fallback path
+        # is serial, which the other checks already cover.
+        return True
+    n, ranks = 8, 4
+    psi = random_state(n, seed=9)
+    circuit = random_circuit(n, 40, seed=9)
+    serial = DistributedStatevector.from_amplitudes(psi, ranks, executor="serial")
+    serial.apply_circuit(circuit)
+    pool = DistributedStatevector.from_amplitudes(psi, ranks, executor="pool")
+    pool.apply_circuit(circuit)
+    return bool(np.array_equal(serial.gather(), pool.gather())) and (
+        serial.comm.message_log == pool.comm.message_log
+    )
+
+
 def _check_generic_transpiler() -> bool:
     from repro.core.transpiler import CacheBlockingPass, equivalent
 
@@ -144,6 +163,7 @@ CHECKS = [
     ("halved-SWAP exchanges preserve the state", _check_halved_swaps),
     ("separate re/im layout == complex layout", _check_soa_layout),
     ("executed schedule == planned schedule", _check_executed_equals_planned),
+    ("pool executor bit-identical to serial", _check_pool_equals_serial),
     ("generic cache-blocking pass preserves action", _check_generic_transpiler),
     ("discrete-event replay agrees with closed form", _check_des_crosscheck),
 ]

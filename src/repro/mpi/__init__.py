@@ -9,12 +9,13 @@ prices that schedule; the numeric executor uses it to move amplitudes.
 from repro.mpi.chunking import (
     MAX_MESSAGE_BYTES,
     chunk_array,
+    element_chunk_bytes,
     num_chunks,
     split_message,
 )
 from repro.mpi.comm import SimComm
 from repro.mpi.datatypes import CommMode, CommStats, Message, Request
-from repro.mpi.exchange import exchange_arrays
+from repro.mpi.exchange import exchange_arrays, log_exchange_schedule
 from repro.mpi.topology import (
     ARCHER2_NODES_PER_SWITCH,
     ARCHER2_SWITCH_POWER_W,
@@ -31,7 +32,9 @@ __all__ = [
     "num_chunks",
     "split_message",
     "chunk_array",
+    "element_chunk_bytes",
     "exchange_arrays",
+    "log_exchange_schedule",
     "NetworkTopology",
     "ARCHER2_NODES_PER_SWITCH",
     "ARCHER2_SWITCH_POWER_W",

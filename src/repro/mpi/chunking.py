@@ -10,10 +10,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import CommError
+from repro.errors import CommError, ValidationError
 from repro.utils.units import GIB
 
-__all__ = ["MAX_MESSAGE_BYTES", "split_message", "chunk_array", "num_chunks"]
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "split_message",
+    "chunk_array",
+    "num_chunks",
+    "element_chunk_bytes",
+]
 
 #: The MPI implementation's per-message cap (2 GiB).
 MAX_MESSAGE_BYTES = 2 * GIB
@@ -49,14 +55,39 @@ def chunk_array(
     """
     if array.ndim != 1:
         raise CommError(f"chunk_array expects a 1-D array, got ndim={array.ndim}")
-    if max_message <= 0:
-        raise CommError(f"max_message must be > 0, got {max_message}")
-    itemsize = array.dtype.itemsize
-    if max_message < itemsize:
-        raise CommError(
-            f"max_message {max_message} smaller than one element ({itemsize} B)"
-        )
-    per_chunk = max_message // itemsize
+    per_chunk = _elements_per_chunk(array.dtype.itemsize, max_message)
     return [array[i : i + per_chunk] for i in range(0, len(array), per_chunk)] or [
         array
+    ]
+
+
+def _elements_per_chunk(itemsize: int, max_message: int) -> int:
+    """Elements per message, validating the cap fits one element."""
+    if max_message <= 0:
+        raise ValidationError(f"max_message must be > 0, got {max_message}")
+    if max_message < itemsize:
+        raise ValidationError(
+            f"max_message {max_message} is smaller than one amplitude "
+            f"({itemsize} B); no message can carry any data"
+        )
+    return max_message // itemsize
+
+
+def element_chunk_bytes(
+    num_elements: int, itemsize: int, max_message: int = MAX_MESSAGE_BYTES
+) -> list[int]:
+    """Byte sizes of the messages :func:`chunk_array` would produce.
+
+    Lets the pool executor's schedule logger account the exact chunk
+    sequence of an exchange without materialising (or even owning) the
+    payload arrays.
+    """
+    if num_elements < 0:
+        raise ValidationError(f"num_elements must be >= 0, got {num_elements}")
+    per_chunk = _elements_per_chunk(itemsize, max_message)
+    if num_elements == 0:
+        return [0]
+    return [
+        min(per_chunk, num_elements - i) * itemsize
+        for i in range(0, num_elements, per_chunk)
     ]

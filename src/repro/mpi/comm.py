@@ -127,6 +127,24 @@ class SimComm:
         """Complete every request, preserving order."""
         return [self.Wait(r) for r in requests]
 
+    # -- schedule accounting (no payload) ---------------------------------------
+
+    def record_only(self, source: int, dest: int, tag: int, nbytes: int) -> None:
+        """Account one message without depositing a payload.
+
+        The pool executor moves amplitude data through shared memory, so
+        nothing is queued for a receive -- but the traffic counters and
+        the message log must still reflect the schedule the serial
+        driver would have produced.
+        """
+        self._check_rank("source", source)
+        self._check_rank("dest", dest)
+        if nbytes < 0:
+            raise CommError(f"nbytes must be >= 0, got {nbytes}")
+        message = Message(source=source, dest=dest, tag=tag, nbytes=nbytes)
+        self.stats.record(message)
+        self.message_log.append(message)
+
     # -- diagnostics -------------------------------------------------------------
 
     def pending_messages(self) -> int:

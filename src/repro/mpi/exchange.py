@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import CommError
-from repro.mpi.chunking import MAX_MESSAGE_BYTES, chunk_array
+from repro.errors import CommError, ValidationError
+from repro.mpi.chunking import MAX_MESSAGE_BYTES, chunk_array, element_chunk_bytes
 from repro.mpi.comm import SimComm
 from repro.mpi.datatypes import CommMode
 
-__all__ = ["exchange_arrays"]
+__all__ = ["exchange_arrays", "log_exchange_schedule"]
 
 
 def _assemble(
@@ -76,8 +76,20 @@ def exchange_arrays(
     """
     if rank_a == rank_b:
         raise CommError("exchange requires two distinct ranks")
-    chunks_a = chunk_array(np.asarray(buf_a).reshape(-1), max_message)
-    chunks_b = chunk_array(np.asarray(buf_b).reshape(-1), max_message)
+    flat_a = np.asarray(buf_a).reshape(-1)
+    flat_b = np.asarray(buf_b).reshape(-1)
+    if flat_a.nbytes != flat_b.nbytes:
+        raise ValidationError(
+            f"exchange buffer lengths differ: rank {rank_a} sends "
+            f"{flat_a.nbytes} B but rank {rank_b} sends {flat_b.nbytes} B"
+        )
+    if max_message < flat_a.dtype.itemsize:
+        raise ValidationError(
+            f"max_message {max_message} is smaller than one amplitude "
+            f"({flat_a.dtype.itemsize} B); the exchange cannot make progress"
+        )
+    chunks_a = chunk_array(flat_a, max_message)
+    chunks_b = chunk_array(flat_b, max_message)
     if len(chunks_a) != len(chunks_b):
         raise CommError(
             f"exchange chunk counts differ: {len(chunks_a)} vs {len(chunks_b)}"
@@ -122,3 +134,42 @@ def exchange_arrays(
     if got_a.nbytes != np.asarray(buf_b).nbytes or got_b.nbytes != np.asarray(buf_a).nbytes:
         raise CommError("exchange produced buffers of unexpected size")
     return got_a, got_b
+
+
+def log_exchange_schedule(
+    comm: SimComm,
+    rank_a: int,
+    rank_b: int,
+    num_elements: int,
+    *,
+    itemsize: int = 16,
+    mode: CommMode = CommMode.BLOCKING,
+    max_message: int = MAX_MESSAGE_BYTES,
+    tag_base: int = 0,
+) -> None:
+    """Account the message schedule of an exchange without moving data.
+
+    The pool executor performs exchanges as direct shared-memory copies
+    inside the workers, so no payload ever crosses :class:`SimComm`.
+    This records the *exact* message sequence the serial driver in
+    :func:`exchange_arrays` would have produced -- same chunk sizes, same
+    tags, same per-mode ordering -- keeping ``comm.stats`` and
+    ``comm.message_log`` bit-identical across executors.
+
+    ``num_elements`` is the per-side payload length (both sides of a
+    QuEST exchange send equally many amplitudes).
+    """
+    if rank_a == rank_b:
+        raise CommError("exchange requires two distinct ranks")
+    sizes = element_chunk_bytes(num_elements, itemsize, max_message)
+    if mode is CommMode.BLOCKING:
+        # Sendrecv pairs proceed chunk by chunk: a->b then b->a per tag.
+        for i, nbytes in enumerate(sizes):
+            comm.record_only(rank_a, rank_b, tag_base + i, nbytes)
+            comm.record_only(rank_b, rank_a, tag_base + i, nbytes)
+    else:
+        # All of one side's Isends post before the other side's.
+        for i, nbytes in enumerate(sizes):
+            comm.record_only(rank_a, rank_b, tag_base + i, nbytes)
+        for i, nbytes in enumerate(sizes):
+            comm.record_only(rank_b, rank_a, tag_base + i, nbytes)

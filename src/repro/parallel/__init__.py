@@ -1,0 +1,84 @@
+"""Shared-memory parallel execution: worker pool, segments, caching.
+
+The package has four pieces:
+
+* :mod:`repro.parallel.shm` -- named shared-memory segments with
+  crash-safe unlink (finalizers + atexit sweep);
+* :mod:`repro.parallel.pool` -- a persistent pool of spawn-safe worker
+  processes with an SPMD mode (barrier lockstep) and a task-farm mode;
+* :mod:`repro.parallel.stepper` -- the worker-side replay of compiled
+  apply plans over the shared segments;
+* :mod:`repro.parallel.cache` -- the content-addressed on-disk
+  prediction cache backing the experiment harness.
+
+:func:`resolve_executor` is the seam everything routes through: it maps
+an explicit ``executor=`` argument or the ``REPRO_EXECUTOR`` environment
+variable to a usable executor name, falling back to serial where the
+pool cannot run (no shared memory, or already inside a worker).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import PoolError, ValidationError
+from repro.parallel.pool import (
+    POOL_WORKERS_ENV,
+    WorkerPool,
+    default_pool_size,
+    get_pool,
+    in_worker,
+    shutdown_pool,
+)
+from repro.parallel.shm import SharedArray, attach_array, shm_available
+
+__all__ = [
+    "EXECUTOR_ENV",
+    "POOL_WORKERS_ENV",
+    "SharedArray",
+    "WorkerPool",
+    "attach_array",
+    "default_pool_size",
+    "get_pool",
+    "in_worker",
+    "resolve_executor",
+    "shm_available",
+    "shutdown_pool",
+]
+
+#: Environment knob: default executor for new statevectors.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+_EXECUTORS = ("serial", "pool")
+
+
+def resolve_executor(value: str | None = None) -> str:
+    """Resolve an executor request to a name the simulator can run.
+
+    Precedence: explicit ``value`` > ``REPRO_EXECUTOR`` > ``"serial"``.
+    An *explicit* ``"pool"`` on a host without working shared memory
+    raises :class:`~repro.errors.PoolError`; a pool selected via the
+    environment degrades to serial instead (so a blanket
+    ``REPRO_EXECUTOR=pool`` CI job still passes on exotic runners).
+    Inside a pool worker the answer is always ``"serial"`` -- nested
+    pools would deadlock the barrier.
+    """
+    explicit = value is not None
+    if value is None:
+        value = os.environ.get(EXECUTOR_ENV) or "serial"
+    value = value.strip().lower()
+    if value not in _EXECUTORS:
+        raise ValidationError(
+            f"unknown executor {value!r}; expected one of {_EXECUTORS}"
+        )
+    if value == "pool":
+        if in_worker():
+            return "serial"
+        if not shm_available():
+            if explicit:
+                raise PoolError(
+                    "executor='pool' requested but named shared memory is "
+                    "unavailable on this host (is /dev/shm mounted?)"
+                )
+            return "serial"
+    return value

@@ -1,0 +1,378 @@
+"""A persistent pool of spawn-safe worker processes.
+
+One pool serves two call shapes:
+
+* :meth:`WorkerPool.spmd` -- every worker runs the *same* function on the
+  same payload, synchronising on a shared barrier (the distributed
+  executor's lockstep plan replay);
+* :meth:`WorkerPool.map_tasks` -- a task farm that fans independent
+  items across workers (the experiment harness' grid fan-out).
+
+Workers are spawned once and reused: the pool is module-global and
+lives for the process (closed by ``atexit``), so repeated
+``apply_circuit`` calls and whole experiment sweeps pay the interpreter
+start-up cost exactly once.
+
+Failure handling is explicit: a worker that raises aborts the shared
+barrier so its peers unblock, and a worker that *dies* (SIGKILL, OOM)
+is detected by the parent, which aborts the barrier on its behalf,
+marks the pool broken and raises :class:`~repro.errors.PoolError`.  The
+next :func:`get_pool` call builds a fresh pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import traceback
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import Any, Callable
+
+from repro.errors import PoolError, ValidationError
+
+__all__ = [
+    "WorkerPool",
+    "WorkerContext",
+    "get_pool",
+    "shutdown_pool",
+    "default_pool_size",
+    "in_worker",
+]
+
+#: Environment knob: explicit worker count for the global pool.
+POOL_WORKERS_ENV = "REPRO_POOL_WORKERS"
+
+#: Set inside worker processes so nested code never re-enters the pool.
+_IN_WORKER_ENV = "_REPRO_POOL_WORKER"
+
+_SPAWN = mp.get_context("spawn")
+
+
+def in_worker() -> bool:
+    """True inside a pool worker process."""
+    return os.environ.get(_IN_WORKER_ENV) == "1"
+
+
+def default_pool_size() -> int:
+    """Worker count for the global pool.
+
+    ``REPRO_POOL_WORKERS`` wins; otherwise one worker per core, capped
+    at 8, with a floor of 2 so cross-worker exchange paths are always
+    exercised (oversubscription on small hosts costs little -- the
+    workers' numpy sweeps time-slice).
+    """
+    env = os.environ.get(POOL_WORKERS_ENV)
+    if env is not None:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValidationError(
+                f"{POOL_WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValidationError(
+                f"{POOL_WORKERS_ENV} must be >= 1, got {value}"
+            )
+        return value
+    return min(8, max(2, os.cpu_count() or 1))
+
+
+@dataclass
+class WorkerContext:
+    """Hands SPMD tasks their identity and synchronisation primitives."""
+
+    worker_id: int
+    num_workers: int
+    barrier: Any
+    events: Any
+
+    def emit(self, event: tuple) -> None:
+        """Send a progress event to the parent (observer plumbing)."""
+        self.events.put(event)
+
+
+def _worker_main(worker_id: int, num_workers: int, conn, barrier, events) -> None:
+    """Worker loop: execute commands from the parent until told to exit."""
+    os.environ[_IN_WORKER_ENV] = "1"
+    ctx = WorkerContext(worker_id, num_workers, barrier, events)
+    while True:
+        try:
+            command = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        kind = command[0]
+        if kind == "close":
+            break
+        fn, payload = command[1], command[2]
+        try:
+            if kind == "spmd":
+                result = fn(ctx, payload)
+            else:
+                result = fn(payload)
+            reply = ("ok", result)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            if kind == "spmd":
+                # Unblock peers waiting on the barrier for this worker.
+                try:
+                    barrier.abort()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+            reply = (
+                "err",
+                f"{type(exc).__name__}: {exc}",
+                traceback.format_exc(),
+            )
+            if isinstance(exc, KeyboardInterrupt):
+                try:
+                    conn.send(reply)
+                finally:
+                    break
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            break
+    conn.close()
+
+
+class WorkerPool:
+    """``num_workers`` persistent spawn processes plus their plumbing."""
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValidationError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+        self.barrier = _SPAWN.Barrier(num_workers)
+        self.events = _SPAWN.SimpleQueue()
+        self._pipes = []
+        self._procs = []
+        self._broken = False
+        for i in range(num_workers):
+            parent_end, child_end = _SPAWN.Pipe()
+            proc = _SPAWN.Process(
+                target=_worker_main,
+                args=(i, num_workers, child_end, self.barrier, self.events),
+                daemon=True,
+                name=f"repro-pool-{i}",
+            )
+            proc.start()
+            child_end.close()
+            self._pipes.append(parent_end)
+            self._procs.append(proc)
+
+    # -- health ---------------------------------------------------------------
+
+    @property
+    def broken(self) -> bool:
+        """True once a worker died or the pool was shut down."""
+        return self._broken or any(not p.is_alive() for p in self._procs)
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the worker processes (test/diagnostic hook)."""
+        return [p.pid for p in self._procs]
+
+    def _drain_events(self, on_event) -> None:
+        while not self.events.empty():
+            event = self.events.get()
+            if on_event is not None:
+                on_event(event)
+
+    # -- SPMD mode -----------------------------------------------------------
+
+    def spmd(
+        self,
+        fn: Callable[[WorkerContext, Any], Any],
+        payload: Any,
+        *,
+        on_event: Callable[[tuple], None] | None = None,
+    ) -> list[Any]:
+        """Run ``fn(ctx, payload)`` on every worker; return all results.
+
+        ``fn`` must be a picklable module-level function.  Progress
+        events the workers :meth:`WorkerContext.emit` are forwarded to
+        ``on_event`` while the parent waits.  Raises
+        :class:`~repro.errors.PoolError` if any worker raises or dies.
+        """
+        if self.broken:
+            raise PoolError("worker pool is broken; call get_pool() again")
+        for pipe in self._pipes:
+            pipe.send(("spmd", fn, payload))
+        results: dict[int, Any] = {}
+        errors: dict[int, tuple[str, str]] = {}
+        pending = set(range(self.num_workers))
+        dead: set[int] = set()
+        while pending:
+            ready = connection.wait(
+                [self._pipes[i] for i in pending], timeout=0.25
+            )
+            self._drain_events(on_event)
+            if not ready:
+                for i in list(pending):
+                    if not self._procs[i].is_alive():
+                        dead.add(i)
+                        pending.discard(i)
+                if dead:
+                    # Peers may be blocked on the barrier waiting for the
+                    # dead worker: break it so they answer, then fail.
+                    self._broken = True
+                    try:
+                        self.barrier.abort()
+                    except Exception:  # pragma: no cover
+                        pass
+                continue
+            for pipe in ready:
+                i = self._pipes.index(pipe)
+                try:
+                    reply = pipe.recv()
+                except (EOFError, OSError):
+                    dead.add(i)
+                    pending.discard(i)
+                    self._broken = True
+                    try:
+                        self.barrier.abort()
+                    except Exception:  # pragma: no cover
+                        pass
+                    continue
+                pending.discard(i)
+                if reply[0] == "ok":
+                    results[i] = reply[1]
+                else:
+                    errors[i] = (reply[1], reply[2])
+        self._drain_events(on_event)
+        if dead:
+            raise PoolError(
+                f"worker(s) {sorted(dead)} died during an SPMD task; "
+                "the pool has been marked broken"
+            )
+        if errors:
+            self._reset_barrier()
+            worker_id, (message, tb) = sorted(errors.items())[0]
+            real = {
+                i: m for i, (m, _t) in errors.items() if "BrokenBarrierError" not in m
+            }
+            if real:
+                worker_id = sorted(real)[0]
+                message, tb = errors[worker_id]
+            raise PoolError(
+                f"worker {worker_id} failed: {message}\n{tb}"
+            )
+        return [results[i] for i in range(self.num_workers)]
+
+    def _reset_barrier(self) -> None:
+        """Recover the barrier after an aborted SPMD task."""
+        try:
+            self.barrier.reset()
+        except Exception:  # pragma: no cover - broken pool caught later
+            self._broken = True
+
+    # -- task-farm mode --------------------------------------------------------
+
+    def map_tasks(self, fn: Callable[[Any], Any], items: list) -> list:
+        """Apply ``fn`` to every item across the workers, preserving order.
+
+        Independent tasks, no barrier: each worker gets a new item as
+        soon as it finishes the last.  The first task error is re-raised
+        as :class:`~repro.errors.PoolError` after all in-flight tasks
+        drain (so the pool stays reusable).
+        """
+        if self.broken:
+            raise PoolError("worker pool is broken; call get_pool() again")
+        items = list(items)
+        results: list[Any] = [None] * len(items)
+        first_error: tuple[int, str, str] | None = None
+        next_item = 0
+        inflight: dict[int, int] = {}  # worker -> item index
+        idle = list(range(self.num_workers))
+        while next_item < len(items) and idle:
+            worker = idle.pop()
+            self._pipes[worker].send(("task", fn, items[next_item]))
+            inflight[worker] = next_item
+            next_item += 1
+        while inflight:
+            ready = connection.wait(
+                [self._pipes[i] for i in inflight], timeout=0.25
+            )
+            self._drain_events(None)
+            if not ready:
+                for i in list(inflight):
+                    if not self._procs[i].is_alive():
+                        self._broken = True
+                        raise PoolError(
+                            f"worker {i} died during a task-farm run"
+                        )
+                continue
+            for pipe in ready:
+                worker = self._pipes.index(pipe)
+                index = inflight.pop(worker)
+                try:
+                    reply = pipe.recv()
+                except (EOFError, OSError):
+                    self._broken = True
+                    raise PoolError(
+                        f"worker {worker} died during a task-farm run"
+                    ) from None
+                if reply[0] == "ok":
+                    results[index] = reply[1]
+                elif first_error is None:
+                    first_error = (index, reply[1], reply[2])
+                if next_item < len(items):
+                    self._pipes[worker].send(("task", fn, items[next_item]))
+                    inflight[worker] = next_item
+                    next_item += 1
+        if first_error is not None:
+            index, message, tb = first_error
+            raise PoolError(f"task {index} failed: {message}\n{tb}")
+        return results
+
+    # -- shutdown -------------------------------------------------------------
+
+    def close(self, *, timeout: float = 2.0) -> None:
+        """Stop every worker (idempotent); terminate stragglers."""
+        self._broken = True
+        for pipe, proc in zip(self._pipes, self._procs):
+            try:
+                if proc.is_alive():
+                    pipe.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=timeout)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+_global_pool: WorkerPool | None = None
+
+
+def get_pool() -> WorkerPool:
+    """The process-wide pool, (re)built on first use or after breakage."""
+    global _global_pool
+    if in_worker():
+        raise PoolError(
+            "nested pools are not allowed: code running inside a pool "
+            "worker must use the serial executor"
+        )
+    if _global_pool is not None and _global_pool.broken:
+        _global_pool.close()
+        _global_pool = None
+    if _global_pool is None:
+        _global_pool = WorkerPool(default_pool_size())
+    return _global_pool
+
+
+def shutdown_pool() -> None:
+    """Close the global pool (atexit hook; also a test-isolation hook)."""
+    global _global_pool
+    if _global_pool is not None:
+        _global_pool.close()
+        _global_pool = None
+
+
+atexit.register(shutdown_pool)

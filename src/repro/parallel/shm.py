@@ -1,0 +1,182 @@
+"""Named shared-memory segments with crash-safe lifecycle.
+
+The pool executor keeps every simulated rank's statevector slice and its
+pair/exchange buffer in POSIX shared memory so worker processes operate
+on the same physical pages as the parent -- gate sweeps parallelise and
+"exchanges" become in-place copies instead of pickled arrays.
+
+Shared memory outlives processes, so cleanup is the hard part: a
+``KeyboardInterrupt`` mid-circuit or a worker killed by the OOM killer
+must not strand ``/dev/shm/repro_*`` segments across pytest runs.  Three
+layers guarantee unlink:
+
+* every :class:`SharedArray` created here carries a ``weakref.finalize``
+  that closes and unlinks when the owner is garbage collected;
+* a module-level registry + ``atexit`` hook unlinks anything still live
+  at interpreter shutdown (covers ``KeyboardInterrupt``/``SystemExit``);
+* workers only ever *attach* -- they never own a segment, so a dead
+  worker cannot leak one.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import PoolError
+
+__all__ = ["SharedArray", "attach_array", "shm_available", "SEGMENT_PREFIX"]
+
+#: Every segment this library creates is named ``repro_<pid>_<token>`` so
+#: tests (and humans) can spot strays in ``/dev/shm``.
+SEGMENT_PREFIX = "repro_"
+
+#: name -> SharedMemory for segments created (owned) by this process.
+_OWNED: dict[str, shared_memory.SharedMemory] = {}
+
+_available: bool | None = None
+
+
+def shm_available() -> bool:
+    """True when named shared memory actually works on this host.
+
+    Containers occasionally mount ``/dev/shm`` read-only or not at all;
+    the pool executor falls back to serial (and pool tests skip) in that
+    case.  The probe result is cached per process.
+    """
+    global _available
+    if _available is None:
+        try:
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _available = True
+        except (OSError, PermissionError, FileNotFoundError):
+            _available = False
+    return _available
+
+
+def _unlink_quietly(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except (OSError, BufferError):
+        pass
+    try:
+        shm.unlink()
+    except (OSError, FileNotFoundError):
+        pass
+
+
+def _cleanup_registry(name: str) -> None:
+    """Finalizer body: unlink one owned segment, drop it from the registry."""
+    shm = _OWNED.pop(name, None)
+    if shm is not None:
+        _unlink_quietly(shm)
+
+
+@atexit.register
+def _cleanup_all_owned() -> None:
+    """Interpreter-exit sweep: unlink every segment still owned.
+
+    Runs on normal exit and on ``KeyboardInterrupt``/``SystemExit``
+    (Python unwinds through atexit for both), so an interrupted pytest
+    run leaves ``/dev/shm`` clean for the next one.
+    """
+    for name in list(_OWNED):
+        _cleanup_registry(name)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to ``name`` without registering it with the resource tracker.
+
+    Attaching normally registers the segment with the (shared) resource
+    tracker, which would unlink it when the attaching worker exits --
+    yanking memory out from under the parent that owns it -- and two
+    workers attaching the same segment double-register it, producing
+    KeyError noise on cleanup.  Ownership and unlink are this module's
+    job, so attachers bypass tracking entirely (Python < 3.13 has no
+    ``track=False``, hence the temporary no-op register).
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedArray:
+    """A numpy array backed by an owned, named shared-memory segment.
+
+    The creating process owns the segment: its finalizer (or the atexit
+    sweep) unlinks it.  Workers attach with :func:`attach_array` and only
+    ever close their mapping.
+    """
+
+    def __init__(self, shape: tuple[int, ...], dtype: np.dtype | type):
+        if not shm_available():
+            raise PoolError(
+                "named shared memory is unavailable on this host "
+                "(is /dev/shm mounted?)"
+            )
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        name = f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+        try:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=nbytes, name=name
+            )
+        except OSError as exc:
+            raise PoolError(f"cannot create shared segment {name}: {exc}") from exc
+        _OWNED[name] = self._shm
+        self.name = name
+        self.shape = tuple(shape)
+        self.dtype = dtype
+        # POSIX shared memory is zero-filled on creation: fresh segments
+        # are a valid all-zero statevector without touching any page.
+        self.array = np.ndarray(self.shape, dtype=dtype, buffer=self._shm.buf)
+        self._finalizer = weakref.finalize(self, _cleanup_registry, name)
+
+    def close(self) -> None:
+        """Unlink and unmap now (idempotent)."""
+        # Drop the array view first: SharedMemory.close() refuses while
+        # exported buffers are alive.
+        self.array = None
+        self._finalizer()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedArray({self.name}, shape={self.shape}, dtype={self.dtype})"
+
+
+class _Attachment:
+    """A worker-side mapping of a segment someone else owns."""
+
+    def __init__(self, name: str, shape: tuple[int, ...], dtype: np.dtype):
+        try:
+            self._shm = _attach_untracked(name)
+        except FileNotFoundError as exc:
+            raise PoolError(
+                f"shared segment {name} has vanished (owner exited?)"
+            ) from exc
+        self.array = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=self._shm.buf)
+
+    def close(self) -> None:
+        self.array = None
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - best effort
+            pass
+
+
+def attach_array(
+    name: str, shape: tuple[int, ...], dtype: np.dtype | type
+) -> _Attachment:
+    """Map an existing named segment as a numpy array (worker side)."""
+    return _Attachment(name, tuple(shape), np.dtype(dtype))

@@ -1,0 +1,218 @@
+"""Worker-side SPMD execution of compiled apply plans.
+
+Each pool worker owns a static round-robin subset of the simulated
+ranks (:meth:`~repro.statevector.partition.Partition.ranks_for_worker`)
+and replays the same :class:`~repro.statevector.apply_plan.ApplyPlan`
+over the shared-memory segments the parent created.  Local steps run
+with no synchronisation at all; distributed steps follow a fixed
+barrier-separated phase pattern:
+
+    [pack own half (halved SWAP only)]
+    barrier      -- every rank's source data for this step is ready
+    copy         -- read the *peer* rank's slice/buffer into own buffer
+    barrier      -- every copy is done; sources may now be overwritten
+    update       -- in-place combine/overwrite of own slices
+
+Two barriers per distributed step, zero per local step.  The first
+barrier doubles as the step entry fence: a worker cannot read a peer's
+slice until that peer has finished every preceding step.  The second
+protects the pair buffers -- no worker can advance to a later step's
+pack/update (which overwrites buffers and slices) while a peer is still
+copying from them.
+
+Bit-identity with the serial executor is by construction: the update
+phase calls the *same* per-rank kernels on the same operand values in
+the same per-rank order (``repro.statevector.distributed`` exposes its
+step bodies at module level precisely so both executors share them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gates import GateLocality
+from repro.statevector import gate_kernels as kernels
+from repro.statevector.apply_plan import ApplyPlan, ApplyStep, StepKind
+from repro.statevector.distributed import (
+    combine_coefficients,
+    diagonal_step_on_rank,
+    local_controls_of,
+    local_memory_step_on_rank,
+    rank_controls_satisfied,
+)
+from repro.statevector.partition import Partition
+
+__all__ = ["PlanTask", "run_plan_worker"]
+
+
+@dataclass(frozen=True)
+class PlanTask:
+    """Everything a worker needs to replay a plan over shared segments."""
+
+    local_name: str
+    pair_name: str | None
+    num_qubits: int
+    num_ranks: int
+    halved_swaps: bool
+    plan: ApplyPlan
+    emit_events: bool
+
+
+def _exec_local(
+    step: ApplyStep,
+    locality: GateLocality,
+    partition: Partition,
+    local2d: np.ndarray,
+    owned: tuple[int, ...],
+) -> None:
+    """Local step: each owned rank sweeps independently, no barriers."""
+    if locality is GateLocality.FULLY_LOCAL:
+        for rank in owned:
+            diagonal_step_on_rank(local2d[rank], step, partition, rank)
+    else:
+        for rank in owned:
+            local_memory_step_on_rank(local2d[rank], step, partition, rank)
+
+
+def _exec_distributed_single(
+    step: ApplyStep,
+    partition: Partition,
+    local2d: np.ndarray,
+    pair2d: np.ndarray,
+    owned: tuple[int, ...],
+    barrier,
+) -> None:
+    """Single-target non-diagonal gate on a rank-index bit."""
+    gate = step.gate
+    rank_bit = partition.rank_bit(gate.pairing_targets()[0])
+    matrix = step.matrix if step.matrix is not None else gate.matrix()
+    local_controls = local_controls_of(gate, partition.local_qubits)
+    active = [
+        r for r in owned if rank_controls_satisfied(gate, partition, r)
+    ]
+    barrier.wait()
+    for rank in active:
+        pair2d[rank][:] = local2d[rank ^ (1 << rank_bit)]
+    barrier.wait()
+    for rank in active:
+        coeff = combine_coefficients(matrix, (rank >> rank_bit) & 1)
+        kernels.combine_distributed_single(
+            local2d[rank], pair2d[rank], coeff[0], coeff[1], local_controls
+        )
+
+
+def _exec_distributed_swap(
+    step: ApplyStep,
+    partition: Partition,
+    local2d: np.ndarray,
+    pair2d: np.ndarray,
+    owned: tuple[int, ...],
+    halved_swaps: bool,
+    barrier,
+) -> None:
+    """SWAP with one or both targets in the rank-index bits."""
+    gate = step.gate
+    m = partition.local_qubits
+    t_low, t_high = sorted(gate.targets)
+    if t_low >= m:
+        # Both bits are rank bits: ranks whose two bit values differ
+        # trade entire slices with rank XOR mask.
+        bit_a, bit_b = t_low - m, t_high - m
+        mask = (1 << bit_a) | (1 << bit_b)
+        active = [
+            r
+            for r in owned
+            if ((r >> bit_a) & 1) != ((r >> bit_b) & 1)
+        ]
+        barrier.wait()
+        for rank in active:
+            pair2d[rank][:] = local2d[rank ^ mask]
+        barrier.wait()
+        for rank in active:
+            local2d[rank][:] = pair2d[rank]
+        return
+
+    local_bit = t_low
+    rank_bit = t_high - m
+    half = partition.local_amplitudes // 2
+    if halved_swaps:
+        # Pack the half the partner needs into the front of the own
+        # pair buffer, receive the partner's packed half into the back.
+        for rank in owned:
+            b = (rank >> rank_bit) & 1
+            view = local2d[rank].reshape(-1, 2, 1 << local_bit)
+            half_shape = view[:, 0, :].shape
+            pair2d[rank][:half].reshape(half_shape)[...] = view[:, 1 - b, :]
+        barrier.wait()
+        for rank in owned:
+            peer = rank ^ (1 << rank_bit)
+            pair2d[rank][half:] = pair2d[peer][:half]
+        barrier.wait()
+        for rank in owned:
+            b = (rank >> rank_bit) & 1
+            view = local2d[rank].reshape(-1, 2, 1 << local_bit)
+            half_shape = view[:, 0, :].shape
+            view[:, 1 - b, :] = pair2d[rank][half:].reshape(half_shape)
+    else:
+        barrier.wait()
+        for rank in owned:
+            pair2d[rank][:] = local2d[rank ^ (1 << rank_bit)]
+        barrier.wait()
+        for rank in owned:
+            kernels.swap_in_halves(
+                local2d[rank],
+                pair2d[rank],
+                local_bit,
+                (rank >> rank_bit) & 1,
+            )
+
+
+def run_plan_worker(ctx, task: PlanTask):
+    """SPMD entry point: replay ``task.plan`` over the shared segments.
+
+    Every worker executes an identical barrier sequence (derived solely
+    from the plan), so workers that own no ranks still participate in
+    lockstep.  The parent has already validated every step -- errors here
+    are bugs, and the pool's abort path surfaces them.
+    """
+    from repro.parallel.shm import attach_array
+
+    partition = Partition(task.num_qubits, task.num_ranks)
+    owned = partition.ranks_for_worker(ctx.worker_id, ctx.num_workers)
+    shape = (task.num_ranks, partition.local_amplitudes)
+    local_att = attach_array(task.local_name, shape, np.complex128)
+    pair_att = (
+        attach_array(task.pair_name, shape, np.complex128)
+        if task.pair_name is not None
+        else None
+    )
+    try:
+        local2d = local_att.array
+        pair2d = pair_att.array if pair_att is not None else None
+        for idx, step in enumerate(task.plan.steps):
+            locality = partition.classify(step.gate)
+            if locality in (GateLocality.FULLY_LOCAL, GateLocality.LOCAL_MEMORY):
+                _exec_local(step, locality, partition, local2d, owned)
+            elif step.kind is StepKind.SWAP:
+                _exec_distributed_swap(
+                    step,
+                    partition,
+                    local2d,
+                    pair2d,
+                    owned,
+                    task.halved_swaps,
+                    ctx.barrier,
+                )
+            else:
+                _exec_distributed_single(
+                    step, partition, local2d, pair2d, owned, ctx.barrier
+                )
+            if task.emit_events:
+                ctx.emit(("step", idx, ctx.worker_id))
+    finally:
+        local_att.close()
+        if pair_att is not None:
+            pair_att.close()
+    return ("done", ctx.worker_id, len(task.plan.steps))

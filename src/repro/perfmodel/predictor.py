@@ -108,12 +108,30 @@ def predict(
     form, and both fold the checkpoint/failure overlay into
     ``runtime_s``, the energy report and the CU cost.  A zero plan is
     guaranteed to change nothing.
+
+    When ``REPRO_CACHE_DIR`` points at a directory, results are served
+    from (and written to) the content-addressed prediction cache --
+    keyed on the circuit's exact gates, the full configuration and the
+    backend.  Fault-injected runs bypass the cache entirely.
     """
     if backend not in PREDICTION_BACKENDS:
         raise CalibrationError(
             f"unknown prediction backend {backend!r} "
             f"(choose from {', '.join(PREDICTION_BACKENDS)})"
         )
+    cache = None
+    cache_key = None
+    if faults is None or faults.is_zero:
+        from repro.parallel.cache import PredictionCache, active_cache
+
+        cache = active_cache()
+        if cache is not None:
+            cache_key = PredictionCache.key_for(
+                circuit, config, backend=backend, cu_rates=cu_rates
+            )
+            cached = cache.get(cache_key)
+            if cached is not None:
+                return cached
     trace = trace_circuit(circuit, config)
     costed = cost_trace(trace)
     energy = energy_report(costed)
@@ -142,7 +160,7 @@ def predict(
         if fault_report is not None
         else costed.runtime_s
     )
-    return Prediction(
+    prediction = Prediction(
         circuit_name=circuit.name or f"circuit{circuit.num_qubits}",
         config=config,
         costed=costed,
@@ -157,3 +175,6 @@ def predict(
         des=des,
         faults=fault_report,
     )
+    if cache is not None and cache_key is not None:
+        cache.put(cache_key, prediction)
+    return prediction

@@ -8,8 +8,20 @@ simulator exact and deterministic while the communication *schedule*
 (message counts, sizes, pairings, blocking vs non-blocking) matches what
 QuEST would issue on a real machine.
 
+Two executors share this class:
+
+* ``executor="serial"`` (default) drives every rank in this process,
+  moving distributed payloads through :class:`~repro.mpi.comm.SimComm`;
+* ``executor="pool"`` places the rank slices (and the pair/exchange
+  buffers) in named shared-memory segments and replays the compiled
+  plan across a persistent worker pool (:mod:`repro.parallel`) -- local
+  sweeps run concurrently and exchanges become in-place shared-memory
+  copies.  Amplitudes are bit-identical to the serial path, and the
+  communicator still records the exact message schedule the serial
+  driver would have produced.
+
 Scale: functional simulation is for correctness work (tests cap out in
-the low twenties of qubits).  Paper-scale runs use the same
+the mid twenties of qubits).  Paper-scale runs use the same
 :mod:`~repro.statevector.plan` through the model executor instead.
 """
 
@@ -20,11 +32,18 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.circuits.circuit import Circuit
-from repro.errors import SimulationError
+from repro.errors import SimulationError, ValidationError
 from repro.gates import Gate, GateLocality
-from repro.mpi import CommMode, MAX_MESSAGE_BYTES, SimComm, exchange_arrays
+from repro.mpi import (
+    CommMode,
+    MAX_MESSAGE_BYTES,
+    SimComm,
+    exchange_arrays,
+    log_exchange_schedule,
+)
 from repro.statevector import gate_kernels as kernels
 from repro.statevector.apply_plan import (
+    ApplyPlan,
     ApplyStep,
     StepKind,
     compile_gate_step,
@@ -32,13 +51,85 @@ from repro.statevector.apply_plan import (
     reduce_diagonal,
 )
 from repro.statevector.dense import DenseStatevector
-from repro.statevector.partition import Partition
+from repro.statevector.partition import AMPLITUDE_BYTES, Partition
 from repro.statevector.plan import GatePlan, plan_gate
+from repro.statevector.slices import RankSlices
 
 __all__ = ["DistributedStatevector"]
 
 #: Callback invoked after each gate with its plan.
 Observer = Callable[[int, Gate, GatePlan], None]
+
+
+# -- per-rank step bodies ------------------------------------------------------
+#
+# Module-level so the pool workers (repro.parallel.stepper) execute the
+# *same code objects* the serial executor runs: bit-identical local
+# sweeps are a property of shared code, not of parallel re-derivation.
+
+
+def local_controls_of(gate: Gate, local_qubits: int) -> tuple[int, ...]:
+    """The gate's control qubits that index into the local array."""
+    return tuple(c for c in gate.controls if c < local_qubits)
+
+
+def rank_controls_satisfied(gate: Gate, partition: Partition, rank: int) -> bool:
+    """True when the rank's index bits satisfy all distributed controls."""
+    m = partition.local_qubits
+    return all((rank >> (c - m)) & 1 for c in gate.controls if c >= m)
+
+
+def diagonal_step_on_rank(
+    amps: np.ndarray, step: ApplyStep, partition: Partition, rank: int
+) -> None:
+    """Fully local (diagonal) step on one rank's slice.
+
+    Distributed controls decide whether the rank participates at all;
+    distributed targets have a constant bit value per rank, so the
+    diagonal is reduced over them once and the remaining local part runs
+    through the strided kernel -- no per-rank index arrays or masks.
+    """
+    m = partition.local_qubits
+    targets, controls, diag = step.targets, step.controls, step.diag
+    dist_controls = tuple(c for c in controls if c >= m)
+    if not all((rank >> (c - m)) & 1 for c in dist_controls):
+        return
+    dist_targets = tuple(t for t in targets if t >= m)
+    if dist_targets:
+        fixed = {t: (rank >> (t - m)) & 1 for t in dist_targets}
+        local_targets, reduced = reduce_diagonal(diag, targets, fixed)
+    else:
+        local_targets, reduced = targets, diag
+    kernels.apply_diagonal(
+        amps, reduced, local_targets, tuple(c for c in controls if c < m)
+    )
+
+
+def local_memory_step_on_rank(
+    amps: np.ndarray, step: ApplyStep, partition: Partition, rank: int
+) -> None:
+    """Local-memory step (all pairing targets local) on one rank's slice."""
+    gate = step.gate
+    if not rank_controls_satisfied(gate, partition, rank):
+        return
+    controls = local_controls_of(gate, partition.local_qubits)
+    if step.kind is StepKind.SWAP:
+        kernels.apply_swap_local(amps, step.targets[0], step.targets[1], controls)
+    else:
+        kernels.apply_matrix(amps, step.matrix, step.targets, controls)
+
+
+def combine_coefficients(
+    matrix: np.ndarray, rank_bit_value: int
+) -> tuple[complex, complex]:
+    """The (local, remote) coefficients of a distributed single-qubit gate.
+
+    Each rank's new amplitudes are the matrix row selected by its value
+    of the target bit: ``new = row[b] * local + row[1-b] * remote``.
+    """
+    if rank_bit_value == 0:
+        return matrix[0, 0], matrix[0, 1]
+    return matrix[1, 1], matrix[1, 0]
 
 
 class DistributedStatevector:
@@ -52,17 +143,35 @@ class DistributedStatevector:
         halved_swaps: bool = False,
         max_message: int = MAX_MESSAGE_BYTES,
         observer: Observer | None = None,
+        executor: str | None = None,
     ):
+        from repro.parallel import resolve_executor
+
         self.partition = partition
         self.comm_mode = comm_mode
         self.halved_swaps = halved_swaps
         self.max_message = max_message
         self.observer = observer
+        self.executor = resolve_executor(executor)
         self.comm = SimComm(partition.num_ranks)
-        self._local = [
-            np.zeros(partition.local_amplitudes, dtype=np.complex128)
-            for _ in range(partition.num_ranks)
-        ]
+        self._shared_local = None
+        self._shared_pair = None
+        if self.executor == "pool":
+            from repro.parallel.shm import SharedArray
+
+            # One segment holds every rank's slice; the OS hands over
+            # zero pages, so a fresh segment *is* |0...0> minus one amp.
+            self._shared_local = SharedArray(
+                (partition.num_ranks, partition.local_amplitudes), np.complex128
+            )
+            self._local = RankSlices.from_backing(self._shared_local.array)
+        else:
+            # Lazy: slices materialise on first write.  |0...0> touches
+            # only rank 0; every other rank stays an implicit zero slice
+            # until a distributed gate mixes data into it.
+            self._local = RankSlices(
+                partition.num_ranks, partition.local_amplitudes
+            )
         self._local[0][0] = 1.0  # |0...0>
         self._gate_index = 0
         # Per-rank reusable exchange buffer (QuEST's static pairStateVec):
@@ -116,11 +225,11 @@ class DistributedStatevector:
 
     def local_array(self, rank: int) -> np.ndarray:
         """A copy of one rank's slice."""
-        return self._local[rank].copy()
+        return self._local.read(rank).copy()
 
     def gather(self) -> np.ndarray:
         """The full statevector, concatenated in rank order."""
-        return np.concatenate(self._local)
+        return np.concatenate([self._local.read(r) for r in range(self.num_ranks)])
 
     def to_dense(self) -> DenseStatevector:
         """Gather into a dense reference simulator."""
@@ -134,7 +243,7 @@ class DistributedStatevector:
         as QuEST's ``calcTotalProb`` does.
         """
         if self.num_ranks == 1:
-            return float(np.linalg.norm(self._local[0]))
+            return float(np.linalg.norm(self._local.read(0)))
         from repro.mpi.collectives import allreduce
 
         partials = [
@@ -159,7 +268,7 @@ class DistributedStatevector:
             )
         partials = [
             np.array(
-                [complex(np.vdot(self._local[r], other._local[r]))],
+                [complex(np.vdot(self._local.read(r), other._local.read(r)))],
                 dtype=np.complex128,
             )
             for r in range(self.num_ranks)
@@ -184,7 +293,7 @@ class DistributedStatevector:
         """Probability of one basis state (owned by exactly one rank)."""
         rank = self.partition.rank_of(global_index)
         local = self.partition.local_index_of(global_index)
-        return float(np.abs(self._local[rank][local]) ** 2)
+        return float(np.abs(self._local.read(rank)[local]) ** 2)
 
     def marginal_probability(self, qubit: int, value: int) -> float:
         """P(measuring ``qubit`` = ``value``) via per-rank partial sums.
@@ -246,7 +355,7 @@ class DistributedStatevector:
         m = self.partition.local_qubits
         for rank in np.unique(rank_draws):
             sel = rank_draws == rank
-            probs = np.abs(self._local[rank]) ** 2
+            probs = np.abs(self._local.read(rank)) ** 2
             probs /= probs.sum()
             local = rng.choice(probs.shape[0], size=int(sel.sum()), p=probs)
             out[sel] = (int(rank) << m) | local
@@ -267,14 +376,25 @@ class DistributedStatevector:
                 f"{self.num_qubits}"
             )
         plan = compile_plan(circuit, fuse_diagonals=self.observer is None)
-        for step in plan.steps:
-            self._apply_step(step)
+        if self.executor == "pool":
+            self._run_plan_pool(plan)
+        else:
+            for step in plan.steps:
+                self._apply_step(step)
         return self
 
     def apply_gate(self, gate: Gate) -> "DistributedStatevector":
         """Apply one gate across all ranks (SPMD lockstep)."""
-        self._apply_step(compile_gate_step(gate))
+        step = compile_gate_step(gate)
+        if self.executor == "pool":
+            self._run_plan_pool(
+                ApplyPlan(num_qubits=self.num_qubits, steps=(step,), num_gates=1)
+            )
+        else:
+            self._apply_step(step)
         return self
+
+    # -- serial executor ----------------------------------------------------------
 
     def _apply_step(self, step: ApplyStep) -> None:
         """Execute one compiled step across all ranks."""
@@ -302,18 +422,8 @@ class DistributedStatevector:
             self.observer(self._gate_index, gate, plan)
         self._gate_index += step.num_gates
 
-    # -- rank participation helpers ----------------------------------------------
-
-    def _rank_controls_satisfied(self, gate: Gate, rank: int) -> bool:
-        """True when the rank's index bits satisfy all distributed controls."""
-        m = self.partition.local_qubits
-        return all(
-            (rank >> (c - m)) & 1 for c in gate.controls if c >= m
-        )
-
     def _local_controls(self, gate: Gate) -> tuple[int, ...]:
-        m = self.partition.local_qubits
-        return tuple(c for c in gate.controls if c < m)
+        return local_controls_of(gate, self.partition.local_qubits)
 
     def _pair_buffers(self) -> list[np.ndarray]:
         """The per-rank reusable exchange buffers (allocated on first use)."""
@@ -329,45 +439,26 @@ class DistributedStatevector:
     def _apply_diagonal_step(self, step: ApplyStep) -> None:
         """Fully local (diagonal) gate: one strided sweep per active rank.
 
-        Distributed controls decide whether a rank participates at all;
-        distributed targets have a constant bit value per rank, so the
-        diagonal is reduced over them once per rank and the remaining
-        local part runs through the strided kernel -- no per-rank index
-        arrays or masks.
+        Unmaterialised (all-zero) slices are skipped outright: a
+        diagonal rescales amplitudes in place, and zero stays zero.
         """
-        m = self.partition.local_qubits
-        targets, controls, diag = step.targets, step.controls, step.diag
-        local_controls = tuple(c for c in controls if c < m)
-        dist_controls = tuple(c for c in controls if c >= m)
-        dist_targets = tuple(t for t in targets if t >= m)
         for rank in range(self.num_ranks):
-            if not all((rank >> (c - m)) & 1 for c in dist_controls):
+            if not self._local.is_materialized(rank):
                 continue
-            if dist_targets:
-                fixed = {t: (rank >> (t - m)) & 1 for t in dist_targets}
-                local_targets, reduced = reduce_diagonal(diag, targets, fixed)
-            else:
-                local_targets, reduced = targets, diag
-            kernels.apply_diagonal(
-                self._local[rank], reduced, local_targets, local_controls
-            )
+            diagonal_step_on_rank(self._local[rank], step, self.partition, rank)
 
     def _apply_local_memory_step(self, step: ApplyStep) -> None:
-        """All pairing targets local; distributed controls gate rank activity."""
-        gate = step.gate
-        local_controls = self._local_controls(gate)
+        """All pairing targets local; distributed controls gate rank activity.
+
+        Like the diagonal case, an implicit zero slice maps to itself
+        under any linear local update, so unmaterialised ranks skip.
+        """
         for rank in range(self.num_ranks):
-            if not self._rank_controls_satisfied(gate, rank):
+            if not self._local.is_materialized(rank):
                 continue
-            amps = self._local[rank]
-            if step.kind is StepKind.SWAP:
-                kernels.apply_swap_local(
-                    amps, step.targets[0], step.targets[1], local_controls
-                )
-            else:
-                kernels.apply_matrix(
-                    amps, step.matrix, step.targets, local_controls
-                )
+            local_memory_step_on_rank(
+                self._local[rank], step, self.partition, rank
+            )
 
     def _comm_pairs(self, rank_bit: int, gate: Gate) -> list[tuple[int, int]]:
         """Rank pairs (low, high) differing at ``rank_bit``, controls satisfied."""
@@ -376,7 +467,7 @@ class DistributedStatevector:
             if (rank >> rank_bit) & 1:
                 continue
             peer = rank | (1 << rank_bit)
-            if self._rank_controls_satisfied(gate, rank):
+            if rank_controls_satisfied(gate, self.partition, rank):
                 # Peer differs only at the target bit, so its control
                 # bits agree with ours.
                 pairs.append((rank, peer))
@@ -394,39 +485,44 @@ class DistributedStatevector:
         local_controls = self._local_controls(gate)
         bufs = self._pair_buffers()
         for rank, peer in self._comm_pairs(rank_bit, gate):
+            # A pair of still-implicit zero slices stays zero under any
+            # linear combine: exchange (the message schedule is part of
+            # the observable surface) but skip the update, leaving both
+            # slices unmaterialised.
+            compute = self._local.is_materialized(rank) or self._local.is_materialized(
+                peer
+            )
+            send_lo = self._local[rank] if compute else self._local.read(rank)
+            send_hi = self._local[peer] if compute else self._local.read(peer)
             recv_lo, recv_hi = exchange_arrays(
                 self.comm,
                 rank,
-                self._local[rank],
+                send_lo,
                 peer,
-                self._local[peer],
+                send_hi,
                 mode=self.comm_mode,
                 max_message=self.max_message,
                 tag_base=self._gate_index << 8,
                 out_a=bufs[rank],
                 out_b=bufs[peer],
             )
+            if not compute:
+                continue
             # recv_lo is what the low rank received (= peer's data).
+            coeff_lo = combine_coefficients(matrix, 0)
+            coeff_hi = combine_coefficients(matrix, 1)
             kernels.combine_distributed_single(
-                self._local[rank],
-                recv_lo,
-                matrix[0, 0],
-                matrix[0, 1],
-                local_controls,
+                self._local[rank], recv_lo, coeff_lo[0], coeff_lo[1], local_controls
             )
             kernels.combine_distributed_single(
-                self._local[peer],
-                recv_hi,
-                matrix[1, 1],
-                matrix[1, 0],
-                local_controls,
+                self._local[peer], recv_hi, coeff_hi[0], coeff_hi[1], local_controls
             )
 
     def _apply_distributed_swap(self, gate: Gate) -> None:
         """SWAP with one or both targets in the rank-index bits."""
         part = self.partition
         m = part.local_qubits
-        if self._local_controls(gate) or any(c >= m for c in gate.controls):
+        if gate.controls:
             raise SimulationError(
                 "controlled distributed SWAP is not supported (QuEST "
                 "decomposes it); remove controls or keep targets local"
@@ -442,20 +538,28 @@ class DistributedStatevector:
                 if ((rank >> bit_a) & 1, (rank >> bit_b) & 1) != (1, 0):
                     continue
                 peer = rank ^ ((1 << bit_a) | (1 << bit_b))
+                # Two implicit zero slices swap to zero: log the exchange
+                # but leave both unmaterialised.
+                compute = self._local.is_materialized(
+                    rank
+                ) or self._local.is_materialized(peer)
+                send_a = self._local[rank] if compute else self._local.read(rank)
+                send_b = self._local[peer] if compute else self._local.read(peer)
                 recv_a, recv_b = exchange_arrays(
                     self.comm,
                     rank,
-                    self._local[rank],
+                    send_a,
                     peer,
-                    self._local[peer],
+                    send_b,
                     mode=self.comm_mode,
                     max_message=self.max_message,
                     tag_base=self._gate_index << 8,
                     out_a=bufs[rank],
                     out_b=bufs[peer],
                 )
-                self._local[rank][:] = recv_a
-                self._local[peer][:] = recv_b
+                if compute:
+                    self._local[rank][:] = recv_a
+                    self._local[peer][:] = recv_b
             return
 
         # One local target, one rank bit: each pair trades, and each rank
@@ -465,6 +569,9 @@ class DistributedStatevector:
         rank_bit = t_high - m
         half = self.partition.local_amplitudes // 2
         for rank, peer in self._comm_pairs(rank_bit, gate):
+            compute = self._local.is_materialized(rank) or self._local.is_materialized(
+                peer
+            )
             if self.halved_swaps:
                 # Send only the half the partner needs: the sender's
                 # amplitudes whose local bit equals the *receiver's*
@@ -472,8 +579,10 @@ class DistributedStatevector:
                 # front of the reused pair buffer (the simulated NIC
                 # copies it on send) and the reply lands in the back
                 # half, so no per-gate temporaries are allocated.
-                view_lo = self._local[rank].reshape(-1, 2, 1 << local_bit)
-                view_hi = self._local[peer].reshape(-1, 2, 1 << local_bit)
+                read_lo = self._local[rank] if compute else self._local.read(rank)
+                read_hi = self._local[peer] if compute else self._local.read(peer)
+                view_lo = read_lo.reshape(-1, 2, 1 << local_bit)
+                view_hi = read_hi.reshape(-1, 2, 1 << local_bit)
                 half_shape = view_lo[:, 0, :].shape
                 # low rank (bit value 0) needs partner's local-bit-0 half;
                 # high rank (bit value 1) needs partner's local-bit-1 half.
@@ -493,20 +602,171 @@ class DistributedStatevector:
                     out_a=bufs[rank][half:],
                     out_b=bufs[peer][half:],
                 )
-                view_lo[:, 1, :] = recv_lo.reshape(half_shape)
-                view_hi[:, 0, :] = recv_hi.reshape(half_shape)
+                if compute:
+                    view_lo[:, 1, :] = recv_lo.reshape(half_shape)
+                    view_hi[:, 0, :] = recv_hi.reshape(half_shape)
             else:
+                send_lo = self._local[rank] if compute else self._local.read(rank)
+                send_hi = self._local[peer] if compute else self._local.read(peer)
                 recv_lo, recv_hi = exchange_arrays(
                     self.comm,
                     rank,
-                    self._local[rank],
+                    send_lo,
                     peer,
-                    self._local[peer],
+                    send_hi,
                     mode=self.comm_mode,
                     max_message=self.max_message,
                     tag_base=self._gate_index << 8,
                     out_a=bufs[rank],
                     out_b=bufs[peer],
                 )
-                kernels.swap_in_halves(self._local[rank], recv_lo, local_bit, 0)
-                kernels.swap_in_halves(self._local[peer], recv_hi, local_bit, 1)
+                if compute:
+                    kernels.swap_in_halves(self._local[rank], recv_lo, local_bit, 0)
+                    kernels.swap_in_halves(self._local[peer], recv_hi, local_bit, 1)
+
+    # -- pool executor -------------------------------------------------------------
+
+    def _ensure_shared_pair(self) -> None:
+        """Allocate the shared pair-buffer segment (first distributed plan)."""
+        if self._shared_pair is None:
+            from repro.parallel.shm import SharedArray
+
+            self._shared_pair = SharedArray(
+                (self.num_ranks, self.partition.local_amplitudes), np.complex128
+            )
+
+    def _run_plan_pool(self, plan: ApplyPlan) -> None:
+        """Replay a compiled plan across the shared-memory worker pool.
+
+        The parent validates every step and derives its
+        :class:`~repro.statevector.plan.GatePlan` *before* dispatch (so
+        errors raise without touching the state), then the workers
+        execute the plan in SPMD lockstep over the shared segments.
+        While they run, the parent turns per-step completion events into
+        in-order observer callbacks and accounts the exact exchange
+        schedule the serial driver would have produced.
+        """
+        from repro.parallel import get_pool
+        from repro.parallel.stepper import PlanTask, run_plan_worker
+
+        prepared: list[tuple[ApplyStep, GatePlan, int]] = []
+        gate_index = self._gate_index
+        needs_pair = False
+        for step in plan.steps:
+            gate = step.gate
+            if gate.max_qubit >= self.num_qubits:
+                raise SimulationError(
+                    f"gate {gate} touches qubit {gate.max_qubit} of a "
+                    f"{self.num_qubits}-qubit state"
+                )
+            gate_plan = plan_gate(
+                gate,
+                self.partition,
+                halved_swaps=self.halved_swaps,
+                max_message=self.max_message,
+            )
+            if gate_plan.locality not in (
+                GateLocality.FULLY_LOCAL,
+                GateLocality.LOCAL_MEMORY,
+            ):
+                needs_pair = True
+                if step.kind is StepKind.SWAP and gate.controls:
+                    raise SimulationError(
+                        "controlled distributed SWAP is not supported (QuEST "
+                        "decomposes it); remove controls or keep targets local"
+                    )
+            prepared.append((step, gate_plan, gate_index))
+            gate_index += step.num_gates
+        if needs_pair:
+            if self.max_message < AMPLITUDE_BYTES:
+                raise ValidationError(
+                    f"max_message {self.max_message} is smaller than one "
+                    f"amplitude ({AMPLITUDE_BYTES} B); the exchange cannot "
+                    "make progress"
+                )
+            self._ensure_shared_pair()
+
+        pool = get_pool()
+        task = PlanTask(
+            local_name=self._shared_local.name,
+            pair_name=self._shared_pair.name if needs_pair else None,
+            num_qubits=self.num_qubits,
+            num_ranks=self.num_ranks,
+            halved_swaps=self.halved_swaps,
+            plan=plan,
+            emit_events=self.observer is not None,
+        )
+
+        fired = [0]
+
+        def complete_through(limit: int) -> None:
+            while fired[0] < limit:
+                step, gate_plan, start_index = prepared[fired[0]]
+                self._log_step_schedule(step, gate_plan, start_index)
+                if self.observer is not None:
+                    self.observer(start_index, step.gate, gate_plan)
+                fired[0] += 1
+
+        on_event = None
+        if self.observer is not None:
+            # Deterministic reordering queue: workers report step
+            # completions in arbitrary interleavings; callbacks fire in
+            # gate order once *every* worker has finished the step.
+            counts = [0] * len(plan.steps)
+
+            def on_event(event: tuple) -> None:
+                if event[0] != "step":
+                    return
+                counts[event[1]] += 1
+                limit = fired[0]
+                while limit < len(counts) and counts[limit] == pool.num_workers:
+                    limit += 1
+                complete_through(limit)
+
+        pool.spmd(run_plan_worker, task, on_event=on_event)
+        complete_through(len(prepared))
+        self._gate_index = gate_index
+
+    def _log_step_schedule(
+        self, step: ApplyStep, gate_plan: GatePlan, start_index: int
+    ) -> None:
+        """Account one step's exchange messages (pool executor path)."""
+        if gate_plan.locality in (
+            GateLocality.FULLY_LOCAL,
+            GateLocality.LOCAL_MEMORY,
+        ):
+            return
+        gate = step.gate
+        part = self.partition
+        m = part.local_qubits
+        n = part.local_amplitudes
+        tag_base = start_index << 8
+        if step.kind is StepKind.SWAP:
+            t_low, t_high = sorted(gate.targets)
+            if t_low >= m:
+                bit_a, bit_b = t_low - m, t_high - m
+                mask = (1 << bit_a) | (1 << bit_b)
+                pairs = [
+                    (rank, rank ^ mask)
+                    for rank in range(self.num_ranks)
+                    if ((rank >> bit_a) & 1, (rank >> bit_b) & 1) == (1, 0)
+                ]
+                count = n
+            else:
+                pairs = self._comm_pairs(t_high - m, gate)
+                count = n // 2 if self.halved_swaps else n
+        else:
+            target = gate.pairing_targets()[0]
+            pairs = self._comm_pairs(part.rank_bit(target), gate)
+            count = n
+        for rank, peer in pairs:
+            log_exchange_schedule(
+                self.comm,
+                rank,
+                peer,
+                count,
+                itemsize=AMPLITUDE_BYTES,
+                mode=self.comm_mode,
+                max_message=self.max_message,
+                tag_base=tag_base,
+            )

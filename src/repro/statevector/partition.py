@@ -101,6 +101,24 @@ class Partition:
         """The paper's three-way gate classification on this partition."""
         return classify_gate(gate, self.local_qubits)
 
+    def ranks_for_worker(self, worker_id: int, num_workers: int) -> tuple[int, ...]:
+        """Static round-robin rank ownership for SPMD pool workers.
+
+        Every worker derives the same global assignment, so the pool
+        needs no coordination: worker ``w`` of ``W`` drives ranks
+        ``w, w + W, w + 2W, ...``.  With more workers than ranks the
+        surplus workers own nothing (they only synchronise).
+        """
+        if num_workers < 1:
+            raise PartitionError(
+                f"num_workers must be >= 1, got {num_workers}"
+            )
+        if not 0 <= worker_id < num_workers:
+            raise PartitionError(
+                f"worker_id {worker_id} out of range for {num_workers} workers"
+            )
+        return tuple(range(worker_id, self.num_ranks, num_workers))
+
     # -- index conversions ------------------------------------------------------
 
     def global_index(self, rank: int, local_index: int) -> int:

@@ -11,7 +11,7 @@ class TestValidate:
 
     def test_covers_every_registered_check(self):
         result = validate.run()
-        assert len(result.rows) == len(validate.CHECKS) == 8
+        assert len(result.rows) == len(validate.CHECKS) == 9
 
     def test_registered_in_cli(self, capsys):
         from repro.experiments.cli import main

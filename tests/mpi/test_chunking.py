@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import CommError
+from repro.errors import CommError, ValidationError
 from repro.mpi import MAX_MESSAGE_BYTES, chunk_array, num_chunks, split_message
 from repro.utils.units import GIB
 
@@ -73,13 +73,15 @@ class TestChunkArray:
             chunk_array(np.zeros((2, 2)), 64)
 
     def test_cap_below_itemsize_rejected(self):
-        with pytest.raises(CommError):
+        # A cap below one amplitude is an argument error, not a comm
+        # failure: it raises the typed ValidationError (a ValueError).
+        with pytest.raises(ValidationError, match="amplitude"):
             chunk_array(np.zeros(4, dtype=np.complex128), 8)
 
     def test_zero_cap_rejected(self):
-        with pytest.raises(CommError, match="max_message"):
+        with pytest.raises(ValidationError, match="max_message"):
             chunk_array(np.zeros(4, dtype=np.complex128), 0)
 
     def test_negative_cap_rejected(self):
-        with pytest.raises(CommError, match="max_message"):
+        with pytest.raises(ValidationError, match="max_message"):
             chunk_array(np.zeros(4, dtype=np.complex128), -16)

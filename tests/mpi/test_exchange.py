@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import CommError
+from repro.errors import CommError, ValidationError
 from repro.mpi import CommMode, SimComm, exchange_arrays
 
 
@@ -48,12 +48,31 @@ class TestExchangeErrors:
         with pytest.raises(CommError):
             exchange_arrays(comm, 0, a, 0, a)
 
-    def test_mismatched_chunk_counts_raise(self):
+    def test_mismatched_buffer_lengths_raise(self):
         comm = SimComm(2)
         a = np.ones(8, np.complex128)
         b = np.ones(2, np.complex128)
-        with pytest.raises(CommError):
+        with pytest.raises(ValidationError, match="lengths differ"):
             exchange_arrays(comm, 0, a, 1, b, max_message=32)
+
+    def test_mismatched_lengths_also_a_value_error(self):
+        # ValidationError subclasses ValueError: stdlib-guarding callers
+        # keep working.
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            exchange_arrays(
+                comm,
+                0,
+                np.ones(8, np.complex128),
+                1,
+                np.ones(2, np.complex128),
+            )
+
+    def test_max_message_below_one_amplitude_raises(self):
+        comm = SimComm(2)
+        a = np.ones(4, np.complex128)
+        with pytest.raises(ValidationError, match="amplitude"):
+            exchange_arrays(comm, 0, a, 1, a.copy(), max_message=8)
 
 
 class TestScheduleDifferences:

@@ -1,0 +1,22 @@
+"""Shared gating for the parallel-execution tests.
+
+Everything in this directory needs working named shared memory (the
+pool executor's backbone).  Hosts without a usable ``/dev/shm`` skip
+the whole directory rather than failing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import shm_available
+
+collect_ignore: list[str] = []
+
+
+def pytest_collection_modifyitems(config, items):
+    if shm_available():
+        return
+    skip = pytest.mark.skip(reason="named shared memory unavailable on this host")
+    for item in items:
+        if "/tests/parallel/" in str(item.fspath).replace("\\", "/"):
+            item.add_marker(skip)

@@ -1,0 +1,145 @@
+"""The content-addressed prediction cache: keys, storage, integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import qft_circuit, random_circuit
+from repro.machine.frequency import CpuFrequency
+from repro.machine.node import STANDARD_NODE
+from repro.parallel.cache import (
+    CACHE_DIR_ENV,
+    PredictionCache,
+    active_cache,
+    circuit_fingerprint,
+    config_fingerprint,
+)
+from repro.perfmodel.predictor import predict
+from repro.perfmodel.trace import RunConfiguration
+from repro.statevector import Partition
+
+
+def _config(n=8, ranks=4, **kwargs):
+    return RunConfiguration(
+        partition=Partition(n, ranks),
+        node_type=STANDARD_NODE,
+        frequency=CpuFrequency.MEDIUM,
+        **kwargs,
+    )
+
+
+class TestFingerprints:
+    def test_identical_circuits_share_fingerprint(self):
+        a, b = qft_circuit(6), qft_circuit(6)
+        assert a is not b
+        assert circuit_fingerprint(a) == circuit_fingerprint(b)
+
+    def test_any_gate_change_changes_fingerprint(self):
+        base = circuit_fingerprint(random_circuit(6, 30, seed=1))
+        assert base != circuit_fingerprint(random_circuit(6, 30, seed=2))
+        assert base != circuit_fingerprint(random_circuit(6, 29, seed=1))
+        assert base != circuit_fingerprint(random_circuit(7, 30, seed=1))
+
+    def test_parameter_value_changes_fingerprint(self):
+        from repro.circuits import Circuit
+
+        a = Circuit(2).rz(0.5, 0)
+        b = Circuit(2).rz(0.5 + 1e-15, 0)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_fingerprint_memoised_per_object(self):
+        circuit = qft_circuit(6)
+        assert circuit_fingerprint(circuit) == circuit_fingerprint(circuit)
+
+    def test_config_fingerprint_sensitive_to_options(self):
+        from repro.mpi import CommMode
+
+        base = config_fingerprint(_config())
+        assert base == config_fingerprint(_config())
+        assert base != config_fingerprint(_config(comm_mode=CommMode.NONBLOCKING))
+        assert base != config_fingerprint(_config(halved_swaps=True))
+        assert base != config_fingerprint(_config(max_message=1024))
+        assert base != config_fingerprint(_config(ranks=8))
+
+
+class TestPredictionCache:
+    def test_roundtrip(self, tmp_path):
+        cache = PredictionCache(tmp_path)
+        key = cache.key_for(qft_circuit(6), _config(6))
+        assert cache.get(key) is None
+        assert cache.misses == 1
+        cache.put(key, {"value": 42})
+        assert cache.get(key) == {"value": 42}
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_backend_is_part_of_the_key(self, tmp_path):
+        cache = PredictionCache(tmp_path)
+        circuit, config = qft_circuit(6), _config(6)
+        assert cache.key_for(circuit, config, backend="analytic") != cache.key_for(
+            circuit, config, backend="des"
+        )
+
+    def test_torn_entry_behaves_like_miss(self, tmp_path):
+        cache = PredictionCache(tmp_path)
+        key = cache.key_for(qft_circuit(6), _config(6))
+        cache.put(key, "value")
+        path = cache._path(key)
+        path.write_bytes(b"\x80corrupt")
+        assert cache.get(key) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = PredictionCache(tmp_path)
+        for i in range(3):
+            cache.put(cache.key_for(qft_circuit(4 + i), _config(4 + i, 2)), i)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestPredictIntegration:
+    def test_cache_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert active_cache() is None
+
+    def test_predict_hits_cache_on_second_call(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        cache = active_cache()
+        circuit, config = qft_circuit(8), _config(8)
+        first = predict(circuit, config)
+        assert cache.misses >= 1
+        hits_before = cache.hits
+        second = predict(circuit, config)
+        assert cache.hits == hits_before + 1
+        assert second.runtime_s == first.runtime_s
+        assert second.total_energy_j == first.total_energy_j
+        assert second.costed.gates == first.costed.gates
+
+    def test_cached_prediction_is_complete(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        circuit, config = qft_circuit(8), _config(8)
+        fresh = predict(circuit, config)
+        cached = predict(circuit, config)
+        assert cached.profile == fresh.profile
+        assert cached.cu == fresh.cu
+        assert np.isclose(cached.energy.total_j, fresh.energy.total_j)
+
+    def test_different_backends_do_not_collide(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        circuit, config = qft_circuit(8), _config(8)
+        analytic = predict(circuit, config)
+        des = predict(circuit, config, backend="des")
+        assert des.des is not None
+        assert analytic.des is None
+
+    def test_faulted_predictions_bypass_cache(self, tmp_path, monkeypatch):
+        from repro.faults import FaultPlan, Straggler
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        cache = active_cache()
+        circuit, config = qft_circuit(8), _config(8)
+        plan = FaultPlan(stragglers=(Straggler(rank=0, slowdown=2.0),))
+        predict(circuit, config, faults=plan)
+        predict(circuit, config, faults=plan)
+        assert cache.hits == 0
+        assert len(cache) == 0

@@ -1,0 +1,198 @@
+"""Worker-pool behaviour: SPMD lockstep, task farming, failure recovery.
+
+The SPMD/task functions live at module level so the spawn children can
+unpickle them by qualified name.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import PoolError, ValidationError
+from repro.parallel.pool import (
+    POOL_WORKERS_ENV,
+    WorkerPool,
+    default_pool_size,
+    get_pool,
+    in_worker,
+    shutdown_pool,
+)
+
+
+# -- worker bodies (must be importable by spawn children) ---------------------
+
+
+def spmd_identity(ctx, payload):
+    return (ctx.worker_id, ctx.num_workers, payload)
+
+
+def spmd_barrier_sum(ctx, payload):
+    # Everyone must reach the barrier or this deadlocks (and times out).
+    ctx.barrier.wait()
+    return ctx.worker_id + payload
+
+
+def spmd_emit_events(ctx, payload):
+    for i in range(payload):
+        ctx.emit(("tick", i, ctx.worker_id))
+    return ctx.worker_id
+
+
+def spmd_worker_zero_raises(ctx, payload):
+    if ctx.worker_id == 0:
+        raise RuntimeError("deliberate failure in worker 0")
+    ctx.barrier.wait()
+    return ctx.worker_id
+
+
+def spmd_report_env(ctx, payload):
+    return in_worker()
+
+
+def spmd_sleep_then_barrier(ctx, payload):
+    time.sleep(payload)
+    ctx.barrier.wait()
+    return ctx.worker_id
+
+
+def task_square(x):
+    return x * x
+
+
+def task_fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+def task_pid(_x):
+    return os.getpid()
+
+
+# -- tests --------------------------------------------------------------------
+
+
+class TestPoolBasics:
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkerPool(0)
+
+    def test_default_pool_size_env_override(self, monkeypatch):
+        monkeypatch.setenv(POOL_WORKERS_ENV, "5")
+        assert default_pool_size() == 5
+        monkeypatch.setenv(POOL_WORKERS_ENV, "zero")
+        with pytest.raises(ValidationError):
+            default_pool_size()
+        monkeypatch.setenv(POOL_WORKERS_ENV, "0")
+        with pytest.raises(ValidationError):
+            default_pool_size()
+
+    def test_spmd_runs_on_every_worker(self):
+        pool = get_pool()
+        results = pool.spmd(spmd_identity, "payload")
+        assert results == [
+            (i, pool.num_workers, "payload") for i in range(pool.num_workers)
+        ]
+
+    def test_spmd_barrier_lockstep(self):
+        pool = get_pool()
+        results = pool.spmd(spmd_barrier_sum, 100)
+        assert results == [100 + i for i in range(pool.num_workers)]
+
+    def test_spmd_forwards_events(self):
+        pool = get_pool()
+        events = []
+        pool.spmd(spmd_emit_events, 3, on_event=events.append)
+        assert len(events) == 3 * pool.num_workers
+        for worker in range(pool.num_workers):
+            ticks = [e[1] for e in events if e[2] == worker]
+            assert ticks == [0, 1, 2]
+
+    def test_workers_know_they_are_workers(self):
+        pool = get_pool()
+        assert not in_worker()
+        assert pool.spmd(spmd_report_env, None) == [True] * pool.num_workers
+
+    def test_map_tasks_preserves_order(self):
+        pool = get_pool()
+        items = list(range(20))
+        assert pool.map_tasks(task_square, items) == [x * x for x in items]
+
+    def test_map_tasks_distributes_across_processes(self):
+        pool = get_pool()
+        pids = set(pool.map_tasks(task_pid, list(range(32))))
+        assert pids.isdisjoint({os.getpid()})
+
+
+class TestFailureRecovery:
+    def test_spmd_worker_exception_raises_pool_error(self):
+        pool = get_pool()
+        with pytest.raises(PoolError, match="deliberate failure"):
+            pool.spmd(spmd_worker_zero_raises, None)
+        # The barrier was aborted and reset: the pool must still work.
+        assert pool.spmd(spmd_barrier_sum, 0) == list(range(pool.num_workers))
+
+    def test_map_task_error_reported_after_drain(self):
+        pool = get_pool()
+        with pytest.raises(PoolError, match="three is right out"):
+            pool.map_tasks(task_fail_on_three, [1, 2, 3, 4])
+        assert pool.map_tasks(task_square, [5]) == [25]
+
+    def test_killed_worker_breaks_pool_and_next_get_pool_recovers(self):
+        """Regression: a SIGKILLed worker must not deadlock the barrier.
+
+        The parent has to notice the death, abort the barrier on the
+        dead worker's behalf, raise PoolError, and hand out a working
+        pool on the next request.
+        """
+        pool = get_pool()
+        victim = pool.worker_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and not pool.broken:
+            time.sleep(0.05)
+        with pytest.raises(PoolError):
+            pool.spmd(spmd_barrier_sum, 0)
+        fresh = get_pool()
+        assert fresh is not pool
+        assert fresh.spmd(spmd_barrier_sum, 0) == list(range(fresh.num_workers))
+
+    def test_kill_during_spmd_raises_not_hangs(self):
+        pool = get_pool()
+        import threading
+
+        def assassinate():
+            time.sleep(0.3)
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+
+        killer = threading.Thread(target=assassinate)
+        killer.start()
+        try:
+            with pytest.raises(PoolError, match="died"):
+                # Workers sleep past the kill, then block on the barrier
+                # waiting for the victim; the parent must break the jam.
+                pool.spmd(spmd_sleep_then_barrier, 1.0)
+        finally:
+            killer.join()
+        # Pool is broken; the global accessor replaces it.
+        replacement = get_pool()
+        assert replacement.spmd(spmd_identity, 1) == [
+            (i, replacement.num_workers, 1) for i in range(replacement.num_workers)
+        ]
+
+    def test_shutdown_pool_is_idempotent(self):
+        shutdown_pool()
+        shutdown_pool()
+        pool = get_pool()
+        assert pool.spmd(spmd_identity, None)[0][0] == 0
+
+
+class TestNestedPoolGuard:
+    def test_get_pool_inside_worker_raises(self, monkeypatch):
+        monkeypatch.setenv("_REPRO_POOL_WORKER", "1")
+        with pytest.raises(PoolError, match="nested"):
+            get_pool()

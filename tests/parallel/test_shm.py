@@ -1,0 +1,109 @@
+"""Shared-memory segment lifecycle: creation, attach, crash cleanup."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import PoolError
+from repro.parallel.shm import (
+    SEGMENT_PREFIX,
+    SharedArray,
+    attach_array,
+    shm_available,
+)
+
+SHM_DIR = Path("/dev/shm")
+
+
+def _segment_exists(name: str) -> bool:
+    return (SHM_DIR / name).exists()
+
+
+class TestSharedArray:
+    def test_create_gives_zeroed_named_array(self):
+        arr = SharedArray((4, 8), np.complex128)
+        try:
+            assert arr.name.startswith(SEGMENT_PREFIX)
+            assert arr.array.shape == (4, 8)
+            assert np.count_nonzero(arr.array) == 0
+        finally:
+            arr.close()
+
+    def test_attach_sees_owner_writes_and_vice_versa(self):
+        arr = SharedArray((16,), np.complex128)
+        try:
+            arr.array[:] = np.arange(16)
+            att = attach_array(arr.name, (16,), np.complex128)
+            assert np.array_equal(att.array, np.arange(16))
+            att.array[3] = 99.0
+            assert arr.array[3] == 99.0
+            att.close()
+        finally:
+            arr.close()
+
+    def test_close_unlinks_segment(self):
+        arr = SharedArray((8,), np.complex128)
+        name = arr.name
+        assert _segment_exists(name)
+        arr.close()
+        assert not _segment_exists(name)
+        arr.close()  # idempotent
+
+    def test_garbage_collection_unlinks_segment(self):
+        arr = SharedArray((8,), np.complex128)
+        name = arr.name
+        del arr
+        import gc
+
+        gc.collect()
+        assert not _segment_exists(name)
+
+    def test_attach_to_missing_segment_raises(self):
+        with pytest.raises(PoolError, match="vanished"):
+            attach_array(f"{SEGMENT_PREFIX}does_not_exist", (4,), np.complex128)
+
+    def test_shm_available_on_this_host(self):
+        # The directory-level skip guarantees this; assert the probe agrees.
+        assert shm_available()
+
+
+class TestCrashCleanup:
+    """A dying owner process must not strand segments in /dev/shm."""
+
+    def _run_child(self, body: str) -> str:
+        """Run a child that creates a segment, prints its name, then dies."""
+        script = (
+            "import sys\n"
+            "sys.path.insert(0, 'src')\n"
+            "import numpy as np\n"
+            "from repro.parallel.shm import SharedArray\n"
+            "arr = SharedArray((64,), np.complex128)\n"
+            "print(arr.name, flush=True)\n" + body
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parents[2],
+            timeout=60,
+        )
+        name = proc.stdout.strip().splitlines()[0]
+        assert name.startswith(SEGMENT_PREFIX)
+        return name
+
+    def test_keyboard_interrupt_unlinks_owned_segments(self):
+        name = self._run_child("raise KeyboardInterrupt\n")
+        assert not _segment_exists(name)
+
+    def test_system_exit_unlinks_owned_segments(self):
+        name = self._run_child("raise SystemExit(3)\n")
+        assert not _segment_exists(name)
+
+    def test_normal_exit_unlinks_owned_segments(self):
+        name = self._run_child("")
+        assert not _segment_exists(name)
