@@ -230,6 +230,103 @@ def run_parallel(quick: bool) -> dict:
     }
 
 
+def _median_apply(circuit, num_qubits: int, ranks: int, repeats: int) -> float:
+    from repro.statevector import DistributedStatevector
+
+    samples = []
+    for _ in range(repeats):
+        state = DistributedStatevector.zero_state(num_qubits, ranks)
+        t0 = time.perf_counter()
+        state.apply_circuit(circuit)
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def run_obs(quick: bool) -> dict:
+    """Cost of the observability layer: noop fast path and tracing tax.
+
+    The committed ``BENCH_obs.json`` records (a) the per-call cost of a
+    *disabled* ``obs.span`` and of a metric increment -- the only prices
+    the tier-1 suite and the committed benchmarks ever pay -- and (b) a
+    serial QFT simulation timed with observability off and on.  The
+    disabled-path overhead estimate multiplies the span count the traced
+    run recorded by the measured noop cost, as a fraction of the
+    untraced wall time: that is the bill instrumentation presents when
+    nobody is watching, and the CI gate keeps it under ``--max-noop-overhead``.
+    """
+    import os
+
+    from repro import obs
+    from repro.circuits import qft_circuit
+
+    calls = 200_000 if quick else 1_000_000
+    obs.disable()
+    t0 = time.perf_counter_ns()
+    for _ in range(calls):
+        with obs.span("bench"):
+            pass
+    disabled_span_ns = (time.perf_counter_ns() - t0) / calls
+
+    c = obs.counter("bench_obs_suite_total")
+    t0 = time.perf_counter_ns()
+    for _ in range(calls):
+        c.inc()
+    counter_inc_ns = (time.perf_counter_ns() - t0) / calls
+
+    t0 = time.perf_counter_ns()
+    for _ in range(calls):
+        obs.counter("bench_obs_suite_total").inc()
+    registry_inc_ns = (time.perf_counter_ns() - t0) / calls
+
+    n = 12 if quick else 16
+    ranks = 4
+    repeats = 3 if quick else 5
+    circuit = qft_circuit(n)
+    obs.disable()
+    obs.reset()
+    _median_apply(circuit, n, ranks, 1)  # warm-up: page in, build plans
+    disabled_s = _median_apply(circuit, n, ranks, repeats)
+    obs.reset()
+    obs.enable()
+    try:
+        enabled_s = _median_apply(circuit, n, ranks, repeats)
+        spans_recorded = len(obs.spans())
+    finally:
+        obs.disable()
+        obs.reset()
+
+    # What the *disabled* path would have cost the untraced run: every
+    # span the traced run recorded was a noop flag test when disabled.
+    noop_overhead = (
+        spans_recorded / repeats * disabled_span_ns / (disabled_s * 1e9)
+        if disabled_s > 0
+        else 0.0
+    )
+    return {
+        "schema": "repro-bench-obs/1",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "noop": {
+            "calls": calls,
+            "disabled_span_ns": round(disabled_span_ns, 2),
+            "counter_inc_ns": round(counter_inc_ns, 2),
+            "registry_lookup_inc_ns": round(registry_inc_ns, 2),
+        },
+        "workload": {
+            "circuit": f"qft{n}",
+            "num_qubits": n,
+            "num_ranks": ranks,
+            "repeats": repeats,
+            "disabled_s": round(disabled_s, 4),
+            "enabled_s": round(enabled_s, 4),
+            "enabled_overhead": round(enabled_s / disabled_s - 1, 4),
+            "spans_per_run": spans_recorded // repeats,
+            "noop_overhead": round(noop_overhead, 6),
+        },
+    }
+
+
 def check_against(current: dict, baseline_path: str) -> list[str]:
     """Speedup-ratio regressions of ``current`` vs a baseline file."""
     with open(baseline_path) as fh:
@@ -253,7 +350,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("kernels", "parallel"),
+        choices=("kernels", "parallel", "obs"),
         default="kernels",
         help="what to measure (default: %(default)s)",
     )
@@ -281,8 +378,53 @@ def main(argv: list[str] | None = None) -> int:
         help="parallel suite: exit 1 if the pool-vs-serial QFT speedup "
         "is below X (skipped on single-core or shm-less hosts)",
     )
+    parser.add_argument(
+        "--max-noop-overhead",
+        type=float,
+        metavar="FRACTION",
+        help="obs suite: exit 1 if the estimated disabled-path overhead "
+        "of the instrumented workload exceeds FRACTION (e.g. 0.02)",
+    )
     args = parser.parse_args(argv)
     output = args.output or f"BENCH_{args.suite}.json"
+
+    if args.suite == "obs":
+        report = run_obs(args.quick)
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        noop, work = report["noop"], report["workload"]
+        print(
+            f"noop fast path: disabled span {noop['disabled_span_ns']:.0f} ns"
+            f"  counter inc {noop['counter_inc_ns']:.0f} ns"
+            f"  registry lookup+inc {noop['registry_lookup_inc_ns']:.0f} ns"
+        )
+        print(
+            f"{work['circuit']} x {work['num_ranks']} ranks: "
+            f"disabled {work['disabled_s']:.3f}s  enabled "
+            f"{work['enabled_s']:.3f}s  tracing overhead "
+            f"{100 * work['enabled_overhead']:.1f}%  "
+            f"({work['spans_per_run']} spans/run)"
+        )
+        print(
+            f"estimated disabled-path overhead: "
+            f"{100 * work['noop_overhead']:.4f}%"
+        )
+        print(f"wrote {output}")
+        if args.max_noop_overhead is not None:
+            if work["noop_overhead"] > args.max_noop_overhead:
+                print(
+                    f"REGRESSION disabled-path overhead "
+                    f"{100 * work['noop_overhead']:.4f}% exceeds "
+                    f"{100 * args.max_noop_overhead:.2f}%",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"noop overhead gate passed "
+                f"(<= {100 * args.max_noop_overhead:.2f}%)"
+            )
+        return 0
 
     if args.suite == "parallel":
         report = run_parallel(args.quick)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.circuits.circuit import Circuit
 from repro.des.engine import Engine
 from repro.des.rank import ReplayContext, rank_process
@@ -141,7 +142,27 @@ def simulate_trace(
     )
     for rank in range(num_ranks):
         engine.process(rank_process(ctx, rank))
-    engine.run()
+    with obs.span(
+        "des.replay",
+        ranks=num_ranks,
+        nodes=config.num_nodes,
+        exchanges=schedule.num_exchanges,
+    ):
+        engine.run()
+    if obs.is_enabled():
+        # Per-phase accounting of the replay itself: how many timeline
+        # spans of each kind (compute/comm/wait) the run produced, plus
+        # the raw event-loop and network volumes.
+        obs.counter("repro_des_events_total").inc(engine.events_processed)
+        obs.counter("repro_des_exchanges_total").inc(schedule.num_exchanges)
+        obs.counter("repro_des_network_bytes_total").inc(
+            fabric.bytes_on_network()
+        )
+        by_kind: dict[str, int] = {}
+        for span in timeline.all_spans():
+            by_kind[span.kind] = by_kind.get(span.kind, 0) + 1
+        for kind, count in sorted(by_kind.items()):
+            obs.counter("repro_des_timeline_spans_total", kind=kind).inc(count)
 
     if ctx.coordinator.outstanding:
         raise DesError(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro import obs
 from repro.errors import ExperimentError, ReproError
 from repro.experiments.registry import run_experiment
 from repro.experiments.reporting import ExperimentResult
@@ -29,7 +30,8 @@ __all__ = ["run_experiments_parallel"]
 def _run_one(experiment_id: str) -> tuple:
     """Task-farm body: run one experiment, capturing expected failures."""
     try:
-        return ("ok", run_experiment(experiment_id))
+        with obs.span("experiment", id=experiment_id):
+            return ("ok", run_experiment(experiment_id))
     except ReproError as exc:
         return ("err", f"{type(exc).__name__}: {exc}")
 
@@ -41,15 +43,24 @@ def run_experiments_parallel(
 
     Results come back in the order of ``ids`` regardless of completion
     order.  ``jobs`` sizes a dedicated pool for this sweep; ``None``
-    reuses the process-wide pool (shared with the numeric executor).
-    Exactly one of ``result`` / ``error`` is set per triple.
+    reuses the process-wide pool (shared with the numeric executor) --
+    but degrades to inline for a single experiment, where a pool buys
+    nothing.  An *explicit* ``jobs >= 2`` always goes through workers,
+    even for one id (the observability smoke path relies on this to
+    exercise the pool seams).  Exactly one of ``result`` / ``error`` is
+    set per triple.
+
+    With observability enabled, the pool's barrier-latency probe runs
+    once before the sweep so ``repro_pool_barrier_wait_seconds`` always
+    carries samples, and every worker ships its spans and metrics back
+    through the reply pipe for parent-side merging.
     """
     ids = list(ids)
     if not ids:
         return []
     if jobs is not None and jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
-    if jobs == 1 or len(ids) == 1:
+    if jobs == 1 or (jobs is None and len(ids) == 1):
         return [_unpack(experiment_id, _run_one(experiment_id)) for experiment_id in ids]
 
     from repro.parallel.pool import WorkerPool, get_pool, in_worker
@@ -58,15 +69,20 @@ def run_experiments_parallel(
         # Already inside a pool worker (a workflow running the harness
         # from a parallel context): degrade to inline execution.
         return [_unpack(experiment_id, _run_one(experiment_id)) for experiment_id in ids]
-    if jobs is None:
-        pool = get_pool()
-        outcomes = pool.map_tasks(_run_one, ids)
-    else:
-        pool = WorkerPool(min(jobs, len(ids)))
-        try:
+    with obs.span("sweep", experiments=len(ids), jobs=jobs or 0):
+        if jobs is None:
+            pool = get_pool()
+            if obs.is_enabled():
+                pool.probe()
             outcomes = pool.map_tasks(_run_one, ids)
-        finally:
-            pool.close()
+        else:
+            pool = WorkerPool(min(jobs, len(ids)))
+            try:
+                if obs.is_enabled():
+                    pool.probe()
+                outcomes = pool.map_tasks(_run_one, ids)
+            finally:
+                pool.close()
     return [
         _unpack(experiment_id, outcome)
         for experiment_id, outcome in zip(ids, outcomes)

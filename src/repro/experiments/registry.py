@@ -62,16 +62,29 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
+#: Spelled-out synonyms accepted on the command line.
+ALIASES: dict[str, str] = {
+    "table1": "tab1",
+    "table2": "tab2",
+    "figure1": "fig1",
+    "figure2": "fig2",
+    "figure3": "fig3",
+    "figure4": "fig4",
+    "figure5": "fig5",
+}
+
+
 def experiment_ids() -> list[str]:
     """All registered experiment ids, paper artefacts first."""
     return list(EXPERIMENTS)
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by id (underscores accepted as dashes)."""
-    runner = EXPERIMENTS.get(experiment_id) or EXPERIMENTS.get(
-        experiment_id.replace("_", "-")
-    )
+    """Run one experiment by id (underscores accepted as dashes,
+    ``table2``/``figure4``-style long forms accepted as aliases)."""
+    canonical = experiment_id.replace("_", "-")
+    canonical = ALIASES.get(canonical, canonical)
+    runner = EXPERIMENTS.get(experiment_id) or EXPERIMENTS.get(canonical)
     if runner is None:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r} "

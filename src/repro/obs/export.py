@@ -1,0 +1,202 @@
+"""Exporters: Chrome ``trace_event`` JSON, Prometheus text, summary table.
+
+The Chrome trace loads directly in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing``: every span becomes a complete ("X") event on
+its ``(pid, tid)`` track, with nesting recovered from containment.  The
+Prometheus exposition text is the standard pull-endpoint format, so an
+experiment's ``--metrics-out`` file can be diffed or scraped as-is.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO
+
+from repro.errors import ValidationError
+from repro.obs.core import Histogram, SpanRecord, metrics, spans
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "summary",
+    "validate_chrome_trace",
+]
+
+
+def _sort_key(record: SpanRecord):
+    # Start-time order interleaves parent and worker spans correctly
+    # (shared monotonic epoch); depth breaks enter-at-same-tick ties so
+    # parents precede their children.
+    return (record.ts_ns, record.depth)
+
+
+def chrome_trace(records: list[SpanRecord] | None = None) -> dict:
+    """The buffered spans as a Chrome ``trace_event`` document."""
+    records = sorted(spans() if records is None else records, key=_sort_key)
+    if records:
+        origin = min(r.ts_ns for r in records)
+    else:
+        origin = 0
+    events = []
+    seen_pids: dict[int, int] = {}
+    for r in records:
+        if r.pid not in seen_pids:
+            seen_pids[r.pid] = len(seen_pids)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": r.pid,
+                    "tid": 0,
+                    "args": {
+                        "name": (
+                            "parent" if r.pid == os.getpid() else f"worker {r.pid}"
+                        )
+                    },
+                }
+            )
+        args = {k: v for k, v in r.attrs.items()}
+        args["cpu_ms"] = round(r.cpu_ns / 1e6, 4)
+        events.append(
+            {
+                "name": r.name,
+                "ph": "X",
+                "ts": (r.ts_ns - origin) / 1000.0,  # microseconds
+                "dur": r.dur_ns / 1000.0,
+                "pid": r.pid,
+                "tid": r.tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path_or_file: str | os.PathLike | IO[str]) -> int:
+    """Write the Chrome trace JSON; returns the number of span events."""
+    doc = chrome_trace()
+    if hasattr(path_or_file, "write"):
+        json.dump(doc, path_or_file)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+    return sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+
+
+def validate_chrome_trace(doc: dict) -> None:
+    """Check a trace document against the shape Perfetto requires.
+
+    This is the programmatic twin of
+    ``docs/schemas/chrome_trace.schema.json`` (kept for external
+    validators); it raises :class:`~repro.errors.ValidationError` on the
+    first violation so CI failures name the offending event.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValidationError("trace document must be an object with traceEvents")
+    if not isinstance(doc["traceEvents"], list):
+        raise ValidationError("traceEvents must be an array")
+    for i, event in enumerate(doc["traceEvents"]):
+        if not isinstance(event, dict):
+            raise ValidationError(f"traceEvents[{i}] is not an object")
+        for key, types in (
+            ("name", str),
+            ("ph", str),
+            ("pid", int),
+            ("tid", int),
+        ):
+            if not isinstance(event.get(key), types):
+                raise ValidationError(
+                    f"traceEvents[{i}].{key} missing or not {types.__name__}"
+                )
+        if event["ph"] == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ValidationError(
+                        f"traceEvents[{i}].{key} missing or negative"
+                    )
+        elif event["ph"] != "M":
+            raise ValidationError(
+                f"traceEvents[{i}].ph is {event['ph']!r}; expected 'X' or 'M'"
+            )
+
+
+# -- Prometheus ---------------------------------------------------------------
+
+
+def _label_str(labels: tuple) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _merge_label(labels: tuple, key: str, value) -> str:
+    return _label_str(tuple(sorted((*labels, (key, value)))))
+
+
+def prometheus_text() -> str:
+    """Every registered metric in Prometheus exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for metric in metrics():
+        if metric.name not in typed:
+            typed.add(metric.name)
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for bound, count in zip(metric.buckets, metric.bucket_counts):
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_merge_label(metric.labels, 'le', repr(bound))} {count}"
+                )
+            lines.append(
+                f"{metric.name}_bucket"
+                f"{_merge_label(metric.labels, 'le', '+Inf')} {metric.count}"
+            )
+            lines.append(
+                f"{metric.name}_sum{_label_str(metric.labels)} {metric.sum}"
+            )
+            lines.append(
+                f"{metric.name}_count{_label_str(metric.labels)} {metric.count}"
+            )
+        else:
+            lines.append(
+                f"{metric.name}{_label_str(metric.labels)} {metric.value}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- human summary -------------------------------------------------------------
+
+
+def summary() -> str:
+    """A human-readable table of every metric plus per-name span totals."""
+    rows: list[tuple[str, str]] = []
+    for metric in metrics():
+        label = f"{metric.name}{_label_str(metric.labels)}"
+        if isinstance(metric, Histogram):
+            value = (
+                f"count {metric.count}  mean {metric.mean():.6f}s  "
+                f"max {0.0 if metric.max is None else metric.max:.6f}s"
+            )
+        else:
+            value = f"{metric.value}"
+        rows.append((label, value))
+    by_name: dict[str, tuple[int, float]] = {}
+    for record in spans():
+        count, total = by_name.get(record.name, (0, 0.0))
+        by_name[record.name] = (count + 1, total + record.dur_ns / 1e9)
+    lines = []
+    if rows:
+        width = max(len(label) for label, _ in rows)
+        lines.append("metrics:")
+        lines.extend(f"  {label:<{width}}  {value}" for label, value in rows)
+    if by_name:
+        width = max(len(name) for name in by_name)
+        lines.append("spans:")
+        lines.extend(
+            f"  {name:<{width}}  count {count:>6}  total {total:.4f}s"
+            for name, (count, total) in sorted(by_name.items())
+        )
+    return "\n".join(lines) if lines else "(no observability data collected)"

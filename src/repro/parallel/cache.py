@@ -38,6 +38,7 @@ from dataclasses import fields, is_dataclass
 from enum import Enum
 from pathlib import Path
 
+from repro import obs
 from repro.errors import ValidationError
 
 __all__ = [
@@ -204,6 +205,7 @@ class PredictionCache:
                 value = pickle.load(fh)
         except FileNotFoundError:
             self.misses += 1
+            obs.counter("repro_cache_misses_total").inc()
             return None
         except (
             pickle.UnpicklingError,
@@ -211,12 +213,16 @@ class PredictionCache:
             AttributeError,
             ValueError,
             OSError,
-        ):
+        ) as exc:
             # A torn or stale entry behaves like a miss; the writer will
             # atomically replace it.
             self.misses += 1
+            obs.counter("repro_cache_misses_total").inc()
+            obs.counter("repro_cache_torn_entries_total").inc()
+            obs.log.debug("torn cache entry %s: %s", path, exc)
             return None
         self.hits += 1
+        obs.counter("repro_cache_hits_total").inc()
         return value
 
     def put(self, key: str, value) -> None:
@@ -225,28 +231,38 @@ class PredictionCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+            with obs.span("cache.put"):
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+        except BaseException as exc:
+            obs.counter("repro_cache_put_failures_total").inc()
+            obs.log.debug("cache put of %s failed: %s", path, exc)
             try:
                 os.unlink(tmp)
-            except FileNotFoundError:
-                pass
+            except FileNotFoundError as unlink_exc:
+                # The crash window closed itself (os.replace already
+                # consumed the temp file); nothing to clean up.
+                obs.swallowed("cache.put_unlink", unlink_exc)
             raise
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.pkl"))
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry; returns the number removed.
+
+        Safe against concurrent writers: an entry another process
+        removed between the glob and the unlink is counted as already
+        gone, never raised.
+        """
         removed = 0
         for path in self.root.glob("*/*.pkl"):
             try:
                 path.unlink()
                 removed += 1
-            except FileNotFoundError:
-                pass
+            except FileNotFoundError as exc:
+                obs.swallowed("cache.clear_unlink", exc)
         return removed
 
 

@@ -25,11 +25,13 @@ from __future__ import annotations
 import atexit
 import multiprocessing as mp
 import os
+import time
 import traceback
 from dataclasses import dataclass
 from multiprocessing import connection
 from typing import Any, Callable
 
+from repro import obs
 from repro.errors import PoolError, ValidationError
 
 __all__ = [
@@ -94,7 +96,15 @@ class WorkerContext:
 
 
 def _worker_main(worker_id: int, num_workers: int, conn, barrier, events) -> None:
-    """Worker loop: execute commands from the parent until told to exit."""
+    """Worker loop: execute commands from the parent until told to exit.
+
+    Commands whose fourth element is truthy run with observability
+    collecting: the worker enables its local span tracer for the
+    duration of the command and appends its exported obs state to the
+    reply, which the parent merges (``repro.obs.merge_state``).  The
+    flag mirrors the *parent's* enabled state at dispatch time, so
+    workers never pay tracing overhead the parent did not ask for.
+    """
     os.environ[_IN_WORKER_ENV] = "1"
     ctx = WorkerContext(worker_id, num_workers, barrier, events)
     while True:
@@ -106,34 +116,52 @@ def _worker_main(worker_id: int, num_workers: int, conn, barrier, events) -> Non
         if kind == "close":
             break
         fn, payload = command[1], command[2]
+        collect = len(command) > 3 and bool(command[3])
+        if collect:
+            obs.reset()
+            obs.enable()
+        interrupted = False
         try:
             if kind == "spmd":
                 result = fn(ctx, payload)
             else:
                 result = fn(payload)
-            reply = ("ok", result)
+            reply = ("ok", result, None)
         except BaseException as exc:  # noqa: BLE001 - forwarded to parent
             if kind == "spmd":
                 # Unblock peers waiting on the barrier for this worker.
                 try:
                     barrier.abort()
-                except Exception:  # pragma: no cover - best effort
-                    pass
+                except Exception as abort_exc:  # pragma: no cover - best effort
+                    obs.swallowed("pool.worker_barrier_abort", abort_exc)
             reply = (
                 "err",
                 f"{type(exc).__name__}: {exc}",
                 traceback.format_exc(),
+                None,
             )
-            if isinstance(exc, KeyboardInterrupt):
-                try:
-                    conn.send(reply)
-                finally:
-                    break
+            interrupted = isinstance(exc, KeyboardInterrupt)
+        if collect:
+            obs.disable()
+            reply = reply[:-1] + (obs.export_state(clear=True),)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
             break
+        if interrupted:
+            break
     conn.close()
+
+
+def _probe_worker(ctx: "WorkerContext", rounds: int):
+    """SPMD body of :meth:`WorkerPool.probe`: timed barrier round-trips."""
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        ctx.barrier.wait()
+        obs.histogram("repro_pool_barrier_wait_seconds").observe(
+            time.perf_counter() - t0
+        )
+    return ctx.worker_id
 
 
 class WorkerPool:
@@ -178,6 +206,23 @@ class WorkerPool:
             if on_event is not None:
                 on_event(event)
 
+    @staticmethod
+    def _merge_reply_obs(reply: tuple) -> None:
+        """Fold a worker reply's piggybacked obs payload into this process."""
+        payload = reply[2] if reply[0] == "ok" else reply[3]
+        if payload:
+            obs.merge_state(payload)
+
+    def probe(self, rounds: int = 3) -> list[int]:
+        """Measure barrier round-trip latency across every worker.
+
+        Runs ``rounds`` synchronised barrier waits and feeds each wait
+        into ``repro_pool_barrier_wait_seconds`` (shipped back through
+        the obs seam when tracing is enabled).  Doubles as a liveness
+        check: a dead worker surfaces as :class:`~repro.errors.PoolError`.
+        """
+        return self.spmd(_probe_worker, rounds)
+
     # -- SPMD mode -----------------------------------------------------------
 
     def spmd(
@@ -196,8 +241,10 @@ class WorkerPool:
         """
         if self.broken:
             raise PoolError("worker pool is broken; call get_pool() again")
+        obs.counter("repro_pool_spmd_total").inc()
+        collect = obs.is_enabled()
         for pipe in self._pipes:
-            pipe.send(("spmd", fn, payload))
+            pipe.send(("spmd", fn, payload, collect))
         results: dict[int, Any] = {}
         errors: dict[int, tuple[str, str]] = {}
         pending = set(range(self.num_workers))
@@ -216,10 +263,11 @@ class WorkerPool:
                     # Peers may be blocked on the barrier waiting for the
                     # dead worker: break it so they answer, then fail.
                     self._broken = True
+                    obs.counter("repro_pool_dead_workers_total").inc(len(dead))
                     try:
                         self.barrier.abort()
-                    except Exception:  # pragma: no cover
-                        pass
+                    except Exception as exc:  # pragma: no cover
+                        obs.swallowed("pool.barrier_abort", exc)
                 continue
             for pipe in ready:
                 i = self._pipes.index(pipe)
@@ -229,12 +277,14 @@ class WorkerPool:
                     dead.add(i)
                     pending.discard(i)
                     self._broken = True
+                    obs.counter("repro_pool_dead_workers_total").inc()
                     try:
                         self.barrier.abort()
-                    except Exception:  # pragma: no cover
-                        pass
+                    except Exception as exc:  # pragma: no cover
+                        obs.swallowed("pool.barrier_abort", exc)
                     continue
                 pending.discard(i)
+                self._merge_reply_obs(reply)
                 if reply[0] == "ok":
                     results[i] = reply[1]
                 else:
@@ -263,7 +313,8 @@ class WorkerPool:
         """Recover the barrier after an aborted SPMD task."""
         try:
             self.barrier.reset()
-        except Exception:  # pragma: no cover - broken pool caught later
+        except Exception as exc:  # pragma: no cover - broken pool caught later
+            obs.swallowed("pool.barrier_reset", exc)
             self._broken = True
 
     # -- task-farm mode --------------------------------------------------------
@@ -279,6 +330,8 @@ class WorkerPool:
         if self.broken:
             raise PoolError("worker pool is broken; call get_pool() again")
         items = list(items)
+        obs.counter("repro_pool_tasks_total").inc(len(items))
+        collect = obs.is_enabled()
         results: list[Any] = [None] * len(items)
         first_error: tuple[int, str, str] | None = None
         next_item = 0
@@ -286,7 +339,7 @@ class WorkerPool:
         idle = list(range(self.num_workers))
         while next_item < len(items) and idle:
             worker = idle.pop()
-            self._pipes[worker].send(("task", fn, items[next_item]))
+            self._pipes[worker].send(("task", fn, items[next_item], collect))
             inflight[worker] = next_item
             next_item += 1
         while inflight:
@@ -298,6 +351,7 @@ class WorkerPool:
                 for i in list(inflight):
                     if not self._procs[i].is_alive():
                         self._broken = True
+                        obs.counter("repro_pool_dead_workers_total").inc()
                         raise PoolError(
                             f"worker {i} died during a task-farm run"
                         )
@@ -309,15 +363,17 @@ class WorkerPool:
                     reply = pipe.recv()
                 except (EOFError, OSError):
                     self._broken = True
+                    obs.counter("repro_pool_dead_workers_total").inc()
                     raise PoolError(
                         f"worker {worker} died during a task-farm run"
                     ) from None
+                self._merge_reply_obs(reply)
                 if reply[0] == "ok":
                     results[index] = reply[1]
                 elif first_error is None:
                     first_error = (index, reply[1], reply[2])
                 if next_item < len(items):
-                    self._pipes[worker].send(("task", fn, items[next_item]))
+                    self._pipes[worker].send(("task", fn, items[next_item], collect))
                     inflight[worker] = next_item
                     next_item += 1
         if first_error is not None:
@@ -334,8 +390,8 @@ class WorkerPool:
             try:
                 if proc.is_alive():
                     pipe.send(("close",))
-            except (BrokenPipeError, OSError):
-                pass
+            except (BrokenPipeError, OSError) as exc:
+                obs.swallowed("pool.close_send", exc)
         for proc in self._procs:
             proc.join(timeout=timeout)
             if proc.is_alive():  # pragma: no cover - stuck worker
@@ -344,8 +400,8 @@ class WorkerPool:
         for pipe in self._pipes:
             try:
                 pipe.close()
-            except OSError:  # pragma: no cover
-                pass
+            except OSError as exc:  # pragma: no cover
+                obs.swallowed("pool.pipe_close", exc)
 
 
 _global_pool: WorkerPool | None = None
@@ -360,6 +416,8 @@ def get_pool() -> WorkerPool:
             "worker must use the serial executor"
         )
     if _global_pool is not None and _global_pool.broken:
+        obs.counter("repro_pool_rebuilds_total").inc()
+        obs.log.debug("rebuilding broken worker pool")
         _global_pool.close()
         _global_pool = None
     if _global_pool is None:

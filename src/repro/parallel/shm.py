@@ -28,6 +28,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro import obs
 from repro.errors import PoolError
 
 __all__ = ["SharedArray", "attach_array", "shm_available", "SEGMENT_PREFIX"]
@@ -64,12 +65,13 @@ def shm_available() -> bool:
 def _unlink_quietly(shm: shared_memory.SharedMemory) -> None:
     try:
         shm.close()
-    except (OSError, BufferError):
-        pass
+    except (OSError, BufferError) as exc:
+        obs.swallowed("shm.close", exc)
     try:
         shm.unlink()
-    except (OSError, FileNotFoundError):
-        pass
+    except (OSError, FileNotFoundError) as exc:
+        obs.counter("repro_shm_unlink_failures_total").inc()
+        obs.swallowed("shm.unlink", exc)
 
 
 def _cleanup_registry(name: str) -> None:
@@ -85,9 +87,15 @@ def _cleanup_all_owned() -> None:
 
     Runs on normal exit and on ``KeyboardInterrupt``/``SystemExit``
     (Python unwinds through atexit for both), so an interrupted pytest
-    run leaves ``/dev/shm`` clean for the next one.
+    run leaves ``/dev/shm`` clean for the next one.  Every segment the
+    sweep has to reclaim was *leaked* by its owner (finalizer never
+    ran); the sweep counts them so leak regressions are visible.
     """
-    for name in list(_OWNED):
+    leaked = list(_OWNED)
+    if leaked:
+        obs.counter("repro_shm_segments_swept_total").inc(len(leaked))
+        obs.log.debug("atexit sweep reclaiming %d shm segment(s)", len(leaked))
+    for name in leaked:
         _cleanup_registry(name)
 
 
@@ -135,6 +143,7 @@ class SharedArray:
             )
         except OSError as exc:
             raise PoolError(f"cannot create shared segment {name}: {exc}") from exc
+        obs.counter("repro_shm_segments_created_total").inc()
         _OWNED[name] = self._shm
         self.name = name
         self.shape = tuple(shape)
@@ -165,14 +174,15 @@ class _Attachment:
             raise PoolError(
                 f"shared segment {name} has vanished (owner exited?)"
             ) from exc
+        obs.counter("repro_shm_attaches_total").inc()
         self.array = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=self._shm.buf)
 
     def close(self) -> None:
         self.array = None
         try:
             self._shm.close()
-        except (OSError, BufferError):  # pragma: no cover - best effort
-            pass
+        except (OSError, BufferError) as exc:  # pragma: no cover - best effort
+            obs.swallowed("shm.attachment_close", exc)
 
 
 def attach_array(

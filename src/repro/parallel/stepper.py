@@ -28,10 +28,12 @@ step bodies at module level precisely so both executors share them).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.gates import GateLocality
 from repro.statevector import gate_kernels as kernels
 from repro.statevector.apply_plan import ApplyPlan, ApplyStep, StepKind
@@ -45,6 +47,23 @@ from repro.statevector.distributed import (
 from repro.statevector.partition import Partition
 
 __all__ = ["PlanTask", "run_plan_worker"]
+
+
+def _wait(barrier) -> None:
+    """Barrier wait, timed into the barrier-wait histogram when tracing.
+
+    The wait measures *skew*: how long this worker idled for its
+    slowest peer.  Disabled, this is a plain ``barrier.wait()`` behind
+    one flag test.
+    """
+    if not obs.is_enabled():
+        barrier.wait()
+        return
+    t0 = time.perf_counter()
+    barrier.wait()
+    obs.histogram("repro_pool_barrier_wait_seconds").observe(
+        time.perf_counter() - t0
+    )
 
 
 @dataclass(frozen=True)
@@ -92,10 +111,10 @@ def _exec_distributed_single(
     active = [
         r for r in owned if rank_controls_satisfied(gate, partition, r)
     ]
-    barrier.wait()
+    _wait(barrier)
     for rank in active:
         pair2d[rank][:] = local2d[rank ^ (1 << rank_bit)]
-    barrier.wait()
+    _wait(barrier)
     for rank in active:
         coeff = combine_coefficients(matrix, (rank >> rank_bit) & 1)
         kernels.combine_distributed_single(
@@ -126,10 +145,10 @@ def _exec_distributed_swap(
             for r in owned
             if ((r >> bit_a) & 1) != ((r >> bit_b) & 1)
         ]
-        barrier.wait()
+        _wait(barrier)
         for rank in active:
             pair2d[rank][:] = local2d[rank ^ mask]
-        barrier.wait()
+        _wait(barrier)
         for rank in active:
             local2d[rank][:] = pair2d[rank]
         return
@@ -145,21 +164,21 @@ def _exec_distributed_swap(
             view = local2d[rank].reshape(-1, 2, 1 << local_bit)
             half_shape = view[:, 0, :].shape
             pair2d[rank][:half].reshape(half_shape)[...] = view[:, 1 - b, :]
-        barrier.wait()
+        _wait(barrier)
         for rank in owned:
             peer = rank ^ (1 << rank_bit)
             pair2d[rank][half:] = pair2d[peer][:half]
-        barrier.wait()
+        _wait(barrier)
         for rank in owned:
             b = (rank >> rank_bit) & 1
             view = local2d[rank].reshape(-1, 2, 1 << local_bit)
             half_shape = view[:, 0, :].shape
             view[:, 1 - b, :] = pair2d[rank][half:].reshape(half_shape)
     else:
-        barrier.wait()
+        _wait(barrier)
         for rank in owned:
             pair2d[rank][:] = local2d[rank ^ (1 << rank_bit)]
-        barrier.wait()
+        _wait(barrier)
         for rank in owned:
             kernels.swap_in_halves(
                 local2d[rank],
@@ -191,26 +210,48 @@ def run_plan_worker(ctx, task: PlanTask):
     try:
         local2d = local_att.array
         pair2d = pair_att.array if pair_att is not None else None
-        for idx, step in enumerate(task.plan.steps):
-            locality = partition.classify(step.gate)
-            if locality in (GateLocality.FULLY_LOCAL, GateLocality.LOCAL_MEMORY):
-                _exec_local(step, locality, partition, local2d, owned)
-            elif step.kind is StepKind.SWAP:
-                _exec_distributed_swap(
-                    step,
-                    partition,
-                    local2d,
-                    pair2d,
-                    owned,
-                    task.halved_swaps,
-                    ctx.barrier,
-                )
-            else:
-                _exec_distributed_single(
-                    step, partition, local2d, pair2d, owned, ctx.barrier
-                )
-            if task.emit_events:
-                ctx.emit(("step", idx, ctx.worker_id))
+        with obs.span(
+            "worker.plan", worker=ctx.worker_id, steps=len(task.plan.steps)
+        ):
+            tracing = obs.is_enabled()
+            for idx, step in enumerate(task.plan.steps):
+                locality = partition.classify(step.gate)
+                if locality in (
+                    GateLocality.FULLY_LOCAL,
+                    GateLocality.LOCAL_MEMORY,
+                ):
+                    kind = (
+                        "diagonal"
+                        if locality is GateLocality.FULLY_LOCAL
+                        else "local"
+                    )
+                elif step.kind is StepKind.SWAP:
+                    kind = "distributed_swap"
+                else:
+                    kind = "distributed_single"
+                if tracing:
+                    obs.counter(
+                        "repro_kernel_dispatch_total", kind=kind
+                    ).inc(len(owned))
+                with obs.span("worker.step", step=idx, kind=kind):
+                    if kind in ("diagonal", "local"):
+                        _exec_local(step, locality, partition, local2d, owned)
+                    elif kind == "distributed_swap":
+                        _exec_distributed_swap(
+                            step,
+                            partition,
+                            local2d,
+                            pair2d,
+                            owned,
+                            task.halved_swaps,
+                            ctx.barrier,
+                        )
+                    else:
+                        _exec_distributed_single(
+                            step, partition, local2d, pair2d, owned, ctx.barrier
+                        )
+                if task.emit_events:
+                    ctx.emit(("step", idx, ctx.worker_id))
     finally:
         local_att.close()
         if pair_att is not None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.circuits.circuit import Circuit
 from repro.errors import CalibrationError
 from repro.machine.cu import DEFAULT_CU_RATES, CuRates, cu_cost
@@ -119,6 +120,7 @@ def predict(
             f"unknown prediction backend {backend!r} "
             f"(choose from {', '.join(PREDICTION_BACKENDS)})"
         )
+    obs.counter("repro_predictions_total", backend=backend).inc()
     cache = None
     cache_key = None
     if faults is None or faults.is_zero:
@@ -132,49 +134,59 @@ def predict(
             cached = cache.get(cache_key)
             if cached is not None:
                 return cached
-    trace = trace_circuit(circuit, config)
-    costed = cost_trace(trace)
-    energy = energy_report(costed)
-    des = None
-    fault_report = None
-    if backend == "des":
-        # Imported lazily: repro.des sits on top of the perfmodel
-        # package, so a top-level import here would be circular.
-        from repro.des.replay import simulate_trace
+        else:
+            obs.counter("repro_cache_bypass_total").inc()
+    with obs.span(
+        "predict",
+        circuit=circuit.name or f"circuit{circuit.num_qubits}",
+        qubits=circuit.num_qubits,
+        ranks=config.partition.num_ranks,
+        backend=backend,
+    ):
+        with obs.span("trace"):
+            trace = trace_circuit(circuit, config)
+            costed = cost_trace(trace)
+            energy = energy_report(costed)
+        des = None
+        fault_report = None
+        if backend == "des":
+            # Imported lazily: repro.des sits on top of the perfmodel
+            # package, so a top-level import here would be circular.
+            from repro.des.replay import simulate_trace
 
-        des = simulate_trace(trace, faults=faults)
-        fault_report = des.faults
-    elif faults is not None and not faults.is_zero:
-        from repro.faults.analytic import analytic_fault_report
+            des = simulate_trace(trace, faults=faults)
+            fault_report = des.faults
+        elif faults is not None and not faults.is_zero:
+            from repro.faults.analytic import analytic_fault_report
 
-        faults.validate_against(config.partition.num_ranks, config.num_nodes)
-        fault_report = analytic_fault_report(costed, faults)
-    if fault_report is not None:
-        from repro.faults.analytic import fault_adjusted_energy
+            faults.validate_against(config.partition.num_ranks, config.num_nodes)
+            fault_report = analytic_fault_report(costed, faults)
+        if fault_report is not None:
+            from repro.faults.analytic import fault_adjusted_energy
 
-        energy = fault_adjusted_energy(costed, fault_report)
-    runtime_s = (
-        des.makespan_s
-        if des is not None
-        else fault_report.wall_s
-        if fault_report is not None
-        else costed.runtime_s
-    )
-    prediction = Prediction(
-        circuit_name=circuit.name or f"circuit{circuit.num_qubits}",
-        config=config,
-        costed=costed,
-        energy=energy,
-        profile=profile_trace(costed),
-        cu=cu_cost(
-            config.num_nodes,
-            runtime_s,
-            config.node_type,
-            rates=cu_rates,
-        ),
-        des=des,
-        faults=fault_report,
-    )
+            energy = fault_adjusted_energy(costed, fault_report)
+        runtime_s = (
+            des.makespan_s
+            if des is not None
+            else fault_report.wall_s
+            if fault_report is not None
+            else costed.runtime_s
+        )
+        prediction = Prediction(
+            circuit_name=circuit.name or f"circuit{circuit.num_qubits}",
+            config=config,
+            costed=costed,
+            energy=energy,
+            profile=profile_trace(costed),
+            cu=cu_cost(
+                config.num_nodes,
+                runtime_s,
+                config.node_type,
+                rates=cu_rates,
+            ),
+            des=des,
+            faults=fault_report,
+        )
     if cache is not None and cache_key is not None:
         cache.put(cache_key, prediction)
     return prediction

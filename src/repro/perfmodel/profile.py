@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
+from repro.errors import ValidationError
 from repro.perfmodel.trace import CostedTrace
 
 __all__ = ["RuntimeProfile", "profile_trace"]
@@ -35,13 +37,29 @@ class RuntimeProfile:
 
 
 def profile_trace(costed: CostedTrace) -> RuntimeProfile:
-    """Aggregate a costed trace into its fig. 5 profile."""
-    total = costed.runtime_s
+    """Aggregate a costed trace into its fig. 5 profile.
+
+    Fractions are normalised by the *sum of the three components*, not
+    by ``costed.runtime_s``: the two are mathematically equal, but the
+    per-category sums associate floats differently, and dividing by the
+    wrong one left the fractions summing to ``1 ± 1 ulp``.  Non-finite
+    or negative component times (a corrupt calibration, an overlap
+    model gone wrong) raise :class:`~repro.errors.ValidationError`
+    instead of silently producing a garbage profile.
+    """
+    comm, mem, cpu = costed.comm_s, costed.mem_s, costed.cpu_s
+    for name, value in (("comm_s", comm), ("mem_s", mem), ("cpu_s", cpu)):
+        if not math.isfinite(value) or value < 0:
+            raise ValidationError(
+                f"profile_trace: {name} must be finite and non-negative, "
+                f"got {value!r}"
+            )
+    total = comm + mem + cpu
     if total <= 0:
-        return RuntimeProfile(0.0, 0.0, 0.0, 0.0)
+        return RuntimeProfile(0.0, 0.0, 0.0, costed.runtime_s)
     return RuntimeProfile(
-        mpi_fraction=costed.comm_s / total,
-        memory_fraction=costed.mem_s / total,
-        compute_fraction=costed.cpu_s / total,
-        runtime_s=total,
+        mpi_fraction=comm / total,
+        memory_fraction=mem / total,
+        compute_fraction=cpu / total,
+        runtime_s=costed.runtime_s,
     )

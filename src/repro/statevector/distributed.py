@@ -31,6 +31,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.circuits.circuit import Circuit
 from repro.errors import SimulationError, ValidationError
 from repro.gates import Gate, GateLocality
@@ -376,11 +377,18 @@ class DistributedStatevector:
                 f"{self.num_qubits}"
             )
         plan = compile_plan(circuit, fuse_diagonals=self.observer is None)
-        if self.executor == "pool":
-            self._run_plan_pool(plan)
-        else:
-            for step in plan.steps:
-                self._apply_step(step)
+        with obs.span(
+            "apply_circuit",
+            qubits=self.num_qubits,
+            ranks=self.num_ranks,
+            steps=len(plan.steps),
+            executor=self.executor,
+        ):
+            if self.executor == "pool":
+                self._run_plan_pool(plan)
+            else:
+                for step in plan.steps:
+                    self._apply_step(step)
         return self
 
     def apply_gate(self, gate: Gate) -> "DistributedStatevector":
@@ -411,13 +419,21 @@ class DistributedStatevector:
             max_message=self.max_message,
         )
         if plan.locality is GateLocality.FULLY_LOCAL:
+            kind = "diagonal"
             self._apply_diagonal_step(step)
         elif plan.locality is GateLocality.LOCAL_MEMORY:
+            kind = "local"
             self._apply_local_memory_step(step)
         elif step.kind is StepKind.SWAP:
+            kind = "distributed_swap"
             self._apply_distributed_swap(gate)
         else:
+            kind = "distributed_single"
             self._apply_distributed_single(gate, step.matrix)
+        if obs.is_enabled():
+            obs.counter("repro_kernel_dispatch_total", kind=kind).inc(
+                self.num_ranks
+            )
         if self.observer is not None:
             self.observer(self._gate_index, gate, plan)
         self._gate_index += step.num_gates
@@ -687,6 +703,7 @@ class DistributedStatevector:
             self._ensure_shared_pair()
 
         pool = get_pool()
+        obs.counter("repro_pool_plans_total").inc()
         task = PlanTask(
             local_name=self._shared_local.name,
             pair_name=self._shared_pair.name if needs_pair else None,

@@ -33,6 +33,10 @@ class TestRegistry:
         # Paper artefacts precede the extension studies.
         assert all(i.startswith(("fig", "tab")) for i in ids[:7])
 
+    def test_long_form_aliases(self):
+        assert run_experiment("table2").experiment_id == "tab2"
+        assert run_experiment("figure5").experiment_id == "fig5"
+
 
 class TestReporting:
     def test_metric_lookup(self):
@@ -69,3 +73,61 @@ class TestCli:
         assert main(["tab1", "fig5"]) == 0
         out = capsys.readouterr().out
         assert "[tab1]" in out and "[fig5]" in out
+
+
+class TestCliValidation:
+    """Bad arguments get a one-line error and exit code 2, not a traceback."""
+
+    @pytest.mark.parametrize("jobs", ["0", "-1", "-8"])
+    def test_rejects_nonpositive_jobs(self, capsys, jobs):
+        assert main(["tab1", "-j", jobs]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: --jobs must be >= 1")
+        assert captured.out == ""
+
+    def test_rejects_cache_path_that_is_a_file(self, tmp_path, capsys):
+        target = tmp_path / "not-a-dir"
+        target.write_text("occupied")
+        assert main(["tab1", "--cache", str(target)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: --cache path exists and is a regular file")
+        assert target.read_text() == "occupied"  # untouched
+
+    def test_cache_directory_path_is_accepted(self, tmp_path, capsys, monkeypatch):
+        # setenv (not delenv) so monkeypatch restores the pre-test state
+        # even though main() assigns the variable itself.
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert main(["tab1", "--cache", str(tmp_path / "cache")]) == 0
+
+
+class TestCliObservability:
+    def test_trace_out_writes_valid_trace(self, tmp_path, capsys):
+        import json
+
+        from repro import obs
+        from repro.obs.export import validate_chrome_trace
+
+        # -j 1 keeps the test inline (the worker-span path is covered by
+        # the CI observability smoke run).
+        out = tmp_path / "trace.json"
+        try:
+            assert main(["tab1", "--trace-out", str(out), "-j", "1"]) == 0
+        finally:
+            obs.disable()
+            obs.reset()
+        doc = json.loads(out.read_text())
+        validate_chrome_trace(doc)
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "predict" in names
+
+    def test_metrics_prints_summary(self, capsys):
+        from repro import obs
+
+        try:
+            assert main(["tab1", "--metrics", "-j", "1"]) == 0
+        finally:
+            obs.disable()
+            obs.reset()
+        err = capsys.readouterr().err
+        assert "metrics:" in err
+        assert "repro_predictions_total" in err

@@ -1,0 +1,25 @@
+"""Fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def clean_obs():
+    """A reset, disabled collector; restores the pre-test state after."""
+    from repro.obs import core
+
+    was_enabled = obs.is_enabled()
+    max_spans = core._STATE.max_spans
+    obs.disable()
+    obs.reset()
+    yield obs
+    obs.reset()
+    core._STATE.max_spans = max_spans
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()

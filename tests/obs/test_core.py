@@ -1,0 +1,182 @@
+"""Tests for the span tracer and metrics registry (repro.obs.core)."""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.core import _NOOP
+
+
+class TestMetrics:
+    def test_counter_increments(self, clean_obs):
+        c = obs.counter("test_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_identity_by_name_and_labels(self, clean_obs):
+        assert obs.counter("x_total") is obs.counter("x_total")
+        assert obs.counter("x_total", a="1") is not obs.counter("x_total")
+        # Label order must not matter.
+        assert obs.counter("y_total", a="1", b="2") is obs.counter(
+            "y_total", b="2", a="1"
+        )
+
+    def test_gauge_last_write_wins(self, clean_obs):
+        g = obs.gauge("test_gauge")
+        g.set(3.5)
+        g.set(1.25)
+        assert g.value == 1.25
+
+    def test_histogram_buckets_are_cumulative(self, clean_obs):
+        h = obs.histogram("test_seconds")
+        h.observe(5e-7)  # below every bound
+        h.observe(0.05)  # <= 0.1
+        h.observe(100.0)  # above every bound
+        assert h.count == 3
+        assert h.sum == pytest.approx(100.05 + 5e-7)
+        assert h.min == 5e-7 and h.max == 100.0
+        # Cumulative: every bucket >= the one before it.
+        assert h.bucket_counts == sorted(h.bucket_counts)
+        assert h.bucket_counts[0] == 1  # only the 5e-7 sample
+        assert h.bucket_counts[-1] == 2  # 100.0 exceeds the top bound
+
+    def test_metrics_always_on(self, clean_obs):
+        assert not obs.is_enabled()
+        obs.counter("off_path_total").inc()
+        assert obs.counter("off_path_total").value == 1
+
+    def test_metrics_listing_sorted(self, clean_obs):
+        obs.counter("b_total").inc()
+        obs.counter("a_total").inc()
+        assert [m.name for m in obs.metrics()] == ["a_total", "b_total"]
+
+    def test_swallowed_counts_and_logs(self, clean_obs, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.obs"):
+            obs.swallowed("test.site", OSError("boom"))
+        c = obs.counter("repro_swallowed_errors_total", site="test.site")
+        assert c.value == 1
+        assert any("test.site" in r.message for r in caplog.records)
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_noop(self, clean_obs):
+        s = obs.span("anything", key="value")
+        assert s is _NOOP
+        with s:
+            pass
+        assert obs.spans() == []
+
+    def test_enabled_span_records(self, clean_obs):
+        obs.enable()
+        with obs.span("outer", qubit=3):
+            pass
+        (record,) = obs.spans()
+        assert record.name == "outer"
+        assert record.attrs == {"qubit": 3}
+        assert record.dur_ns >= 0
+        assert record.pid == os.getpid()
+        assert record.tid == threading.get_ident()
+        assert record.depth == 0
+
+    def test_spans_nest_by_depth(self, clean_obs):
+        obs.enable()
+        with obs.span("parent"):
+            with obs.span("child"):
+                with obs.span("grandchild"):
+                    pass
+        by_name = {r.name: r for r in obs.spans()}
+        assert by_name["parent"].depth == 0
+        assert by_name["child"].depth == 1
+        assert by_name["grandchild"].depth == 2
+
+    def test_span_records_exception_and_reraises(self, clean_obs):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs.span("failing"):
+                raise RuntimeError("boom")
+        (record,) = obs.spans()
+        assert record.attrs["error"] == "RuntimeError"
+
+    def test_span_cap_counts_drops(self, clean_obs):
+        obs.enable(max_spans=2)
+        for i in range(5):
+            with obs.span(f"s{i}"):
+                pass
+        assert len(obs.spans()) == 2
+        assert obs.counter("repro_obs_spans_dropped_total").value == 3
+
+    def test_reset_clears_everything(self, clean_obs):
+        obs.enable()
+        obs.counter("x_total").inc()
+        with obs.span("s"):
+            pass
+        obs.reset()
+        assert obs.spans() == []
+        assert obs.metrics() == []
+
+
+class TestCrossProcessState:
+    def test_export_is_picklable(self, clean_obs):
+        obs.enable()
+        with obs.span("s", step=1):
+            obs.counter("c_total").inc()
+        payload = obs.export_state()
+        pickle.loads(pickle.dumps(payload))
+
+    def test_export_clear_drains(self, clean_obs):
+        obs.enable()
+        with obs.span("s"):
+            pass
+        obs.export_state(clear=True)
+        assert obs.spans() == []
+        assert obs.metrics() == []
+
+    def test_merge_accumulates_counters(self, clean_obs):
+        obs.counter("c_total").inc(2)
+        payload = obs.export_state(clear=True)
+        obs.counter("c_total").inc(5)
+        obs.merge_state(payload)
+        assert obs.counter("c_total").value == 7
+
+    def test_merge_gauge_last_wins(self, clean_obs):
+        obs.gauge("g").set(1.0)
+        payload = obs.export_state(clear=True)
+        obs.gauge("g").set(9.0)
+        obs.merge_state(payload)
+        assert obs.gauge("g").value == 1.0
+
+    def test_merge_histograms_fold(self, clean_obs):
+        obs.histogram("h_seconds").observe(0.5)
+        payload = obs.export_state(clear=True)
+        obs.histogram("h_seconds").observe(2.0)
+        obs.merge_state(payload)
+        h = obs.histogram("h_seconds")
+        assert h.count == 2
+        assert h.sum == pytest.approx(2.5)
+        assert h.min == 0.5 and h.max == 2.0
+
+    def test_merge_appends_spans(self, clean_obs):
+        obs.enable()
+        with obs.span("worker-side"):
+            pass
+        payload = obs.export_state(clear=True)
+        with obs.span("parent-side"):
+            pass
+        obs.merge_state(payload)
+        assert {r.name for r in obs.spans()} == {"worker-side", "parent-side"}
+
+    def test_merge_respects_span_cap(self, clean_obs):
+        obs.enable(max_spans=1)
+        with obs.span("one"):
+            pass
+        payload = obs.export_state()
+        obs.merge_state(payload)  # no room left
+        assert len(obs.spans()) == 1
+        assert obs.counter("repro_obs_spans_dropped_total").value == 1

@@ -1,0 +1,160 @@
+"""Tests for the trace/metrics exporters (repro.obs.export)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ValidationError
+from repro.obs.export import validate_chrome_trace
+
+
+def _record_some_spans():
+    obs.enable()
+    with obs.span("outer", qubits=4):
+        with obs.span("inner"):
+            pass
+
+
+class TestChromeTrace:
+    def test_structure(self, clean_obs):
+        _record_some_spans()
+        doc = obs.chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        x = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        m = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert [e["name"] for e in x] == ["outer", "inner"]
+        assert len(m) == 1 and m[0]["args"]["name"] == "parent"
+
+    def test_timestamps_are_origin_relative_microseconds(self, clean_obs):
+        _record_some_spans()
+        x = [e for e in obs.chrome_trace()["traceEvents"] if e["ph"] == "X"]
+        outer, inner = x
+        assert outer["ts"] == 0.0
+        assert inner["ts"] >= outer["ts"]
+        # Containment: the child interval lies within the parent's.
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+
+    def test_attrs_and_cpu_in_args(self, clean_obs):
+        _record_some_spans()
+        outer = next(
+            e for e in obs.chrome_trace()["traceEvents"] if e["name"] == "outer"
+        )
+        assert outer["args"]["qubits"] == 4
+        assert "cpu_ms" in outer["args"]
+
+    def test_write_returns_span_count_and_validates(self, clean_obs, tmp_path):
+        _record_some_spans()
+        out = tmp_path / "trace.json"
+        assert obs.write_chrome_trace(out) == 2
+        doc = json.loads(out.read_text())
+        validate_chrome_trace(doc)
+
+    def test_empty_trace_is_valid(self, clean_obs, tmp_path):
+        out = tmp_path / "trace.json"
+        assert obs.write_chrome_trace(out) == 0
+        validate_chrome_trace(json.loads(out.read_text()))
+
+
+class TestCheckedInSchema:
+    """The JSON schema file and validate_chrome_trace agree."""
+
+    @staticmethod
+    def _schema():
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parents[2]
+            / "docs"
+            / "schemas"
+            / "chrome_trace.schema.json"
+        )
+        return json.loads(path.read_text())
+
+    def test_emitted_trace_matches_schema(self, clean_obs):
+        jsonschema = pytest.importorskip("jsonschema")
+        _record_some_spans()
+        jsonschema.validate(obs.chrome_trace(), self._schema())
+
+    def test_schema_rejects_unknown_phase(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        doc = {"traceEvents": [{"name": "s", "ph": "B", "pid": 1, "tid": 1}]}
+        with pytest.raises(jsonschema.ValidationError):
+            jsonschema.validate(doc, self._schema())
+
+    def test_schema_requires_ts_dur_on_complete_events(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        doc = {"traceEvents": [{"name": "s", "ph": "X", "pid": 1, "tid": 1}]}
+        with pytest.raises(jsonschema.ValidationError):
+            jsonschema.validate(doc, self._schema())
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValidationError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValidationError):
+            validate_chrome_trace({"displayTimeUnit": "ms"})
+
+    def test_rejects_unknown_phase(self):
+        doc = {
+            "traceEvents": [
+                {"name": "s", "ph": "B", "pid": 1, "tid": 1}
+            ]
+        }
+        with pytest.raises(ValidationError, match="expected 'X' or 'M'"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_negative_duration(self):
+        doc = {
+            "traceEvents": [
+                {"name": "s", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": -1}
+            ]
+        }
+        with pytest.raises(ValidationError, match="dur"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_missing_pid(self):
+        doc = {"traceEvents": [{"name": "s", "ph": "X", "tid": 1}]}
+        with pytest.raises(ValidationError, match="pid"):
+            validate_chrome_trace(doc)
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self, clean_obs):
+        obs.counter("repro_x_total", site="a").inc(3)
+        obs.gauge("repro_g").set(2.5)
+        text = obs.prometheus_text()
+        assert "# TYPE repro_x_total counter" in text
+        assert 'repro_x_total{site="a"} 3' in text
+        assert "# TYPE repro_g gauge" in text
+        assert "repro_g 2.5" in text
+
+    def test_histogram_exposition(self, clean_obs):
+        obs.histogram("repro_h_seconds").observe(0.05)
+        text = obs.prometheus_text()
+        assert "# TYPE repro_h_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_h_seconds_sum 0.05" in text
+        assert "repro_h_seconds_count 1" in text
+        # The cumulative bucket at the top bound covers the sample.
+        assert 'repro_h_seconds_bucket{le="10.0"} 1' in text
+
+    def test_empty_registry_is_empty_text(self, clean_obs):
+        assert obs.prometheus_text() == ""
+
+
+class TestSummary:
+    def test_renders_metrics_and_spans(self, clean_obs):
+        obs.counter("repro_events_total").inc(7)
+        _record_some_spans()
+        text = obs.summary()
+        assert "repro_events_total" in text
+        assert "outer" in text and "inner" in text
+
+    def test_empty_summary(self, clean_obs):
+        assert "no observability data" in obs.summary()

@@ -97,6 +97,101 @@ class TestPredictionCache:
         assert len(cache) == 0
 
 
+class TestCrashWindows:
+    """Failure paths must not litter the cache root or raise from cleanup."""
+
+    def test_failed_put_leaves_no_tmp_litter(self, tmp_path, monkeypatch):
+        from repro import obs
+
+        cache = PredictionCache(tmp_path)
+        failures_before = obs.counter("repro_cache_put_failures_total").value
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("cannot pickle me")
+
+        with pytest.raises(RuntimeError):
+            cache.put("ab" * 32, Unpicklable())
+        # The temp file from the crash window is cleaned up, the entry
+        # never appears, and the failure is counted.
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert len(cache) == 0
+        assert (
+            obs.counter("repro_cache_put_failures_total").value
+            == failures_before + 1
+        )
+
+    def test_clear_racing_put_removes_preexisting_entries(self, tmp_path):
+        import threading
+
+        cache = PredictionCache(tmp_path)
+        preexisting = 20
+        for i in range(preexisting):
+            cache.put(f"{i:02d}" + "0" * 62, {"entry": i})
+        assert len(cache) == preexisting
+
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                try:
+                    cache.put(f"{i % 97:02x}" + "f" * 62, {"racer": i})
+                except Exception as exc:  # pragma: no cover - fails the test
+                    errors.append(exc)
+                    return
+                i += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            removed = cache.clear()
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not errors
+        # Every pre-existing entry is gone; entries the racer wrote after
+        # clear()'s glob may survive, but clear() itself never raises.
+        assert removed >= preexisting
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_clear_tolerates_vanishing_entries(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        from repro import obs
+
+        cache = PredictionCache(tmp_path)
+        cache.put("aa" + "0" * 62, {"x": 1})
+        cache.put("bb" + "0" * 62, {"x": 2})
+        swallowed_before = obs.counter(
+            "repro_swallowed_errors_total", site="cache.clear_unlink"
+        ).value
+
+        real_unlink = Path.unlink
+
+        def racing_unlink(self, *args, **kwargs):
+            # Another process got there first: the file vanishes between
+            # the glob and our unlink.
+            real_unlink(self)
+            raise FileNotFoundError(str(self))
+
+        monkeypatch.setattr(Path, "unlink", racing_unlink)
+        removed = cache.clear()
+        monkeypatch.undo()
+        # Both entries are gone from disk; the races were counted, not
+        # raised, and only non-racing removals are tallied.
+        assert len(cache) == 0
+        assert removed == 0
+        assert (
+            obs.counter(
+                "repro_swallowed_errors_total", site="cache.clear_unlink"
+            ).value
+            == swallowed_before + 2
+        )
+
+
 class TestPredictIntegration:
     def test_cache_disabled_by_default(self, monkeypatch):
         monkeypatch.delenv(CACHE_DIR_ENV, raising=False)

@@ -46,6 +46,23 @@ class TestSharedArray:
         finally:
             arr.close()
 
+    def test_failed_unlink_is_counted_not_raised(self):
+        from repro import obs
+
+        failures = obs.counter("repro_shm_unlink_failures_total")
+        swallowed = obs.counter(
+            "repro_swallowed_errors_total", site="shm.unlink"
+        )
+        failures_before = failures.value
+        swallowed_before = swallowed.value
+        arr = SharedArray((8,), np.complex128)
+        # Yank the segment out from under the owner, as a crashed sweep
+        # or an external `rm /dev/shm/repro_*` would.
+        arr._shm.unlink()
+        arr.close()  # second unlink fails inside; must not raise
+        assert failures.value == failures_before + 1
+        assert swallowed.value == swallowed_before + 1
+
     def test_close_unlinks_segment(self):
         arr = SharedArray((8,), np.complex128)
         name = arr.name

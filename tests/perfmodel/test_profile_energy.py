@@ -54,6 +54,38 @@ class TestProfile:
     def test_str_renders(self):
         assert "MPI" in str(profile_trace(costed(qft_circuit(6))))
 
+    def test_fractions_sum_to_one_within_ulps(self):
+        # Regression: fractions are normalised by the component sum, so
+        # they add to 1 up to three division roundings -- not merely to
+        # within the loose default tolerance.
+        import sys
+
+        prof = profile_trace(costed(qft_circuit(8), n=8, ranks=8))
+        total = prof.mpi_fraction + prof.memory_fraction + prof.compute_fraction
+        assert abs(total - 1.0) <= 4 * sys.float_info.epsilon
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1e-9])
+    def test_bad_component_times_raise(self, bad):
+        from repro.errors import ValidationError
+
+        base = costed(qft_circuit(6))
+        gate = base.gates[0]
+        broken = type(base)(
+            config=base.config,
+            gates=[
+                type(gate)(
+                    plan=gate.plan,
+                    comm_s=bad,
+                    mem_s=gate.mem_s,
+                    cpu_s=gate.cpu_s,
+                    node_energy_j=gate.node_energy_j,
+                    switch_energy_j=gate.switch_energy_j,
+                )
+            ],
+        )
+        with pytest.raises(ValidationError, match="comm_s"):
+            profile_trace(broken)
+
 
 class TestEnergyReport:
     def test_totals(self):
