@@ -14,6 +14,12 @@ reference measured in the same run on the same machine -- and fails when
 any kernel's current speedup drops below half its baseline speedup
 (i.e. the strided kernel regressed >2x relative to the reference).
 
+``--suite transpile`` prices the transpile strategies (naive vs
+blocked vs grouped) on QFT and random workloads at 16 ranks, writing
+``BENCH_transpile.json`` -- deterministic model outputs, so the
+``--check-against`` gate compares exchange counts exactly and fails
+when grouped's QFT round reduction stops being an integer factor >= 2.
+
 ``--suite parallel`` measures the shared-memory pool executor against
 serial on a QFT (22 qubits x 8 ranks; 18 qubits under ``--quick``) and
 the prediction cache cold vs warm on a DES-backend sweep, writing
@@ -206,11 +212,20 @@ def run_parallel(quick: bool) -> dict:
             else:
                 os.environ[CACHE_DIR_ENV] = saved
 
+    report_caveat = (
+        "measured on a single-CPU host: the pool cannot hide its "
+        "spawn/marshal overhead behind parallel compute, so "
+        "pool_speedup < 1 reflects the machinery's cost, not its "
+        "benefit on real multi-core nodes"
+        if (os.cpu_count() or 1) < 2
+        else None
+    )
     return {
         "schema": "repro-bench-parallel/1",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
+        "caveat": report_caveat,
         "shm_available": shm_available(),
         "qft": {
             "num_qubits": n,
@@ -327,6 +342,115 @@ def run_obs(quick: bool) -> dict:
     }
 
 
+def run_transpile(quick: bool) -> dict:
+    """Exchange/energy ledger of the transpile strategies.
+
+    Unlike the kernel and parallel suites this one records *model*
+    outputs, not wall clocks: exchange-round counts, bytes per rank and
+    the analytic/DES predicted runtime and energy are deterministic for
+    a given circuit and calibration, so the committed
+    ``BENCH_transpile.json`` is machine-independent and the regression
+    gate can compare counts exactly.
+    """
+    import os
+
+    from repro.experiments.ext_transpile import run as run_experiment
+
+    ranks = 16
+    qft_sweep = (12,) if quick else (12, 16, 20)
+    random_workload = (12, 40, 7) if quick else (14, 80, 7)
+    result = run_experiment(
+        num_ranks=ranks,
+        qft_sweep=qft_sweep,
+        random_workload=random_workload,
+    )
+    labels = [f"qft{n}" for n in qft_sweep] + [f"random{random_workload[0]}"]
+    workloads: dict[str, dict] = {}
+    for label in labels:
+        per_strategy: dict[str, dict] = {}
+        naive_bytes = result.metric(f"{label}_naive_bytes")
+        for strategy in ("naive", "blocked", "grouped"):
+            key = f"{label}_{strategy}"
+            entry = {
+                "rounds": int(result.metric(f"{key}_rounds")),
+                "bytes_per_rank": int(result.metric(f"{key}_bytes")),
+                "analytic_s": round(result.metric(f"{key}_analytic_s"), 6),
+                "des_s": round(result.metric(f"{key}_des_s"), 6),
+                "energy_j": round(result.metric(f"{key}_energy_j"), 3),
+                "des_energy_j": round(
+                    result.metric(f"{key}_des_energy_j"), 3
+                ),
+            }
+            if strategy != "naive":
+                entry["round_factor"] = round(
+                    result.metric(f"{key}_round_factor"), 3
+                )
+                entry["bytes_factor"] = round(
+                    naive_bytes / entry["bytes_per_rank"], 3
+                ) if entry["bytes_per_rank"] else float(naive_bytes)
+                entry["runtime_delta_s"] = round(
+                    result.metric(f"{key}_runtime_delta_s"), 6
+                )
+                entry["energy_delta_j"] = round(
+                    result.metric(f"{key}_energy_delta_j"), 3
+                )
+            per_strategy[strategy] = entry
+        workloads[label] = per_strategy
+    return {
+        "schema": "repro-bench-transpile/1",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "num_ranks": ranks,
+        "workloads": workloads,
+    }
+
+
+def check_transpile_against(current: dict, baseline_path: str) -> list[str]:
+    """Transpile regressions: counts exactly, predicted energy to 1%.
+
+    Compares every workload present in *both* files (quick CI runs
+    sweep a subset of the committed full sweep), and independently
+    asserts the acceptance invariant -- grouped reduces the QFT's
+    exchange rounds by an integer factor >= 2 -- so the gate still
+    bites if the baseline itself were regenerated from a regressed
+    tree.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for label, strategies in baseline.get("workloads", {}).items():
+        now_strategies = current["workloads"].get(label)
+        if now_strategies is None:
+            continue
+        for strategy, entry in strategies.items():
+            now = now_strategies.get(strategy)
+            if now is None:
+                failures.append(f"{label}/{strategy}: missing from current run")
+                continue
+            for count_key in ("rounds", "bytes_per_rank"):
+                if now[count_key] > entry[count_key]:
+                    failures.append(
+                        f"{label}/{strategy}: {count_key} grew "
+                        f"{entry[count_key]} -> {now[count_key]}"
+                    )
+            if now["energy_j"] > entry["energy_j"] * 1.01:
+                failures.append(
+                    f"{label}/{strategy}: predicted energy grew "
+                    f"{entry['energy_j']} -> {now['energy_j']} J (>1%)"
+                )
+    for label, strategies in current["workloads"].items():
+        if not label.startswith("qft"):
+            continue
+        factor = strategies["grouped"].get("round_factor", 0.0)
+        if factor < 2 or factor != int(factor):
+            failures.append(
+                f"{label}/grouped: QFT round factor {factor} is not an "
+                f"integer >= 2"
+            )
+    return failures
+
+
 def check_against(current: dict, baseline_path: str) -> list[str]:
     """Speedup-ratio regressions of ``current`` vs a baseline file."""
     with open(baseline_path) as fh:
@@ -350,7 +474,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("kernels", "parallel", "obs"),
+        choices=("kernels", "parallel", "obs", "transpile"),
         default="kernels",
         help="what to measure (default: %(default)s)",
     )
@@ -424,6 +548,36 @@ def main(argv: list[str] | None = None) -> int:
                 f"noop overhead gate passed "
                 f"(<= {100 * args.max_noop_overhead:.2f}%)"
             )
+        return 0
+
+    if args.suite == "transpile":
+        report = run_transpile(args.quick)
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        for label, strategies in report["workloads"].items():
+            for strategy, entry in strategies.items():
+                extra = (
+                    f"  rounds/bytes factor "
+                    f"{entry['round_factor']:.1f}x/{entry['bytes_factor']:.1f}x"
+                    if strategy != "naive"
+                    else ""
+                )
+                print(
+                    f"  {label:<9} {strategy:<8} rounds {entry['rounds']:>3}"
+                    f"  bytes/rank {entry['bytes_per_rank']:>9}"
+                    f"  analytic {entry['analytic_s']:.4f}s"
+                    f"  DES {entry['des_s']:.4f}s"
+                    f"  energy {entry['energy_j']:.1f}J" + extra
+                )
+        print(f"wrote {output}")
+        if args.check_against:
+            failures = check_transpile_against(report, args.check_against)
+            if failures:
+                for line in failures:
+                    print(f"REGRESSION {line}", file=sys.stderr)
+                return 1
+            print(f"no regressions vs {args.check_against}")
         return 0
 
     if args.suite == "parallel":

@@ -26,6 +26,12 @@ class RunOptions:
     comm_mode: CommMode = CommMode.BLOCKING
     #: Transpile with the generic cache-blocking pass before running.
     cache_block: bool = False
+    #: Pass-manager transpilation strategy (``repro.transpile``):
+    #: ``"naive"``/``"blocked"``/``"grouped"``.  ``None`` defers to
+    #: ``REPRO_TRANSPILE`` (default: no pipeline).  When a strategy is
+    #: selected it supersedes ``cache_block`` (``"blocked"`` reproduces
+    #: it exactly).
+    transpile: str | None = None
     #: Use the halved-communication distributed SWAP (paper future work).
     halved_swaps: bool = False
     #: Explicit node count; None sizes the job minimally.
@@ -44,6 +50,7 @@ class RunOptions:
             frequency=self.frequency,
             comm_mode=CommMode.NONBLOCKING,
             cache_block=True,
+            transpile=self.transpile,
             halved_swaps=self.halved_swaps,
             num_nodes=self.num_nodes,
             max_message=self.max_message,

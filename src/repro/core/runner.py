@@ -87,16 +87,38 @@ class SimulationRunner:
         result = CacheBlockingPass(config.partition.local_qubits).run(circuit)
         return result.circuit, result.output_permutation
 
+    @staticmethod
+    def _prepare_circuit(
+        circuit: Circuit, config: RunConfiguration, options: RunOptions
+    ) -> tuple[Circuit, dict[int, int] | None]:
+        """Apply the selected transpilation (pipeline, legacy, or none).
+
+        An explicit ``options.transpile`` (or ``REPRO_TRANSPILE``)
+        selects the pass-manager pipeline; otherwise ``cache_block``
+        keeps its original behaviour.
+        """
+        from repro.transpile import resolve_strategy, transpile
+
+        strategy = resolve_strategy(options.transpile)
+        if strategy is not None:
+            result = transpile(
+                circuit, config.partition, strategy=strategy
+            )
+            return result.circuit, result.output_permutation
+        if options.cache_block:
+            result = CacheBlockingPass(
+                config.partition.local_qubits
+            ).run(circuit)
+            return result.circuit, result.output_permutation
+        return circuit, None
+
     # -- the main entry point -----------------------------------------------------
 
     def run(self, circuit: Circuit, options: RunOptions | None = None) -> RunReport:
         """Price one run (sizing, optional transpilation, cost model)."""
         options = options if options is not None else RunOptions()
         config, job = self.configure(circuit, options)
-        permutation: dict[int, int] | None = None
-        to_run = circuit
-        if options.cache_block:
-            to_run, permutation = self.transpile(circuit, config)
+        to_run, permutation = self._prepare_circuit(circuit, config, options)
         prediction = predict(to_run, config)
         return RunReport(
             circuit_name=circuit.name or f"circuit{circuit.num_qubits}",
@@ -132,10 +154,8 @@ class SimulationRunner:
         ranks = num_ranks if num_ranks is not None else min(
             report.num_nodes, 1 << (circuit.num_qubits - 1)
         )
-        to_run = circuit
-        if options.cache_block:
-            config, _ = self.configure(circuit, options)
-            to_run, _ = self.transpile(circuit, config)
+        config, _ = self.configure(circuit, options)
+        to_run, _ = self._prepare_circuit(circuit, config, options)
         if initial_state is None:
             state = DistributedStatevector.zero_state(
                 circuit.num_qubits,

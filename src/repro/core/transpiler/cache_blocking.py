@@ -29,7 +29,27 @@ from repro.core.transpiler.pass_base import PassResult, TranspilerPass
 from repro.errors import TranspilerError
 from repro.gates import Gate
 
-__all__ = ["CacheBlockingPass"]
+__all__ = ["CacheBlockingPass", "next_pairing_use"]
+
+
+def next_pairing_use(circuit: Circuit) -> list[dict[int, int]]:
+    """For each gate index, the next index each qubit pairs at.
+
+    ``table[i][q]`` is the smallest ``j >= i`` with ``q`` a pairing
+    target of gate ``j`` (absent when never used again).  Shared by the
+    Belady eviction policies of :class:`CacheBlockingPass` and the
+    grouping pass in :mod:`repro.transpile`.
+    """
+    table: list[dict[int, int]] = [dict() for _ in range(len(circuit) + 1)]
+    nxt: dict[int, int] = {}
+    for i in range(len(circuit) - 1, -1, -1):
+        gate = circuit[i]
+        for q in gate.pairing_targets():
+            nxt = dict(nxt)
+            nxt[q] = i
+        table[i] = nxt
+    table[len(circuit)] = {}
+    return table
 
 
 class CacheBlockingPass(TranspilerPass):
@@ -52,28 +72,6 @@ class CacheBlockingPass(TranspilerPass):
         self.absorb_swaps = absorb_swaps
         self.restore_layout = restore_layout
 
-    # -- helpers ------------------------------------------------------------
-
-    @staticmethod
-    def _next_pairing_use(circuit: Circuit) -> list[dict[int, int]]:
-        """For each gate index, the next index each qubit pairs at.
-
-        ``table[i][q]`` is the smallest ``j >= i`` with ``q`` a pairing
-        target of gate ``j`` (absent when never used again).
-        """
-        horizon = len(circuit) + 1
-        table: list[dict[int, int]] = [dict() for _ in range(len(circuit) + 1)]
-        nxt: dict[int, int] = {}
-        for i in range(len(circuit) - 1, -1, -1):
-            gate = circuit[i]
-            for q in gate.pairing_targets():
-                nxt = dict(nxt)
-                nxt[q] = i
-            table[i] = nxt
-        table[len(circuit)] = {}
-        del horizon
-        return table
-
     def run(self, circuit: Circuit) -> PassResult:
         n = circuit.num_qubits
         m = self.local_qubits
@@ -85,7 +83,7 @@ class CacheBlockingPass(TranspilerPass):
                 stats={"swaps_inserted": 0, "swaps_absorbed": 0},
             )
 
-        next_use = self._next_pairing_use(circuit)
+        next_use = next_pairing_use(circuit)
         logical_to_phys = {q: q for q in range(n)}
         phys_to_logical = {q: q for q in range(n)}
         out = Circuit(n, name=(circuit.name + "_cb") if circuit.name else "cb")

@@ -76,7 +76,10 @@ class ExchangeCoordinator:
         self._pending: dict[tuple[int, int], Signal] = {}
 
     def arrive(self, op: ExchangeOp, rank: int) -> Signal:
-        key = (op.gate_index, min(rank, op.partner))
+        # seq disambiguates a remap's serialised sub-exchanges: rank 0
+        # meets partners 1, 2, 3... under the same gate index, and pair
+        # (0, 1) of round 0 must not rendezvous with (0, 2) of round 1.
+        key = (op.gate_index, op.seq, min(rank, op.partner))
         done = self._pending.pop(key, None)
         if done is None:
             done = self._ctx.engine.signal()

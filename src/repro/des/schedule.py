@@ -68,6 +68,10 @@ class ExchangeOp:
     #: option, alongside -- the exchange).
     local_s: float
     overlap: bool
+    #: Sub-exchange index within the gate: 0 for ordinary gates; a
+    #: g-pair remap serialises 2**g - 1 rounds with distinct partners,
+    #: and the rendezvous must not confuse them.
+    seq: int = 0
 
 
 @dataclass
@@ -97,12 +101,15 @@ class _LocalBlock:
 class _Exchange:
     gate_index: int
     gate_name: str
-    pair_bit: int
+    #: Rank-id XOR mask of the partner (a single bit for ordinary
+    #: distributed gates, several for a remap sub-exchange).
+    pair_mask: int
     send_bytes: int
     chunk_sizes: tuple[int, ...]
     participate_mask: int
     intranode: bool
     local_s: float
+    seq: int = 0
 
 
 def _mask_for_fraction(
@@ -168,12 +175,13 @@ class ScheduleSet:
                 yield ExchangeOp(
                     gate_index=item.gate_index,
                     gate_name=item.gate_name,
-                    partner=rank ^ (1 << item.pair_bit),
+                    partner=rank ^ item.pair_mask,
                     send_bytes=item.send_bytes,
                     chunk_sizes=item.chunk_sizes,
                     intranode=item.intranode,
                     local_s=item.local_s,
                     overlap=overlap,
+                    seq=item.seq,
                 )
 
     def rank_schedule(self, rank: int) -> RankSchedule:
@@ -238,11 +246,44 @@ def export_schedules(trace: ExecutionTrace) -> ScheduleSet:
             raise DesError(
                 f"communicating plan for {plan.gate_name!r} has no pair bit"
             )
+        if plan.comm_rounds > 1:
+            # A remap: one _Exchange per bucket-routing round, each with
+            # its own partner mask.  The plan's local update (pack/unpack
+            # and local transpositions) is attached to the final round so
+            # the gate's total local time is charged once.
+            if len(plan.pair_masks) != plan.comm_rounds:
+                raise DesError(
+                    f"plan for {plan.gate_name!r} has {plan.comm_rounds} "
+                    f"comm rounds but {len(plan.pair_masks)} pair masks"
+                )
+            per_bytes = plan.send_bytes // plan.comm_rounds
+            chunks = tuple(split_message(per_bytes, config.max_message))
+            last = plan.comm_rounds - 1
+            for seq, mask in enumerate(plan.pair_masks):
+                top_bit = mask.bit_length() - 1
+                schedule._items.append(
+                    _Exchange(
+                        gate_index=index,
+                        gate_name=plan.gate_name,
+                        pair_mask=mask,
+                        send_bytes=per_bytes,
+                        chunk_sizes=chunks,
+                        participate_mask=_mask_for_fraction(
+                            plan.comm_fraction,
+                            schedule.rank_bits,
+                            skip_bit=top_bit,
+                        ),
+                        intranode=rpn > 1 and top_bit < node_bits,
+                        local_s=local_s if seq == last else 0.0,
+                        seq=seq,
+                    )
+                )
+            continue
         schedule._items.append(
             _Exchange(
                 gate_index=index,
                 gate_name=plan.gate_name,
-                pair_bit=plan.pair_rank_bit,
+                pair_mask=1 << plan.pair_rank_bit,
                 send_bytes=plan.send_bytes,
                 chunk_sizes=tuple(
                     split_message(plan.send_bytes, config.max_message)

@@ -14,8 +14,6 @@ import argparse
 import os
 import sys
 
-from repro.experiments.registry import experiment_ids
-
 __all__ = ["main"]
 
 
@@ -73,6 +71,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--transpile",
+        metavar="STRATEGY",
+        help=(
+            "transpile circuits with the repro.transpile pipeline "
+            "(naive/blocked/grouped; equivalent to setting "
+            "REPRO_TRANSPILE)"
+        ),
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="FILE",
         help=(
@@ -95,6 +102,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # Environment knobs that used to be validated only deep inside the
+    # executors (for REPRO_KERNELS, as an import-time traceback):
+    # surface a bad value as a one-line error before any work -- and
+    # before the registry import pulls in the modules that read them.
+    from repro.errors import ValidationError
+
+    try:
+        from repro.parallel import resolve_executor
+        from repro.statevector.gate_kernels import get_backend
+        from repro.transpile import resolve_strategy
+
+        resolve_executor(None)
+        get_backend()
+        resolve_strategy(args.transpile)
+    except ValidationError as exc:
+        return _fail(str(exc))
+
+    from repro.experiments.registry import experiment_ids
+
     if args.list:
         for experiment_id in experiment_ids():
             print(experiment_id)
@@ -110,6 +136,8 @@ def main(argv: list[str] | None = None) -> int:
             f"--cache path exists and is a regular file: {args.cache}"
         )
 
+    if args.transpile:
+        os.environ["REPRO_TRANSPILE"] = args.transpile
     if args.cache:
         os.environ["REPRO_CACHE_DIR"] = args.cache
 

@@ -20,6 +20,7 @@ from repro.experiments import (
     ext_ranks_per_node,
     ext_resilience,
     ext_scaling,
+    ext_transpile,
     ext_workloads,
     fig1_circuits,
     fig2_runtimes,
@@ -58,6 +59,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "ext-parallel": ext_parallel.run,
     "ext-des-crosscheck": ext_des_crosscheck.run,
     "ext-resilience": ext_resilience.run,
+    "ext-transpile": ext_transpile.run,
     "validate": validate.run,
 }
 

@@ -71,6 +71,7 @@ class FaultySchedule:
                     intranode=op.intranode,
                     local_s=op.local_s * slowdown,
                     overlap=op.overlap,
+                    seq=op.seq,
                 )
             else:
                 yield op

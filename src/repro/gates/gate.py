@@ -103,7 +103,25 @@ class Gate:
     constituents: tuple["Gate", ...] | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        if self.name == "fused_diag":
+        if self.name == "remap":
+            if not self.constituents:
+                raise GateError("remap gate requires constituent swaps")
+            if self.controls:
+                raise GateError("remap gate takes no controls")
+            for g in self.constituents:
+                if not g.is_swap() or g.controls:
+                    raise GateError(
+                        f"remap constituent {g} is not an uncontrolled swap"
+                    )
+            touched = [q for g in self.constituents for q in g.targets]
+            if len(set(touched)) != len(touched):
+                raise GateError("remap transpositions must be disjoint")
+            if tuple(sorted(touched)) != self.targets:
+                raise GateError(
+                    "remap targets must be the sorted union of its "
+                    "transposition qubits"
+                )
+        elif self.name == "fused_diag":
             if not self.constituents:
                 raise GateError("fused_diag gate requires constituent gates")
             for g in self.constituents:
@@ -180,6 +198,24 @@ class Gate:
         return Gate(name="fused_diag", targets=touched, constituents=gates)
 
     @staticmethod
+    def remap(pairs: Iterable[tuple[int, int]]) -> "Gate":
+        """Build a collective qubit permutation from disjoint transpositions.
+
+        A remap is the transpiler's group-boundary operation: it applies
+        the product of the given SWAPs as *one* step.  Distributed, the
+        executors route it as a single bucket exchange -- ``2**g - 1``
+        pairwise messages of ``1/2**g`` of the slice for ``g``
+        local/global pairs -- instead of ``g`` full-buffer exchanges, which
+        is where gate grouping's communication win comes from.
+        """
+        swaps = tuple(
+            Gate.named("swap", tuple(sorted(p)))
+            for p in sorted(tuple(sorted(p)) for p in pairs)
+        )
+        touched = tuple(sorted(q for g in swaps for q in g.targets))
+        return Gate(name="remap", targets=touched, constituents=swaps)
+
+    @staticmethod
     def unitary(
         matrix: np.ndarray,
         targets: tuple[int, ...] | list[int],
@@ -218,6 +254,19 @@ class Gate:
         """
         if self.name == "fused_diag":
             return np.diag(self.diagonal_vector())
+        if self.name == "remap":
+            position = {q: i for i, q in enumerate(self.targets)}
+            dim = 2 ** len(self.targets)
+            idx = np.arange(dim)
+            out_idx = idx.copy()
+            for a, b in self.swap_pairs():
+                ia, ib = position[a], position[b]
+                bit_a = (idx >> ia) & 1
+                bit_b = (idx >> ib) & 1
+                out_idx ^= (bit_a ^ bit_b) * ((1 << ia) | (1 << ib))
+            mat = np.zeros((dim, dim), dtype=np.complex128)
+            mat[out_idx, idx] = 1.0
+            return mat
         if self.name == "unitary":
             dim = 2 ** len(self.targets)
             return np.array(self._matrix_key, dtype=np.complex128).reshape(dim, dim)
@@ -254,10 +303,27 @@ class Gate:
             out = mats.controlled(out)
         return out
 
+    def swap_pairs(self) -> tuple[tuple[int, int], ...]:
+        """The disjoint ``(low, high)`` transpositions of a remap gate."""
+        if self.name != "remap":
+            raise GateError("swap_pairs() only defined for remap gates")
+        return tuple(g.targets for g in self.constituents)
+
+    def permutation(self) -> dict[int, int]:
+        """The qubit relabelling a remap gate applies (an involution)."""
+        pairs = self.swap_pairs()
+        out = {}
+        for a, b in pairs:
+            out[a] = b
+            out[b] = a
+        return out
+
     def is_diagonal(self) -> bool:
         """True if the target-space matrix is diagonal (fully local gate)."""
         if self.name == "fused_diag":
             return True
+        if self.name == "remap":
+            return False
         if self.name == "unitary":
             return mats.is_diagonal(self.matrix())
         return GATE_REGISTRY[self.name].diagonal
@@ -281,6 +347,8 @@ class Gate:
         """The inverse gate (as an explicit unitary unless self-inverse)."""
         if self.name == "fused_diag":
             return Gate.fused(tuple(g.dagger() for g in reversed(self.constituents)))
+        if self.name == "remap":
+            return self  # a product of disjoint transpositions is an involution
         m = self.matrix()
         md = m.conj().T
         if np.allclose(m, md):
@@ -295,6 +363,13 @@ class Gate:
         """
         if self.name == "fused_diag":
             return Gate.fused(tuple(g.remapped(mapping) for g in self.constituents))
+        if self.name == "remap":
+            return Gate.remap(
+                tuple(
+                    (mapping.get(a, a), mapping.get(b, b))
+                    for a, b in self.swap_pairs()
+                )
+            )
         return Gate(
             name=self.name,
             targets=tuple(mapping.get(q, q) for q in self.targets),

@@ -54,7 +54,8 @@ __all__ = [
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Bump to invalidate every existing cache entry (schema/semantics change).
-CACHE_VERSION = 1
+#: 2: GatePlan grew comm_rounds/pair_masks (remap bucket routing).
+CACHE_VERSION = 2
 
 
 def _canon(value, out: list[str]) -> None:

@@ -43,6 +43,7 @@ from repro.statevector.distributed import (
     local_controls_of,
     local_memory_step_on_rank,
     rank_controls_satisfied,
+    remap_bucket_view,
 )
 from repro.statevector.partition import Partition
 
@@ -188,6 +189,54 @@ def _exec_distributed_swap(
             )
 
 
+def _exec_remap(
+    step: ApplyStep,
+    partition: Partition,
+    local2d: np.ndarray,
+    pair2d: np.ndarray,
+    owned: tuple[int, ...],
+    barrier,
+) -> None:
+    """Remap with cross transpositions: one gather, then copy back.
+
+    The serial executor routes buckets through 2**g - 1 pairwise
+    exchanges; over shared memory every rank can instead gather all its
+    new buckets directly -- new bucket ``v`` of rank ``r`` is old bucket
+    ``own_G(r)`` of rank ``r`` with its G bits set to ``v``.  Same
+    permutation, same amplitude values (pure copies), two barriers.
+    """
+    gate = step.gate
+    m = partition.local_qubits
+    cross: list[tuple[int, int]] = []
+    local_pairs: list[tuple[int, int]] = []
+    for a, b in gate.swap_pairs():
+        (cross if b >= m else local_pairs).append((a, b))
+    g = len(cross)
+    l_bits = tuple(a for a, _b in cross)
+    g_bits = tuple(b - m for _a, b in cross)
+    full_mask = 0
+    for gb in g_bits:
+        full_mask |= 1 << gb
+    _wait(barrier)
+    for rank in owned:
+        own = 0
+        for j, gb in enumerate(g_bits):
+            own |= ((rank >> gb) & 1) << j
+        for v in range(1 << g):
+            src_rank = rank & ~full_mask
+            for j, gb in enumerate(g_bits):
+                src_rank |= ((v >> j) & 1) << gb
+            dest = remap_bucket_view(pair2d[rank], l_bits, v)
+            dest[...] = remap_bucket_view(local2d[src_rank], l_bits, own)
+    _wait(barrier)
+    for rank in owned:
+        local2d[rank][:] = pair2d[rank]
+        # Purely local transpositions are disjoint from the cross pairs,
+        # so applying them after the routing is the same permutation.
+        for a, b in local_pairs:
+            kernels.apply_swap_local(local2d[rank], a, b, ())
+
+
 def run_plan_worker(ctx, task: PlanTask):
     """SPMD entry point: replay ``task.plan`` over the shared segments.
 
@@ -225,6 +274,8 @@ def run_plan_worker(ctx, task: PlanTask):
                         if locality is GateLocality.FULLY_LOCAL
                         else "local"
                     )
+                elif step.kind is StepKind.REMAP:
+                    kind = "distributed_remap"
                 elif step.kind is StepKind.SWAP:
                     kind = "distributed_swap"
                 else:
@@ -236,6 +287,10 @@ def run_plan_worker(ctx, task: PlanTask):
                 with obs.span("worker.step", step=idx, kind=kind):
                     if kind in ("diagonal", "local"):
                         _exec_local(step, locality, partition, local2d, owned)
+                    elif kind == "distributed_remap":
+                        _exec_remap(
+                            step, partition, local2d, pair2d, owned, ctx.barrier
+                        )
                     elif kind == "distributed_swap":
                         _exec_distributed_swap(
                             step,

@@ -230,16 +230,41 @@ def cost_trace(trace: ExecutionTrace) -> CostedTrace:
     for plan in trace.plans:
         comm_s = 0.0
         if plan.communicates:
-            comm_s = exchange_time(
-                plan.send_bytes,
-                plan.num_messages,
-                config.comm_mode,
-                nodes,
-                config.frequency,
-                calib,
-                pair_rank_bit=plan.pair_rank_bit,
-                ranks_per_node=config.ranks_per_node,
-            )
+            if plan.comm_rounds > 1:
+                # A remap's bucket routing: 2**g - 1 sequential pairwise
+                # sub-exchanges, each of one bucket.  Each round is
+                # priced on its own partner mask (its top bit decides
+                # network vs shared memory) and the rounds serialise.
+                per_bytes = plan.send_bytes // plan.comm_rounds
+                per_msgs = max(1, plan.num_messages // plan.comm_rounds)
+                masks = plan.pair_masks or (None,) * plan.comm_rounds
+                for mask in masks:
+                    bit = (
+                        mask.bit_length() - 1
+                        if mask
+                        else plan.pair_rank_bit
+                    )
+                    comm_s += exchange_time(
+                        per_bytes,
+                        per_msgs,
+                        config.comm_mode,
+                        nodes,
+                        config.frequency,
+                        calib,
+                        pair_rank_bit=bit,
+                        ranks_per_node=config.ranks_per_node,
+                    )
+            else:
+                comm_s = exchange_time(
+                    plan.send_bytes,
+                    plan.num_messages,
+                    config.comm_mode,
+                    nodes,
+                    config.frequency,
+                    calib,
+                    pair_rank_bit=plan.pair_rank_bit,
+                    ranks_per_node=config.ranks_per_node,
+                )
         local = local_cost(
             plan,
             config.partition,

@@ -55,6 +55,7 @@ class StepKind(enum.Enum):
     SINGLE = "single"
     SWAP = "swap"
     GENERIC = "generic"
+    REMAP = "remap"
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,11 @@ class ApplyStep:
             kernels.apply_swap_local(
                 amps, self.targets[0], self.targets[1], self.controls
             )
+        elif self.kind is StepKind.REMAP:
+            # Disjoint transpositions commute, so sequential swaps give
+            # the collective permutation exactly.
+            for a, b in self.gate.swap_pairs():
+                kernels.apply_swap_local(amps, a, b, ())
         else:
             kernels.apply_matrix(amps, self.matrix, self.targets, self.controls)
 
@@ -123,6 +129,14 @@ def compile_gate_step(gate: Gate) -> ApplyStep:
             targets=gate.targets,
             controls=(),
             diag=gate.diagonal_vector(),
+        )
+    if gate.name == "remap":
+        return ApplyStep(
+            kind=StepKind.REMAP,
+            gate=gate,
+            gates=(gate,),
+            targets=gate.targets,
+            controls=(),
         )
     if gate.is_diagonal():
         return ApplyStep(

@@ -114,10 +114,40 @@ def local_memory_step_on_rank(
     if not rank_controls_satisfied(gate, partition, rank):
         return
     controls = local_controls_of(gate, partition.local_qubits)
-    if step.kind is StepKind.SWAP:
+    if step.kind is StepKind.REMAP:
+        # All transpositions landed local: disjoint pairs commute, so
+        # sequential in-place swaps realise the collective permutation.
+        for a, b in gate.swap_pairs():
+            kernels.apply_swap_local(amps, a, b, ())
+    elif step.kind is StepKind.SWAP:
         kernels.apply_swap_local(amps, step.targets[0], step.targets[1], controls)
     else:
         kernels.apply_matrix(amps, step.matrix, step.targets, controls)
+
+
+def remap_bucket_view(
+    amps: np.ndarray, l_bits: tuple[int, ...], value_bits: int
+) -> np.ndarray:
+    """Strided view of the amplitudes in one remap bucket.
+
+    The bucket is the subset of ``amps`` whose local-index bit
+    ``l_bits[j]`` equals bit ``j`` of ``value_bits`` for every ``j``.
+    Both ends of a bucket exchange ravel this view in C order, so
+    equal non-bucket bit patterns land in corresponding slots -- which
+    is exactly the permutation's within-bucket identity.
+    """
+    total = int(amps.shape[0]).bit_length() - 1
+    shape: list[int] = []
+    index: list = []
+    prev = total
+    for b in sorted(l_bits, reverse=True):
+        shape.append(1 << (prev - 1 - b))
+        shape.append(2)
+        index.append(slice(None))
+        index.append((value_bits >> l_bits.index(b)) & 1)
+        prev = b
+    shape.append(1 << prev)
+    return amps.reshape(shape)[tuple(index)]
 
 
 def combine_coefficients(
@@ -424,6 +454,9 @@ class DistributedStatevector:
         elif plan.locality is GateLocality.LOCAL_MEMORY:
             kind = "local"
             self._apply_local_memory_step(step)
+        elif step.kind is StepKind.REMAP:
+            kind = "distributed_remap"
+            self._apply_distributed_remap(gate)
         elif step.kind is StepKind.SWAP:
             kind = "distributed_swap"
             self._apply_distributed_swap(gate)
@@ -640,6 +673,99 @@ class DistributedStatevector:
                     kernels.swap_in_halves(self._local[rank], recv_lo, local_bit, 0)
                     kernels.swap_in_halves(self._local[peer], recv_hi, local_bit, 1)
 
+    def _remap_split(
+        self, gate: Gate
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """A remap's transpositions split into (cross, purely local)."""
+        m = self.partition.local_qubits
+        cross: list[tuple[int, int]] = []
+        local_pairs: list[tuple[int, int]] = []
+        for a, b in gate.swap_pairs():
+            if a >= m:
+                raise SimulationError(
+                    f"remap transposition ({a}, {b}) swaps two distributed "
+                    f"qubits; the transpiler only emits local/global pairs"
+                )
+            (cross if b >= m else local_pairs).append((a, b))
+        return cross, local_pairs
+
+    def _apply_distributed_remap(self, gate: Gate) -> None:
+        """Bucket routing: 2**g - 1 pairwise sub-exchanges of one bucket.
+
+        Each rank splits its slice into ``2**g`` buckets by the g local
+        bits being swapped out.  In round ``delta`` (1..2**g-1) rank
+        ``r`` trades bucket ``own_G(r) ^ delta`` with rank ``r ^
+        mask(delta)`` -- the received data lands in the very slots it
+        was sent from, and the home bucket never moves.  Total wire
+        bytes per rank: ``local_bytes * (2**g - 1) / 2**g``, strictly
+        less than one full-buffer exchange regardless of ``g``.
+        """
+        part = self.partition
+        m = part.local_qubits
+        cross, local_pairs = self._remap_split(gate)
+        # Purely local transpositions are disjoint from the cross pairs,
+        # so they commute with the routing; run them up front.
+        for rank in range(self.num_ranks):
+            if not self._local.is_materialized(rank):
+                continue
+            amps = self._local[rank]
+            for a, b in local_pairs:
+                kernels.apply_swap_local(amps, a, b, ())
+        if not cross:
+            return
+        g = len(cross)
+        l_bits = tuple(a for a, _b in cross)
+        g_bits = tuple(b - m for _a, b in cross)
+        bucket = part.local_amplitudes >> g
+        bufs = self._pair_buffers()
+
+        def own_pattern(rank: int) -> int:
+            v = 0
+            for j, gb in enumerate(g_bits):
+                v |= ((rank >> gb) & 1) << j
+            return v
+
+        for delta in range(1, 1 << g):
+            mask = 0
+            for j, gb in enumerate(g_bits):
+                if (delta >> j) & 1:
+                    mask |= 1 << gb
+            hb = 1 << (mask.bit_length() - 1)
+            for rank in range(self.num_ranks):
+                if rank & hb:
+                    continue
+                peer = rank ^ mask
+                # Two implicit zero slices route zeros: log the exchange
+                # but leave both unmaterialised.
+                compute = self._local.is_materialized(
+                    rank
+                ) or self._local.is_materialized(peer)
+                lo = self._local[rank] if compute else self._local.read(rank)
+                hi = self._local[peer] if compute else self._local.read(peer)
+                view_lo = remap_bucket_view(lo, l_bits, own_pattern(rank) ^ delta)
+                view_hi = remap_bucket_view(hi, l_bits, own_pattern(peer) ^ delta)
+                # Pack the outgoing bucket into the front of the reused
+                # pair buffer; the reply lands in the second stretch.
+                send_lo = bufs[rank][:bucket]
+                send_hi = bufs[peer][:bucket]
+                send_lo.reshape(view_lo.shape)[...] = view_lo
+                send_hi.reshape(view_hi.shape)[...] = view_hi
+                recv_lo, recv_hi = exchange_arrays(
+                    self.comm,
+                    rank,
+                    send_lo,
+                    peer,
+                    send_hi,
+                    mode=self.comm_mode,
+                    max_message=self.max_message,
+                    tag_base=self._gate_index << 8,
+                    out_a=bufs[rank][bucket : 2 * bucket],
+                    out_b=bufs[peer][bucket : 2 * bucket],
+                )
+                if compute:
+                    view_lo[...] = recv_lo.reshape(view_lo.shape)
+                    view_hi[...] = recv_hi.reshape(view_hi.shape)
+
     # -- pool executor -------------------------------------------------------------
 
     def _ensure_shared_pair(self) -> None:
@@ -758,6 +884,31 @@ class DistributedStatevector:
         m = part.local_qubits
         n = part.local_amplitudes
         tag_base = start_index << 8
+        if step.kind is StepKind.REMAP:
+            # Mirror _apply_distributed_remap's round/pair enumeration.
+            cross, _local_pairs = self._remap_split(gate)
+            g = len(cross)
+            count = n >> g
+            for delta in range(1, 1 << g):
+                mask = 0
+                for j, (_a, b) in enumerate(cross):
+                    if (delta >> j) & 1:
+                        mask |= 1 << (b - m)
+                hb = 1 << (mask.bit_length() - 1)
+                for rank in range(self.num_ranks):
+                    if rank & hb:
+                        continue
+                    log_exchange_schedule(
+                        self.comm,
+                        rank,
+                        rank ^ mask,
+                        count,
+                        itemsize=AMPLITUDE_BYTES,
+                        mode=self.comm_mode,
+                        max_message=self.max_message,
+                        tag_base=tag_base,
+                    )
+            return
         if step.kind is StepKind.SWAP:
             t_low, t_high = sorted(gate.targets)
             if t_low >= m:

@@ -39,7 +39,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, ValidationError
 from repro.gates import Gate
 from repro.statevector import gate_kernels_reference as _reference
 from repro.utils.bits import log2_exact
@@ -67,24 +67,33 @@ _ENV_VAR = "REPRO_KERNELS"
 def _resolve_backend(name: str) -> str:
     name = name.strip().lower()
     if name not in KERNEL_BACKENDS:
-        raise SimulationError(
-            f"unknown kernel backend {name!r}; choose one of {KERNEL_BACKENDS}"
+        raise ValidationError(
+            f"unknown kernel backend {name!r} (from ${_ENV_VAR} or "
+            f"set_backend); expected one of {KERNEL_BACKENDS}"
         )
     return name
 
 
-_backend = _resolve_backend(os.environ.get(_ENV_VAR, "strided"))
+# An unset or empty variable means the default; a *wrong* value raises
+# a one-line ValidationError on first use.  Resolution is deferred to
+# ``get_backend()`` rather than done at import so entry points (the
+# experiments CLI) can catch the error and report it cleanly instead of
+# the user seeing an import-time traceback.
+_backend: str | None = None
 
 
 def get_backend() -> str:
     """The active kernel backend (``"strided"`` or ``"reference"``)."""
+    global _backend
+    if _backend is None:
+        _backend = _resolve_backend(os.environ.get(_ENV_VAR) or "strided")
     return _backend
 
 
 def set_backend(name: str) -> str:
     """Select the kernel backend at runtime; returns the previous one."""
     global _backend
-    previous = _backend
+    previous = get_backend()
     _backend = _resolve_backend(name)
     return previous
 
@@ -193,7 +202,7 @@ def apply_matrix(
     whose ``controls`` bits are all 1.
     """
     _check_overlap(targets, controls)
-    if _backend == "reference":
+    if get_backend() == "reference":
         return _reference.apply_matrix(amps, matrix, targets, controls)
     k = len(targets)
     if matrix.shape != (2**k, 2**k):
@@ -280,7 +289,7 @@ def apply_diagonal(
     so skipping never changes the result).
     """
     _check_overlap(targets, controls)
-    if _backend == "reference":
+    if get_backend() == "reference":
         return _reference.apply_diagonal(amps, diag, targets, controls)
     _check_bits(amps, targets + tuple(controls))
     sub = _subview(amps, targets, tuple(controls))
@@ -305,7 +314,7 @@ def apply_swap_local(
     touched or allocated.
     """
     _check_overlap((a, b), controls)
-    if _backend == "reference":
+    if get_backend() == "reference":
         return _reference.apply_swap_local(amps, a, b, controls)
     nbits = _num_bits(amps)
     if a == b or max(a, b) >= nbits:
@@ -337,7 +346,7 @@ def combine_distributed_single(
     value of the target bit.  Local ``controls`` restrict the update to
     strided slabs of both buffers (no boolean masks).
     """
-    if _backend == "reference":
+    if get_backend() == "reference":
         return _reference.combine_distributed_single(
             local, remote, coeff_local, coeff_remote, controls
         )

@@ -71,6 +71,15 @@ class GatePlan:
     #: node this decides whether an exchange crosses the network (bit >=
     #: log2(ranks_per_node)) or stays in shared memory.
     pair_rank_bit: int | None = None
+    #: Sequential pairwise sub-exchanges the communication takes: 1 for
+    #: ordinary distributed gates, ``2**g - 1`` for a ``g``-pair remap's
+    #: bucket routing.  ``send_bytes``/``num_messages`` are totals over
+    #: all rounds.
+    comm_rounds: int = 1
+    #: Rank-id XOR mask of each sub-exchange's partner, in execution
+    #: order.  Empty for single-round gates, where ``pair_rank_bit``
+    #: determines the (single) partner.
+    pair_masks: tuple[int, ...] = ()
 
     @property
     def communicates(self) -> bool:
@@ -141,6 +150,18 @@ def plan_gate(
         )
 
     if locality is GateLocality.LOCAL_MEMORY:
+        if gate.name == "remap":
+            # A purely local permutation: each transposition moves half
+            # the amplitudes, so p disjoint pairs relocate 1 - 2**-p of
+            # the slice (read + write).
+            p = len(gate.swap_pairs())
+            traffic = int(2 * local_bytes * (1.0 - 0.5**p))
+            return replace(
+                base,
+                traffic_bytes=traffic,
+                flops=0,
+                numa_target=max(gate.targets),
+            )
         if gate.is_swap():
             # Half the (control-selected) amplitudes move, read+write.
             traffic = int(2 * local_bytes * touched * 0.5)
@@ -161,6 +182,10 @@ def plan_gate(
         )
 
     # Distributed gates.
+    if gate.name == "remap":
+        return _plan_distributed_remap(
+            gate, partition, base, max_message=max_message
+        )
     if gate.is_swap():
         t_low, t_high = sorted(gate.targets)
         both_distributed = t_low >= m
@@ -209,6 +234,66 @@ def plan_gate(
         traffic_bytes=int(3 * local_bytes * touched),
         flops=int(FLOPS_PER_AMP_PAIR_UPDATE * local_amps * touched),
         pair_rank_bit=pairing[0] - m,
+    )
+
+
+def _plan_distributed_remap(
+    gate: Gate,
+    partition: Partition,
+    base: GatePlan,
+    *,
+    max_message: int,
+) -> GatePlan:
+    """Plan a remap with at least one local/global transposition.
+
+    The cross pairs are executed as bucket routing: each rank splits its
+    slice into ``2**g`` buckets by the g swapped-in local bits and trades
+    ``2**g - 1`` of them away, one pairwise sub-exchange per nonzero
+    rank-bit pattern.  Total bytes on the wire per rank are
+    ``local_bytes * (2**g - 1) / 2**g`` -- less than *one* full-buffer
+    exchange, however many qubits move.
+    """
+    m = partition.local_qubits
+    local_bytes = partition.local_bytes
+    cross = []
+    n_local_pairs = 0
+    for a, b in gate.swap_pairs():
+        if a >= m:
+            raise SimulationError(
+                f"remap transposition ({a}, {b}) swaps two distributed "
+                f"qubits; the transpiler only emits local/global pairs"
+            )
+        if b >= m:
+            cross.append((a, b))
+        else:
+            n_local_pairs += 1
+    g = len(cross)
+    rounds = (1 << g) - 1
+    bucket_bytes = local_bytes >> g
+    send = rounds * bucket_bytes
+    masks = []
+    for delta in range(1, 1 << g):
+        mask = 0
+        for j, (_a, b) in enumerate(cross):
+            if (delta >> j) & 1:
+                mask |= 1 << (b - m)
+        masks.append(mask)
+    # Local traffic: pack the outgoing buckets and unpack the received
+    # ones (read + write each way), plus the purely local transpositions.
+    traffic = int(
+        4 * send + 2 * local_bytes * (1.0 - 0.5**n_local_pairs)
+    )
+    return replace(
+        base,
+        comm_fraction=1.0,
+        send_bytes=send,
+        num_messages=rounds * num_chunks(bucket_bytes, max_message),
+        traffic_bytes=traffic,
+        flops=0,
+        touched_fraction=1.0 - 0.5**g,
+        pair_rank_bit=max(b - m for _a, b in cross),
+        comm_rounds=rounds,
+        pair_masks=tuple(masks),
     )
 
 

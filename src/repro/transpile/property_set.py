@@ -1,0 +1,39 @@
+"""The property set: analysis results flowing between passes.
+
+A :class:`PropertySet` is the shared blackboard of one pass-manager
+run.  Analysis passes write named results into it; transformation
+passes read them.  It is a plain ``dict`` plus a :meth:`require` that
+turns a missing key into a :class:`~repro.errors.TranspilerError`
+naming the pass that should have produced it -- so a mis-ordered
+pipeline fails with a sentence, not a ``KeyError`` three frames deep.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranspilerError
+
+__all__ = ["PropertySet"]
+
+
+class PropertySet(dict):
+    """Named analysis results shared across one pass-manager run."""
+
+    #: Which pass produces each well-known key (for error messages).
+    PRODUCERS = {
+        "pairing_counts": "QubitInteractionAnalysis",
+        "interaction_pairs": "QubitInteractionAnalysis",
+        "commutation_dag": "CommutationAnalysis",
+        "global_affinity": "GlobalQubitSelectionPass",
+    }
+
+    def require(self, key: str):
+        """The value under ``key``, or a one-line error naming its producer."""
+        try:
+            return self[key]
+        except KeyError:
+            producer = self.PRODUCERS.get(key)
+            hint = f" (produced by {producer})" if producer else ""
+            raise TranspilerError(
+                f"property {key!r} is not in the property set{hint}; "
+                f"run the analysis pass before the pass that needs it"
+            ) from None

@@ -1,0 +1,43 @@
+"""Global-qubit selection: which qubits should live in the rank bits.
+
+Diagonal gates and controls are free on distributed qubits; only
+*pairing* uses force locality.  So the ideal set of global (rank-index)
+qubits is the one that pairs least.  This pass ranks every qubit by how
+cheap it is to keep global and records the ranking as
+``global_affinity`` -- the grouping pass consults it when several
+eviction victims look equally good to the Belady policy.
+
+Deliberately an *analysis* pass: it does not relabel the input (the
+initial layout stays the identity, so callers can feed arbitrary
+prepared states without permuting them first).  All data motion is
+delegated to the remap collectives the grouping pass inserts.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.statevector.partition import Partition
+from repro.transpile.basepass import AnalysisPass
+from repro.transpile.property_set import PropertySet
+
+__all__ = ["GlobalQubitSelectionPass"]
+
+
+class GlobalQubitSelectionPass(AnalysisPass):
+    """Rank qubits by their affinity for staying distributed."""
+
+    name = "global_selection"
+    requires = ("pairing_counts",)
+
+    def analyse(
+        self, circuit: Circuit, partition: Partition, properties: PropertySet
+    ) -> None:
+        counts: dict[int, int] = properties.require("pairing_counts")
+        n = circuit.num_qubits
+        # Fewest pairing uses -> highest affinity for the rank bits;
+        # ties prefer the highest qubit index (the natural global end).
+        ranking = sorted(
+            range(n), key=lambda q: (counts.get(q, 0), -q)
+        )
+        affinity = {q: n - 1 - pos for pos, q in enumerate(ranking)}
+        properties["global_affinity"] = affinity

@@ -166,7 +166,9 @@ class TestBackendSwitch:
         assert k.get_backend() == expected
 
     def test_unknown_backend_rejected(self):
-        with pytest.raises(SimulationError):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="strided"):
             k.set_backend("numba")
 
     def test_using_backend_restores(self):

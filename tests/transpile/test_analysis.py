@@ -1,0 +1,98 @@
+"""Analysis passes: interaction counting, commutation, selection."""
+
+from repro.circuits import Circuit
+from repro.gates import Gate
+from repro.statevector.partition import Partition
+from repro.transpile import (
+    GlobalQubitSelectionPass,
+    PropertySet,
+    QubitInteractionAnalysis,
+    gates_commute,
+)
+
+
+def _analyse(circuit, *passes):
+    props = PropertySet()
+    partition = Partition(circuit.num_qubits, 2)
+    for p in passes:
+        p.analyse(circuit, partition, props)
+    return props
+
+
+# -- commutation rule -----------------------------------------------------
+
+
+def test_disjoint_gates_commute():
+    assert gates_commute(Gate.named("h", (0,)), Gate.named("x", (1,)))
+
+
+def test_diagonal_gates_sharing_a_qubit_commute():
+    a = Gate.named("p", (0,), params=(0.3,))
+    b = Gate.named("rz", (0,), params=(0.7,))
+    assert gates_commute(a, b)
+
+
+def test_control_side_is_diagonal_acting():
+    # CX(control=0) and P(0) share only qubit 0, diagonal in both.
+    cx = Gate.named("x", (1,), controls=(0,))
+    p = Gate.named("p", (0,), params=(0.1,))
+    assert gates_commute(cx, p)
+
+
+def test_pairing_overlap_does_not_commute():
+    # H(0) vs X(0): shared qubit is pairing in both.
+    assert not gates_commute(Gate.named("h", (0,)), Gate.named("x", (0,)))
+    # CX target overlaps H.
+    assert not gates_commute(
+        Gate.named("x", (1,), controls=(0,)), Gate.named("h", (1,))
+    )
+
+
+# -- qubit interaction ----------------------------------------------------
+
+
+def test_pairing_counts_ignore_diagonals_and_controls():
+    c = Circuit(3)
+    c.append(Gate.named("h", (0,)))
+    c.append(Gate.named("p", (1,), params=(0.2,)))  # diagonal: no pairing
+    c.append(Gate.named("x", (0,), controls=(2,)))  # control 2: no pairing
+    props = _analyse(c, QubitInteractionAnalysis())
+    assert props["pairing_counts"] == {0: 2}
+    assert props["interaction_pairs"] == {}
+
+
+def test_interaction_pairs_count_shared_pairings():
+    c = Circuit(3)
+    c.swap(0, 2)
+    c.swap(0, 2)
+    props = _analyse(c, QubitInteractionAnalysis())
+    assert props["interaction_pairs"] == {frozenset((0, 2)): 2}
+
+
+# -- global selection -----------------------------------------------------
+
+
+def test_selection_prefers_least_pairing_qubits_as_global():
+    c = Circuit(4)
+    for _ in range(3):
+        c.append(Gate.named("h", (0,)))
+    c.append(Gate.named("h", (1,)))
+    props = _analyse(
+        c, QubitInteractionAnalysis(), GlobalQubitSelectionPass()
+    )
+    affinity = props["global_affinity"]
+    # Qubits 2 and 3 never pair: highest affinity, ties prefer high index.
+    assert affinity[3] > affinity[2] > affinity[1] > affinity[0]
+
+
+def test_selection_is_analysis_only():
+    c = Circuit(2)
+    c.append(Gate.named("h", (0,)))
+    props = _analyse(
+        c, QubitInteractionAnalysis(), GlobalQubitSelectionPass()
+    )
+    assert set(props) == {
+        "pairing_counts",
+        "interaction_pairs",
+        "global_affinity",
+    }
