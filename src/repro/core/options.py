@@ -42,6 +42,10 @@ class RunOptions:
     #: (default serial); ``"pool"`` runs rank sweeps across the
     #: shared-memory worker pool.  Model-only runs ignore this.
     executor: str | None = None
+    #: Gate-fusion mode for compiled apply plans:
+    #: ``"off"``/``"diag"``/``"full[:k]"``.  ``None`` defers to
+    #: ``REPRO_FUSION`` (default diag).  Model-only runs ignore this.
+    fusion: str | None = None
 
     def fast(self) -> "RunOptions":
         """The paper's 'Fast' configuration: cache-blocked, non-blocking."""
@@ -56,4 +60,5 @@ class RunOptions:
             max_message=self.max_message,
             calibration=self.calibration,
             executor=self.executor,
+            fusion=self.fusion,
         )

@@ -163,6 +163,7 @@ class SimulationRunner:
                 comm_mode=options.comm_mode,
                 halved_swaps=options.halved_swaps,
                 executor=options.executor,
+                fusion=options.fusion,
             )
         else:
             state = DistributedStatevector.from_amplitudes(
@@ -171,6 +172,7 @@ class SimulationRunner:
                 comm_mode=options.comm_mode,
                 halved_swaps=options.halved_swaps,
                 executor=options.executor,
+                fusion=options.fusion,
             )
         state.apply_circuit(to_run)
         return state.gather(), report

@@ -80,6 +80,14 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--fusion",
+        metavar="MODE",
+        help=(
+            "gate-fusion mode for the numeric simulators "
+            "(off/diag/full[:k]; equivalent to setting REPRO_FUSION)"
+        ),
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="FILE",
         help=(
@@ -110,12 +118,14 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         from repro.parallel import resolve_executor
+        from repro.statevector.fusion import resolve_fusion
         from repro.statevector.gate_kernels import get_backend
         from repro.transpile import resolve_strategy
 
         resolve_executor(None)
         get_backend()
         resolve_strategy(args.transpile)
+        resolve_fusion(args.fusion)
     except ValidationError as exc:
         return _fail(str(exc))
 
@@ -138,6 +148,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.transpile:
         os.environ["REPRO_TRANSPILE"] = args.transpile
+    if args.fusion:
+        os.environ["REPRO_FUSION"] = args.fusion
     if args.cache:
         os.environ["REPRO_CACHE_DIR"] = args.cache
 

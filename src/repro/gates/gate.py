@@ -121,6 +121,28 @@ class Gate:
                     "remap targets must be the sorted union of its "
                     "transposition qubits"
                 )
+        elif self.name == "fused_block":
+            if not self.constituents:
+                raise GateError("fused_block gate requires constituent gates")
+            if self.controls:
+                raise GateError(
+                    "fused_block takes no controls (constituent controls "
+                    "are folded into the fused support)"
+                )
+            for g in self.constituents:
+                if g.name == "remap":
+                    raise GateError(
+                        "fused_block constituents must have target-space "
+                        "matrices; remap does not"
+                    )
+            touched = sorted(
+                {q for g in self.constituents for q in g.targets + g.controls}
+            )
+            if tuple(touched) != self.targets:
+                raise GateError(
+                    "fused_block targets must be the sorted union of "
+                    "constituent qubits"
+                )
         elif self.name == "fused_diag":
             if not self.constituents:
                 raise GateError("fused_diag gate requires constituent gates")
@@ -198,6 +220,21 @@ class Gate:
         return Gate(name="fused_diag", targets=touched, constituents=gates)
 
     @staticmethod
+    def fused_block(gates: Iterable["Gate"]) -> "Gate":
+        """Fuse a run of gates into one unitary over their joint support.
+
+        This is mpiQulacs-style general gate fusion: the constituents'
+        matrices (controls folded in structurally) compose into a single
+        ``2**k x 2**k`` unitary over the sorted union of every qubit the
+        run touches, applied by the simulators as one batched matmul
+        pass instead of one memory sweep per gate.  Unlike
+        :meth:`fused`, constituents need not be diagonal.
+        """
+        gates = tuple(gates)
+        touched = tuple(sorted({q for g in gates for q in g.targets + g.controls}))
+        return Gate(name="fused_block", targets=touched, constituents=gates)
+
+    @staticmethod
     def remap(pairs: Iterable[tuple[int, int]]) -> "Gate":
         """Build a collective qubit permutation from disjoint transpositions.
 
@@ -254,6 +291,8 @@ class Gate:
         """
         if self.name == "fused_diag":
             return np.diag(self.diagonal_vector())
+        if self.name == "fused_block":
+            return self._compose_block()
         if self.name == "remap":
             position = {q: i for i, q in enumerate(self.targets)}
             dim = 2 ** len(self.targets)
@@ -272,6 +311,46 @@ class Gate:
             return np.array(self._matrix_key, dtype=np.complex128).reshape(dim, dim)
         spec = GATE_REGISTRY[self.name]
         return spec.matrix_fn(*self.params)
+
+    def _compose_block(self) -> np.ndarray:
+        """The fused unitary over the block's qubit space.
+
+        Basis index bit ``i`` corresponds to ``self.targets[i]``.  Each
+        constituent embeds into the block space with its controls
+        applied structurally (identity on basis states whose control
+        bits are not all 1), then the embeddings compose in circuit
+        order (the first constituent acts first).
+        """
+        position = {q: i for i, q in enumerate(self.targets)}
+        dim = 2 ** len(self.targets)
+        idx = np.arange(dim)
+        total = np.eye(dim, dtype=np.complex128)
+        for g in self.constituents:
+            m = g.matrix()
+            kt = len(g.targets)
+            # Sub-index of each basis state within g's target space.
+            sub = np.zeros(dim, dtype=np.int64)
+            tmask = 0
+            for i, t in enumerate(g.targets):
+                sub |= ((idx >> position[t]) & 1) << i
+                tmask |= 1 << position[t]
+            active = np.ones(dim, dtype=bool)
+            for c in g.controls:
+                active &= ((idx >> position[c]) & 1).astype(bool)
+            # spread[a]: g's target assignment a placed at block positions.
+            a_idx = np.arange(1 << kt)
+            spread = np.zeros(1 << kt, dtype=np.int64)
+            for i, t in enumerate(g.targets):
+                spread |= ((a_idx >> i) & 1) << position[t]
+            rest = idx & ~tmask
+            embedded = np.zeros((dim, dim), dtype=np.complex128)
+            inactive = np.flatnonzero(~active)
+            embedded[inactive, inactive] = 1.0
+            cols = np.flatnonzero(active)
+            for a in range(1 << kt):
+                embedded[rest[cols] + spread[a], cols] = m[a, sub[cols]]
+            total = embedded @ total
+        return total
 
     def diagonal_vector(self) -> np.ndarray:
         """Diagonal of a fused gate over its target-qubit space.
@@ -322,7 +401,10 @@ class Gate:
         """True if the target-space matrix is diagonal (fully local gate)."""
         if self.name == "fused_diag":
             return True
-        if self.name == "remap":
+        if self.name in ("remap", "fused_block"):
+            # A fused block is kept non-diagonal by fiat even when its
+            # composed matrix happens to be diagonal: it must lower to
+            # the batched-matmul step, never the diagonal sweep.
             return False
         if self.name == "unitary":
             return mats.is_diagonal(self.matrix())
@@ -347,6 +429,10 @@ class Gate:
         """The inverse gate (as an explicit unitary unless self-inverse)."""
         if self.name == "fused_diag":
             return Gate.fused(tuple(g.dagger() for g in reversed(self.constituents)))
+        if self.name == "fused_block":
+            return Gate.fused_block(
+                tuple(g.dagger() for g in reversed(self.constituents))
+            )
         if self.name == "remap":
             return self  # a product of disjoint transpositions is an involution
         m = self.matrix()
@@ -363,6 +449,10 @@ class Gate:
         """
         if self.name == "fused_diag":
             return Gate.fused(tuple(g.remapped(mapping) for g in self.constituents))
+        if self.name == "fused_block":
+            return Gate.fused_block(
+                tuple(g.remapped(mapping) for g in self.constituents)
+            )
         if self.name == "remap":
             return Gate.remap(
                 tuple(

@@ -12,6 +12,7 @@ from repro.statevector.apply_plan import (
     StepKind,
     compile_gate_step,
     compile_plan,
+    fused_circuit,
 )
 from repro.statevector.dense import DenseStatevector
 from repro.statevector.distributed import DistributedStatevector
@@ -35,6 +36,7 @@ from repro.statevector.serialization import (
     load_distributed,
     save_state,
 )
+from repro.statevector.fusion import FusionConfig, parse_fusion, resolve_fusion
 from repro.statevector.soa import SoAStatevector
 from repro.statevector.plan import (
     FLOPS_PER_AMP_DIAGONAL,
@@ -50,6 +52,10 @@ __all__ = [
     "StepKind",
     "compile_plan",
     "compile_gate_step",
+    "fused_circuit",
+    "FusionConfig",
+    "parse_fusion",
+    "resolve_fusion",
     "DenseStatevector",
     "DistributedStatevector",
     "SoAStatevector",

@@ -51,6 +51,7 @@ from repro.statevector.apply_plan import (
     compile_plan,
     reduce_diagonal,
 )
+from repro.statevector.fusion import FusionConfig, resolve_fusion
 from repro.statevector.dense import DenseStatevector
 from repro.statevector.partition import AMPLITUDE_BYTES, Partition
 from repro.statevector.plan import GatePlan, plan_gate
@@ -115,12 +116,13 @@ def local_memory_step_on_rank(
         return
     controls = local_controls_of(gate, partition.local_qubits)
     if step.kind is StepKind.REMAP:
-        # All transpositions landed local: disjoint pairs commute, so
-        # sequential in-place swaps realise the collective permutation.
-        for a, b in gate.swap_pairs():
-            kernels.apply_swap_local(amps, a, b, ())
+        # All transpositions landed local: one gather permutation (or
+        # sequential swaps for short runs -- identical either way).
+        kernels.apply_permutation(amps, gate.swap_pairs())
     elif step.kind is StepKind.SWAP:
         kernels.apply_swap_local(amps, step.targets[0], step.targets[1], controls)
+    elif step.kind is StepKind.FUSED:
+        kernels.apply_unitary_batched(amps, step.matrix, step.targets, controls)
     else:
         kernels.apply_matrix(amps, step.matrix, step.targets, controls)
 
@@ -175,6 +177,7 @@ class DistributedStatevector:
         max_message: int = MAX_MESSAGE_BYTES,
         observer: Observer | None = None,
         executor: str | None = None,
+        fusion: str | FusionConfig | None = None,
     ):
         from repro.parallel import resolve_executor
 
@@ -184,6 +187,7 @@ class DistributedStatevector:
         self.max_message = max_message
         self.observer = observer
         self.executor = resolve_executor(executor)
+        self.fusion = resolve_fusion(fusion)
         self.comm = SimComm(partition.num_ranks)
         self._shared_local = None
         self._shared_pair = None
@@ -397,16 +401,22 @@ class DistributedStatevector:
     def apply_circuit(self, circuit: Circuit) -> "DistributedStatevector":
         """Apply every gate of ``circuit`` in order (via a compiled plan).
 
-        Adjacent diagonal gates are fused into single strided sweeps
-        unless an observer is attached (observers see one callback per
-        original gate, so fusion is disabled to keep that contract).
+        The plan is compiled under this state's fusion config (ctor
+        ``fusion=``, else ``$REPRO_FUSION``); block/permutation fusion
+        is bounded to the partition's local qubits so every
+        communicating gate still reaches the exchange layer
+        individually.  An attached observer forces fusion fully off
+        (observers see one callback per original gate).
         """
         if circuit.num_qubits != self.num_qubits:
             raise SimulationError(
                 f"circuit width {circuit.num_qubits} != state width "
                 f"{self.num_qubits}"
             )
-        plan = compile_plan(circuit, fuse_diagonals=self.observer is None)
+        fusion = FusionConfig(mode="off") if self.observer is not None else self.fusion
+        plan = compile_plan(
+            circuit, fusion=fusion, local_qubits=self.partition.local_qubits
+        )
         with obs.span(
             "apply_circuit",
             qubits=self.num_qubits,

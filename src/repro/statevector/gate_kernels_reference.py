@@ -25,6 +25,8 @@ __all__ = [
     "apply_matrix",
     "apply_diagonal",
     "apply_fused_diagonal",
+    "apply_unitary_batched",
+    "apply_permutation",
     "apply_swap_local",
     "combine_distributed_single",
     "swap_in_halves",
@@ -145,6 +147,32 @@ def apply_diagonal(
 def apply_fused_diagonal(amps: np.ndarray, gate: Gate) -> None:
     """Apply a ``fused_diag`` gate in a single sweep."""
     apply_diagonal(amps, gate.diagonal_vector(), gate.targets)
+
+
+def apply_unitary_batched(
+    amps: np.ndarray,
+    matrix: np.ndarray,
+    targets: tuple[int, ...],
+    controls: tuple[int, ...] = (),
+) -> None:
+    """Reference fused-block kernel: the generic gather/scatter matmul.
+
+    :func:`apply_matrix` already applies an arbitrary ``2**k x 2**k``
+    unitary through index arrays; the fused-block step needs nothing
+    more here.  The strided backend registers a batched reshape+matmul
+    instead (see ``gate_kernels.register_fused_kernel``).
+    """
+    apply_matrix(amps, matrix, targets, controls)
+
+
+def apply_permutation(
+    amps: np.ndarray,
+    pairs: tuple[tuple[int, int], ...],
+    controls: tuple[int, ...] = (),
+) -> None:
+    """Reference permutation: one swap per transposition, in sequence."""
+    for a, b in pairs:
+        apply_swap_local(amps, a, b, controls)
 
 
 def apply_swap_local(

@@ -150,6 +150,22 @@ def plan_gate(
         )
 
     if locality is GateLocality.LOCAL_MEMORY:
+        if gate.name == "fused_block":
+            # One batched-matmul pass: the slab is read and written once
+            # regardless of how many constituents were fused; arithmetic
+            # is the dense row combine -- 2**k complex MACs per amplitude
+            # over the block's 2**k-dimensional sub-vectors.
+            k = len(gate.targets)
+            traffic = int(2 * local_bytes)
+            # Per output amplitude: 2**k complex multiplies (6 flops)
+            # and 2**k - 1 complex adds (2 flops) ~= 8 * 2**k flops.
+            flops = int(8 * (2**k) * local_amps)
+            return replace(
+                base,
+                traffic_bytes=traffic,
+                flops=flops,
+                numa_target=max(gate.targets),
+            )
         if gate.name == "remap":
             # A purely local permutation: each transposition moves half
             # the amplitudes, so p disjoint pairs relocate 1 - 2**-p of

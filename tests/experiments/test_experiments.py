@@ -174,10 +174,38 @@ class TestExtensions:
             )
 
     def test_fusion_ablation(self):
-        result = ext_fusion.run(num_qubits=40, num_nodes=256)
+        result = ext_fusion.run(
+            num_qubits=40,
+            num_nodes=256,
+            measured_qft_qubits=10,
+            measured_random_qubits=8,
+            measure_repeats=1,
+        )
         assert result.metric("builtin_fusion_runtime") < result.metric(
             "builtin_runtime"
         )
         assert result.metric("fast_fusion_runtime") < result.metric(
             "fast_runtime"
         )
+
+    def test_fusion_ablation_measures_every_mode(self):
+        result = ext_fusion.run(
+            num_qubits=40,
+            num_nodes=256,
+            measured_qft_qubits=10,
+            measured_random_qubits=8,
+            measure_repeats=1,
+        )
+        for label in ("qft10", "random8"):
+            for mode in ("off", "diag", "full"):
+                assert result.metric(f"measured_{label}_{mode}_runtime") > 0
+                assert result.metric(f"measured_{label}_{mode}_energy") > 0
+            assert result.metric(f"measured_{label}_full_speedup") > 0
+        # Fewer steps under fusion: the measured rows carry step counts.
+        steps = {
+            row[0]: row[1]
+            for row in result.rows
+            if str(row[0]).startswith("qft10")
+        }
+        assert steps["qft10 full (measured)"] <= steps["qft10 diag (measured)"]
+        assert steps["qft10 diag (measured)"] < steps["qft10 off (measured)"]

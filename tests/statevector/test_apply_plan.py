@@ -84,7 +84,8 @@ class TestFusion:
     def test_non_diagonal_breaks_the_run(self):
         c = Circuit(3)
         c.p(0.1, 0).h(1).p(0.2, 2)
-        plan = compile_plan(c, cache=False)
+        # Pin diag mode: under REPRO_FUSION=full this run block-fuses.
+        plan = compile_plan(c, fusion="diag", cache=False)
         assert [s.kind for s in plan.steps] == [
             StepKind.DIAGONAL,
             StepKind.SINGLE,
@@ -96,7 +97,8 @@ class TestFusion:
         c = Circuit(6)
         for q in range(6):
             c.p(0.1 * (q + 1), q)
-        plan = compile_plan(c, max_fused_qubits=3, cache=False)
+        # Pin diag mode: full mode raises the diagonal-run support cap.
+        plan = compile_plan(c, fusion="diag", max_fused_qubits=3, cache=False)
         assert len(plan.steps) == 2
         assert all(len(s.targets) == 3 for s in plan.steps)
 
@@ -111,7 +113,7 @@ class TestFusion:
         c = Circuit(MAX_FUSED_QUBITS + 2)
         for q in range(MAX_FUSED_QUBITS + 2):
             c.p(0.05 * (q + 1), q)
-        plan = compile_plan(c, cache=False)
+        plan = compile_plan(c, fusion="diag", cache=False)
         assert all(len(s.targets) <= MAX_FUSED_QUBITS for s in plan.steps)
 
     def test_bad_cap_rejected(self):
