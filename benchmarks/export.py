@@ -27,6 +27,15 @@ blocked vs grouped) on QFT and random workloads at 16 ranks, writing
 ``--check-against`` gate compares exchange counts exactly and fails
 when grouped's QFT round reduction stops being an integer factor >= 2.
 
+``--suite tune`` runs the energy-aware auto-tuner's deterministic
+Pareto searches (the full QFT-20 lever sweep plus a small 3-lever
+search; ``--quick`` re-runs only the latter), writing
+``BENCH_tune.json``.  The model outputs are machine-independent, so
+the ``--check-against`` gate demands *exact* frontier reproduction and
+asserts the acceptance invariant that the committed full search's best
+point saves >= 25% energy vs the paper-default configuration under a
+2x slack deadline.
+
 ``--suite parallel`` measures the shared-memory pool executor against
 serial on a QFT (22 qubits x 8 ranks; 18 qubits under ``--quick``) and
 the prediction cache cold vs warm on a DES-backend sweep, writing
@@ -533,6 +542,131 @@ def check_transpile_against(current: dict, baseline_path: str) -> list[str]:
     return failures
 
 
+def run_tune(quick: bool) -> dict:
+    """Auto-tuner frontier ledger: deterministic Pareto searches.
+
+    Like the transpile suite this records *model* outputs: the tuner's
+    enumeration is canonical and its predictors are closed-form/seeded,
+    so the committed ``BENCH_tune.json`` is machine-independent and the
+    gate compares frontiers exactly.  Two searches are recorded: the
+    full ``qft20`` lever sweep (the acceptance artefact -- its best
+    point must save >= 25% energy vs the paper default under a 2x slack
+    deadline) and the small ``qft20-quick`` 3-lever search CI re-runs
+    (``--quick`` runs only the latter).
+    """
+    import os
+
+    from repro.experiments.ext_tune import paper_default_point
+    from repro.perfmodel.objectives import objective_vector
+    from repro.perfmodel.predictor import predict
+    from repro.tune.levers import LeverSpace
+    from repro.tune.search import Constraint, tune
+    from repro.tune.workloads import build_workload
+
+    num_qubits = 20
+    workload = build_workload("qft", num_qubits)
+    default = paper_default_point()
+    default_objectives = objective_vector(
+        predict(workload.circuit, default.to_run_configuration(num_qubits))
+    )
+    deadline_s = 2.0 * default_objectives.runtime_s
+    constraint = Constraint(deadline_s=deadline_s)
+
+    # The quick search sweeps exactly three levers (frequency, comm
+    # mode, transpile strategy) at the default's node count with fusion
+    # off: 3 x 2 x 3 = 18 points, < 1 s, still enough structure for the
+    # exact-frontier gate to bite.
+    spaces = {
+        "qft20-quick": LeverSpace(node_counts=(16,), fusion_modes=("off",))
+    }
+    if not quick:
+        spaces["qft20"] = LeverSpace(node_counts=(8, 16))
+
+    searches: dict[str, dict] = {}
+    for label in sorted(spaces):
+        result = tune(workload, constraint, spaces[label])
+        best = result.best
+        searches[label] = {
+            "workload": result.workload,
+            "num_qubits": num_qubits,
+            "space_size": spaces[label].size,
+            "deadline_s": round(deadline_s, 9),
+            "evaluated": result.evaluated,
+            "skipped": result.skipped,
+            "spot_checked": result.spot_checked,
+            "flagged": len(result.flagged),
+            "default": {
+                "lever": default.to_dict(),
+                "energy_j": round(default_objectives.energy_j, 6),
+                "runtime_s": round(default_objectives.runtime_s, 9),
+                "cost_cu": round(default_objectives.cost_cu, 12),
+            },
+            "best_energy_j": round(best.objectives.energy_j, 6)
+            if best
+            else None,
+            "energy_saving": round(
+                1.0 - best.objectives.energy_j / default_objectives.energy_j,
+                6,
+            )
+            if best
+            else None,
+            "frontier": [p.to_dict() for p in result.frontier],
+        }
+    return {
+        "schema": "repro-bench-tune/1",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "searches": searches,
+    }
+
+
+def check_tune_against(current: dict, baseline_path: str) -> list[str]:
+    """Tuner regressions: exact frontier reproduction, saving floor.
+
+    The tuner is deterministic end to end, so for every search present
+    in *both* files (quick CI runs only re-run the small search) the
+    frontier must match the committed baseline exactly -- same lever
+    points, same rounded objective vectors, in the same canonical
+    order.  Independently, the baseline's full ``qft20`` search must
+    keep the acceptance invariant: best point saves >= 25% energy vs
+    the paper-default configuration under the 2x slack deadline.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for label, entry in baseline.get("searches", {}).items():
+        now = current["searches"].get(label)
+        if now is None:
+            continue
+        for key in ("evaluated", "skipped", "deadline_s", "default"):
+            if now[key] != entry[key]:
+                failures.append(
+                    f"{label}: {key} changed {entry[key]!r} -> {now[key]!r}"
+                )
+        if now["frontier"] != entry["frontier"]:
+            want = len(entry["frontier"])
+            got = len(now["frontier"])
+            detail = (
+                f"{want} -> {got} points"
+                if want != got
+                else f"{want} points, objectives or levers moved"
+            )
+            failures.append(
+                f"{label}: frontier no longer reproduces the baseline "
+                f"exactly ({detail})"
+            )
+    full = baseline.get("searches", {}).get("qft20")
+    if full is not None:
+        saving = full.get("energy_saving") or 0.0
+        if saving < 0.25:
+            failures.append(
+                f"qft20: baseline energy saving {saving:.1%} is below the "
+                f"25% acceptance floor vs the paper default"
+            )
+    return failures
+
+
 def check_against(current: dict, baseline_path: str) -> list[str]:
     """Speedup-ratio regressions of ``current`` vs a baseline file.
 
@@ -585,7 +719,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("kernels", "parallel", "obs", "transpile"),
+        choices=("kernels", "parallel", "obs", "transpile", "tune"),
         default="kernels",
         help="what to measure (default: %(default)s)",
     )
@@ -684,6 +818,35 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {output}")
         if args.check_against:
             failures = check_transpile_against(report, args.check_against)
+            if failures:
+                for line in failures:
+                    print(f"REGRESSION {line}", file=sys.stderr)
+                return 1
+            print(f"no regressions vs {args.check_against}")
+        return 0
+
+    if args.suite == "tune":
+        report = run_tune(args.quick)
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        for label, entry in report["searches"].items():
+            saving = entry["energy_saving"]
+            print(
+                f"  {label:<12} {entry['evaluated']:>4} points"
+                f"  frontier {len(entry['frontier'])}"
+                f"  best {entry['best_energy_j']:.2f}J"
+                f"  default {entry['default']['energy_j']:.2f}J"
+                + (f"  saving {saving:.0%}" if saving is not None else "")
+                + (
+                    f"  DES flags {entry['flagged']}"
+                    if entry["flagged"]
+                    else ""
+                )
+            )
+        print(f"wrote {output}")
+        if args.check_against:
+            failures = check_tune_against(report, args.check_against)
             if failures:
                 for line in failures:
                     print(f"REGRESSION {line}", file=sys.stderr)

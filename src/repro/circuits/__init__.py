@@ -6,6 +6,14 @@ built-in, cache-blocked), the Hadamard and SWAP micro-benchmarks of
 section 2.3, generators for tests, and locality census utilities.
 """
 
+from repro.circuits.ansatz import (
+    ParameterizedAnsatz,
+    hardware_efficient_ansatz,
+    qaoa_ansatz,
+    qaoa_circuit,
+    ring_edges,
+    vqe_circuit,
+)
 from repro.circuits.analysis import (
     LocalityCensus,
     census,
@@ -66,6 +74,12 @@ __all__ = [
     "PAPER_SWAP_DISTRIBUTED_TARGETS",
     "random_circuit",
     "random_state",
+    "ParameterizedAnsatz",
+    "qaoa_ansatz",
+    "qaoa_circuit",
+    "ring_edges",
+    "hardware_efficient_ansatz",
+    "vqe_circuit",
     "ghz_circuit",
     "qpe_circuit",
     "tfim_trotter_circuit",

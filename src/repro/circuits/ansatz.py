@@ -1,0 +1,224 @@
+"""Parameterised ansatz circuits: QAOA and hardware-efficient VQE.
+
+Variational workloads dominate near-term quantum computing, and their
+communication profile is nothing like the QFT's: QAOA alternates a
+diagonal cost layer (ZZ interactions, realised as CX-RZ-CX so the
+pairing structure is explicit to the distribution model) with a fully
+local RX mixer, while the hardware-efficient ansatz interleaves local
+rotation layers with an entangling CX ladder.  Both families are built
+here as :class:`ParameterizedAnsatz` objects -- a fixed gate *skeleton*
+with numbered parameter slots -- and turned into concrete circuits by
+:meth:`ParameterizedAnsatz.bind`, so the tuner's workload zoo can sweep
+them at any register size with seeded, reproducible parameters.
+
+Binding is pure: the same ansatz bound to the same parameters yields an
+identical gate list every time (the property suite round-trips bound
+circuits through transpile + fusion across every executor).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+
+__all__ = [
+    "ParameterizedAnsatz",
+    "qaoa_ansatz",
+    "qaoa_circuit",
+    "ring_edges",
+    "hardware_efficient_ansatz",
+    "vqe_circuit",
+]
+
+
+@dataclass(frozen=True)
+class ParameterizedAnsatz:
+    """A circuit skeleton with ``num_parameters`` free rotation angles."""
+
+    name: str
+    num_qubits: int
+    num_parameters: int
+    _build: Callable[[tuple[float, ...]], Circuit] = field(repr=False)
+
+    def bind(self, parameters: Sequence[float]) -> Circuit:
+        """Bind concrete angles into a concrete circuit.
+
+        Validates length and finiteness; the returned circuit is a
+        fresh object, so repeated binds never alias gate lists.
+        """
+        values = tuple(float(p) for p in parameters)
+        if len(values) != self.num_parameters:
+            raise CircuitError(
+                f"{self.name} takes {self.num_parameters} parameters, "
+                f"got {len(values)}"
+            )
+        for i, value in enumerate(values):
+            if not math.isfinite(value):
+                raise CircuitError(
+                    f"{self.name} parameter {i} must be finite, got {value!r}"
+                )
+        return self._build(values)
+
+    def random_parameters(self, seed: int = 0) -> tuple[float, ...]:
+        """Seeded uniform draw over ``[0, 2*pi)``, one angle per slot."""
+        rng = np.random.default_rng(seed)
+        return tuple(
+            float(x) for x in rng.uniform(0.0, 2.0 * math.pi, self.num_parameters)
+        )
+
+
+def ring_edges(num_qubits: int) -> tuple[tuple[int, int], ...]:
+    """The ring graph (i, i+1 mod n): the default QAOA cost topology."""
+    if num_qubits < 2:
+        raise CircuitError(f"a ring needs >= 2 qubits, got {num_qubits}")
+    if num_qubits == 2:
+        return ((0, 1),)
+    return tuple((i, (i + 1) % num_qubits) for i in range(num_qubits))
+
+
+def _check_edges(
+    num_qubits: int, edges: Sequence[tuple[int, int]]
+) -> tuple[tuple[int, int], ...]:
+    checked = []
+    for edge in edges:
+        i, j = edge
+        if i == j or not (0 <= i < num_qubits) or not (0 <= j < num_qubits):
+            raise CircuitError(
+                f"edge {edge!r} is not a pair of distinct qubits in "
+                f"[0, {num_qubits})"
+            )
+        checked.append((int(i), int(j)))
+    if not checked:
+        raise CircuitError("QAOA needs at least one cost edge")
+    return tuple(checked)
+
+
+def qaoa_ansatz(
+    num_qubits: int,
+    layers: int = 1,
+    *,
+    edges: Sequence[tuple[int, int]] | None = None,
+) -> ParameterizedAnsatz:
+    """The QAOA skeleton: H wall, then ``layers`` of (cost, mixer).
+
+    Parameters are ordered ``(gamma_1, beta_1, ..., gamma_p, beta_p)``.
+    Each cost layer applies ``exp(-i*gamma*Z_i Z_j)`` per edge as
+    ``CX(i,j) . RZ(2*gamma, j) . CX(i,j)``; each mixer applies
+    ``RX(2*beta)`` on every qubit.  Gate count is therefore exactly
+    ``n + layers * (3*|edges| + n)``.
+    """
+    if layers < 1:
+        raise CircuitError(f"QAOA needs >= 1 layer, got {layers}")
+    edge_list = (
+        ring_edges(num_qubits) if edges is None else _check_edges(num_qubits, edges)
+    )
+
+    def build(params: tuple[float, ...]) -> Circuit:
+        circuit = Circuit(num_qubits, name=f"qaoa{num_qubits}x{layers}")
+        for q in range(num_qubits):
+            circuit.h(q)
+        for layer in range(layers):
+            gamma, beta = params[2 * layer], params[2 * layer + 1]
+            for i, j in edge_list:
+                circuit.cx(i, j)
+                circuit.rz(2.0 * gamma, j)
+                circuit.cx(i, j)
+            for q in range(num_qubits):
+                circuit.rx(2.0 * beta, q)
+        return circuit
+
+    return ParameterizedAnsatz(
+        name=f"qaoa{num_qubits}x{layers}",
+        num_qubits=num_qubits,
+        num_parameters=2 * layers,
+        _build=build,
+    )
+
+
+def qaoa_circuit(
+    num_qubits: int,
+    layers: int = 1,
+    *,
+    edges: Sequence[tuple[int, int]] | None = None,
+    parameters: Sequence[float] | None = None,
+    seed: int = 0,
+) -> Circuit:
+    """A bound QAOA circuit (seeded parameters unless given explicitly)."""
+    ansatz = qaoa_ansatz(num_qubits, layers, edges=edges)
+    if parameters is None:
+        parameters = ansatz.random_parameters(seed)
+    return ansatz.bind(parameters)
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int,
+    layers: int = 1,
+    *,
+    final_rotations: bool = True,
+) -> ParameterizedAnsatz:
+    """The hardware-efficient VQE skeleton (RY/RZ walls + CX ladders).
+
+    Each layer is an RY wall, an RZ wall, then the linear entangling
+    ladder ``CX(q, q+1)``; ``final_rotations`` appends one more RY/RZ
+    wall after the last ladder (the usual closing layer).  Parameters
+    are consumed wall by wall, qubit 0 first: ``2*n`` per layer plus
+    ``2*n`` for the closing wall.  Gate count is exactly
+    ``layers * (2*n + (n-1)) + (2*n if final_rotations else 0)``.
+    """
+    if layers < 1:
+        raise CircuitError(f"VQE ansatz needs >= 1 layer, got {layers}")
+    if num_qubits < 2:
+        raise CircuitError(
+            f"the entangling ladder needs >= 2 qubits, got {num_qubits}"
+        )
+    num_parameters = 2 * num_qubits * layers + (
+        2 * num_qubits if final_rotations else 0
+    )
+
+    def build(params: tuple[float, ...]) -> Circuit:
+        circuit = Circuit(num_qubits, name=f"vqe{num_qubits}x{layers}")
+        cursor = 0
+
+        def wall() -> None:
+            nonlocal cursor
+            for q in range(num_qubits):
+                circuit.ry(params[cursor], q)
+                cursor += 1
+            for q in range(num_qubits):
+                circuit.rz(params[cursor], q)
+                cursor += 1
+
+        for _ in range(layers):
+            wall()
+            for q in range(num_qubits - 1):
+                circuit.cx(q, q + 1)
+        if final_rotations:
+            wall()
+        return circuit
+
+    return ParameterizedAnsatz(
+        name=f"vqe{num_qubits}x{layers}",
+        num_qubits=num_qubits,
+        num_parameters=num_parameters,
+        _build=build,
+    )
+
+
+def vqe_circuit(
+    num_qubits: int,
+    layers: int = 1,
+    *,
+    parameters: Sequence[float] | None = None,
+    seed: int = 0,
+) -> Circuit:
+    """A bound hardware-efficient VQE circuit (seeded parameters)."""
+    ansatz = hardware_efficient_ansatz(num_qubits, layers)
+    if parameters is None:
+        parameters = ansatz.random_parameters(seed)
+    return ansatz.bind(parameters)

@@ -21,6 +21,7 @@ __all__ = [
     "DesError",
     "FaultError",
     "PoolError",
+    "TuneError",
     "ValidationError",
 ]
 
@@ -75,6 +76,10 @@ class FaultError(ReproError):
 
 class PoolError(ReproError):
     """The shared-memory worker pool failed (dead worker, broken barrier)."""
+
+
+class TuneError(ReproError):
+    """Invalid auto-tuner input (bad lever space, constraint, workload)."""
 
 
 class ValidationError(ReproError, ValueError):

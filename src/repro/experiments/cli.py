@@ -25,6 +25,13 @@ def _fail(message: str) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI driver (returns a process exit code)."""
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "tune":
+        # The auto-tuner rides along as a subcommand:
+        # ``repro-experiments tune qft-20 --deadline 0.01 ...``.
+        from repro.tune.cli import main as tune_main
+
+        return tune_main(raw[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -108,7 +115,7 @@ def main(argv: list[str] | None = None) -> int:
             "Prometheus text format"
         ),
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
 
     # Environment knobs that used to be validated only deep inside the
     # executors (for REPRO_KERNELS, as an import-time traceback):

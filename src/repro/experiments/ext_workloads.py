@@ -24,15 +24,25 @@ from repro.perfmodel.predictor import predict
 from repro.perfmodel.trace import RunConfiguration
 from repro.statevector.partition import Partition
 
-__all__ = ["run"]
+__all__ = ["run", "DEFAULT_NUM_QUBITS", "DEFAULT_NUM_NODES", "DEFAULT_SEED"]
+
+#: Register size of the paper-scale zoo run (overridable per call via
+#: ``run_experiment("ext-workloads", num_qubits=...)``).
+DEFAULT_NUM_QUBITS = 38
+#: Node count of the paper-scale zoo run.
+DEFAULT_NUM_NODES = 64
+#: Seed for the seeded families (the random circuit).
+DEFAULT_SEED = 23
 
 
-def _workloads(n: int, m: int) -> list[tuple[str, Circuit, Circuit]]:
+def _workloads(
+    n: int, m: int, seed: int = DEFAULT_SEED
+) -> list[tuple[str, Circuit, Circuit]]:
     """(name, baseline circuit, fast/blocked circuit) triples."""
     qft = builtin_qft_circuit(n)
     grover = grover_circuit(n, marked=3, iterations=3)
     tfim = tfim_trotter_circuit(n, time=1.0, steps=5)
-    rand = random_circuit(n, 40 * n, seed=23, allow_unitaries=False)
+    rand = random_circuit(n, 40 * n, seed=seed, allow_unitaries=False)
     blocked = {
         "qft": cache_blocked_qft_circuit(n, m),
         "grover": CacheBlockingPass(m).run(grover).circuit,
@@ -49,8 +59,9 @@ def _workloads(n: int, m: int) -> list[tuple[str, Circuit, Circuit]]:
 
 def run(
     *,
-    num_qubits: int = 38,
-    num_nodes: int = 64,
+    num_qubits: int = DEFAULT_NUM_QUBITS,
+    num_nodes: int = DEFAULT_NUM_NODES,
+    seed: int = DEFAULT_SEED,
     calibration: Calibration = DEFAULT_CALIBRATION,
 ) -> ExperimentResult:
     """Price the workload zoo, baseline vs cache-blocked + non-blocking."""
@@ -69,7 +80,7 @@ def run(
             "saved",
         ],
     )
-    for name, baseline, blocked in _workloads(num_qubits, m):
+    for name, baseline, blocked in _workloads(num_qubits, m, seed):
         base = predict(
             baseline,
             RunConfiguration(

@@ -21,6 +21,7 @@ from repro.experiments import (
     ext_resilience,
     ext_scaling,
     ext_transpile,
+    ext_tune,
     ext_workloads,
     fig1_circuits,
     fig2_runtimes,
@@ -60,6 +61,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "ext-des-crosscheck": ext_des_crosscheck.run,
     "ext-resilience": ext_resilience.run,
     "ext-transpile": ext_transpile.run,
+    "ext-tune": ext_tune.run,
     "validate": validate.run,
 }
 
@@ -81,9 +83,15 @@ def experiment_ids() -> list[str]:
     return list(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
+def run_experiment(experiment_id: str, **params: object) -> ExperimentResult:
     """Run one experiment by id (underscores accepted as dashes,
-    ``table2``/``figure4``-style long forms accepted as aliases)."""
+    ``table2``/``figure4``-style long forms accepted as aliases).
+
+    Keyword ``params`` are forwarded to the runner, so shared constants
+    (register sizes, node counts, workload seeds) can be overridden per
+    call instead of living hard-coded in the experiment module:
+    ``run_experiment("ext-workloads", num_qubits=12, seed=7)``.
+    """
     canonical = experiment_id.replace("_", "-")
     canonical = ALIASES.get(canonical, canonical)
     runner = EXPERIMENTS.get(experiment_id) or EXPERIMENTS.get(canonical)
@@ -92,4 +100,11 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
             f"unknown experiment {experiment_id!r} "
             f"(available: {', '.join(EXPERIMENTS)})"
         )
-    return runner()
+    try:
+        return runner(**params)
+    except TypeError as exc:
+        if params:
+            raise ExperimentError(
+                f"bad parameters for {experiment_id!r}: {exc}"
+            ) from exc
+        raise

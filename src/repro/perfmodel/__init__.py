@@ -24,6 +24,11 @@ from repro.perfmodel.persistence import (
 )
 from repro.perfmodel.comm_cost import effective_bandwidth, exchange_time
 from repro.perfmodel.energy import EnergyReport, energy_report, node_phase_power
+from repro.perfmodel.objectives import (
+    ObjectiveVector,
+    fusion_local_factor,
+    objective_vector,
+)
 from repro.perfmodel.gate_cost import LocalCost, local_cost, numa_level
 from repro.perfmodel.predictor import PREDICTION_BACKENDS, Prediction, predict
 from repro.perfmodel.profile import RuntimeProfile, profile_trace
@@ -60,6 +65,9 @@ __all__ = [
     "Prediction",
     "predict",
     "PREDICTION_BACKENDS",
+    "ObjectiveVector",
+    "objective_vector",
+    "fusion_local_factor",
     "KindBreakdown",
     "by_kind",
     "top_gates",

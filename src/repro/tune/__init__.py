@@ -1,0 +1,47 @@
+"""Energy-aware auto-tuning: Pareto search over the lever space.
+
+The paper hand-explores its levers (frequency, node count, blocking vs
+non-blocking) one at a time; this package inverts that into an
+optimiser.  :func:`tune` sweeps the cross-product of every lever the
+library has grown -- CPU frequency, node count and ranks-per-node,
+communication mode, transpile strategy, fusion mode, and the Young/Daly
+checkpoint interval under a fault rate -- prices each point through the
+cached analytic predictor, and emits the Pareto frontier of
+(energy, runtime, cost) with DES spot-checks on every frontier point.
+
+See ``docs/TUNING.md`` for the lever space, the search algorithm, the
+Pareto semantics and the spot-check protocol.
+"""
+
+from repro.tune.levers import DEFAULT_FUSION_LEVERS, LeverPoint, LeverSpace
+from repro.tune.pareto import dominates, pareto_frontier
+from repro.tune.search import (
+    SPOT_CHECK_TOLERANCE,
+    Constraint,
+    TunePoint,
+    TuneResult,
+    tune,
+)
+from repro.tune.workloads import (
+    WORKLOAD_FAMILIES,
+    Workload,
+    build_workload,
+    parse_workload,
+)
+
+__all__ = [
+    "LeverPoint",
+    "LeverSpace",
+    "DEFAULT_FUSION_LEVERS",
+    "dominates",
+    "pareto_frontier",
+    "Constraint",
+    "TunePoint",
+    "TuneResult",
+    "tune",
+    "SPOT_CHECK_TOLERANCE",
+    "Workload",
+    "WORKLOAD_FAMILIES",
+    "build_workload",
+    "parse_workload",
+]

@@ -1,0 +1,258 @@
+"""The lever space: every knob the auto-tuner may turn, as data.
+
+A :class:`LeverPoint` is one fully-specified configuration -- CPU
+frequency, node count, ranks per node, communication mode, transpile
+strategy, fusion mode and (optionally) checkpoint interval -- and maps
+one-to-one onto the run plumbing the rest of the library already
+understands: :meth:`LeverPoint.to_run_options` yields the user-facing
+:class:`~repro.core.options.RunOptions` and
+:meth:`LeverPoint.to_run_configuration` the cost model's
+:class:`~repro.perfmodel.trace.RunConfiguration`.
+
+A :class:`LeverSpace` is the cross-product the search enumerates.
+Enumeration order is *canonical*: every axis is deduplicated and sorted
+before the product is taken, so two spaces with the same values in a
+different order enumerate -- and therefore tune -- identically (the
+property suite pins this invariance).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import TuneError
+from repro.machine.frequency import CpuFrequency
+from repro.machine.node import STANDARD_NODE, NodeType
+from repro.mpi.datatypes import CommMode
+from repro.perfmodel.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.perfmodel.trace import RunConfiguration
+from repro.statevector.partition import Partition
+from repro.transpile import STRATEGIES
+from repro.utils.bits import is_power_of_two
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids a cycle
+    from repro.core.options import RunOptions
+
+__all__ = ["LeverPoint", "LeverSpace", "DEFAULT_FUSION_LEVERS"]
+
+#: Fusion modes the default lever space sweeps (``full:k`` uses the
+#: cost-model default block width).
+DEFAULT_FUSION_LEVERS = ("off", "diag", "full:4")
+
+
+def _check_fusion(mode: str) -> str:
+    """Validate a fusion lever value eagerly (one-line error)."""
+    from repro.statevector.fusion import parse_fusion
+
+    parse_fusion(mode)  # raises ValidationError on a bad mode
+    return mode
+
+
+@dataclass(frozen=True)
+class LeverPoint:
+    """One candidate configuration in the tuner's search space."""
+
+    frequency: CpuFrequency = CpuFrequency.MEDIUM
+    num_nodes: int = 1
+    ranks_per_node: int = 1
+    comm_mode: CommMode = CommMode.BLOCKING
+    transpile: str = "naive"
+    fusion: str = "off"
+    #: Young/Daly checkpoint interval (seconds of work between
+    #: checkpoints) when tuning under a fault rate; ``None`` means no
+    #: checkpointing (a failure restarts the job from scratch).
+    checkpoint_interval_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.num_nodes, int) or not is_power_of_two(
+            self.num_nodes
+        ):
+            raise TuneError(
+                f"num_nodes must be a power of two, got {self.num_nodes!r}"
+            )
+        if not isinstance(self.ranks_per_node, int) or not is_power_of_two(
+            self.ranks_per_node
+        ):
+            raise TuneError(
+                f"ranks_per_node must be a power of two, "
+                f"got {self.ranks_per_node!r}"
+            )
+        if self.transpile not in STRATEGIES:
+            raise TuneError(
+                f"unknown transpile lever {self.transpile!r} "
+                f"(expected one of {STRATEGIES})"
+            )
+        _check_fusion(self.fusion)
+        if self.checkpoint_interval_s is not None and not (
+            self.checkpoint_interval_s > 0
+        ):
+            raise TuneError(
+                f"checkpoint_interval_s must be > 0 or None, "
+                f"got {self.checkpoint_interval_s!r}"
+            )
+
+    @property
+    def num_ranks(self) -> int:
+        """Total MPI ranks (nodes x ranks-per-node)."""
+        return self.num_nodes * self.ranks_per_node
+
+    def sort_key(self) -> tuple:
+        """Canonical ordering key (deterministic across processes)."""
+        return (
+            self.frequency.hz,
+            self.num_nodes,
+            self.ranks_per_node,
+            self.comm_mode.value,
+            self.transpile,
+            self.fusion,
+            -1.0
+            if self.checkpoint_interval_s is None
+            else self.checkpoint_interval_s,
+        )
+
+    def label(self) -> str:
+        """Compact human-readable form for tables and reports."""
+        parts = [
+            f"{self.frequency.ghz:.2f}GHz",
+            f"{self.num_nodes}x{self.ranks_per_node}",
+            self.comm_mode.value,
+            self.transpile,
+            self.fusion,
+        ]
+        if self.checkpoint_interval_s is not None:
+            parts.append(f"ckpt={self.checkpoint_interval_s:g}s")
+        return " ".join(parts)
+
+    def to_run_options(self, **overrides) -> "RunOptions":
+        """This point as user-facing :class:`RunOptions`."""
+        from repro.core.options import RunOptions
+
+        kwargs = dict(
+            frequency=self.frequency,
+            comm_mode=self.comm_mode,
+            transpile=self.transpile,
+            fusion=self.fusion,
+            num_nodes=self.num_nodes,
+        )
+        kwargs.update(overrides)
+        return RunOptions(**kwargs)
+
+    def to_run_configuration(
+        self,
+        num_qubits: int,
+        *,
+        node_type: NodeType = STANDARD_NODE,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        nodes_per_switch: int = 8,
+        switch_power_w: float = 235.0,
+    ) -> RunConfiguration:
+        """This point as a priced :class:`RunConfiguration`.
+
+        Raises :class:`~repro.errors.PartitionError` when the rank
+        count does not fit the register (the search skips such points).
+        """
+        return RunConfiguration(
+            partition=Partition(num_qubits, self.num_ranks),
+            node_type=node_type,
+            frequency=self.frequency,
+            comm_mode=self.comm_mode,
+            ranks_per_node=self.ranks_per_node,
+            calibration=calibration,
+            nodes_per_switch=nodes_per_switch,
+            switch_power_w=switch_power_w,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (stable keys, primitive values)."""
+        return {
+            "frequency_ghz": self.frequency.ghz,
+            "num_nodes": self.num_nodes,
+            "ranks_per_node": self.ranks_per_node,
+            "comm_mode": self.comm_mode.value,
+            "transpile": self.transpile,
+            "fusion": self.fusion,
+            "checkpoint_interval_s": self.checkpoint_interval_s,
+        }
+
+
+def _unique_sorted(values, key=None) -> tuple:
+    seen = []
+    for value in values:
+        if value not in seen:
+            seen.append(value)
+    return tuple(sorted(seen, key=key))
+
+
+@dataclass(frozen=True)
+class LeverSpace:
+    """The cross-product of lever values one search sweeps."""
+
+    frequencies: tuple[CpuFrequency, ...] = tuple(CpuFrequency)
+    node_counts: tuple[int, ...] = (8, 16, 32)
+    ranks_per_node: tuple[int, ...] = (1,)
+    comm_modes: tuple[CommMode, ...] = tuple(CommMode)
+    transpile_strategies: tuple[str, ...] = STRATEGIES
+    fusion_modes: tuple[str, ...] = DEFAULT_FUSION_LEVERS
+    #: ``None`` entries mean "no checkpointing"; numeric entries are
+    #: priced only when the constraint carries a fault rate.
+    checkpoint_intervals_s: tuple[float | None, ...] = (None,)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "frequencies",
+            "node_counts",
+            "ranks_per_node",
+            "comm_modes",
+            "transpile_strategies",
+            "fusion_modes",
+            "checkpoint_intervals_s",
+        ):
+            if not tuple(getattr(self, name)):
+                raise TuneError(f"lever space axis {name} is empty")
+
+    def _axes(self) -> tuple[tuple, ...]:
+        """Every axis deduplicated and canonically sorted."""
+        return (
+            _unique_sorted(self.frequencies, key=lambda f: f.hz),
+            _unique_sorted(self.node_counts),
+            _unique_sorted(self.ranks_per_node),
+            _unique_sorted(self.comm_modes, key=lambda m: m.value),
+            _unique_sorted(self.transpile_strategies),
+            _unique_sorted(self.fusion_modes),
+            _unique_sorted(
+                self.checkpoint_intervals_s,
+                key=lambda v: -1.0 if v is None else float(v),
+            ),
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of distinct points the space enumerates."""
+        result = 1
+        for axis in self._axes():
+            result *= len(axis)
+        return result
+
+    def points(self) -> Iterator[LeverPoint]:
+        """Enumerate every point in canonical order.
+
+        The order depends only on the *set* of values on each axis,
+        never on the order they were supplied in -- the frontier
+        order-invariance property rests on this.
+        """
+        freqs, nodes, rpns, comms, strategies, fusions, intervals = self._axes()
+        for freq, n, rpn, comm, strategy, fusion, interval in itertools.product(
+            freqs, nodes, rpns, comms, strategies, fusions, intervals
+        ):
+            yield LeverPoint(
+                frequency=freq,
+                num_nodes=n,
+                ranks_per_node=rpn,
+                comm_mode=comm,
+                transpile=strategy,
+                fusion=fusion,
+                checkpoint_interval_s=interval,
+            )

@@ -1,0 +1,47 @@
+"""Pareto dominance over (energy, runtime, cost) objective vectors.
+
+The frontier returned by :func:`pareto_frontier` is a *set* property of
+its input -- which points survive depends only on the objective vectors
+present, never on input order -- and the returned tuple is sorted
+canonically (energy, then runtime, then cost, then the lever's own sort
+key), so two searches over permuted lever spaces emit byte-identical
+frontiers.  Ties are kept: two points with identical objectives do not
+dominate each other, and both may matter to a user choosing by lever.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.perfmodel.objectives import ObjectiveVector
+
+__all__ = ["dominates", "pareto_frontier"]
+
+
+def dominates(a: ObjectiveVector, b: ObjectiveVector) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere, better somewhere."""
+    return a.dominates(b)
+
+
+def pareto_frontier(points: Iterable) -> tuple:
+    """The non-dominated subset of ``points``, canonically sorted.
+
+    ``points`` are objects with an ``objectives`` attribute (an
+    :class:`ObjectiveVector`) and a ``lever`` with a ``sort_key()`` --
+    i.e. the tuner's evaluated points.  Quadratic scan: frontier sizes
+    here are tens, not thousands, and the scan is branch-exact (no
+    epsilon), which the determinism tests rely on.
+    """
+    candidates: Sequence = sorted(
+        points, key=lambda p: (p.objectives.as_tuple(), p.lever.sort_key())
+    )
+    frontier = []
+    for candidate in candidates:
+        if any(
+            other.objectives.dominates(candidate.objectives)
+            for other in candidates
+            if other is not candidate
+        ):
+            continue
+        frontier.append(candidate)
+    return tuple(frontier)

@@ -1,0 +1,120 @@
+"""The tuner's workload zoo: named, seeded, reproducible circuits.
+
+Every family the experiment suite knows -- plus the new parameter-bound
+QAOA and hardware-efficient VQE ansaetze -- is constructible here from a
+compact spec string (``"qft-20"``, ``"qaoa-16"``, ``"random-14"``), so
+the CLI, the ``ext-tune`` experiment and the benchmark suite all name
+workloads the same way.  Construction is deterministic: the same spec
+and seed always yield gate-identical circuits, which the prediction
+cache's content addressing (and the tuner's byte-identical reruns)
+depend on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.circuits.ansatz import qaoa_circuit, vqe_circuit
+from repro.circuits.circuit import Circuit
+from repro.circuits.grover import grover_circuit
+from repro.circuits.qft import builtin_qft_circuit
+from repro.circuits.random_circuits import ghz_circuit, random_circuit
+from repro.circuits.trotter import tfim_trotter_circuit
+from repro.errors import TuneError
+
+__all__ = ["Workload", "WORKLOAD_FAMILIES", "build_workload", "parse_workload"]
+
+#: Default seed for seeded families (random/qaoa/vqe).
+DEFAULT_SEED = 23
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named circuit the tuner optimises for."""
+
+    name: str
+    circuit: Circuit
+
+    @property
+    def num_qubits(self) -> int:
+        """Register width."""
+        return self.circuit.num_qubits
+
+
+def _qft(n: int, seed: int) -> Circuit:
+    return builtin_qft_circuit(n)
+
+
+def _grover(n: int, seed: int) -> Circuit:
+    return grover_circuit(n, marked=3, iterations=3)
+
+
+def _tfim(n: int, seed: int) -> Circuit:
+    return tfim_trotter_circuit(n, time=1.0, steps=5)
+
+
+def _random(n: int, seed: int) -> Circuit:
+    return random_circuit(n, 40 * n, seed=seed, allow_unitaries=False)
+
+
+def _ghz(n: int, seed: int) -> Circuit:
+    return ghz_circuit(n)
+
+
+def _qaoa(n: int, seed: int) -> Circuit:
+    return qaoa_circuit(n, layers=2, seed=seed)
+
+
+def _vqe(n: int, seed: int) -> Circuit:
+    return vqe_circuit(n, layers=2, seed=seed)
+
+
+#: family name -> builder(num_qubits, seed).
+WORKLOAD_FAMILIES: dict[str, Callable[[int, int], Circuit]] = {
+    "qft": _qft,
+    "grover": _grover,
+    "tfim": _tfim,
+    "random": _random,
+    "ghz": _ghz,
+    "qaoa": _qaoa,
+    "vqe": _vqe,
+}
+
+
+def build_workload(
+    family: str, num_qubits: int, *, seed: int = DEFAULT_SEED
+) -> Workload:
+    """Build one zoo circuit by family name and register size."""
+    builder = WORKLOAD_FAMILIES.get(family)
+    if builder is None:
+        raise TuneError(
+            f"unknown workload family {family!r} "
+            f"(available: {', '.join(sorted(WORKLOAD_FAMILIES))})"
+        )
+    if num_qubits < 2:
+        raise TuneError(
+            f"workloads need >= 2 qubits, got {num_qubits} for {family!r}"
+        )
+    return Workload(
+        name=f"{family}-{num_qubits}",
+        circuit=builder(num_qubits, seed),
+    )
+
+
+def parse_workload(spec: str, *, seed: int = DEFAULT_SEED) -> Workload:
+    """Parse a ``family-N`` spec string (e.g. ``qft-20``, ``qaoa-16``)."""
+    family, sep, width = spec.rpartition("-")
+    if not sep or not family:
+        raise TuneError(
+            f"workload spec {spec!r} is not of the form FAMILY-QUBITS "
+            f"(e.g. qft-20)"
+        )
+    try:
+        num_qubits = int(width)
+    except ValueError:
+        raise TuneError(
+            f"workload spec {spec!r} has a non-integer register size "
+            f"{width!r}"
+        ) from None
+    return build_workload(family, num_qubits, seed=seed)

@@ -1,0 +1,154 @@
+"""QAOA / hardware-efficient VQE ansatz builders: structure pinned."""
+
+import math
+
+import pytest
+
+from repro.circuits.ansatz import (
+    hardware_efficient_ansatz,
+    qaoa_ansatz,
+    qaoa_circuit,
+    ring_edges,
+    vqe_circuit,
+)
+from repro.errors import CircuitError
+
+
+class TestRingEdges:
+    def test_two_qubits_single_edge(self):
+        assert ring_edges(2) == ((0, 1),)
+
+    def test_ring_closes(self):
+        assert ring_edges(4) == ((0, 1), (1, 2), (2, 3), (3, 0))
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(CircuitError):
+            ring_edges(1)
+
+
+class TestQaoaAnsatz:
+    def test_parameter_count(self):
+        assert qaoa_ansatz(6, layers=3).num_parameters == 6
+
+    @pytest.mark.parametrize("n,layers", [(4, 1), (5, 2), (6, 3)])
+    def test_gate_count_formula(self, n, layers):
+        ansatz = qaoa_ansatz(n, layers)
+        circuit = ansatz.bind(ansatz.random_parameters())
+        edges = len(ring_edges(n))
+        assert len(circuit) == n + layers * (3 * edges + n)
+
+    def test_structure_one_layer(self):
+        ansatz = qaoa_ansatz(3, 1)
+        gamma, beta = 0.7, 0.3
+        gates = ansatz.bind((gamma, beta)).gates
+        names = [g.name for g in gates]
+        # H wall, then per ring edge CX.RZ.CX, then the RX mixer wall.
+        assert names[:3] == ["h", "h", "h"]
+        assert names[3:12] == ["x", "rz", "x"] * 3
+        assert names[12:] == ["rx", "rx", "rx"]
+        rz_gates = [g for g in gates if g.name == "rz"]
+        assert all(g.params == (2.0 * gamma,) for g in rz_gates)
+        rx_gates = [g for g in gates if g.name == "rx"]
+        assert all(g.params == (2.0 * beta,) for g in rx_gates)
+
+    def test_cost_edge_is_cx_conjugated_rz_on_target(self):
+        gates = qaoa_ansatz(2, 1).bind((0.5, 0.1)).gates
+        cx1, rz, cx2 = gates[2:5]
+        assert cx1.controls == (0,) and cx1.targets == (1,)
+        assert rz.targets == (1,)
+        assert cx2.controls == (0,) and cx2.targets == (1,)
+
+    def test_custom_edges(self):
+        ansatz = qaoa_ansatz(4, 1, edges=[(0, 3)])
+        circuit = ansatz.bind((0.1, 0.2))
+        assert len(circuit) == 4 + 3 + 4
+
+    @pytest.mark.parametrize("edges", [[(0, 0)], [(0, 9)], []])
+    def test_rejects_bad_edges(self, edges):
+        with pytest.raises(CircuitError):
+            qaoa_ansatz(4, 1, edges=edges)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(CircuitError):
+            qaoa_ansatz(4, 0)
+
+
+class TestHardwareEfficientAnsatz:
+    @pytest.mark.parametrize("n,layers", [(2, 1), (4, 2), (5, 3)])
+    def test_parameter_and_gate_counts(self, n, layers):
+        ansatz = hardware_efficient_ansatz(n, layers)
+        assert ansatz.num_parameters == 2 * n * layers + 2 * n
+        circuit = ansatz.bind(ansatz.random_parameters())
+        assert len(circuit) == layers * (2 * n + (n - 1)) + 2 * n
+
+    def test_no_final_rotations(self):
+        ansatz = hardware_efficient_ansatz(3, 2, final_rotations=False)
+        assert ansatz.num_parameters == 12
+        circuit = ansatz.bind(ansatz.random_parameters())
+        assert len(circuit) == 2 * (6 + 2)
+        assert circuit.gates[-1].name == "x"  # ladder CX closes the circuit
+
+    def test_structure_walls_then_ladder(self):
+        ansatz = hardware_efficient_ansatz(3, 1)
+        params = tuple(float(i) for i in range(ansatz.num_parameters))
+        names = [g.name for g in ansatz.bind(params).gates]
+        assert names == (
+            ["ry"] * 3 + ["rz"] * 3 + ["x"] * 2 + ["ry"] * 3 + ["rz"] * 3
+        )
+
+    def test_parameters_consumed_in_order(self):
+        ansatz = hardware_efficient_ansatz(2, 1, final_rotations=False)
+        gates = ansatz.bind((10.0, 11.0, 12.0, 13.0)).gates
+        assert [g.params[0] for g in gates[:4]] == [10.0, 11.0, 12.0, 13.0]
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(CircuitError):
+            hardware_efficient_ansatz(1, 1)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(CircuitError):
+            hardware_efficient_ansatz(3, 0)
+
+
+class TestBinding:
+    def test_wrong_parameter_count(self):
+        with pytest.raises(CircuitError, match="parameters"):
+            qaoa_ansatz(4, 1).bind((0.1,))
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_parameters(self, bad):
+        with pytest.raises(CircuitError, match="finite"):
+            qaoa_ansatz(4, 1).bind((bad, 0.2))
+
+    def test_bind_is_pure(self):
+        ansatz = qaoa_ansatz(4, 2)
+        params = ansatz.random_parameters(5)
+        a, b = ansatz.bind(params), ansatz.bind(params)
+        assert a is not b
+        assert a.gates == b.gates
+
+    def test_random_parameters_seeded_and_in_range(self):
+        ansatz = hardware_efficient_ansatz(4, 2)
+        params = ansatz.random_parameters(7)
+        assert params == ansatz.random_parameters(7)
+        assert params != ansatz.random_parameters(8)
+        assert len(params) == ansatz.num_parameters
+        assert all(0.0 <= p < 2.0 * math.pi for p in params)
+
+
+class TestBoundFactories:
+    def test_qaoa_circuit_equals_explicit_bind(self):
+        ansatz = qaoa_ansatz(5, 2)
+        params = ansatz.random_parameters(3)
+        assert (
+            qaoa_circuit(5, 2, parameters=params).gates
+            == ansatz.bind(params).gates
+        )
+
+    def test_seeded_factories_are_reproducible(self):
+        assert qaoa_circuit(4, 2, seed=9).gates == qaoa_circuit(4, 2, seed=9).gates
+        assert vqe_circuit(4, 2, seed=9).gates == vqe_circuit(4, 2, seed=9).gates
+
+    def test_names_encode_family_and_shape(self):
+        assert qaoa_circuit(4, 2).name == "qaoa4x2"
+        assert vqe_circuit(4, 3).name == "vqe4x3"

@@ -1,0 +1,47 @@
+"""The ext-tune experiment: frontier report and acceptance metrics."""
+
+from repro.experiments.ext_tune import paper_default_point
+from repro.experiments.registry import run_experiment
+from repro.machine.frequency import CpuFrequency
+from repro.mpi.datatypes import CommMode
+
+
+def _small_run():
+    return run_experiment("ext-tune", num_qubits=12, node_counts=(4, 8))
+
+
+def test_paper_default_is_max_frequency_naive_unfused():
+    point = paper_default_point()
+    assert point.frequency is CpuFrequency.HIGH
+    assert point.comm_mode is CommMode.BLOCKING
+    assert point.transpile == "naive"
+    assert point.fusion == "off"
+
+
+def test_report_carries_frontier_and_default_rows():
+    result = _small_run()
+    assert result.rows
+    assert result.rows[0][0] == "best"
+    assert result.rows[-1][0] == "default"
+    assert result.metrics["frontier_size"] == len(result.rows) - 1
+
+
+def test_best_point_saves_energy_vs_default():
+    result = _small_run()
+    assert result.metrics["energy_saving"] >= 0.25
+    assert (
+        result.metrics["best_energy_j"] < result.metrics["default_energy_j"]
+    )
+
+
+def test_deadline_has_two_x_slack():
+    result = _small_run()
+    assert result.metrics["deadline_s"] == 2.0 * result.metrics[
+        "default_runtime_s"
+    ]
+
+
+def test_spot_checks_cover_the_frontier():
+    result = _small_run()
+    assert result.metrics["spot_checked"] == result.metrics["frontier_size"]
+    assert result.metrics["max_des_delta"] <= 0.10

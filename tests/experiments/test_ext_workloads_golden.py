@@ -1,0 +1,63 @@
+"""Golden-file pin of the ext-workloads report (and its new knobs).
+
+The rendered report for a small, fast configuration is committed under
+``tests/experiments/golden/``; any change to the zoo's circuits, the
+cost model's output formatting or the report layout shows up as a diff
+against the golden text.  Regenerate deliberately with::
+
+    PYTHONPATH=src python -c "
+    from repro.experiments.registry import run_experiment
+    r = run_experiment('ext-workloads', num_qubits=12, num_nodes=4)
+    open('tests/experiments/golden/ext_workloads_12q_4n.txt', 'w').write(
+        r.render() + '\\n')"
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.ext_workloads import (
+    DEFAULT_NUM_NODES,
+    DEFAULT_NUM_QUBITS,
+    DEFAULT_SEED,
+)
+from repro.experiments.registry import run_experiment
+
+GOLDEN = Path(__file__).parent / "golden" / "ext_workloads_12q_4n.txt"
+
+
+def test_report_matches_golden_file():
+    result = run_experiment("ext-workloads", num_qubits=12, num_nodes=4)
+    assert result.render() + "\n" == GOLDEN.read_text()
+
+
+def test_defaults_are_the_paper_scale_constants():
+    assert DEFAULT_NUM_QUBITS == 38
+    assert DEFAULT_NUM_NODES == 64
+    assert DEFAULT_SEED == 23
+
+
+def test_seed_parameter_changes_the_random_workload():
+    base = run_experiment("ext-workloads", num_qubits=10, num_nodes=4)
+    reseeded = run_experiment(
+        "ext-workloads", num_qubits=10, num_nodes=4, seed=99
+    )
+    assert (
+        base.metric("random_base_runtime")
+        != reseeded.metric("random_base_runtime")
+    )
+    # The unseeded families are untouched by the seed knob.
+    assert base.metric("qft_base_runtime") == reseeded.metric(
+        "qft_base_runtime"
+    )
+
+
+def test_registry_forwards_parameters():
+    result = run_experiment("ext-workloads", num_qubits=10, num_nodes=2)
+    assert "10 qubits, 2 nodes" in result.title
+
+
+def test_registry_rejects_unknown_parameters():
+    with pytest.raises(ExperimentError, match="bad parameters"):
+        run_experiment("ext-workloads", not_a_knob=1)

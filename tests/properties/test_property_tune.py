@@ -1,0 +1,112 @@
+"""Property-based tests for the auto-tuner's search invariants.
+
+Three contracts the tuner advertises:
+
+* no point on the returned frontier is dominated by another;
+* the frontier is invariant to the order lever values are supplied in
+  (enumeration is canonical, see :class:`repro.tune.LeverSpace`);
+* tightening a deadline never *decreases* the best feasible energy --
+  shrinking the feasible set can only remove options.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_circuit
+from repro.machine.frequency import CpuFrequency
+from repro.mpi.datatypes import CommMode
+from repro.tune import Constraint, LeverSpace, tune
+
+# Small registers and spaces: each example prices tens of analytic
+# points, so the suite stays seconds, not minutes.
+circuit_params = st.tuples(
+    st.integers(min_value=4, max_value=6),      # qubits
+    st.integers(min_value=6, max_value=18),     # gates
+    st.integers(min_value=0, max_value=10_000), # seed
+)
+
+frequencies_st = st.sets(
+    st.sampled_from(list(CpuFrequency)), min_size=1
+).map(tuple)
+nodes_st = st.sets(st.sampled_from([1, 2, 4]), min_size=1).map(tuple)
+comms_st = st.sets(st.sampled_from(list(CommMode)), min_size=1).map(tuple)
+strategies_st = st.sets(
+    st.sampled_from(["naive", "grouped"]), min_size=1
+).map(tuple)
+fusions_st = st.sets(
+    st.sampled_from(["off", "diag", "full:2"]), min_size=1
+).map(tuple)
+
+space_st = st.builds(
+    LeverSpace,
+    frequencies=frequencies_st,
+    node_counts=nodes_st,
+    ranks_per_node=st.just((1,)),
+    comm_modes=comms_st,
+    transpile_strategies=strategies_st,
+    fusion_modes=fusions_st,
+)
+
+
+def _workload(params):
+    n, gates, seed = params
+    return random_circuit(n, gates, seed=seed)
+
+
+@given(circuit_params, space_st)
+@settings(max_examples=20, deadline=None)
+def test_no_frontier_point_is_dominated(params, space):
+    result = tune(_workload(params), Constraint(), space, spot_check=False)
+    assert result.frontier
+    for a in result.frontier:
+        for b in result.frontier:
+            assert not a.objectives.dominates(b.objectives)
+
+
+@given(circuit_params, space_st, st.randoms(use_true_random=False))
+@settings(max_examples=20, deadline=None)
+def test_frontier_invariant_to_lever_enumeration_order(params, space, rand):
+    workload = _workload(params)
+    axes = {
+        name: list(getattr(space, name))
+        for name in (
+            "frequencies",
+            "node_counts",
+            "ranks_per_node",
+            "comm_modes",
+            "transpile_strategies",
+            "fusion_modes",
+            "checkpoint_intervals_s",
+        )
+    }
+    for values in axes.values():
+        rand.shuffle(values)
+    shuffled = LeverSpace(**{k: tuple(v) for k, v in axes.items()})
+    original = tune(workload, Constraint(), space, spot_check=False)
+    permuted = tune(workload, Constraint(), shuffled, spot_check=False)
+    assert original.to_json() == permuted.to_json()
+
+
+@given(
+    circuit_params,
+    space_st,
+    st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=20, deadline=None)
+def test_tightening_the_deadline_never_decreases_best_energy(
+    params, space, fraction
+):
+    workload = _workload(params)
+    unconstrained = tune(workload, Constraint(), space, spot_check=False)
+    slowest = max(
+        p.objectives.runtime_s for p in unconstrained.frontier
+    )
+    loose = Constraint(deadline_s=slowest * 1.01)
+    tight = loose.tighten(deadline_s=slowest * 1.01 * fraction)
+    best_loose = tune(workload, loose, space, spot_check=False).best
+    best_tight = tune(workload, tight, space, spot_check=False).best
+    assert best_loose is not None
+    if best_tight is not None:
+        assert (
+            best_tight.objectives.energy_j >= best_loose.objectives.energy_j
+        )

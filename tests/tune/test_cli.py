@@ -1,0 +1,97 @@
+"""The tune CLI, standalone and via the repro-experiments dispatch."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main as experiments_main
+from repro.tune.cli import main as tune_main
+
+SMALL = [
+    "--nodes", "2,4",
+    "--frequencies", "2.0",
+    "--comm", "blocking",
+    "--transpile", "naive,grouped",
+    "--fusion", "off",
+    "--no-spot-check",
+]
+
+
+def test_table_output_and_best_line(capsys):
+    assert tune_main(["qft-8", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "Pareto frontier: qft-8" in out
+    assert "best (lowest energy):" in out
+
+
+def test_json_output_parses(capsys):
+    assert tune_main(["qft-8", "--json", *SMALL]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["workload"] == "qft-8"
+    assert doc["frontier"]
+
+
+def test_pareto_out_matches_json(tmp_path, capsys):
+    out_file = tmp_path / "frontier.json"
+    assert tune_main(["qft-8", "--json", "--pareto-out", str(out_file), *SMALL]) == 0
+    stdout = capsys.readouterr().out
+    assert out_file.read_text() == stdout
+
+
+def test_constraints_forwarded(capsys):
+    assert tune_main(["qft-8", "--deadline", "1e-12", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "no feasible point" in out
+
+
+def test_checkpoint_axis_with_mtbf(capsys):
+    argv = [
+        "qft-8", "--mtbf", "3600", "--checkpoints", "none,60",
+        *SMALL,
+    ]
+    assert tune_main(argv) == 0
+    assert "Pareto frontier" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "spec", ["qft", "qft-x", "nosuchfamily-8", "qft-1"]
+)
+def test_bad_workload_spec_is_one_line_error(spec, capsys):
+    assert tune_main([spec, *SMALL]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err.startswith("error:")
+
+
+def test_bad_lever_value_is_one_line_error(capsys):
+    assert tune_main(["qft-8", "--frequencies", "9.9"]) == 2
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_cache_path_must_not_be_a_file(tmp_path, capsys):
+    bogus = tmp_path / "cache"
+    bogus.write_text("not a directory")
+    assert tune_main(["qft-8", "--cache", str(bogus), *SMALL]) == 2
+    assert "regular file" in capsys.readouterr().err
+
+
+def test_cache_dir_accepted(tmp_path, monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    cache = tmp_path / "cache"
+    assert tune_main(["qft-8", "--cache", str(cache), *SMALL]) == 0
+    assert cache.is_dir()
+
+
+def test_experiments_cli_dispatches_tune_subcommand(capsys):
+    assert experiments_main(["tune", "qft-8", *SMALL]) == 0
+    assert "Pareto frontier: qft-8" in capsys.readouterr().out
+
+
+def test_seed_changes_seeded_workloads(capsys):
+    assert tune_main(["random-6", "--seed", "1", "--json", *SMALL]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert tune_main(["random-6", "--seed", "2", "--json", *SMALL]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert first["workload"] == second["workload"] == "random-6"
+    # Different circuits, so (generically) different frontier pricing.
+    assert first != second

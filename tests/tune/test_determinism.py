@@ -1,0 +1,77 @@
+"""Determinism: byte-identical reruns, cache-served second pass.
+
+The tuner's contract is that the same workload + constraint + space
+always produces byte-identical canonical JSON, and that a second run
+against a warm :class:`~repro.parallel.cache.PredictionCache` is served
+almost entirely from disk (>= 95% hit rate on the prediction lookups),
+which the cache's own hit/miss counters pin.
+"""
+
+import pytest
+
+from repro.machine.frequency import CpuFrequency
+from repro.mpi.datatypes import CommMode
+from repro.parallel.cache import active_cache
+from repro.tune import Constraint, LeverSpace, build_workload, tune
+
+
+def _space():
+    return LeverSpace(
+        frequencies=(CpuFrequency.LOW, CpuFrequency.HIGH),
+        node_counts=(2, 4),
+        ranks_per_node=(1,),
+        comm_modes=(CommMode.BLOCKING, CommMode.NONBLOCKING),
+        transpile_strategies=("naive", "grouped"),
+        fusion_modes=("off", "diag"),
+    )
+
+
+def _run():
+    return tune(
+        build_workload("qft", 8),
+        Constraint(deadline_s=10.0),
+        _space(),
+    )
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
+
+
+def test_rerun_is_byte_identical_without_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert _run().to_json() == _run().to_json()
+
+
+def test_rerun_is_byte_identical_across_cold_and_warm_cache(cache_dir):
+    cold = _run().to_json()
+    warm = _run().to_json()
+    assert cold == warm
+    assert len(active_cache()) > 0
+
+
+def test_second_run_is_served_from_the_cache(cache_dir):
+    cache = active_cache()
+    assert cache is not None
+    _run()
+    first_hits, first_misses = cache.hits, cache.misses
+    assert first_misses > 0  # the cold run had to compute something
+    _run()
+    hits = cache.hits - first_hits
+    misses = cache.misses - first_misses
+    assert hits + misses > 0
+    assert hits / (hits + misses) >= 0.95
+
+
+def test_fresh_cache_directories_do_not_change_the_answer(
+    tmp_path, monkeypatch
+):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+    first = _run().to_json()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "b"))
+    second = _run().to_json()
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    third = _run().to_json()
+    assert first == second == third

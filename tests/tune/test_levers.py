@@ -1,0 +1,158 @@
+"""LeverPoint / LeverSpace: validation, canonical order, plumbing."""
+
+import json
+
+import pytest
+
+from repro.core.options import RunOptions
+from repro.errors import PartitionError, ReproError, TuneError
+from repro.machine.frequency import CpuFrequency
+from repro.mpi.datatypes import CommMode
+from repro.tune import DEFAULT_FUSION_LEVERS, LeverPoint, LeverSpace
+
+
+class TestLeverPoint:
+    def test_defaults_are_valid(self):
+        point = LeverPoint()
+        assert point.num_ranks == 1
+        assert point.transpile == "naive"
+        assert point.fusion == "off"
+        assert point.checkpoint_interval_s is None
+
+    @pytest.mark.parametrize("nodes", [0, 3, 6, -2])
+    def test_rejects_non_power_of_two_nodes(self, nodes):
+        with pytest.raises(TuneError, match="num_nodes"):
+            LeverPoint(num_nodes=nodes)
+
+    @pytest.mark.parametrize("rpn", [0, 3, 5])
+    def test_rejects_non_power_of_two_ranks_per_node(self, rpn):
+        with pytest.raises(TuneError, match="ranks_per_node"):
+            LeverPoint(ranks_per_node=rpn)
+
+    def test_rejects_unknown_transpile_strategy(self):
+        with pytest.raises(TuneError, match="transpile"):
+            LeverPoint(transpile="telepathic")
+
+    def test_rejects_unknown_fusion_mode(self):
+        with pytest.raises(ReproError):
+            LeverPoint(fusion="bogus")
+
+    @pytest.mark.parametrize("interval", [0.0, -5.0])
+    def test_rejects_non_positive_checkpoint_interval(self, interval):
+        with pytest.raises(TuneError, match="checkpoint_interval_s"):
+            LeverPoint(checkpoint_interval_s=interval)
+
+    def test_num_ranks_is_nodes_times_rpn(self):
+        assert LeverPoint(num_nodes=8, ranks_per_node=4).num_ranks == 32
+
+    def test_sort_key_orders_by_frequency_first(self):
+        low = LeverPoint(frequency=CpuFrequency.LOW)
+        high = LeverPoint(frequency=CpuFrequency.HIGH)
+        assert low.sort_key() < high.sort_key()
+
+    def test_label_mentions_every_lever(self):
+        label = LeverPoint(
+            frequency=CpuFrequency.LOW,
+            num_nodes=8,
+            ranks_per_node=2,
+            comm_mode=CommMode.NONBLOCKING,
+            transpile="grouped",
+            fusion="full:4",
+            checkpoint_interval_s=120.0,
+        ).label()
+        for token in ("1.50GHz", "8x2", "nonblocking", "grouped", "full:4",
+                      "ckpt=120s"):
+            assert token in label
+
+    def test_to_run_options_maps_every_field(self):
+        point = LeverPoint(
+            frequency=CpuFrequency.HIGH,
+            num_nodes=4,
+            comm_mode=CommMode.NONBLOCKING,
+            transpile="blocked",
+            fusion="diag",
+        )
+        options = point.to_run_options()
+        assert isinstance(options, RunOptions)
+        assert options.frequency is CpuFrequency.HIGH
+        assert options.comm_mode is CommMode.NONBLOCKING
+        assert options.transpile == "blocked"
+        assert options.fusion == "diag"
+        assert options.num_nodes == 4
+
+    def test_to_run_options_accepts_overrides(self):
+        options = LeverPoint(num_nodes=4).to_run_options(num_nodes=2)
+        assert options.num_nodes == 2
+
+    def test_to_run_configuration_builds_partition(self):
+        config = LeverPoint(num_nodes=4, ranks_per_node=2).to_run_configuration(10)
+        assert config.partition.num_ranks == 8
+        assert config.ranks_per_node == 2
+
+    def test_to_run_configuration_rejects_oversized_rank_counts(self):
+        with pytest.raises(PartitionError):
+            LeverPoint(num_nodes=256).to_run_configuration(3)
+
+    def test_to_dict_is_json_primitive(self):
+        entry = LeverPoint(checkpoint_interval_s=60.0).to_dict()
+        assert json.loads(json.dumps(entry)) == entry
+        assert entry["frequency_ghz"] == 2.0
+        assert entry["checkpoint_interval_s"] == 60.0
+
+
+class TestLeverSpace:
+    def test_default_space_size(self):
+        space = LeverSpace()
+        assert space.size == 3 * 3 * 1 * 2 * 3 * len(DEFAULT_FUSION_LEVERS)
+        assert sum(1 for _ in space.points()) == space.size
+
+    @pytest.mark.parametrize(
+        "axis",
+        [
+            "frequencies",
+            "node_counts",
+            "ranks_per_node",
+            "comm_modes",
+            "transpile_strategies",
+            "fusion_modes",
+            "checkpoint_intervals_s",
+        ],
+    )
+    def test_rejects_empty_axis(self, axis):
+        with pytest.raises(TuneError, match=axis):
+            LeverSpace(**{axis: ()})
+
+    def test_axes_deduplicate(self):
+        space = LeverSpace(
+            node_counts=(8, 8, 16),
+            transpile_strategies=("naive", "naive"),
+            fusion_modes=("off",),
+        )
+        assert space.size == 3 * 2 * 1 * 2 * 1 * 1
+
+    def test_enumeration_order_ignores_supplied_order(self):
+        forward = LeverSpace(
+            node_counts=(4, 8),
+            frequencies=(CpuFrequency.LOW, CpuFrequency.HIGH),
+            transpile_strategies=("naive", "grouped"),
+            fusion_modes=("off", "diag"),
+        )
+        shuffled = LeverSpace(
+            node_counts=(8, 4),
+            frequencies=(CpuFrequency.HIGH, CpuFrequency.LOW),
+            transpile_strategies=("grouped", "naive"),
+            fusion_modes=("diag", "off"),
+        )
+        assert list(forward.points()) == list(shuffled.points())
+
+    def test_points_carry_checkpoint_axis(self):
+        space = LeverSpace(
+            node_counts=(4,),
+            frequencies=(CpuFrequency.MEDIUM,),
+            comm_modes=(CommMode.BLOCKING,),
+            transpile_strategies=("naive",),
+            fusion_modes=("off",),
+            checkpoint_intervals_s=(None, 60.0),
+        )
+        intervals = {p.checkpoint_interval_s for p in space.points()}
+        assert intervals == {None, 60.0}

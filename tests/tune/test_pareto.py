@@ -1,0 +1,82 @@
+"""Pareto dominance and frontier extraction."""
+
+from dataclasses import dataclass
+
+from repro.perfmodel.objectives import ObjectiveVector
+from repro.tune import dominates, pareto_frontier
+
+
+@dataclass(frozen=True)
+class _Lever:
+    key: int
+
+    def sort_key(self):
+        return (self.key,)
+
+
+@dataclass(frozen=True)
+class _Point:
+    objectives: ObjectiveVector
+    lever: _Lever
+
+
+def _pt(energy, runtime, cost, key=0):
+    return _Point(ObjectiveVector(energy, runtime, cost), _Lever(key))
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates(
+            ObjectiveVector(1, 1, 1), ObjectiveVector(2, 2, 2)
+        )
+
+    def test_better_somewhere_equal_elsewhere(self):
+        assert dominates(
+            ObjectiveVector(1, 2, 2), ObjectiveVector(2, 2, 2)
+        )
+
+    def test_equal_vectors_do_not_dominate(self):
+        a = ObjectiveVector(1, 2, 3)
+        assert not dominates(a, a)
+
+    def test_tradeoffs_do_not_dominate(self):
+        a = ObjectiveVector(1, 3, 1)
+        b = ObjectiveVector(2, 2, 1)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+
+class TestParetoFrontier:
+    def test_drops_dominated_points(self):
+        good = _pt(1, 1, 1, key=0)
+        bad = _pt(2, 2, 2, key=1)
+        assert pareto_frontier([bad, good]) == (good,)
+
+    def test_keeps_tradeoff_points(self):
+        fast = _pt(3, 1, 1, key=0)
+        frugal = _pt(1, 3, 1, key=1)
+        assert set(pareto_frontier([fast, frugal])) == {fast, frugal}
+
+    def test_keeps_ties(self):
+        a = _pt(1, 1, 1, key=0)
+        b = _pt(1, 1, 1, key=1)
+        assert pareto_frontier([b, a]) == (a, b)
+
+    def test_sorted_by_energy_then_runtime(self):
+        points = [_pt(2, 1, 1, key=0), _pt(1, 3, 1, key=1), _pt(1, 2, 5, key=2)]
+        frontier = pareto_frontier(points)
+        energies = [p.objectives.energy_j for p in frontier]
+        assert energies == sorted(energies)
+        assert frontier[0].objectives.as_tuple() <= frontier[1].objectives.as_tuple()
+
+    def test_input_order_irrelevant(self):
+        points = [
+            _pt(1, 4, 2, key=0),
+            _pt(2, 3, 2, key=1),
+            _pt(3, 2, 2, key=2),
+            _pt(4, 4, 4, key=3),
+        ]
+        assert pareto_frontier(points) == pareto_frontier(reversed(points))
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == ()

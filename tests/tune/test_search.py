@@ -1,0 +1,215 @@
+"""The tune() search engine: constraints, accounting, spot-checks."""
+
+import json
+
+import pytest
+
+from repro.machine.frequency import CpuFrequency
+from repro.mpi.datatypes import CommMode
+from repro.errors import TuneError
+from repro.perfmodel.objectives import ObjectiveVector
+from repro.tune import Constraint, LeverPoint, LeverSpace, build_workload, tune
+from repro.tune.search import SPOT_CHECK_TOLERANCE
+
+
+def _small_space(**overrides):
+    kwargs = dict(
+        frequencies=(CpuFrequency.LOW, CpuFrequency.HIGH),
+        node_counts=(2, 4),
+        ranks_per_node=(1,),
+        comm_modes=(CommMode.BLOCKING, CommMode.NONBLOCKING),
+        transpile_strategies=("naive", "grouped"),
+        fusion_modes=("off",),
+    )
+    kwargs.update(overrides)
+    return LeverSpace(**kwargs)
+
+
+class TestConstraint:
+    @pytest.mark.parametrize(
+        "field", ["deadline_s", "energy_budget_j", "cost_cap_cu", "mtbf_s"]
+    )
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(TuneError, match=field):
+            Constraint(**{field: 0.0})
+
+    def test_rejects_bool(self):
+        with pytest.raises(TuneError, match="deadline_s"):
+            Constraint(deadline_s=True)
+
+    def test_unconstrained_accepts_everything(self):
+        assert Constraint().is_feasible(ObjectiveVector(1e12, 1e12, 1e12))
+
+    def test_each_axis_binds(self):
+        vec = ObjectiveVector(energy_j=10.0, runtime_s=5.0, cost_cu=2.0)
+        assert Constraint(deadline_s=5.0).is_feasible(vec)
+        assert not Constraint(deadline_s=4.9).is_feasible(vec)
+        assert not Constraint(energy_budget_j=9.0).is_feasible(vec)
+        assert not Constraint(cost_cap_cu=1.0).is_feasible(vec)
+
+    def test_tighten_preserves_other_axes(self):
+        base = Constraint(deadline_s=10.0, energy_budget_j=7.0, mtbf_s=100.0)
+        tight = base.tighten(deadline_s=1.0)
+        assert tight.deadline_s == 1.0
+        assert tight.energy_budget_j == 7.0
+        assert tight.mtbf_s == 100.0
+
+
+class TestTune:
+    def test_frontier_is_feasible_and_undominated(self):
+        result = tune(
+            build_workload("qft", 8),
+            Constraint(),
+            _small_space(),
+            spot_check=False,
+        )
+        assert result.evaluated == _small_space().size
+        assert result.skipped == 0
+        assert result.frontier
+        assert all(p.feasible for p in result.frontier)
+        for a in result.frontier:
+            for b in result.frontier:
+                assert not a.objectives.dominates(b.objectives)
+
+    def test_accepts_bare_circuit(self):
+        circuit = build_workload("ghz", 6).circuit
+        result = tune(circuit, space=_small_space(), spot_check=False)
+        assert result.num_qubits == 6
+        assert result.frontier
+
+    def test_skips_oversized_rank_counts(self):
+        space = _small_space(node_counts=(4, 256))
+        result = tune(
+            build_workload("qft", 6), Constraint(), space, spot_check=False
+        )
+        # 256 ranks cannot partition 2**6 amplitudes: half the space
+        # (one of two node counts) is skipped, the rest priced.
+        assert result.skipped == space.size // 2
+        assert result.evaluated == space.size // 2
+
+    def test_checkpoint_axis_collapses_without_fault_rate(self):
+        space = _small_space(checkpoint_intervals_s=(None, 60.0, 120.0))
+        result = tune(
+            build_workload("qft", 8), Constraint(), space, spot_check=False
+        )
+        assert result.evaluated == space.size // 3
+
+    def test_checkpoint_axis_priced_under_fault_rate(self):
+        space = _small_space(
+            frequencies=(CpuFrequency.MEDIUM,),
+            comm_modes=(CommMode.BLOCKING,),
+            transpile_strategies=("naive",),
+            checkpoint_intervals_s=(None, 60.0),
+        )
+        result = tune(
+            build_workload("qft", 8),
+            Constraint(mtbf_s=3600.0),
+            space,
+            spot_check=False,
+        )
+        assert result.evaluated == space.size
+        intervals = {p.lever.checkpoint_interval_s for p in result.frontier}
+        assert intervals  # the frontier chose among checkpoint levers
+
+    def test_fault_pricing_slows_points_down(self):
+        space = _small_space(
+            frequencies=(CpuFrequency.MEDIUM,),
+            node_counts=(4,),
+            comm_modes=(CommMode.BLOCKING,),
+            transpile_strategies=("naive",),
+        )
+        workload = build_workload("qft", 8)
+        clean = tune(workload, Constraint(), space, spot_check=False)
+        # The fault process draws discrete failures from the MTBF, so it
+        # must be comparable to the (milliseconds) job length to bite.
+        faulty = tune(
+            workload, Constraint(mtbf_s=0.002), space, spot_check=False
+        )
+        assert (
+            faulty.frontier[0].objectives.runtime_s
+            > clean.frontier[0].objectives.runtime_s
+        )
+
+    def test_infeasible_deadline_empties_frontier(self):
+        result = tune(
+            build_workload("qft", 8),
+            Constraint(deadline_s=1e-12),
+            _small_space(),
+            spot_check=False,
+        )
+        assert result.frontier == ()
+        assert result.best is None
+        assert "no feasible point" in result.render()
+
+    def test_spot_check_populates_des_fields(self):
+        result = tune(build_workload("qft", 8), Constraint(), _small_space())
+        assert result.spot_checked == len(result.frontier) > 0
+        for point in result.frontier:
+            assert point.des_runtime_s is not None
+            assert point.des_delta is not None
+            assert point.flagged == (point.des_delta > SPOT_CHECK_TOLERANCE)
+
+    def test_spot_check_off_leaves_des_fields_empty(self):
+        result = tune(
+            build_workload("qft", 8), Constraint(), _small_space(),
+            spot_check=False,
+        )
+        assert result.spot_checked == 0
+        assert all(p.des_runtime_s is None for p in result.frontier)
+
+    def test_best_is_lowest_energy(self):
+        result = tune(
+            build_workload("qft", 8), Constraint(), _small_space(),
+            spot_check=False,
+        )
+        assert result.best.objectives.energy_j == min(
+            p.objectives.energy_j for p in result.frontier
+        )
+
+    def test_fusion_lever_distinguishes_points(self):
+        space = _small_space(
+            frequencies=(CpuFrequency.MEDIUM,),
+            node_counts=(4,),
+            comm_modes=(CommMode.BLOCKING,),
+            transpile_strategies=("naive",),
+            fusion_modes=("off", "full:4"),
+        )
+        result = tune(
+            build_workload("qft", 8), Constraint(), space, spot_check=False
+        )
+        assert result.evaluated == 2
+        fused = result.best
+        assert fused.lever.fusion == "full:4"
+
+    def test_to_json_round_trips(self):
+        result = tune(
+            build_workload("qft", 8), Constraint(deadline_s=10.0),
+            _small_space(), spot_check=False,
+        )
+        doc = json.loads(result.to_json())
+        assert doc["workload"] == "qft-8"
+        assert doc["constraint"]["deadline_s"] == 10.0
+        assert doc["best"] == doc["frontier"][0]
+        assert len(doc["frontier"]) == len(result.frontier)
+
+    def test_render_lists_every_frontier_point(self):
+        result = tune(
+            build_workload("qft", 8), Constraint(), _small_space(),
+            spot_check=False,
+        )
+        text = result.render()
+        assert "Pareto frontier" in text
+        for point in result.frontier:
+            assert point.lever.label() in text
+
+
+class TestLeverDefault:
+    def test_paper_default_lever_round_trip(self):
+        point = LeverPoint(
+            frequency=CpuFrequency.HIGH,
+            num_nodes=16,
+            comm_mode=CommMode.BLOCKING,
+            transpile="naive",
+            fusion="off",
+        )
+        assert point.to_dict()["frequency_ghz"] == 2.25
