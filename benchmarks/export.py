@@ -44,6 +44,19 @@ with >=2 physical cores, so the report records ``cpu_count`` and the
 ``--require-speedup`` gate skips (loudly) on single-core or shm-less
 hosts instead of failing on hardware the code cannot control.
 
+``--suite scaleout`` races all three executors -- serial, pool over
+shared memory and pool over the TCP loopback transport -- on a QFT
+(20 qubits x 8 ranks; 16 under ``--quick``), checks the final
+amplitudes bitwise against serial, and writes ``BENCH_scaleout.json``.
+The ``--require-speedup`` gate enforces the committed multi-core
+acceptance floor (pool >= 1.5x serial).
+
+Baselines for the wall-clock suites (``parallel``, ``scaleout``) are
+only honest on parallel hardware: a baseline-producing run (one without
+``--check-against``) refuses to write on a host with fewer than two
+CPUs and exits 2, unless ``--provisional`` explicitly marks the report
+as measured on hardware the speedup claim cannot hold on.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/export.py                  # 9 repeats
@@ -334,6 +347,122 @@ def run_parallel(quick: bool) -> dict:
             "speedup": round(cache_cold_s / cache_warm_s, 3),
         },
     }
+
+
+def _time_scaleout_leg(circuit, num_qubits, ranks, repeats, **state_kwargs):
+    """(median wall seconds, final gathered amplitudes) for one executor."""
+    from repro.statevector import DistributedStatevector
+
+    samples = []
+    amps = None
+    for _ in range(repeats):
+        state = DistributedStatevector.zero_state(
+            num_qubits, ranks, **state_kwargs
+        )
+        t0 = time.perf_counter()
+        state.apply_circuit(circuit)
+        samples.append(time.perf_counter() - t0)
+        amps = state.gather()
+    return statistics.median(samples), amps
+
+
+def run_scaleout(quick: bool) -> dict:
+    """Serial vs pool-shm vs pool-tcp on one QFT; bitwise agreement."""
+    import os
+
+    from repro.circuits import qft_circuit
+    from repro.parallel import shm_available
+    from repro.parallel.tcp import DEFAULT_CHUNK_AMPS, get_tcp_pool
+
+    n = 16 if quick else 20
+    ranks = 8
+    repeats = 3
+    hosts = "127.0.0.1:0,127.0.0.1:0"
+    circuit = qft_circuit(n)
+
+    serial_s, serial_amps = _time_scaleout_leg(
+        circuit, n, ranks, repeats, executor="serial"
+    )
+    shm_s = shm_amps = None
+    if shm_available():
+        shm_s, shm_amps = _time_scaleout_leg(
+            circuit, n, ranks, repeats, executor="pool"
+        )
+    tcp_s, tcp_amps = _time_scaleout_leg(
+        circuit, n, ranks, repeats, executor="pool", hosts=hosts
+    )
+    rtt = statistics.median(get_tcp_pool(hosts).probe(rounds=5))
+
+    speedups = {
+        "pool_shm_speedup": round(serial_s / shm_s, 3) if shm_s else None,
+        "pool_tcp_speedup": round(serial_s / tcp_s, 3),
+    }
+    best = max(v for v in speedups.values() if v is not None)
+    return {
+        "schema": "repro-bench-scaleout/1",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "shm_available": shm_available(),
+        "qft": {
+            "num_qubits": n,
+            "num_ranks": ranks,
+            "repeats": repeats,
+            "serial_s": round(serial_s, 4),
+            "pool_shm_s": round(shm_s, 4) if shm_s is not None else None,
+            "pool_tcp_s": round(tcp_s, 4),
+            **speedups,
+            "best_pool_speedup": best,
+            "bit_identical": {
+                "shm": bool(np.array_equal(serial_amps, shm_amps))
+                if shm_amps is not None
+                else None,
+                "tcp": bool(np.array_equal(serial_amps, tcp_amps)),
+            },
+        },
+        "tcp": {
+            "num_workers": 2,
+            "probe_rtt_s": round(rtt, 6),
+            "chunk_amps": DEFAULT_CHUNK_AMPS,
+        },
+    }
+
+
+def check_scaleout_against(current: dict, baseline_path: str) -> list[str]:
+    """Scale-out regressions: bit-identity always, speedup vs baseline.
+
+    Bit-identity between executors is hardware-independent and must
+    hold in both the committed baseline and the current run.  The
+    speedup floor only binds when the committed baseline itself was
+    measured on parallel hardware (not ``--provisional``): then the
+    current best pool speedup must stay above half the baseline's, and
+    the baseline must keep the 1.5x acceptance invariant.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for report, tag in ((baseline, "baseline"), (current, "current")):
+        for transport, ok in report["qft"]["bit_identical"].items():
+            if ok is False:
+                failures.append(
+                    f"{tag}: pool-{transport} amplitudes are not "
+                    f"bit-identical to serial"
+                )
+    if baseline.get("provisional"):
+        return failures
+    base_best = baseline["qft"]["best_pool_speedup"]
+    if base_best < 1.5:
+        failures.append(
+            f"baseline best pool speedup {base_best:.2f}x is below the "
+            f"1.5x acceptance floor (regenerate on a multi-core host)"
+        )
+    now_best = current["qft"]["best_pool_speedup"]
+    if now_best < base_best / 2.0:
+        failures.append(
+            f"best pool speedup {now_best:.2f}x fell below half the "
+            f"baseline ({base_best:.2f}x)"
+        )
+    return failures
 
 
 def _median_apply(circuit, num_qubits: int, ranks: int, repeats: int) -> float:
@@ -719,7 +848,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("kernels", "parallel", "obs", "transpile", "tune"),
+        choices=("kernels", "parallel", "scaleout", "obs", "transpile", "tune"),
         default="kernels",
         help="what to measure (default: %(default)s)",
     )
@@ -744,8 +873,15 @@ def main(argv: list[str] | None = None) -> int:
         "--require-speedup",
         type=float,
         metavar="X",
-        help="parallel suite: exit 1 if the pool-vs-serial QFT speedup "
-        "is below X (skipped on single-core or shm-less hosts)",
+        help="parallel/scaleout suites: exit 1 if the pool-vs-serial QFT "
+        "speedup is below X (skipped on single-core or shm-less hosts)",
+    )
+    parser.add_argument(
+        "--provisional",
+        action="store_true",
+        help="parallel/scaleout suites: allow writing a baseline on a "
+        "single-core host, marking the report provisional (its wall-clock "
+        "speedups are not gated until regenerated on parallel hardware)",
     )
     parser.add_argument(
         "--max-noop-overhead",
@@ -756,6 +892,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     output = args.output or f"BENCH_{args.suite}.json"
+
+    if args.suite in ("parallel", "scaleout") and not args.check_against:
+        import os
+
+        if (os.cpu_count() or 1) < 2 and not args.provisional:
+            print(
+                f"ERROR refusing to write a {args.suite} baseline on a "
+                f"single-core host (speedups are meaningless here); rerun "
+                f"on >=2 cores or pass --provisional",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.suite == "obs":
         report = run_obs(args.quick)
@@ -854,8 +1002,74 @@ def main(argv: list[str] | None = None) -> int:
             print(f"no regressions vs {args.check_against}")
         return 0
 
+    if args.suite == "scaleout":
+        report = run_scaleout(args.quick)
+        if args.provisional:
+            report["provisional"] = True
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        qft = report["qft"]
+        shm_part = (
+            f"pool-shm {qft['pool_shm_s']:.3f}s "
+            f"({qft['pool_shm_speedup']:.2f}x)  "
+            if qft["pool_shm_s"] is not None
+            else "pool-shm n/a (no shared memory)  "
+        )
+        ident = qft["bit_identical"]
+        print(
+            f"QFT {qft['num_qubits']}q x {qft['num_ranks']} ranks: "
+            f"serial {qft['serial_s']:.3f}s  " + shm_part +
+            f"pool-tcp {qft['pool_tcp_s']:.3f}s "
+            f"({qft['pool_tcp_speedup']:.2f}x)"
+        )
+        print(
+            f"bit-identical to serial: "
+            + "  ".join(
+                f"{k}={'yes' if v else 'n/a' if v is None else 'NO'}"
+                for k, v in ident.items()
+            )
+            + f"  tcp rtt {report['tcp']['probe_rtt_s'] * 1e6:.0f}us"
+        )
+        print(f"wrote {output}")
+        if any(v is False for v in ident.values()):
+            print(
+                "REGRESSION pool amplitudes diverge from serial",
+                file=sys.stderr,
+            )
+            return 1
+        if args.check_against:
+            failures = check_scaleout_against(report, args.check_against)
+            if failures:
+                for line in failures:
+                    print(f"REGRESSION {line}", file=sys.stderr)
+                return 1
+            print(f"no regressions vs {args.check_against}")
+        if args.require_speedup is not None:
+            if (report["cpu_count"] or 1) < 2:
+                print(
+                    "speedup gate skipped: single-core host -- the pool "
+                    "cannot beat serial wall-clock without parallel hardware"
+                )
+            elif qft["best_pool_speedup"] < args.require_speedup:
+                print(
+                    f"REGRESSION best pool speedup "
+                    f"{qft['best_pool_speedup']:.2f}x below required "
+                    f"{args.require_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+                return 1
+            else:
+                print(
+                    f"pool speedup gate passed "
+                    f"(>= {args.require_speedup:.2f}x)"
+                )
+        return 0
+
     if args.suite == "parallel":
         report = run_parallel(args.quick)
+        if args.provisional:
+            report["provisional"] = True
         with open(output, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")

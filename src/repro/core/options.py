@@ -46,6 +46,11 @@ class RunOptions:
     #: ``"off"``/``"diag"``/``"full[:k]"``.  ``None`` defers to
     #: ``REPRO_FUSION`` (default diag).  Model-only runs ignore this.
     fusion: str | None = None
+    #: Pool worker hosts (``"host:port,..."`` or a tuple of entries):
+    #: selects the TCP rank transport so the pool spans machines.
+    #: ``None`` defers to ``REPRO_POOL_HOSTS`` (default: shared memory
+    #: on this host).  Only meaningful with ``executor="pool"``.
+    hosts: str | tuple[str, ...] | None = None
 
     def fast(self) -> "RunOptions":
         """The paper's 'Fast' configuration: cache-blocked, non-blocking."""
@@ -61,4 +66,5 @@ class RunOptions:
             calibration=self.calibration,
             executor=self.executor,
             fusion=self.fusion,
+            hosts=self.hosts,
         )

@@ -30,11 +30,13 @@ from repro.statevector.distributed import DistributedStatevector
 __all__ = ["SimulationRunner", "NUMERIC_QUBIT_LIMIT"]
 
 #: Above this register size only the model executor runs.  Raised from
-#: 22 after the lazy-slice + pool-executor work: a 24-qubit state is
-#: 256 MiB of amplitudes, allocated only as gates actually touch ranks,
-#: and the shared-memory pool spreads the sweep across cores (see
-#: BENCH_parallel.json for the measurements behind the bump).
-NUMERIC_QUBIT_LIMIT = 24
+#: 22 after the lazy-slice + pool-executor work, and from 24 once the
+#: pluggable rank transport landed: a 26-qubit state is 1 GiB of
+#: amplitudes, allocated only as gates actually touch ranks, and the
+#: pool spreads the sweep across cores -- or across hosts over the TCP
+#: transport, where per-worker memory is ``1 GiB / num_workers`` (see
+#: BENCH_parallel.json / BENCH_scaleout.json for the measurements).
+NUMERIC_QUBIT_LIMIT = 26
 
 
 class SimulationRunner:
@@ -60,6 +62,16 @@ class SimulationRunner:
             num_nodes=options.num_nodes,
             buffer_factor=buffer_factor,
         )
+        from repro.parallel import resolve_executor_name
+        from repro.parallel.tcp import parse_hosts
+
+        # Pure normalisation (no capability probing): a prediction about
+        # a pool/TCP run must be expressible on a host that cannot
+        # itself run the pool.
+        executor = resolve_executor_name(options.executor)
+        hosts = (
+            parse_hosts(options.hosts) if options.hosts is not None else None
+        )
         config = RunConfiguration(
             partition=allocation.partition,
             node_type=node_type,
@@ -70,6 +82,9 @@ class SimulationRunner:
             nodes_per_switch=self.machine.nodes_per_switch,
             switch_power_w=self.machine.switch_power_w,
             calibration=options.calibration,
+            executor=executor,
+            transport="tcp" if (executor == "pool" and hosts) else "shm",
+            num_hosts=len(hosts) if hosts else 1,
         )
         job = SlurmJob(
             nodes=allocation.num_nodes,
@@ -164,6 +179,7 @@ class SimulationRunner:
                 halved_swaps=options.halved_swaps,
                 executor=options.executor,
                 fusion=options.fusion,
+                hosts=options.hosts,
             )
         else:
             state = DistributedStatevector.from_amplitudes(
@@ -173,6 +189,7 @@ class SimulationRunner:
                 halved_swaps=options.halved_swaps,
                 executor=options.executor,
                 fusion=options.fusion,
+                hosts=options.hosts,
             )
         state.apply_circuit(to_run)
         return state.gather(), report

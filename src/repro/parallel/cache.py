@@ -55,7 +55,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Bump to invalidate every existing cache entry (schema/semantics change).
 #: 2: GatePlan grew comm_rounds/pair_masks (remap bucket routing).
-CACHE_VERSION = 2
+#: 3: RunConfiguration grew executor/transport/num_hosts/overlap_factor
+#:    (TCP pool overlap pricing) -- serial-era entries must never be
+#:    served for pool/TCP configurations.
+CACHE_VERSION = 3
 
 
 def _canon(value, out: list[str]) -> None:

@@ -176,6 +176,7 @@ class WorkerPool:
         self._pipes = []
         self._procs = []
         self._broken = False
+        self._closing = False
         for i in range(num_workers):
             parent_end, child_end = _SPAWN.Pipe()
             proc = _SPAWN.Process(
@@ -196,9 +197,32 @@ class WorkerPool:
         """True once a worker died or the pool was shut down."""
         return self._broken or any(not p.is_alive() for p in self._procs)
 
+    @property
+    def closing(self) -> bool:
+        """True once a clean :meth:`close` began (shutdown, not a crash)."""
+        return self._closing
+
     def worker_pids(self) -> list[int]:
         """PIDs of the worker processes (test/diagnostic hook)."""
         return [p.pid for p in self._procs]
+
+    def _note_dead(self, count: int = 1) -> None:
+        """Record worker deaths, distinguishing crashes from shutdown.
+
+        A worker exiting while :meth:`close` is in flight (interpreter
+        teardown races the atexit sweep) is expected and silent; one
+        dying mid-run is a real crash, counted into
+        ``repro_pool_worker_crashes_total`` and logged.
+        """
+        obs.counter("repro_pool_dead_workers_total").inc(count)
+        if self._closing:
+            return
+        obs.counter("repro_pool_worker_crashes_total", transport="shm").inc(
+            count
+        )
+        obs.log.warning(
+            "%d pool worker(s) died unexpectedly; pool marked broken", count
+        )
 
     def _drain_events(self, on_event) -> None:
         while not self.events.empty():
@@ -263,7 +287,7 @@ class WorkerPool:
                     # Peers may be blocked on the barrier waiting for the
                     # dead worker: break it so they answer, then fail.
                     self._broken = True
-                    obs.counter("repro_pool_dead_workers_total").inc(len(dead))
+                    self._note_dead(len(dead))
                     try:
                         self.barrier.abort()
                     except Exception as exc:  # pragma: no cover
@@ -277,7 +301,7 @@ class WorkerPool:
                     dead.add(i)
                     pending.discard(i)
                     self._broken = True
-                    obs.counter("repro_pool_dead_workers_total").inc()
+                    self._note_dead()
                     try:
                         self.barrier.abort()
                     except Exception as exc:  # pragma: no cover
@@ -351,7 +375,7 @@ class WorkerPool:
                 for i in list(inflight):
                     if not self._procs[i].is_alive():
                         self._broken = True
-                        obs.counter("repro_pool_dead_workers_total").inc()
+                        self._note_dead()
                         raise PoolError(
                             f"worker {i} died during a task-farm run"
                         )
@@ -363,7 +387,7 @@ class WorkerPool:
                     reply = pipe.recv()
                 except (EOFError, OSError):
                     self._broken = True
-                    obs.counter("repro_pool_dead_workers_total").inc()
+                    self._note_dead()
                     raise PoolError(
                         f"worker {worker} died during a task-farm run"
                     ) from None
@@ -384,7 +408,12 @@ class WorkerPool:
     # -- shutdown -------------------------------------------------------------
 
     def close(self, *, timeout: float = 2.0) -> None:
-        """Stop every worker (idempotent); terminate stragglers."""
+        """Stop every worker (idempotent); terminate stragglers.
+
+        Sets :attr:`closing` first so workers exiting in response are
+        booked as clean shutdowns, not crashes.
+        """
+        self._closing = True
         self._broken = True
         for pipe, proc in zip(self._pipes, self._procs):
             try:

@@ -2,34 +2,33 @@
 
 Each pool worker owns a static round-robin subset of the simulated
 ranks (:meth:`~repro.statevector.partition.Partition.ranks_for_worker`)
-and replays the same :class:`~repro.statevector.apply_plan.ApplyPlan`
-over the shared-memory segments the parent created.  Local steps run
-with no synchronisation at all; distributed steps follow a fixed
-barrier-separated phase pattern:
+and replays the same :class:`~repro.statevector.apply_plan.ApplyPlan`.
+Local steps run with no synchronisation at all; a distributed step's
+data movement is described as a list of
+:class:`~repro.parallel.transport.CopySpec` records derived purely from
+the plan -- identical on every worker -- and handed to the worker's
+:class:`~repro.parallel.transport.RankTransport`:
 
-    [pack own half (halved SWAP only)]
-    barrier      -- every rank's source data for this step is ready
-    copy         -- read the *peer* rank's slice/buffer into own buffer
-    barrier      -- every copy is done; sources may now be overwritten
-    update       -- in-place combine/overwrite of own slices
-
-Two barriers per distributed step, zero per local step.  The first
-barrier doubles as the step entry fence: a worker cannot read a peer's
-slice until that peer has finished every preceding step.  The second
-protects the pair buffers -- no worker can advance to a later step's
-pack/update (which overwrites buffers and slices) while a peer is still
-copying from them.
+* over shared memory the copies run between two barrier fences (the
+  original two-barriers-per-step protocol, unchanged);
+* over the TCP mesh the copies become length-prefixed messages, chunked
+  so the ``on_ready`` callbacks below can apply the elementwise update
+  to already-received chunks while later chunks are still in flight
+  (compute/communication overlap).
 
 Bit-identity with the serial executor is by construction: the update
 phase calls the *same* per-rank kernels on the same operand values in
 the same per-rank order (``repro.statevector.distributed`` exposes its
-step bodies at module level precisely so both executors share them).
+step bodies at module level precisely so both executors share them),
+and every chunked update is elementwise, so splitting it over chunk
+boundaries performs the identical floating-point operation per
+amplitude.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -46,204 +45,397 @@ from repro.statevector.distributed import (
     remap_bucket_view,
 )
 from repro.statevector.partition import Partition
+from repro.parallel.transport import (
+    LOCAL,
+    PAIR,
+    Array2DStore,
+    CopySpec,
+    RankStore,
+    RankTransport,
+    ShmTransport,
+)
 
-__all__ = ["PlanTask", "run_plan_worker"]
+__all__ = ["PlanTask", "execute_plan", "run_plan_worker", "FAIL_EXIT_CODE"]
 
-
-def _wait(barrier) -> None:
-    """Barrier wait, timed into the barrier-wait histogram when tracing.
-
-    The wait measures *skew*: how long this worker idled for its
-    slowest peer.  Disabled, this is a plain ``barrier.wait()`` behind
-    one flag test.
-    """
-    if not obs.is_enabled():
-        barrier.wait()
-        return
-    t0 = time.perf_counter()
-    barrier.wait()
-    obs.histogram("repro_pool_barrier_wait_seconds").observe(
-        time.perf_counter() - t0
-    )
+#: Exit code of a worker killed by fail-stop injection (distinct from
+#: any Python/interpreter exit so tests can tell the deaths apart).
+FAIL_EXIT_CODE = 173
 
 
 @dataclass(frozen=True)
 class PlanTask:
-    """Everything a worker needs to replay a plan over shared segments."""
+    """Everything a worker needs to replay a plan over its transport.
 
-    local_name: str
+    The shared-memory pool attaches the named segments
+    (``local_name``/``pair_name``); the TCP pool ships rank slices in
+    the dispatch message instead and sets ``needs_pair`` when any step
+    communicates.  ``resume_step``/``checkpoint_steps``/``fail_at``
+    drive the checkpoint-restart protocol: workers stream their owned
+    slices to the coordinator every ``checkpoint_steps`` steps, skip
+    every step below ``resume_step`` on a restarted dispatch, and
+    ``os._exit`` at an injected ``(worker_id, step)`` fail-stop point.
+    """
+
+    local_name: str | None
     pair_name: str | None
     num_qubits: int
     num_ranks: int
     halved_swaps: bool
     plan: ApplyPlan
     emit_events: bool
+    needs_pair: bool = False
+    #: Exchange chunk size in amplitudes (None: transport default).
+    chunk_amps: int | None = None
+    resume_step: int = 0
+    checkpoint_steps: int | None = None
+    fail_at: tuple[tuple[int, int], ...] = field(default_factory=tuple)
 
 
 def _exec_local(
     step: ApplyStep,
     locality: GateLocality,
     partition: Partition,
-    local2d: np.ndarray,
+    store: RankStore,
     owned: tuple[int, ...],
 ) -> None:
-    """Local step: each owned rank sweeps independently, no barriers."""
+    """Local step: each owned rank sweeps independently, no exchanges."""
     if locality is GateLocality.FULLY_LOCAL:
         for rank in owned:
-            diagonal_step_on_rank(local2d[rank], step, partition, rank)
+            diagonal_step_on_rank(store.view(rank, LOCAL), step, partition, rank)
     else:
         for rank in owned:
-            local_memory_step_on_rank(local2d[rank], step, partition, rank)
+            local_memory_step_on_rank(
+                store.view(rank, LOCAL), step, partition, rank
+            )
 
 
 def _exec_distributed_single(
+    step_index: int,
     step: ApplyStep,
     partition: Partition,
-    local2d: np.ndarray,
-    pair2d: np.ndarray,
+    store: RankStore,
+    transport: RankTransport,
     owned: tuple[int, ...],
-    barrier,
 ) -> None:
-    """Single-target non-diagonal gate on a rank-index bit."""
+    """Single-target non-diagonal gate on a rank-index bit.
+
+    Without local controls the combine is elementwise, so it rides the
+    transport's ``on_ready`` chunks (overlap); with controls the update
+    needs whole-buffer strided views and runs after the full exchange.
+    """
     gate = step.gate
     rank_bit = partition.rank_bit(gate.pairing_targets()[0])
     matrix = step.matrix if step.matrix is not None else gate.matrix()
     local_controls = local_controls_of(gate, partition.local_qubits)
-    active = [
-        r for r in owned if rank_controls_satisfied(gate, partition, r)
+    n = partition.local_amplitudes
+    copies = [
+        CopySpec(r, PAIR, 0, n, r ^ (1 << rank_bit), LOCAL, 0, n)
+        for r in range(partition.num_ranks)
+        if rank_controls_satisfied(gate, partition, r)
     ]
-    _wait(barrier)
-    for rank in active:
-        pair2d[rank][:] = local2d[rank ^ (1 << rank_bit)]
-    _wait(barrier)
-    for rank in active:
-        coeff = combine_coefficients(matrix, (rank >> rank_bit) & 1)
+    if local_controls:
+        transport.exchange(step_index, copies)
+        for rank in owned:
+            if not rank_controls_satisfied(gate, partition, rank):
+                continue
+            coeff = combine_coefficients(matrix, (rank >> rank_bit) & 1)
+            kernels.combine_distributed_single(
+                store.view(rank, LOCAL),
+                store.view(rank, PAIR),
+                coeff[0],
+                coeff[1],
+                local_controls,
+            )
+        return
+
+    def on_ready(c: CopySpec, lo: int, hi: int) -> None:
+        coeff = combine_coefficients(matrix, (c.dst_rank >> rank_bit) & 1)
         kernels.combine_distributed_single(
-            local2d[rank], pair2d[rank], coeff[0], coeff[1], local_controls
+            store.view(c.dst_rank, LOCAL)[lo:hi],
+            store.view(c.dst_rank, PAIR)[lo:hi],
+            coeff[0],
+            coeff[1],
+            (),
         )
+
+    transport.exchange(step_index, copies, on_ready)
 
 
 def _exec_distributed_swap(
+    step_index: int,
     step: ApplyStep,
     partition: Partition,
-    local2d: np.ndarray,
-    pair2d: np.ndarray,
+    store: RankStore,
+    transport: RankTransport,
     owned: tuple[int, ...],
     halved_swaps: bool,
-    barrier,
 ) -> None:
     """SWAP with one or both targets in the rank-index bits."""
     gate = step.gate
     m = partition.local_qubits
+    n = partition.local_amplitudes
     t_low, t_high = sorted(gate.targets)
     if t_low >= m:
         # Both bits are rank bits: ranks whose two bit values differ
-        # trade entire slices with rank XOR mask.
+        # trade entire slices with rank XOR mask.  The copy-back is a
+        # pure overwrite, so it rides the chunk callbacks.
         bit_a, bit_b = t_low - m, t_high - m
         mask = (1 << bit_a) | (1 << bit_b)
-        active = [
-            r
-            for r in owned
+        copies = [
+            CopySpec(r, PAIR, 0, n, r ^ mask, LOCAL, 0, n)
+            for r in range(partition.num_ranks)
             if ((r >> bit_a) & 1) != ((r >> bit_b) & 1)
         ]
-        _wait(barrier)
-        for rank in active:
-            pair2d[rank][:] = local2d[rank ^ mask]
-        _wait(barrier)
-        for rank in active:
-            local2d[rank][:] = pair2d[rank]
+
+        def on_ready(c: CopySpec, lo: int, hi: int) -> None:
+            store.view(c.dst_rank, LOCAL)[lo:hi] = store.view(
+                c.dst_rank, PAIR
+            )[lo:hi]
+
+        transport.exchange(step_index, copies, on_ready)
         return
 
     local_bit = t_low
     rank_bit = t_high - m
-    half = partition.local_amplitudes // 2
+    half = n // 2
     if halved_swaps:
         # Pack the half the partner needs into the front of the own
         # pair buffer, receive the partner's packed half into the back.
+        # The packed stream is row-major over the target half, so the
+        # unpack applies per *complete row* as chunks arrive.
+        width = 1 << local_bit
         for rank in owned:
             b = (rank >> rank_bit) & 1
-            view = local2d[rank].reshape(-1, 2, 1 << local_bit)
+            view = store.view(rank, LOCAL).reshape(-1, 2, width)
             half_shape = view[:, 0, :].shape
-            pair2d[rank][:half].reshape(half_shape)[...] = view[:, 1 - b, :]
-        _wait(barrier)
-        for rank in owned:
-            peer = rank ^ (1 << rank_bit)
-            pair2d[rank][half:] = pair2d[peer][:half]
-        _wait(barrier)
-        for rank in owned:
+            store.view(rank, PAIR)[:half].reshape(half_shape)[...] = view[
+                :, 1 - b, :
+            ]
+        copies = [
+            CopySpec(r, PAIR, half, n, r ^ (1 << rank_bit), PAIR, 0, half)
+            for r in range(partition.num_ranks)
+        ]
+        rows_done = dict.fromkeys(owned, 0)
+
+        def on_ready(c: CopySpec, lo: int, hi: int) -> None:
+            rank = c.dst_rank
+            hi_row = (hi - half) >> local_bit
+            lo_row = rows_done[rank]
+            if hi_row <= lo_row:
+                return
+            rows_done[rank] = hi_row
             b = (rank >> rank_bit) & 1
-            view = local2d[rank].reshape(-1, 2, 1 << local_bit)
-            half_shape = view[:, 0, :].shape
-            view[:, 1 - b, :] = pair2d[rank][half:].reshape(half_shape)
+            view = store.view(rank, LOCAL).reshape(-1, 2, width)
+            view[lo_row:hi_row, 1 - b, :] = store.view(rank, PAIR)[
+                half + (lo_row << local_bit) : half + (hi_row << local_bit)
+            ].reshape(hi_row - lo_row, width)
+
+        transport.exchange(step_index, copies, on_ready)
     else:
-        _wait(barrier)
-        for rank in owned:
-            pair2d[rank][:] = local2d[rank ^ (1 << rank_bit)]
-        _wait(barrier)
+        copies = [
+            CopySpec(r, PAIR, 0, n, r ^ (1 << rank_bit), LOCAL, 0, n)
+            for r in range(partition.num_ranks)
+        ]
+        transport.exchange(step_index, copies)
         for rank in owned:
             kernels.swap_in_halves(
-                local2d[rank],
-                pair2d[rank],
+                store.view(rank, LOCAL),
+                store.view(rank, PAIR),
                 local_bit,
                 (rank >> rank_bit) & 1,
             )
 
 
-def _exec_remap(
-    step: ApplyStep,
-    partition: Partition,
-    local2d: np.ndarray,
-    pair2d: np.ndarray,
-    owned: tuple[int, ...],
-    barrier,
-) -> None:
-    """Remap with cross transpositions: one gather, then copy back.
-
-    The serial executor routes buckets through 2**g - 1 pairwise
-    exchanges; over shared memory every rank can instead gather all its
-    new buckets directly -- new bucket ``v`` of rank ``r`` is old bucket
-    ``own_G(r)`` of rank ``r`` with its G bits set to ``v``.  Same
-    permutation, same amplitude values (pure copies), two barriers.
-    """
-    gate = step.gate
-    m = partition.local_qubits
+def _remap_split(step: ApplyStep, m: int):
     cross: list[tuple[int, int]] = []
     local_pairs: list[tuple[int, int]] = []
-    for a, b in gate.swap_pairs():
+    for a, b in step.gate.swap_pairs():
         (cross if b >= m else local_pairs).append((a, b))
+    return cross, local_pairs
+
+
+def _exec_remap(
+    step_index: int,
+    step: ApplyStep,
+    partition: Partition,
+    store: RankStore,
+    transport: RankTransport,
+    owned: tuple[int, ...],
+) -> None:
+    """Remap with cross transpositions.
+
+    Over shared memory every rank gathers all its new buckets directly
+    (one strided gather between two fences -- the pre-seam protocol);
+    over a message transport the buckets route through the serial
+    executor's ``2**g - 1`` pairwise rounds, packed contiguous on the
+    wire.  Same permutation, same amplitude values (pure copies).
+    """
+    m = partition.local_qubits
+    cross, local_pairs = _remap_split(step, m)
     g = len(cross)
     l_bits = tuple(a for a, _b in cross)
     g_bits = tuple(b - m for _a, b in cross)
-    full_mask = 0
-    for gb in g_bits:
-        full_mask |= 1 << gb
-    _wait(barrier)
-    for rank in owned:
-        own = 0
+
+    def own_pattern(rank: int) -> int:
+        v = 0
         for j, gb in enumerate(g_bits):
-            own |= ((rank >> gb) & 1) << j
-        for v in range(1 << g):
-            src_rank = rank & ~full_mask
-            for j, gb in enumerate(g_bits):
-                src_rank |= ((v >> j) & 1) << gb
-            dest = remap_bucket_view(pair2d[rank], l_bits, v)
-            dest[...] = remap_bucket_view(local2d[src_rank], l_bits, own)
-    _wait(barrier)
+            v |= ((rank >> gb) & 1) << j
+        return v
+
+    if transport.direct_gather:
+        full_mask = 0
+        for gb in g_bits:
+            full_mask |= 1 << gb
+        transport.fence()
+        for rank in owned:
+            own = own_pattern(rank)
+            for v in range(1 << g):
+                src_rank = rank & ~full_mask
+                for j, gb in enumerate(g_bits):
+                    src_rank |= ((v >> j) & 1) << gb
+                dest = remap_bucket_view(store.view(rank, PAIR), l_bits, v)
+                dest[...] = remap_bucket_view(
+                    store.view(src_rank, LOCAL), l_bits, own
+                )
+        transport.fence()
+        for rank in owned:
+            store.view(rank, LOCAL)[:] = store.view(rank, PAIR)
+            # Purely local transpositions are disjoint from the cross
+            # pairs, so applying them after the routing is the same
+            # permutation.
+            for a, b in local_pairs:
+                kernels.apply_swap_local(store.view(rank, LOCAL), a, b, ())
+        return
+
+    # Message transport: local transpositions first (they commute with
+    # the routing), then one packed bucket exchange per round.
     for rank in owned:
-        local2d[rank][:] = pair2d[rank]
-        # Purely local transpositions are disjoint from the cross pairs,
-        # so applying them after the routing is the same permutation.
+        amps = store.view(rank, LOCAL)
         for a, b in local_pairs:
-            kernels.apply_swap_local(local2d[rank], a, b, ())
+            kernels.apply_swap_local(amps, a, b, ())
+    if not cross:
+        return
+    bucket = partition.local_amplitudes >> g
+    for delta in range(1, 1 << g):
+        mask = 0
+        for j, gb in enumerate(g_bits):
+            if (delta >> j) & 1:
+                mask |= 1 << gb
+        for rank in owned:
+            view = remap_bucket_view(
+                store.view(rank, LOCAL), l_bits, own_pattern(rank) ^ delta
+            )
+            store.view(rank, PAIR)[:bucket].reshape(view.shape)[...] = view
+        copies = [
+            CopySpec(r, PAIR, bucket, 2 * bucket, r ^ mask, PAIR, 0, bucket)
+            for r in range(partition.num_ranks)
+        ]
+        transport.exchange(step_index, copies)
+        for rank in owned:
+            view = remap_bucket_view(
+                store.view(rank, LOCAL), l_bits, own_pattern(rank) ^ delta
+            )
+            view[...] = store.view(rank, PAIR)[bucket : 2 * bucket].reshape(
+                view.shape
+            )
+
+
+def execute_plan(
+    transport: RankTransport,
+    store: RankStore,
+    task: PlanTask,
+    *,
+    worker_id: int,
+    num_workers: int,
+    emit=None,
+    checkpoint=None,
+) -> int:
+    """Replay ``task.plan`` over ``transport``; returns steps executed.
+
+    Every worker derives an identical exchange sequence from the plan,
+    so workers that own no ranks still participate in lockstep (over
+    shm the fences demand it; over TCP the message pairing does).
+
+    ``checkpoint(step_index)`` fires every ``task.checkpoint_steps``
+    steps *before* that step executes -- the streamed state is exactly
+    "all steps below ``step_index`` applied", which is what a restarted
+    dispatch with ``resume_step=step_index`` resumes from.
+    """
+    partition = Partition(task.num_qubits, task.num_ranks)
+    owned = partition.ranks_for_worker(worker_id, num_workers)
+    fail_at = set(task.fail_at)
+    executed = 0
+    with obs.span(
+        "worker.plan", worker=worker_id, steps=len(task.plan.steps)
+    ):
+        tracing = obs.is_enabled()
+        for idx, step in enumerate(task.plan.steps):
+            if idx < task.resume_step:
+                continue
+            if (
+                checkpoint is not None
+                and task.checkpoint_steps
+                and idx > task.resume_step
+                and idx % task.checkpoint_steps == 0
+            ):
+                checkpoint(idx)
+            if (worker_id, idx) in fail_at:
+                # Fail-stop injection (repro.faults): die abruptly, as a
+                # SIGKILL/OOM would -- no cleanup, peers see a vanished
+                # endpoint mid-exchange.
+                os._exit(FAIL_EXIT_CODE)
+            locality = partition.classify(step.gate)
+            if locality in (
+                GateLocality.FULLY_LOCAL,
+                GateLocality.LOCAL_MEMORY,
+            ):
+                kind = (
+                    "diagonal"
+                    if locality is GateLocality.FULLY_LOCAL
+                    else "local"
+                )
+            elif step.kind is StepKind.REMAP:
+                kind = "distributed_remap"
+            elif step.kind is StepKind.SWAP:
+                kind = "distributed_swap"
+            else:
+                kind = "distributed_single"
+            if tracing:
+                obs.counter(
+                    "repro_kernel_dispatch_total", kind=kind
+                ).inc(len(owned))
+            with obs.span("worker.step", step=idx, kind=kind):
+                if kind in ("diagonal", "local"):
+                    _exec_local(step, locality, partition, store, owned)
+                elif kind == "distributed_remap":
+                    _exec_remap(
+                        idx, step, partition, store, transport, owned
+                    )
+                elif kind == "distributed_swap":
+                    _exec_distributed_swap(
+                        idx,
+                        step,
+                        partition,
+                        store,
+                        transport,
+                        owned,
+                        task.halved_swaps,
+                    )
+                else:
+                    _exec_distributed_single(
+                        idx, step, partition, store, transport, owned
+                    )
+            executed += 1
+            if task.emit_events and emit is not None:
+                emit(("step", idx, worker_id))
+    return executed
 
 
 def run_plan_worker(ctx, task: PlanTask):
-    """SPMD entry point: replay ``task.plan`` over the shared segments.
+    """Shared-memory SPMD entry point: replay over the named segments.
 
-    Every worker executes an identical barrier sequence (derived solely
-    from the plan), so workers that own no ranks still participate in
-    lockstep.  The parent has already validated every step -- errors here
-    are bugs, and the pool's abort path surfaces them.
+    The parent has already validated every step -- errors here are bugs,
+    and the pool's abort path surfaces them.
     """
     from repro.parallel.shm import attach_array
 
@@ -257,56 +449,18 @@ def run_plan_worker(ctx, task: PlanTask):
         else None
     )
     try:
-        local2d = local_att.array
-        pair2d = pair_att.array if pair_att is not None else None
-        with obs.span(
-            "worker.plan", worker=ctx.worker_id, steps=len(task.plan.steps)
-        ):
-            tracing = obs.is_enabled()
-            for idx, step in enumerate(task.plan.steps):
-                locality = partition.classify(step.gate)
-                if locality in (
-                    GateLocality.FULLY_LOCAL,
-                    GateLocality.LOCAL_MEMORY,
-                ):
-                    kind = (
-                        "diagonal"
-                        if locality is GateLocality.FULLY_LOCAL
-                        else "local"
-                    )
-                elif step.kind is StepKind.REMAP:
-                    kind = "distributed_remap"
-                elif step.kind is StepKind.SWAP:
-                    kind = "distributed_swap"
-                else:
-                    kind = "distributed_single"
-                if tracing:
-                    obs.counter(
-                        "repro_kernel_dispatch_total", kind=kind
-                    ).inc(len(owned))
-                with obs.span("worker.step", step=idx, kind=kind):
-                    if kind in ("diagonal", "local"):
-                        _exec_local(step, locality, partition, local2d, owned)
-                    elif kind == "distributed_remap":
-                        _exec_remap(
-                            step, partition, local2d, pair2d, owned, ctx.barrier
-                        )
-                    elif kind == "distributed_swap":
-                        _exec_distributed_swap(
-                            step,
-                            partition,
-                            local2d,
-                            pair2d,
-                            owned,
-                            task.halved_swaps,
-                            ctx.barrier,
-                        )
-                    else:
-                        _exec_distributed_single(
-                            step, partition, local2d, pair2d, owned, ctx.barrier
-                        )
-                if task.emit_events:
-                    ctx.emit(("step", idx, ctx.worker_id))
+        store = Array2DStore(
+            local_att.array, pair_att.array if pair_att is not None else None
+        )
+        transport = ShmTransport(ctx.barrier, store, owned)
+        execute_plan(
+            transport,
+            store,
+            task,
+            worker_id=ctx.worker_id,
+            num_workers=ctx.num_workers,
+            emit=ctx.emit,
+        )
     finally:
         local_att.close()
         if pair_att is not None:

@@ -1,0 +1,1127 @@
+"""Multi-host rank transport: a length-prefixed TCP worker mesh.
+
+The shared-memory pool confines ``WorkerPool`` to one host.  This
+module lets the same SPMD plan replay span hosts:
+
+* a **coordinator** (the parent process) listens on a control socket
+  (``REPRO_POOL_BIND``, default loopback/ephemeral) and dispatches
+  plans, collects events/checkpoints/results;
+* each **worker** owns its rank slices privately, connects to the
+  coordinator, and builds a full mesh of worker-to-worker TCP
+  connections over which distributed steps move amplitude regions as
+  chunked, length-prefixed binary frames.
+
+Workers on loopback entries (``127.0.0.1`` / ``localhost`` / ``local``)
+are spawned by the coordinator itself -- the single-host mode tests and
+CI exercise.  Remote entries are *waited for*: start them on the other
+host with::
+
+    python -m repro.parallel.tcp --connect COORD_HOST:PORT \
+        --worker-id K --token TOKEN [--bind HOST[:PORT]]
+
+Fault tolerance: workers stream their owned slices to the coordinator
+every ``checkpoint_steps`` plan steps (cadence from PR 3's Young/Daly
+machinery via :mod:`repro.parallel.failstop`).  When a worker dies
+mid-run the coordinator tears the pool down, respawns it, and
+re-dispatches from the last *complete* checkpoint (falling back to the
+original input state) instead of aborting -- up to
+:data:`MAX_RESTARTS` times.
+
+Wire formats (all integers big-endian):
+
+* control channel: ``u64 length`` + pickled tuple;
+* mesh channel: ``u8 kind, u32 step, u32 seq, u64 offset, u64 length``
+  + raw amplitude bytes (kind 1 = data chunk, kind 2 = abort).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import pickle
+import secrets
+import selectors
+import socket
+import struct
+import sys
+import time
+import traceback
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro import obs
+from repro.errors import PoolError, ValidationError
+from repro.parallel.transport import (
+    LOCAL,
+    PAIR,
+    CopySpec,
+    DictStore,
+    RankTransport,
+)
+
+__all__ = [
+    "POOL_HOSTS_ENV",
+    "POOL_BIND_ENV",
+    "CHUNK_AMPS_ENV",
+    "CHECKPOINT_STEPS_ENV",
+    "MAX_RESTARTS",
+    "HostSpec",
+    "parse_hosts",
+    "TcpMeshTransport",
+    "TcpPool",
+    "get_tcp_pool",
+    "shutdown_tcp_pools",
+]
+
+#: Environment knob: comma-separated ``host[:port]`` worker entries.
+POOL_HOSTS_ENV = "REPRO_POOL_HOSTS"
+
+#: Environment knob: coordinator bind address (default ``127.0.0.1:0``).
+POOL_BIND_ENV = "REPRO_POOL_BIND"
+
+#: Environment knob: exchange chunk size in amplitudes.
+CHUNK_AMPS_ENV = "REPRO_POOL_CHUNK_AMPS"
+
+#: Environment knob: checkpoint cadence in plan steps (0 disables).
+CHECKPOINT_STEPS_ENV = "REPRO_POOL_CHECKPOINT_STEPS"
+
+#: Worker-loss restarts per ``run_plan`` before giving up.
+MAX_RESTARTS = 3
+
+#: Default exchange chunk: 2**15 amplitudes = 512 KiB per frame, small
+#: enough that a 4 MiB slice exchange pipelines ~8 update chunks behind
+#: the wire, large enough that header overhead stays <0.01%.
+DEFAULT_CHUNK_AMPS = 1 << 15
+
+_AMP_BYTES = 16  # complex128
+
+_HELLO = struct.Struct("!I")
+_MSG_LEN = struct.Struct("!Q")
+_FRAME = struct.Struct("!BIIQQ")  # kind, step, seq, offset, length
+_KIND_DATA = 1
+_KIND_ABORT = 2
+
+_CONNECT_TIMEOUT_S = 30.0
+_DRAIN_TIMEOUT_S = 5.0
+
+_LOOPBACK_NAMES = frozenset({"127.0.0.1", "localhost", "::1", "local", ""})
+
+_SPAWN = mp.get_context("spawn")
+
+
+# -- host specs ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One worker entry: where it runs and where its mesh listener binds."""
+
+    host: str
+    port: int = 0
+
+    @property
+    def is_local(self) -> bool:
+        """True for entries the coordinator spawns itself."""
+        return self.host.lower() in _LOOPBACK_NAMES
+
+    @property
+    def bind_host(self) -> str:
+        return "127.0.0.1" if self.is_local else self.host
+
+    def label(self) -> str:
+        return f"{self.host or '127.0.0.1'}:{self.port}"
+
+
+def parse_hosts(spec) -> tuple[HostSpec, ...]:
+    """Parse ``"host[:port],host[:port],..."`` (or a sequence) to specs.
+
+    Port 0 (the default) binds the worker's mesh listener to an
+    ephemeral port -- the only sensible choice for spawned loopback
+    workers.  Remote entries usually pin a port so firewalls can admit
+    the mesh.
+    """
+    if isinstance(spec, HostSpec):
+        return (spec,)
+    if isinstance(spec, (tuple, list)):
+        entries = list(spec)
+    else:
+        entries = [e for e in str(spec).split(",") if e.strip()]
+    if not entries:
+        raise ValidationError(f"empty host list {spec!r}")
+    out = []
+    for entry in entries:
+        if isinstance(entry, HostSpec):
+            out.append(entry)
+            continue
+        entry = str(entry)
+        entry = entry.strip()
+        host, _, port_s = entry.partition(":")
+        try:
+            port = int(port_s) if port_s else 0
+        except ValueError:
+            raise ValidationError(
+                f"bad host entry {entry!r}: port must be an integer"
+            ) from None
+        if not (0 <= port < 65536):
+            raise ValidationError(f"bad host entry {entry!r}: port out of range")
+        out.append(HostSpec(host.strip(), port))
+    return tuple(out)
+
+
+# -- control-channel framing ---------------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < count:
+        chunk = sock.recv(count - len(buf))
+        if not chunk:
+            raise EOFError("peer closed the connection")
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def _send_msg(sock: socket.socket, message) -> None:
+    data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_MSG_LEN.pack(len(data)) + data)
+
+
+def _recv_msg(sock: socket.socket):
+    (length,) = _MSG_LEN.unpack(_recv_exact(sock, _MSG_LEN.size))
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _tune_socket(sock: socket.socket) -> None:
+    # Frames are small relative to kernel buffers; Nagle would add
+    # 40 ms stalls to every barrier-free small exchange.
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+# -- the mesh transport --------------------------------------------------------
+
+
+class _Peer:
+    """One mesh connection's buffered state (both directions)."""
+
+    __slots__ = ("wid", "sock", "rx", "stash", "tx")
+
+    def __init__(self, wid: int, sock: socket.socket):
+        self.wid = wid
+        self.sock = sock
+        self.rx = bytearray()
+        #: Parsed frames for steps/seqs not yet expected (peer ran ahead).
+        self.stash: list[tuple[int, int, int, bytes]] = []
+        self.tx: list[memoryview] = []
+
+
+class TcpMeshTransport(RankTransport):
+    """Chunked duplex exchanges over the worker mesh.
+
+    Every worker enumerates the same global copy list (SPMD determinism)
+    and keeps its share: copies whose destination rank it owns become
+    receives, copies whose *source* rank it owns become sends, and
+    copies it owns both ends of are direct in-memory moves.  Sends are
+    packed into a per-rank scratch buffer first (double-buffering: the
+    ``on_ready`` updates may overwrite the live slice while its bytes
+    are still queued), then a select-driven pump drains all directions
+    simultaneously -- no send ever waits behind a blocked receive, so
+    symmetric full-buffer exchanges cannot deadlock.
+
+    Frames from a *future* step may arrive while this step's pump runs
+    (a peer with no receives can run ahead); they are stashed per
+    channel and consumed by the next ``exchange`` call.  FIFO channel
+    order plus the shared enumeration order make tag matching exact.
+    """
+
+    direct_gather = False
+
+    def __init__(
+        self,
+        peers: dict[int, _Peer],
+        worker_of: dict[int, int],
+        worker_id: int,
+        store: DictStore,
+        owned: tuple[int, ...],
+        slice_len: int,
+        chunk_amps: int | None = None,
+    ):
+        self._peers = peers
+        self._worker_of = worker_of
+        self._worker_id = worker_id
+        self.store = store
+        self._owned = frozenset(owned)
+        self._slice_len = slice_len
+        self.chunk_amps = chunk_amps or _default_chunk_amps()
+        #: Per-owned-rank send scratch (the "double buffer"): packed
+        #: lazily on the first exchange that sends from that rank.
+        self._scratch: dict[int, np.ndarray] = {}
+        self._sel = selectors.DefaultSelector()
+        for wid, peer in peers.items():
+            peer.sock.setblocking(False)
+            self._sel.register(peer.sock, selectors.EVENT_READ, wid)
+
+    # -- scratch ---------------------------------------------------------------
+
+    def _scratch_for(self, rank: int) -> np.ndarray:
+        buf = self._scratch.get(rank)
+        if buf is None:
+            buf = np.empty(self._slice_len, dtype=np.complex128)
+            self._scratch[rank] = buf
+        return buf
+
+    # -- the exchange ----------------------------------------------------------
+
+    def exchange(
+        self,
+        step_index: int,
+        copies: list[CopySpec],
+        on_ready=None,
+    ) -> None:
+        t0 = time.perf_counter() if obs.is_enabled() else None
+        sends: list[tuple[int, int, memoryview]] = []  # (peer_wid, seq, bytes)
+        recvs: dict[tuple[int, int], _Recv] = {}
+        direct: list[CopySpec] = []
+        tx_bytes = 0
+        for seq, c in enumerate(copies):
+            dst_mine = c.dst_rank in self._owned
+            src_mine = c.src_rank in self._owned
+            if dst_mine and src_mine:
+                direct.append(c)
+                continue
+            if src_mine:
+                # Pack the outgoing region into scratch *now*: the live
+                # buffer may be mutated by on_ready updates before the
+                # pump finishes writing these bytes out.
+                scratch = self._scratch_for(c.src_rank)[: c.length]
+                np.copyto(
+                    scratch,
+                    self.store.view(c.src_rank, c.src_kind)[c.src_lo : c.src_hi],
+                )
+                view = memoryview(scratch).cast("B")
+                sends.append((self._worker_of[c.dst_rank], seq, view))
+                tx_bytes += len(view)
+            elif dst_mine:
+                recvs[(step_index, seq)] = _Recv(self, c, on_ready)
+        # Direct moves complete before any update mutates a source.
+        for c in direct:
+            dst = self.store.view(c.dst_rank, c.dst_kind)
+            src = self.store.view(c.src_rank, c.src_kind)
+            dst[c.dst_lo : c.dst_hi] = src[c.src_lo : c.src_hi]
+        for c in direct:
+            if on_ready is not None:
+                on_ready(c, c.dst_lo, c.dst_hi)
+        if sends or recvs:
+            self._pump(step_index, sends, recvs)
+            if obs.is_enabled():
+                obs.counter(
+                    "repro_transport_bytes_total",
+                    transport="tcp",
+                    direction="tx",
+                ).inc(tx_bytes)
+                obs.histogram("repro_transport_exchange_seconds").observe(
+                    time.perf_counter() - t0
+                )
+
+    def _queue_frames(
+        self, peer: _Peer, step: int, seq: int, payload: memoryview
+    ) -> None:
+        chunk_bytes = self.chunk_amps * _AMP_BYTES
+        offset = 0
+        total = len(payload)
+        while offset < total:
+            part = payload[offset : offset + chunk_bytes]
+            header = _FRAME.pack(_KIND_DATA, step, seq, offset, len(part))
+            peer.tx.append(memoryview(header))
+            peer.tx.append(part)
+            offset += len(part)
+
+    def _pump(
+        self,
+        step_index: int,
+        sends: list[tuple[int, int, memoryview]],
+        recvs: dict[tuple[int, int], "_Recv"],
+    ) -> None:
+        for wid, seq, payload in sends:
+            self._queue_frames(self._peers[wid], step_index, seq, payload)
+        # Replay stashed frames a fast peer delivered early.
+        for peer in self._peers.values():
+            if not peer.stash:
+                continue
+            pending, peer.stash = peer.stash, []
+            for step, seq, offset, payload in pending:
+                self._deliver(peer, step, seq, offset, payload, recvs)
+        rx_pending = sum(1 for r in recvs.values() if not r.complete)
+        while rx_pending or any(p.tx for p in self._peers.values()):
+            for peer in self._peers.values():
+                events = selectors.EVENT_READ
+                if peer.tx:
+                    events |= selectors.EVENT_WRITE
+                self._sel.modify(peer.sock, events, peer.wid)
+            for key, events in self._sel.select():
+                peer = self._peers[key.data]
+                if events & selectors.EVENT_WRITE:
+                    self._drain_tx(peer)
+                if events & selectors.EVENT_READ:
+                    rx_pending -= self._drain_rx(peer, recvs)
+
+    def _drain_tx(self, peer: _Peer) -> None:
+        while peer.tx:
+            try:
+                sent = peer.sock.send(peer.tx[0])
+            except BlockingIOError:
+                return
+            except (BrokenPipeError, ConnectionError, OSError) as exc:
+                raise PoolError(
+                    f"mesh peer disconnected during send: {exc}"
+                ) from None
+            if sent == len(peer.tx[0]):
+                peer.tx.pop(0)
+            else:
+                peer.tx[0] = peer.tx[0][sent:]
+                return
+
+    def _drain_rx(self, peer: _Peer, recvs) -> int:
+        """Read available bytes, deliver complete frames; returns #completed."""
+        try:
+            data = peer.sock.recv(1 << 20)
+        except BlockingIOError:
+            return 0
+        except (ConnectionError, OSError) as exc:
+            raise PoolError(
+                f"mesh peer disconnected during receive: {exc}"
+            ) from None
+        if not data:
+            raise PoolError(
+                "mesh peer closed its connection mid-exchange (worker died?)"
+            )
+        peer.rx.extend(data)
+        completed = 0
+        while True:
+            if len(peer.rx) < _FRAME.size:
+                return completed
+            kind, step, seq, offset, length = _FRAME.unpack_from(peer.rx)
+            if kind == _KIND_ABORT:
+                raise PoolError("mesh peer aborted the exchange")
+            end = _FRAME.size + length
+            if len(peer.rx) < end:
+                return completed
+            payload = bytes(peer.rx[_FRAME.size : end])
+            del peer.rx[:end]
+            completed += self._deliver(peer, step, seq, offset, payload, recvs)
+
+    def _deliver(
+        self, peer: _Peer, step: int, seq: int, offset: int, payload: bytes, recvs
+    ) -> int:
+        recv = recvs.get((step, seq))
+        if recv is None or recv.complete:
+            # A frame for a step this worker has not reached yet.
+            peer.stash.append((step, seq, offset, payload))
+            return 0
+        recv.accept(offset, payload)
+        if obs.is_enabled():
+            obs.counter(
+                "repro_transport_bytes_total", transport="tcp", direction="rx"
+            ).inc(len(payload))
+        return 1 if recv.complete else 0
+
+    def abort(self) -> None:
+        """Best-effort abort frames so peers fail fast instead of hanging."""
+        header = _FRAME.pack(_KIND_ABORT, 0, 0, 0, 0)
+        for peer in self._peers.values():
+            try:
+                peer.sock.setblocking(True)
+                peer.sock.sendall(header)
+            except OSError as exc:
+                obs.swallowed("tcp.abort_send", exc)
+
+    def close(self) -> None:
+        """Release the selector.  The mesh sockets outlive the transport:
+        they belong to the worker loop and carry every subsequent plan."""
+        self._sel.close()
+        self._peers = {}
+
+
+class _Recv:
+    """One expected inbound region and its chunk-application state."""
+
+    __slots__ = ("copy", "dst_mv", "received", "total", "on_ready", "transport")
+
+    def __init__(self, transport: TcpMeshTransport, copy: CopySpec, on_ready):
+        self.transport = transport
+        self.copy = copy
+        self.on_ready = on_ready
+        self.received = 0
+        self.total = copy.length * _AMP_BYTES
+        dst = transport.store.view(copy.dst_rank, copy.dst_kind)
+        self.dst_mv = memoryview(dst).cast("B")
+
+    @property
+    def complete(self) -> bool:
+        return self.received >= self.total
+
+    def accept(self, offset: int, payload: bytes) -> None:
+        if offset != self.received:
+            raise PoolError(
+                f"out-of-order mesh frame: offset {offset}, "
+                f"expected {self.received}"
+            )
+        start = self.copy.dst_lo * _AMP_BYTES + offset
+        self.dst_mv[start : start + len(payload)] = payload
+        self.received = offset + len(payload)
+        if self.on_ready is not None:
+            amp_lo = self.copy.dst_lo + offset // _AMP_BYTES
+            amp_hi = self.copy.dst_lo + self.received // _AMP_BYTES
+            self.on_ready(self.copy, amp_lo, amp_hi)
+
+
+def _default_chunk_amps() -> int:
+    env = os.environ.get(CHUNK_AMPS_ENV)
+    if env is None:
+        return DEFAULT_CHUNK_AMPS
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValidationError(
+            f"{CHUNK_AMPS_ENV} must be an integer, got {env!r}"
+        ) from None
+    if value < 1:
+        raise ValidationError(f"{CHUNK_AMPS_ENV} must be >= 1, got {value}")
+    return value
+
+
+def _checkpoint_steps_from_env() -> int | None:
+    env = os.environ.get(CHECKPOINT_STEPS_ENV)
+    if env is None:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValidationError(
+            f"{CHECKPOINT_STEPS_ENV} must be an integer, got {env!r}"
+        ) from None
+    if value < 0:
+        raise ValidationError(f"{CHECKPOINT_STEPS_ENV} must be >= 0, got {value}")
+    return value or None
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _worker_of_map(partition_ranks: int, num_workers: int, partition) -> dict[int, int]:
+    worker_of: dict[int, int] = {}
+    for wid in range(num_workers):
+        for rank in partition.ranks_for_worker(wid, num_workers):
+            worker_of[rank] = wid
+    return worker_of
+
+
+def _build_mesh(
+    ctrl: socket.socket,
+    listener: socket.socket,
+    worker_id: int,
+    addresses: dict[int, tuple[str, int]],
+) -> dict[int, _Peer]:
+    """Full mesh: connect to lower ids, accept from higher ids."""
+    peers: dict[int, _Peer] = {}
+    for wid in sorted(addresses):
+        if wid >= worker_id:
+            continue
+        sock = socket.create_connection(
+            tuple(addresses[wid]), timeout=_CONNECT_TIMEOUT_S
+        )
+        _tune_socket(sock)
+        sock.sendall(_HELLO.pack(worker_id))
+        peers[wid] = _Peer(wid, sock)
+    expect_higher = sum(1 for wid in addresses if wid > worker_id)
+    listener.settimeout(_CONNECT_TIMEOUT_S)
+    for _ in range(expect_higher):
+        sock, _addr = listener.accept()
+        _tune_socket(sock)
+        (wid,) = _HELLO.unpack(_recv_exact(sock, _HELLO.size))
+        peers[wid] = _Peer(wid, sock)
+    return peers
+
+
+def _run_plan_in_worker(ctrl, peers, worker_id, num_workers, task, slices):
+    from repro.parallel.stepper import execute_plan
+    from repro.statevector.partition import Partition
+
+    partition = Partition(task.num_qubits, task.num_ranks)
+    owned = partition.ranks_for_worker(worker_id, num_workers)
+    n = partition.local_amplitudes
+    local: dict[int, np.ndarray] = {}
+    for rank in owned:
+        provided = slices.get(rank)
+        if provided is None:
+            local[rank] = np.zeros(n, dtype=np.complex128)
+        else:
+            local[rank] = np.array(provided, dtype=np.complex128, copy=True)
+    pair = (
+        {rank: np.empty(n, dtype=np.complex128) for rank in owned}
+        if task.needs_pair
+        else {}
+    )
+    store = DictStore(local, pair)
+    transport = TcpMeshTransport(
+        peers,
+        _worker_of_map(task.num_ranks, num_workers, partition),
+        worker_id,
+        store,
+        owned,
+        n,
+        task.chunk_amps,
+    )
+
+    def emit(event):
+        _send_msg(ctrl, ("event", event))
+
+    def checkpoint(step_index):
+        obs.counter("repro_pool_checkpoint_streams_total").inc()
+        _send_msg(ctrl, ("ckpt", step_index, {r: local[r] for r in owned}))
+
+    try:
+        execute_plan(
+            transport,
+            store,
+            task,
+            worker_id=worker_id,
+            num_workers=num_workers,
+            emit=emit,
+            checkpoint=checkpoint,
+        )
+    except BaseException:
+        transport.abort()
+        raise
+    finally:
+        transport.close()
+    return {rank: local[rank] for rank in owned}
+
+
+def _worker_loop(ctrl, listener, worker_id, num_workers) -> None:
+    """Serve coordinator commands until close/EOF."""
+    peers: dict[int, _Peer] = {}
+    try:
+        while True:
+            try:
+                message = _recv_msg(ctrl)
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "close":
+                break
+            if kind == "mesh":
+                peers = _build_mesh(ctrl, listener, worker_id, message[1])
+                _send_msg(ctrl, ("ready", worker_id))
+            elif kind == "ping":
+                _send_msg(ctrl, ("pong", worker_id))
+            elif kind == "plan":
+                _, task, slices, collect = message
+                if collect:
+                    obs.reset()
+                    obs.enable()
+                try:
+                    finals = _run_plan_in_worker(
+                        ctrl, peers, worker_id, num_workers, task, slices
+                    )
+                    reply = ("ok", finals, None)
+                except BaseException as exc:  # noqa: BLE001 - forwarded
+                    reply = (
+                        "err",
+                        f"{type(exc).__name__}: {exc}",
+                        traceback.format_exc(),
+                        None,
+                    )
+                if collect:
+                    obs.disable()
+                    reply = reply[:-1] + (obs.export_state(clear=True),)
+                try:
+                    _send_msg(ctrl, reply)
+                except (BrokenPipeError, OSError):
+                    break
+    finally:
+        for peer in peers.values():
+            try:
+                peer.sock.close()
+            except OSError:
+                pass
+        try:
+            ctrl.close()
+        except OSError:
+            pass
+        listener.close()
+
+
+def _connect_and_serve(
+    coord_host: str,
+    coord_port: int,
+    worker_id: int,
+    token: str,
+    bind_host: str,
+    bind_port: int,
+) -> None:
+    """Register with the coordinator and serve (both spawn and CLI path)."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((bind_host, bind_port))
+    listener.listen(16)
+    mesh_addr = (bind_host, listener.getsockname()[1])
+    ctrl = socket.create_connection(
+        (coord_host, coord_port), timeout=_CONNECT_TIMEOUT_S
+    )
+    _tune_socket(ctrl)
+    ctrl.settimeout(None)
+    _send_msg(ctrl, ("register", worker_id, token, mesh_addr))
+    welcome = _recv_msg(ctrl)
+    if welcome[0] != "welcome":
+        raise PoolError(f"unexpected coordinator reply {welcome[0]!r}")
+    num_workers = welcome[1]
+    _worker_loop(ctrl, listener, worker_id, num_workers)
+
+
+def _spawned_worker_main(
+    coord_host: str, coord_port: int, worker_id: int, token: str
+) -> None:
+    from repro.parallel.pool import _IN_WORKER_ENV
+
+    os.environ[_IN_WORKER_ENV] = "1"
+    try:
+        _connect_and_serve(
+            coord_host, coord_port, worker_id, token, "127.0.0.1", 0
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+
+
+# -- coordinator side ----------------------------------------------------------
+
+
+class _WorkerLost(Exception):
+    """Internal: a worker died mid-dispatch; carries the best checkpoint."""
+
+    def __init__(self, lost: set[int], checkpoint):
+        super().__init__(f"worker(s) {sorted(lost)} lost")
+        self.lost = lost
+        self.checkpoint = checkpoint  # (resume_step, {rank: array}) | None
+
+
+class TcpPool:
+    """Coordinator for one mesh of TCP workers (one per host entry)."""
+
+    def __init__(self, hosts):
+        self.hosts = parse_hosts(hosts)
+        self.num_workers = len(self.hosts)
+        self._ctrl: dict[int, socket.socket] = {}
+        self._procs: dict[int, mp.process.BaseProcess] = {}
+        self._listener: socket.socket | None = None
+        self._broken = True
+        self._closing = False
+        self._fail_injection: tuple[tuple[int, int], ...] = ()
+        #: Step the most recent worker-loss restart resumed from
+        #: (diagnostic/test hook; 0 = restarted from scratch or no loss).
+        self.last_resume_step = 0
+        self.restarts = 0
+        self._build()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _bind_address(self) -> tuple[str, int]:
+        spec = os.environ.get(POOL_BIND_ENV, "127.0.0.1:0")
+        host, _, port_s = spec.partition(":")
+        try:
+            return host or "127.0.0.1", int(port_s) if port_s else 0
+        except ValueError:
+            raise ValidationError(
+                f"{POOL_BIND_ENV} must be host[:port], got {spec!r}"
+            ) from None
+
+    def _build(self) -> None:
+        token = secrets.token_hex(16)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(self._bind_address())
+        listener.listen(self.num_workers)
+        listener.settimeout(_CONNECT_TIMEOUT_S)
+        self._listener = listener
+        coord_host, coord_port = listener.getsockname()[:2]
+        self._procs = {}
+        for wid, spec in enumerate(self.hosts):
+            if spec.is_local:
+                proc = _SPAWN.Process(
+                    target=_spawned_worker_main,
+                    args=(coord_host, coord_port, wid, token),
+                    daemon=True,
+                    name=f"repro-tcp-{wid}",
+                )
+                proc.start()
+                self._procs[wid] = proc
+            else:
+                obs.log.info(
+                    "waiting for remote worker %d to register from %s "
+                    "(python -m repro.parallel.tcp --connect %s:%d "
+                    "--worker-id %d --token %s)",
+                    wid,
+                    spec.label(),
+                    coord_host,
+                    coord_port,
+                    wid,
+                    token,
+                )
+        self._ctrl = {}
+        mesh_addrs: dict[int, tuple[str, int]] = {}
+        deadline = time.monotonic() + _CONNECT_TIMEOUT_S
+        while len(self._ctrl) < self.num_workers:
+            if time.monotonic() > deadline:
+                self._teardown()
+                raise PoolError(
+                    f"timed out waiting for pool workers to register "
+                    f"({len(self._ctrl)}/{self.num_workers} connected)"
+                )
+            try:
+                sock, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            _tune_socket(sock)
+            sock.settimeout(_CONNECT_TIMEOUT_S)
+            try:
+                message = _recv_msg(sock)
+            except (EOFError, OSError):
+                sock.close()
+                continue
+            if (
+                len(message) != 4
+                or message[0] != "register"
+                or message[2] != token
+            ):
+                obs.log.warning("rejecting unauthenticated pool connection")
+                sock.close()
+                continue
+            wid, mesh_addr = message[1], message[3]
+            if not (0 <= wid < self.num_workers) or wid in self._ctrl:
+                obs.log.warning("rejecting duplicate/out-of-range worker %r", wid)
+                sock.close()
+                continue
+            _send_msg(sock, ("welcome", self.num_workers))
+            sock.settimeout(None)
+            self._ctrl[wid] = sock
+            mesh_addrs[wid] = tuple(mesh_addr)
+        for sock in self._ctrl.values():
+            _send_msg(sock, ("mesh", mesh_addrs))
+        ready = set()
+        for wid, sock in self._ctrl.items():
+            message = _recv_msg(sock)
+            if message[0] != "ready":
+                raise PoolError(f"worker {wid} failed mesh setup: {message!r}")
+            ready.add(message[1])
+        if ready != set(range(self.num_workers)):  # pragma: no cover
+            raise PoolError(f"mesh setup incomplete: ready={sorted(ready)}")
+        self._broken = False
+
+    @property
+    def broken(self) -> bool:
+        """True once the pool was torn down or gave up restarting."""
+        return self._broken
+
+    def worker_pids(self) -> list[int | None]:
+        """PIDs of locally spawned workers (None for remote entries)."""
+        return [
+            self._procs[wid].pid if wid in self._procs else None
+            for wid in range(self.num_workers)
+        ]
+
+    def _teardown(self) -> None:
+        for sock in self._ctrl.values():
+            try:
+                sock.close()
+            except OSError as exc:
+                obs.swallowed("tcp.ctrl_close", exc)
+        self._ctrl = {}
+        for proc in self._procs.values():
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs = {}
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError as exc:
+                obs.swallowed("tcp.listener_close", exc)
+            self._listener = None
+        self._broken = True
+
+    def close(self) -> None:
+        """Stop every worker (idempotent, clean shutdown -- no crash count)."""
+        self._closing = True
+        for sock in self._ctrl.values():
+            try:
+                _send_msg(sock, ("close",))
+            except (BrokenPipeError, OSError) as exc:
+                obs.swallowed("tcp.close_send", exc)
+        self._teardown()
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def probe(self, rounds: int = 3) -> list[float]:
+        """Control-channel round-trip latency to every worker, per round."""
+        if self._broken:
+            raise PoolError("TCP pool is broken; call get_tcp_pool() again")
+        latencies = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            for sock in self._ctrl.values():
+                _send_msg(sock, ("ping",))
+            for sock in self._ctrl.values():
+                reply = _recv_msg(sock)
+                if reply[0] != "pong":  # pragma: no cover - protocol bug
+                    raise PoolError(f"bad ping reply {reply!r}")
+            dt = time.perf_counter() - t0
+            latencies.append(dt)
+            obs.histogram("repro_transport_rtt_seconds").observe(dt)
+        return latencies
+
+    def inject_failures(self, fail_at) -> None:
+        """Arm fail-stop injection for the *next* ``run_plan`` dispatch.
+
+        ``fail_at`` is ``[(worker_id, step_index), ...]`` (see
+        :mod:`repro.parallel.failstop` for deriving it from a
+        :class:`~repro.faults.plan.FaultPlan`).  Injection is one-shot:
+        a restarted dispatch does not re-arm it (fail-stop semantics).
+        """
+        self._fail_injection = tuple(
+            (int(w), int(s)) for w, s in fail_at
+        )
+
+    # -- dispatch --------------------------------------------------------------
+
+    def run_plan(self, task, slices, *, on_event=None) -> dict[int, np.ndarray]:
+        """Run one PlanTask over the mesh; returns the final rank slices.
+
+        ``slices`` maps every rank to its input amplitudes (None for an
+        implicit zero slice).  A worker loss triggers teardown, respawn
+        and re-dispatch from the last complete streamed checkpoint
+        (or the original inputs), up to :data:`MAX_RESTARTS` times.
+        """
+        if self._broken:
+            raise PoolError("TCP pool is broken; call get_tcp_pool() again")
+        if task.checkpoint_steps is None:
+            env_steps = _checkpoint_steps_from_env()
+            if env_steps is None and len(task.plan.steps) >= 8:
+                # Default cadence: four checkpoints across the plan.
+                env_steps = max(1, len(task.plan.steps) // 4)
+            task = replace(task, checkpoint_steps=env_steps)
+        injection = self._fail_injection
+        self._fail_injection = ()
+        resume = 0
+        current = dict(slices)
+        attempts = 0
+        while True:
+            attempt_task = replace(
+                task, resume_step=resume, fail_at=injection
+            )
+            try:
+                return self._dispatch(attempt_task, current, on_event)
+            except _WorkerLost as lost:
+                injection = ()  # fail-stop fires once
+                attempts += 1
+                self.restarts += 1
+                obs.counter(
+                    "repro_pool_worker_crashes_total", transport="tcp"
+                ).inc(len(lost.lost))
+                self._teardown()
+                if attempts > MAX_RESTARTS:
+                    raise PoolError(
+                        f"worker(s) {sorted(lost.lost)} died and the pool "
+                        f"exhausted {MAX_RESTARTS} restarts"
+                    ) from None
+                if not all(spec.is_local for spec in self.hosts):
+                    raise PoolError(
+                        f"worker(s) {sorted(lost.lost)} died; remote workers "
+                        "cannot be respawned by the coordinator -- restart "
+                        "them and call get_tcp_pool() again"
+                    ) from None
+                if lost.checkpoint is not None:
+                    resume = lost.checkpoint[0]
+                    current = dict(lost.checkpoint[1])
+                else:
+                    resume = 0
+                    current = dict(slices)
+                self.last_resume_step = resume
+                obs.counter("repro_pool_restarts_total").inc()
+                obs.log.warning(
+                    "pool worker(s) %s lost; restarting from step %d "
+                    "(attempt %d/%d)",
+                    sorted(lost.lost),
+                    resume,
+                    attempts,
+                    MAX_RESTARTS,
+                )
+                self._build()
+
+    def _dispatch(self, task, slices, on_event) -> dict[int, np.ndarray]:
+        from repro.statevector.partition import Partition
+
+        collect = obs.is_enabled()
+        partition = Partition(task.num_qubits, task.num_ranks)
+        for wid, sock in self._ctrl.items():
+            owned = partition.ranks_for_worker(wid, self.num_workers)
+            payload = {rank: slices.get(rank) for rank in owned}
+            _send_msg(sock, ("plan", task, payload, collect))
+        finals: dict[int, np.ndarray] = {}
+        errors: dict[int, tuple[str, str]] = {}
+        lost: set[int] = set()
+        ckpt_parts: dict[int, dict[int, dict[int, np.ndarray]]] = {}
+        last_ckpt: tuple[int, dict[int, np.ndarray]] | None = None
+        pending = set(self._ctrl)
+        sel = selectors.DefaultSelector()
+        for wid, sock in self._ctrl.items():
+            sel.register(sock, selectors.EVENT_READ, wid)
+        drain_deadline: float | None = None
+        try:
+            while pending:
+                if lost and drain_deadline is None:
+                    drain_deadline = time.monotonic() + _DRAIN_TIMEOUT_S
+                if drain_deadline is not None and time.monotonic() > drain_deadline:
+                    break  # survivors are wedged; the restart replaces them
+                events = sel.select(timeout=0.5)
+                for key, _mask in events:
+                    wid = key.data
+                    if wid not in pending:
+                        continue
+                    try:
+                        message = _recv_msg(key.fileobj)
+                    except (EOFError, OSError):
+                        lost.add(wid)
+                        pending.discard(wid)
+                        sel.unregister(key.fileobj)
+                        continue
+                    kind = message[0]
+                    if kind == "event":
+                        if on_event is not None:
+                            on_event(message[1])
+                    elif kind == "ckpt":
+                        step, part = message[1], message[2]
+                        ckpt_parts.setdefault(step, {})[wid] = part
+                        if len(ckpt_parts[step]) == self.num_workers:
+                            merged: dict[int, np.ndarray] = {}
+                            for piece in ckpt_parts.pop(step).values():
+                                merged.update(piece)
+                            if last_ckpt is None or step > last_ckpt[0]:
+                                last_ckpt = (step, merged)
+                            obs.counter("repro_pool_checkpoints_total").inc()
+                    elif kind == "ok":
+                        pending.discard(wid)
+                        sel.unregister(key.fileobj)
+                        finals.update(message[1])
+                        if message[2]:
+                            obs.merge_state(message[2])
+                    elif kind == "err":
+                        pending.discard(wid)
+                        sel.unregister(key.fileobj)
+                        errors[wid] = (message[1], message[2])
+                        if message[3]:
+                            obs.merge_state(message[3])
+        finally:
+            sel.close()
+        if lost:
+            raise _WorkerLost(lost, last_ckpt)
+        if errors:
+            wid, (message, tb) = sorted(errors.items())[0]
+            real = {
+                w: m
+                for w, (m, _t) in errors.items()
+                if "mesh peer" not in m
+            }
+            if real:
+                wid = sorted(real)[0]
+                message, tb = errors[wid]
+            self._teardown()
+            raise PoolError(f"TCP pool worker {wid} failed: {message}\n{tb}")
+        return finals
+
+
+_pools: dict[tuple[HostSpec, ...], TcpPool] = {}
+
+
+def get_tcp_pool(hosts) -> TcpPool:
+    """The process-wide TCP pool for this host list (rebuilt on breakage)."""
+    from repro.parallel.pool import in_worker
+
+    if in_worker():
+        raise PoolError(
+            "nested pools are not allowed: code running inside a pool "
+            "worker must use the serial executor"
+        )
+    key = parse_hosts(hosts)
+    pool = _pools.get(key)
+    if pool is not None and pool.broken:
+        obs.counter("repro_pool_rebuilds_total").inc()
+        pool.close()
+        pool = None
+    if pool is None:
+        pool = TcpPool(key)
+        _pools[key] = pool
+    return pool
+
+
+def shutdown_tcp_pools() -> None:
+    """Close every TCP pool (atexit hook; also a test-isolation hook)."""
+    while _pools:
+        _key, pool = _pools.popitem()
+        pool.close()
+
+
+atexit.register(shutdown_tcp_pools)
+
+
+# -- remote-worker CLI ---------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    """``python -m repro.parallel.tcp``: join a coordinator as one worker."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel.tcp",
+        description="Join a repro TCP worker pool from another host.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (printed by the coordinator at start-up)",
+    )
+    parser.add_argument(
+        "--worker-id", type=int, required=True, help="this worker's id"
+    )
+    parser.add_argument(
+        "--token",
+        default=os.environ.get("REPRO_POOL_TOKEN", ""),
+        help="registration token (or env REPRO_POOL_TOKEN)",
+    )
+    parser.add_argument(
+        "--bind",
+        default="0.0.0.0:0",
+        metavar="HOST[:PORT]",
+        help="mesh listener bind address (default 0.0.0.0:ephemeral)",
+    )
+    args = parser.parse_args(argv)
+    host, _, port_s = args.connect.partition(":")
+    bind_host, _, bind_port_s = args.bind.partition(":")
+    from repro.parallel.pool import _IN_WORKER_ENV
+
+    os.environ[_IN_WORKER_ENV] = "1"
+    _connect_and_serve(
+        host,
+        int(port_s or 0),
+        args.worker_id,
+        args.token,
+        bind_host or "0.0.0.0",
+        int(bind_port_s or 0),
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI docs
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""The rank-transport seam: how distributed steps move data between ranks.
+
+The SPMD stepper (:mod:`repro.parallel.stepper`) describes every
+distributed step's data movement as a list of :class:`CopySpec` records
+-- "rank ``r``'s buffer region receives rank ``p``'s buffer region" --
+derived purely from the compiled plan, so every worker enumerates the
+*same* list in the same order.  A :class:`RankTransport` then realises
+those copies on a concrete medium:
+
+* :class:`ShmTransport` -- the original shared-memory path.  All ranks'
+  slices live in one segment, so a copy is a direct ``ndarray``
+  assignment guarded by the pool barrier: fence (sources ready), copy,
+  fence (sources may be overwritten).  Bit-identical to the pre-seam
+  stepper by construction -- the same assignments run between the same
+  two barriers.
+* ``TcpMeshTransport`` (:mod:`repro.parallel.tcp`) -- workers own their
+  rank slices privately and move regions over a length-prefixed TCP
+  mesh.  Fences are free (message arrival *is* the synchronisation) and
+  copies are chunked, which is what enables compute/communication
+  overlap: the stepper's ``on_ready`` callback applies the elementwise
+  update to each chunk as it lands while later chunks are still in
+  flight.
+
+The two buffer kinds mirror QuEST's layout: ``"local"`` is the rank's
+amplitude slice, ``"pair"`` its reusable exchange buffer (PR 2's
+``pairStateVec``).  A :class:`RankStore` resolves ``(rank, kind)`` to
+the backing array so step bodies are medium-agnostic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+from repro.errors import PoolError
+
+__all__ = [
+    "LOCAL",
+    "PAIR",
+    "CopySpec",
+    "RankStore",
+    "Array2DStore",
+    "DictStore",
+    "RankTransport",
+    "ShmTransport",
+]
+
+#: Buffer kinds a :class:`CopySpec` may address.
+LOCAL = "local"
+PAIR = "pair"
+
+#: ``on_ready(copy, dst_lo, dst_hi)``: a region of ``copy``'s destination
+#: has arrived (offsets in destination-buffer coordinates).
+ReadyCallback = Callable[["CopySpec", int, int], None]
+
+
+@dataclass(frozen=True)
+class CopySpec:
+    """One rank-to-rank region copy of a distributed step.
+
+    ``dst_rank``'s ``dst_kind`` buffer ``[dst_lo:dst_hi)`` receives
+    ``src_rank``'s ``src_kind`` buffer ``[src_lo:src_hi)``.  Both ends
+    are flat (contiguous) ranges -- strided sources are packed into the
+    pair buffer by the step body before the exchange.
+    """
+
+    dst_rank: int
+    dst_kind: str
+    dst_lo: int
+    dst_hi: int
+    src_rank: int
+    src_kind: str
+    src_lo: int
+    src_hi: int
+
+    def __post_init__(self) -> None:
+        if self.dst_hi - self.dst_lo != self.src_hi - self.src_lo:
+            raise PoolError(
+                f"copy length mismatch: dst [{self.dst_lo}:{self.dst_hi}) "
+                f"vs src [{self.src_lo}:{self.src_hi})"
+            )
+
+    @property
+    def length(self) -> int:
+        """Amplitudes moved."""
+        return self.dst_hi - self.dst_lo
+
+
+class RankStore:
+    """Resolves ``(rank, kind)`` to the backing 1-D complex array."""
+
+    def view(self, rank: int, kind: str) -> np.ndarray:
+        """The full backing array of one rank's buffer."""
+        raise NotImplementedError
+
+
+class Array2DStore(RankStore):
+    """All ranks' buffers as rows of shared 2-D arrays (shm segments)."""
+
+    def __init__(self, local2d: np.ndarray, pair2d: np.ndarray | None):
+        self._local = local2d
+        self._pair = pair2d
+
+    def view(self, rank: int, kind: str) -> np.ndarray:
+        if kind == LOCAL:
+            return self._local[rank]
+        if self._pair is None:
+            raise PoolError("plan needs a pair buffer but none was attached")
+        return self._pair[rank]
+
+
+class DictStore(RankStore):
+    """Worker-private buffers for the ranks this worker owns (TCP path)."""
+
+    def __init__(
+        self,
+        local: dict[int, np.ndarray],
+        pair: dict[int, np.ndarray],
+    ):
+        self._local = local
+        self._pair = pair
+
+    def view(self, rank: int, kind: str) -> np.ndarray:
+        store = self._local if kind == LOCAL else self._pair
+        try:
+            return store[rank]
+        except KeyError:
+            raise PoolError(
+                f"rank {rank} {kind} buffer is not owned by this worker"
+            ) from None
+
+
+def _timed_wait(barrier) -> None:
+    """Barrier wait, timed into the barrier-wait histogram when tracing.
+
+    The wait measures *skew*: how long this worker idled for its
+    slowest peer.  Disabled, this is a plain ``barrier.wait()`` behind
+    one flag test.
+    """
+    if not obs.is_enabled():
+        barrier.wait()
+        return
+    t0 = time.perf_counter()
+    barrier.wait()
+    obs.histogram("repro_pool_barrier_wait_seconds").observe(
+        time.perf_counter() - t0
+    )
+
+
+class RankTransport:
+    """How one worker's share of a step's copies is realised.
+
+    ``exchange`` performs every copy in ``copies`` whose destination
+    rank this worker owns (the list itself is the full SPMD enumeration
+    -- identical on every worker).  It returns only once those
+    destinations hold their data *and* every source region this worker
+    owns may safely be overwritten.  ``on_ready`` fires for each
+    completed destination region; transports that chunk the wire
+    payload fire it per chunk, in offset order, which is the overlap
+    hook.
+    """
+
+    #: True when a worker may read any rank's buffers directly between
+    #: fences (the shm remap's one-shot strided gather relies on this).
+    direct_gather = False
+
+    def fence(self) -> None:
+        """Step-entry/exit synchronisation (no-op for message passing)."""
+
+    def exchange(
+        self,
+        step_index: int,
+        copies: list[CopySpec],
+        on_ready: ReadyCallback | None = None,
+    ) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+
+class ShmTransport(RankTransport):
+    """Direct shared-memory copies fenced by the pool barrier.
+
+    This is the pre-seam stepper's exact protocol: fence (every rank's
+    source data for this step is ready), perform the owned copies as
+    in-place assignments, fence (every copy is done; sources may now be
+    overwritten).  Two barriers per distributed step, zero per local
+    step -- and every worker executes the same fence sequence derived
+    solely from the plan, so workers that own no ranks still participate
+    in lockstep.
+    """
+
+    direct_gather = True
+
+    def __init__(self, barrier, store: RankStore, owned: tuple[int, ...]):
+        self.barrier = barrier
+        self.store = store
+        self._owned = frozenset(owned)
+
+    def fence(self) -> None:
+        _timed_wait(self.barrier)
+
+    def exchange(
+        self,
+        step_index: int,
+        copies: list[CopySpec],
+        on_ready: ReadyCallback | None = None,
+    ) -> None:
+        self.fence()
+        mine = [c for c in copies if c.dst_rank in self._owned]
+        for c in mine:
+            dst = self.store.view(c.dst_rank, c.dst_kind)
+            src = self.store.view(c.src_rank, c.src_kind)
+            dst[c.dst_lo : c.dst_hi] = src[c.src_lo : c.src_hi]
+        self.fence()
+        if on_ready is not None:
+            for c in mine:
+                on_ready(c, c.dst_lo, c.dst_hi)

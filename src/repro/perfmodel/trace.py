@@ -62,6 +62,19 @@ class RunConfiguration:
     #: quantifies what it would buy.  Wall time per distributed gate
     #: becomes ``max(comm, local)`` instead of ``comm + local``.
     overlap_comm_compute: bool = False
+    #: Which executor the run uses: ``"serial"`` or ``"pool"``.  Enters
+    #: the prediction-cache fingerprint so serial predictions are never
+    #: served for pool configurations (their overlap pricing differs).
+    executor: str = "serial"
+    #: Rank transport of a pool run: ``"shm"`` or ``"tcp"``.
+    transport: str = "shm"
+    #: Hosts a TCP pool spans (1 = loopback/single host).
+    num_hosts: int = 1
+    #: Fraction of each distributed gate's exchange the TCP transport's
+    #: chunked delivery hides behind the local update (0..1).  Only
+    #: priced for ``executor="pool", transport="tcp"`` -- the shm pool
+    #: copies between two barriers and hides nothing.
+    overlap_factor: float = 1.0
 
     def __post_init__(self) -> None:
         rpn = self.ranks_per_node
@@ -73,6 +86,20 @@ class RunConfiguration:
             raise ValueError(
                 f"{self.partition.num_ranks} ranks do not pack onto nodes "
                 f"of {rpn}"
+            )
+        if self.executor not in ("serial", "pool"):
+            raise ValueError(
+                f"executor must be 'serial' or 'pool', got {self.executor!r}"
+            )
+        if self.transport not in ("shm", "tcp"):
+            raise ValueError(
+                f"transport must be 'shm' or 'tcp', got {self.transport!r}"
+            )
+        if self.num_hosts < 1:
+            raise ValueError(f"num_hosts must be >= 1, got {self.num_hosts}")
+        if not 0.0 <= self.overlap_factor <= 1.0:
+            raise ValueError(
+                f"overlap_factor must be in [0, 1], got {self.overlap_factor!r}"
             )
 
     @property
@@ -285,6 +312,15 @@ def cost_trace(trace: ExecutionTrace) -> CostedTrace:
             # the gate takes max(comm, local).  The *work* (and hence
             # the busy-power energy below) is unchanged.
             comm_s = max(0.0, comm_s - (mem_s + cpu_s))
+        elif (
+            config.executor == "pool"
+            and config.transport == "tcp"
+            and comm_s > 0
+        ):
+            # The TCP transport applies elementwise updates per received
+            # chunk, hiding up to overlap_factor of whichever is smaller
+            # -- the exchange or the update -- behind the other.
+            comm_s -= config.overlap_factor * min(comm_s, mem_s + cpu_s)
 
         # Node energy: communicating ranks draw comm power during the
         # exchange while the rest idle; active ranks draw busy power

@@ -178,20 +178,24 @@ class DistributedStatevector:
         observer: Observer | None = None,
         executor: str | None = None,
         fusion: str | FusionConfig | None = None,
+        hosts: str | tuple[str, ...] | None = None,
     ):
-        from repro.parallel import resolve_executor
+        from repro.parallel import resolve_executor, resolve_hosts
 
         self.partition = partition
         self.comm_mode = comm_mode
         self.halved_swaps = halved_swaps
         self.max_message = max_message
         self.observer = observer
-        self.executor = resolve_executor(executor)
+        self.executor = resolve_executor(executor, hosts=hosts)
+        self.hosts = resolve_hosts(hosts) if self.executor == "pool" else None
+        #: Which rank transport a pool run would use ("shm" or "tcp").
+        self.transport = "tcp" if self.hosts else "shm"
         self.fusion = resolve_fusion(fusion)
         self.comm = SimComm(partition.num_ranks)
         self._shared_local = None
         self._shared_pair = None
-        if self.executor == "pool":
+        if self.executor == "pool" and self.transport == "shm":
             from repro.parallel.shm import SharedArray
 
             # One segment holds every rank's slice; the OS hands over
@@ -787,20 +791,15 @@ class DistributedStatevector:
                 (self.num_ranks, self.partition.local_amplitudes), np.complex128
             )
 
-    def _run_plan_pool(self, plan: ApplyPlan) -> None:
-        """Replay a compiled plan across the shared-memory worker pool.
+    def _prepare_plan(
+        self, plan: ApplyPlan
+    ) -> tuple[list[tuple[ApplyStep, GatePlan, int]], bool]:
+        """Validate every step and derive its GatePlan before dispatch.
 
-        The parent validates every step and derives its
-        :class:`~repro.statevector.plan.GatePlan` *before* dispatch (so
-        errors raise without touching the state), then the workers
-        execute the plan in SPMD lockstep over the shared segments.
-        While they run, the parent turns per-step completion events into
-        in-order observer callbacks and accounts the exact exchange
-        schedule the serial driver would have produced.
+        Errors raise here, before any worker touches the state.  Returns
+        the prepared ``(step, gate_plan, gate_index)`` triples and
+        whether any step needs the pair exchange buffer.
         """
-        from repro.parallel import get_pool
-        from repro.parallel.stepper import PlanTask, run_plan_worker
-
         prepared: list[tuple[ApplyStep, GatePlan, int]] = []
         gate_index = self._gate_index
         needs_pair = False
@@ -829,27 +828,27 @@ class DistributedStatevector:
                     )
             prepared.append((step, gate_plan, gate_index))
             gate_index += step.num_gates
-        if needs_pair:
-            if self.max_message < AMPLITUDE_BYTES:
-                raise ValidationError(
-                    f"max_message {self.max_message} is smaller than one "
-                    f"amplitude ({AMPLITUDE_BYTES} B); the exchange cannot "
-                    "make progress"
-                )
-            self._ensure_shared_pair()
+        if needs_pair and self.max_message < AMPLITUDE_BYTES:
+            raise ValidationError(
+                f"max_message {self.max_message} is smaller than one "
+                f"amplitude ({AMPLITUDE_BYTES} B); the exchange cannot "
+                "make progress"
+            )
+        return prepared, needs_pair
 
-        pool = get_pool()
-        obs.counter("repro_pool_plans_total").inc()
-        task = PlanTask(
-            local_name=self._shared_local.name,
-            pair_name=self._shared_pair.name if needs_pair else None,
-            num_qubits=self.num_qubits,
-            num_ranks=self.num_ranks,
-            halved_swaps=self.halved_swaps,
-            plan=plan,
-            emit_events=self.observer is not None,
-        )
+    def _step_replayer(
+        self,
+        plan: ApplyPlan,
+        prepared: list[tuple[ApplyStep, GatePlan, int]],
+        num_workers: int,
+    ):
+        """(complete_through, on_event) for in-order observer replay.
 
+        Workers report step completions in arbitrary interleavings;
+        callbacks fire in gate order once *every* worker has finished
+        the step.  ``>=`` (not ``==``) tolerates re-emitted events after
+        a checkpoint restart replays part of the plan.
+        """
         fired = [0]
 
         def complete_through(limit: int) -> None:
@@ -862,9 +861,6 @@ class DistributedStatevector:
 
         on_event = None
         if self.observer is not None:
-            # Deterministic reordering queue: workers report step
-            # completions in arbitrary interleavings; callbacks fire in
-            # gate order once *every* worker has finished the step.
             counts = [0] * len(plan.steps)
 
             def on_event(event: tuple) -> None:
@@ -872,13 +868,92 @@ class DistributedStatevector:
                     return
                 counts[event[1]] += 1
                 limit = fired[0]
-                while limit < len(counts) and counts[limit] == pool.num_workers:
+                while limit < len(counts) and counts[limit] >= num_workers:
                     limit += 1
                 complete_through(limit)
 
+        return complete_through, on_event
+
+    def _run_plan_pool(self, plan: ApplyPlan) -> None:
+        """Replay a compiled plan across the worker pool.
+
+        The parent validates every step and derives its
+        :class:`~repro.statevector.plan.GatePlan` *before* dispatch (so
+        errors raise without touching the state), then the workers
+        execute the plan in SPMD lockstep over the configured transport
+        -- shared segments, or the TCP mesh when a host list is set.
+        While they run, the parent turns per-step completion events into
+        in-order observer callbacks and accounts the exact exchange
+        schedule the serial driver would have produced.
+        """
+        if self.transport == "tcp":
+            self._run_plan_pool_tcp(plan)
+            return
+        from repro.parallel import get_pool
+        from repro.parallel.stepper import PlanTask, run_plan_worker
+
+        prepared, needs_pair = self._prepare_plan(plan)
+        if needs_pair:
+            self._ensure_shared_pair()
+        pool = get_pool()
+        obs.counter("repro_pool_plans_total").inc()
+        task = PlanTask(
+            local_name=self._shared_local.name,
+            pair_name=self._shared_pair.name if needs_pair else None,
+            num_qubits=self.num_qubits,
+            num_ranks=self.num_ranks,
+            halved_swaps=self.halved_swaps,
+            plan=plan,
+            emit_events=self.observer is not None,
+        )
+        complete_through, on_event = self._step_replayer(
+            plan, prepared, pool.num_workers
+        )
         pool.spmd(run_plan_worker, task, on_event=on_event)
         complete_through(len(prepared))
-        self._gate_index = gate_index
+        if prepared:
+            self._gate_index = prepared[-1][2] + prepared[-1][0].num_gates
+
+    def _run_plan_pool_tcp(self, plan: ApplyPlan) -> None:
+        """Replay a compiled plan across the TCP worker mesh.
+
+        The parent ships each worker its owned rank slices (implicit
+        zero slices travel as ``None``), the workers exchange regions
+        over the mesh with chunked overlap, and the final slices come
+        back over the control channel.  The message-schedule accounting
+        and observer replay are identical to the shm path -- the
+        simulated communicator records what the *modelled* machine
+        would send, independent of which real transport moved the data.
+        """
+        from repro.parallel.stepper import PlanTask
+        from repro.parallel.tcp import get_tcp_pool
+
+        prepared, needs_pair = self._prepare_plan(plan)
+        pool = get_tcp_pool(self.hosts)
+        obs.counter("repro_pool_plans_total").inc()
+        task = PlanTask(
+            local_name=None,
+            pair_name=None,
+            num_qubits=self.num_qubits,
+            num_ranks=self.num_ranks,
+            halved_swaps=self.halved_swaps,
+            plan=plan,
+            emit_events=self.observer is not None,
+            needs_pair=needs_pair,
+        )
+        slices = {
+            r: (self._local.read(r) if self._local.is_materialized(r) else None)
+            for r in range(self.num_ranks)
+        }
+        complete_through, on_event = self._step_replayer(
+            plan, prepared, pool.num_workers
+        )
+        finals = pool.run_plan(task, slices, on_event=on_event)
+        for rank, amps in finals.items():
+            self._local[rank][:] = amps
+        complete_through(len(prepared))
+        if prepared:
+            self._gate_index = prepared[-1][2] + prepared[-1][0].num_gates
 
     def _log_step_schedule(
         self, step: ApplyStep, gate_plan: GatePlan, start_index: int

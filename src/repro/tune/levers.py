@@ -65,6 +65,12 @@ class LeverPoint:
     #: checkpoints) when tuning under a fault rate; ``None`` means no
     #: checkpointing (a failure restarts the job from scratch).
     checkpoint_interval_s: float | None = None
+    #: Numeric-execution engine this point runs under: ``"serial"`` or
+    #: ``"pool"``.  A pool point with ``num_hosts > 1`` uses the TCP
+    #: transport (and its overlap pricing).
+    executor: str = "serial"
+    #: Hosts a pool point's workers span (1 = this host).
+    num_hosts: int = 1
 
     def __post_init__(self) -> None:
         if not isinstance(self.num_nodes, int) or not is_power_of_two(
@@ -93,11 +99,25 @@ class LeverPoint:
                 f"checkpoint_interval_s must be > 0 or None, "
                 f"got {self.checkpoint_interval_s!r}"
             )
+        if self.executor not in ("serial", "pool"):
+            raise TuneError(
+                f"executor lever must be 'serial' or 'pool', "
+                f"got {self.executor!r}"
+            )
+        if not isinstance(self.num_hosts, int) or self.num_hosts < 1:
+            raise TuneError(
+                f"num_hosts must be an int >= 1, got {self.num_hosts!r}"
+            )
 
     @property
     def num_ranks(self) -> int:
         """Total MPI ranks (nodes x ranks-per-node)."""
         return self.num_nodes * self.ranks_per_node
+
+    @property
+    def transport(self) -> str:
+        """Rank transport implied by the point (derived, not an axis)."""
+        return "tcp" if self.executor == "pool" and self.num_hosts > 1 else "shm"
 
     def sort_key(self) -> tuple:
         """Canonical ordering key (deterministic across processes)."""
@@ -111,6 +131,8 @@ class LeverPoint:
             -1.0
             if self.checkpoint_interval_s is None
             else self.checkpoint_interval_s,
+            self.executor,
+            self.num_hosts,
         )
 
     def label(self) -> str:
@@ -124,6 +146,12 @@ class LeverPoint:
         ]
         if self.checkpoint_interval_s is not None:
             parts.append(f"ckpt={self.checkpoint_interval_s:g}s")
+        if self.executor != "serial":
+            parts.append(
+                self.executor
+                if self.num_hosts == 1
+                else f"{self.executor}@{self.num_hosts}h"
+            )
         return " ".join(parts)
 
     def to_run_options(self, **overrides) -> "RunOptions":
@@ -136,6 +164,7 @@ class LeverPoint:
             transpile=self.transpile,
             fusion=self.fusion,
             num_nodes=self.num_nodes,
+            executor=None if self.executor == "serial" else self.executor,
         )
         kwargs.update(overrides)
         return RunOptions(**kwargs)
@@ -163,6 +192,9 @@ class LeverPoint:
             calibration=calibration,
             nodes_per_switch=nodes_per_switch,
             switch_power_w=switch_power_w,
+            executor=self.executor,
+            transport=self.transport,
+            num_hosts=self.num_hosts,
         )
 
     def to_dict(self) -> dict:
@@ -175,6 +207,8 @@ class LeverPoint:
             "transpile": self.transpile,
             "fusion": self.fusion,
             "checkpoint_interval_s": self.checkpoint_interval_s,
+            "executor": self.executor,
+            "num_hosts": self.num_hosts,
         }
 
 
@@ -199,6 +233,10 @@ class LeverSpace:
     #: ``None`` entries mean "no checkpointing"; numeric entries are
     #: priced only when the constraint carries a fault rate.
     checkpoint_intervals_s: tuple[float | None, ...] = (None,)
+    #: Executor axis (singleton default keeps legacy spaces unchanged).
+    executors: tuple[str, ...] = ("serial",)
+    #: Host-count axis for pool points (>1 selects the TCP transport).
+    host_counts: tuple[int, ...] = (1,)
 
     def __post_init__(self) -> None:
         for name in (
@@ -209,6 +247,8 @@ class LeverSpace:
             "transpile_strategies",
             "fusion_modes",
             "checkpoint_intervals_s",
+            "executors",
+            "host_counts",
         ):
             if not tuple(getattr(self, name)):
                 raise TuneError(f"lever space axis {name} is empty")
@@ -226,6 +266,8 @@ class LeverSpace:
                 self.checkpoint_intervals_s,
                 key=lambda v: -1.0 if v is None else float(v),
             ),
+            _unique_sorted(self.executors),
+            _unique_sorted(self.host_counts),
         )
 
     @property
@@ -243,9 +285,30 @@ class LeverSpace:
         never on the order they were supplied in -- the frontier
         order-invariance property rests on this.
         """
-        freqs, nodes, rpns, comms, strategies, fusions, intervals = self._axes()
-        for freq, n, rpn, comm, strategy, fusion, interval in itertools.product(
-            freqs, nodes, rpns, comms, strategies, fusions, intervals
+        (
+            freqs,
+            nodes,
+            rpns,
+            comms,
+            strategies,
+            fusions,
+            intervals,
+            executors,
+            hosts,
+        ) = self._axes()
+        for (
+            freq,
+            n,
+            rpn,
+            comm,
+            strategy,
+            fusion,
+            interval,
+            executor,
+            num_hosts,
+        ) in itertools.product(
+            freqs, nodes, rpns, comms, strategies, fusions, intervals,
+            executors, hosts,
         ):
             yield LeverPoint(
                 frequency=freq,
@@ -255,4 +318,6 @@ class LeverSpace:
                 transpile=strategy,
                 fusion=fusion,
                 checkpoint_interval_s=interval,
+                executor=executor,
+                num_hosts=num_hosts,
             )

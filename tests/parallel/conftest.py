@@ -1,8 +1,10 @@
 """Shared gating for the parallel-execution tests.
 
-Everything in this directory needs working named shared memory (the
-pool executor's backbone).  Hosts without a usable ``/dev/shm`` skip
-the whole directory rather than failing."""
+The shared-memory pool tests need working named shared memory; hosts
+without a usable ``/dev/shm`` skip those files rather than failing.
+The TCP-transport tests (``test_tcp_pool``, ``test_worker_loss``,
+``test_transport``'s non-shm cases) have no shared-memory requirement
+and always run."""
 
 from __future__ import annotations
 
@@ -12,11 +14,19 @@ from repro.parallel import shm_available
 
 collect_ignore: list[str] = []
 
+#: Test files whose every case needs named shared memory.
+_SHM_FILES = (
+    "test_shm.py",
+    "test_pool.py",
+    "test_executor_pool.py",
+)
+
 
 def pytest_collection_modifyitems(config, items):
     if shm_available():
         return
     skip = pytest.mark.skip(reason="named shared memory unavailable on this host")
     for item in items:
-        if "/tests/parallel/" in str(item.fspath).replace("\\", "/"):
+        path = str(item.fspath).replace("\\", "/")
+        if "/tests/parallel/" in path and path.endswith(_SHM_FILES):
             item.add_marker(skip)

@@ -238,3 +238,23 @@ class TestPredictIntegration:
         predict(circuit, config, faults=plan)
         assert cache.hits == 0
         assert len(cache) == 0
+
+
+class TestExecutorFingerprint:
+    def test_cache_version_bumped_for_executor_fields(self):
+        from repro.parallel.cache import CACHE_VERSION
+
+        assert CACHE_VERSION == 3
+
+    def test_fingerprint_sensitive_to_executor_topology(self):
+        base = config_fingerprint(_config())
+        assert base != config_fingerprint(_config(executor="pool"))
+        assert base != config_fingerprint(
+            _config(executor="pool", transport="tcp", num_hosts=2)
+        )
+        assert config_fingerprint(
+            _config(executor="pool", transport="tcp", num_hosts=2)
+        ) != config_fingerprint(
+            _config(executor="pool", transport="tcp", num_hosts=4)
+        )
+        assert base != config_fingerprint(_config(overlap_factor=0.5))

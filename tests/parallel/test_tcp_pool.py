@@ -1,0 +1,171 @@
+"""The TCP rank transport: loopback pool, bit-identity, plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.qft import qft_circuit
+from repro.errors import PoolError
+from repro.parallel.tcp import (
+    TcpPool,
+    get_tcp_pool,
+    shutdown_tcp_pools,
+)
+from repro.statevector.distributed import DistributedStatevector
+
+LOOPBACK2 = "127.0.0.1:0,127.0.0.1:0"
+LOOPBACK3 = "127.0.0.1:0,127.0.0.1:0,127.0.0.1:0"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pools():
+    yield
+    shutdown_tcp_pools()
+
+
+def _serial(n, ranks, circuit, **kwargs):
+    state = DistributedStatevector.zero_state(
+        n, ranks, executor="serial", **kwargs
+    )
+    return state.apply_circuit(circuit).gather()
+
+
+def _tcp(n, ranks, circuit, hosts=LOOPBACK2, **kwargs):
+    state = DistributedStatevector.zero_state(
+        n, ranks, executor="pool", hosts=hosts, **kwargs
+    )
+    return state.apply_circuit(circuit).gather()
+
+
+class TestLoopbackPool:
+    def test_probe_round_trips(self):
+        pool = get_tcp_pool(LOOPBACK2)
+        latencies = pool.probe(rounds=2)
+        assert len(latencies) == 2
+        assert all(t >= 0 for t in latencies)
+
+    def test_pool_reuse_by_host_key(self):
+        assert get_tcp_pool(LOOPBACK2) is get_tcp_pool(LOOPBACK2)
+
+    def test_qft_bit_identical_to_serial(self):
+        circuit = qft_circuit(8)
+        assert np.array_equal(
+            _serial(8, 8, circuit), _tcp(8, 8, circuit)
+        )
+
+    def test_three_workers_uneven_rank_split(self):
+        # 8 ranks over 3 workers: round-robin ownership 3/3/2.
+        circuit = qft_circuit(7)
+        assert np.array_equal(
+            _serial(7, 8, circuit), _tcp(7, 8, circuit, hosts=LOOPBACK3)
+        )
+
+    def test_halved_swaps_bit_identical(self):
+        circuit = qft_circuit(7)
+        assert np.array_equal(
+            _serial(7, 8, circuit, halved_swaps=True),
+            _tcp(7, 8, circuit, halved_swaps=True),
+        )
+
+    def test_single_worker_degenerate_mesh(self):
+        # W=1: no mesh sockets at all; every copy is direct.
+        circuit = qft_circuit(6)
+        assert np.array_equal(
+            _serial(6, 4, circuit), _tcp(6, 4, circuit, hosts="127.0.0.1:0")
+        )
+
+    def test_small_chunks_force_many_frames(self, monkeypatch):
+        # A 6-qubit state over 4 ranks has 16-amp slices; chunking at 4
+        # amps forces 4 frames per exchange region and exercises the
+        # per-chunk on_ready path hard.
+        from repro.parallel.tcp import CHUNK_AMPS_ENV
+
+        monkeypatch.setenv(CHUNK_AMPS_ENV, "4")
+        circuit = qft_circuit(6)
+        expected = _serial(6, 4, circuit)
+        pool = TcpPool(LOOPBACK2)
+        try:
+            from repro.statevector.apply_plan import compile_plan
+            from repro.statevector.fusion import resolve_fusion
+            from repro.parallel.stepper import PlanTask
+
+            plan = compile_plan(
+                circuit, fusion=resolve_fusion(None), local_qubits=4
+            )
+            init = np.zeros(16, dtype=np.complex128)
+            init[0] = 1.0
+            task = PlanTask(
+                local_name=None,
+                pair_name=None,
+                num_qubits=6,
+                num_ranks=4,
+                halved_swaps=False,
+                plan=plan,
+                emit_events=False,
+                needs_pair=True,
+                chunk_amps=4,
+            )
+            finals = pool.run_plan(
+                task, {0: init, 1: None, 2: None, 3: None}
+            )
+            got = np.concatenate([finals[r] for r in range(4)])
+            assert np.array_equal(expected, got)
+        finally:
+            pool.close()
+
+    def test_schedule_accounting_matches_serial(self):
+        circuit = qft_circuit(7)
+        serial_state = DistributedStatevector.zero_state(
+            7, 8, executor="serial"
+        ).apply_circuit(circuit)
+        tcp_state = DistributedStatevector.zero_state(
+            7, 8, executor="pool", hosts=LOOPBACK2
+        ).apply_circuit(circuit)
+        assert serial_state.comm.stats == tcp_state.comm.stats
+        assert serial_state.comm.stats.messages_sent > 0
+
+    def test_events_replay_observer_in_order(self):
+        from repro.statevector.plan import GatePlan
+
+        seen: list[int] = []
+
+        def observer(index, gate, plan):
+            assert isinstance(plan, GatePlan)
+            seen.append(index)
+
+        circuit = qft_circuit(6)
+        DistributedStatevector.zero_state(
+            6, 4, executor="pool", hosts=LOOPBACK2, observer=observer
+        ).apply_circuit(circuit)
+        assert seen == list(range(len(circuit)))
+
+
+class TestPoolLifecycle:
+    def test_broken_pool_rejects_dispatch(self):
+        pool = TcpPool(LOOPBACK2)
+        pool.close()
+        assert pool.broken
+        with pytest.raises(PoolError, match="broken"):
+            pool.probe()
+
+    def test_close_idempotent(self):
+        pool = TcpPool("127.0.0.1:0")
+        pool.close()
+        pool.close()
+
+    def test_worker_pids_loopback(self):
+        pool = TcpPool(LOOPBACK2)
+        try:
+            pids = pool.worker_pids()
+            assert len(pids) == 2
+            assert all(isinstance(p, int) for p in pids)
+        finally:
+            pool.close()
+
+    def test_nested_pool_rejected(self, monkeypatch):
+        from repro.parallel.pool import _IN_WORKER_ENV
+
+        monkeypatch.setenv(_IN_WORKER_ENV, "1")
+        with pytest.raises(PoolError, match="nested"):
+            get_tcp_pool(LOOPBACK2)

@@ -1,0 +1,80 @@
+"""Property-based tests: executors {serial, pool-shm, pool-tcp} agree bitwise.
+
+The scale-out acceptance property: a random circuit applied through the
+serial executor, the shared-memory pool and the TCP-loopback pool must
+produce *exactly* the same amplitudes and the same logged communication
+schedule.  The TCP leg always runs (loopback needs no shared memory);
+the shm leg is compared only where named shared memory exists.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_circuit, random_state
+from repro.parallel import shm_available
+from repro.parallel.tcp import shutdown_tcp_pools
+from repro.statevector import DistributedStatevector
+
+LOOPBACK2 = "127.0.0.1:0,127.0.0.1:0"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pools():
+    yield
+    shutdown_tcp_pools()
+
+
+circuit_params = st.tuples(
+    st.integers(min_value=4, max_value=7),       # qubits
+    st.integers(min_value=5, max_value=25),      # gates
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def _run(psi, ranks, circuit, halved, **kwargs):
+    state = DistributedStatevector.from_amplitudes(
+        psi, ranks, halved_swaps=halved, **kwargs
+    )
+    state.apply_circuit(circuit)
+    return state
+
+
+@given(circuit_params, st.sampled_from([2, 4]), st.booleans())
+@settings(max_examples=10, deadline=None)
+def test_tcp_pool_bitwise_equals_serial(params, ranks, halved):
+    n, gates, seed = params
+    if ranks > 2 ** (n - 1):
+        ranks = 2
+    circuit = random_circuit(n, gates, seed=seed)
+    psi = random_state(n, seed=seed + 1)
+    serial = _run(psi, ranks, circuit, halved, executor="serial")
+    tcp = _run(
+        psi, ranks, circuit, halved, executor="pool", hosts=LOOPBACK2
+    )
+    assert np.array_equal(serial.gather(), tcp.gather())
+    assert serial.comm.stats == tcp.comm.stats
+    assert serial.comm.message_log == tcp.comm.message_log
+
+
+@pytest.mark.skipif(
+    not shm_available(), reason="named shared memory unavailable on this host"
+)
+@given(circuit_params, st.sampled_from([2, 4]))
+@settings(max_examples=6, deadline=None)
+def test_all_three_executors_agree(params, ranks):
+    n, gates, seed = params
+    if ranks > 2 ** (n - 1):
+        ranks = 2
+    circuit = random_circuit(n, gates, seed=seed)
+    psi = random_state(n, seed=seed + 1)
+    serial = _run(psi, ranks, circuit, False, executor="serial")
+    shm = _run(psi, ranks, circuit, False, executor="pool")
+    tcp = _run(
+        psi, ranks, circuit, False, executor="pool", hosts=LOOPBACK2
+    )
+    reference = serial.gather()
+    assert np.array_equal(reference, shm.gather())
+    assert np.array_equal(reference, tcp.gather())
+    assert serial.comm.stats == shm.comm.stats == tcp.comm.stats

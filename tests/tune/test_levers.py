@@ -156,3 +156,91 @@ class TestLeverSpace:
         )
         intervals = {p.checkpoint_interval_s for p in space.points()}
         assert intervals == {None, 60.0}
+
+
+class TestExecutorLevers:
+    def test_defaults_stay_serial(self):
+        point = LeverPoint()
+        assert point.executor == "serial"
+        assert point.num_hosts == 1
+        assert point.transport == "shm"
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(TuneError, match="executor"):
+            LeverPoint(executor="threads")
+
+    @pytest.mark.parametrize("hosts", [0, -1, 1.5])
+    def test_rejects_bad_host_counts(self, hosts):
+        with pytest.raises(TuneError, match="num_hosts"):
+            LeverPoint(num_hosts=hosts)
+
+    def test_transport_derivation(self):
+        assert LeverPoint(executor="pool").transport == "shm"
+        assert LeverPoint(executor="pool", num_hosts=2).transport == "tcp"
+        # Serial ignores host counts for transport purposes.
+        assert LeverPoint(num_hosts=4).transport == "shm"
+
+    def test_label_mentions_pool(self):
+        assert "pool" not in LeverPoint().label()
+        assert "pool" in LeverPoint(executor="pool").label()
+        assert "pool@2h" in LeverPoint(executor="pool", num_hosts=2).label()
+
+    def test_to_run_options_serial_is_unchanged(self):
+        # Legacy serial points must produce byte-identical RunOptions.
+        assert LeverPoint().to_run_options() == RunOptions(
+            frequency=CpuFrequency.MEDIUM,
+            comm_mode=CommMode.BLOCKING,
+            transpile="naive",
+            fusion="off",
+            num_nodes=1,
+        )
+        assert LeverPoint().to_run_options().executor is None
+
+    def test_to_run_options_pool_sets_executor(self):
+        options = LeverPoint(executor="pool").to_run_options()
+        assert options.executor == "pool"
+
+    def test_to_run_configuration_carries_transport(self):
+        config = LeverPoint(
+            num_nodes=4, executor="pool", num_hosts=2
+        ).to_run_configuration(num_qubits=10)
+        assert config.executor == "pool"
+        assert config.transport == "tcp"
+        assert config.num_hosts == 2
+
+    def test_to_dict_includes_executor_keys(self):
+        entry = LeverPoint(executor="pool", num_hosts=2).to_dict()
+        assert entry["executor"] == "pool"
+        assert entry["num_hosts"] == 2
+        assert json.loads(json.dumps(entry)) == entry
+
+    def test_space_grows_with_executor_axes(self):
+        base = LeverSpace(
+            node_counts=(1,),
+            frequencies=(CpuFrequency.MEDIUM,),
+            comm_modes=(CommMode.BLOCKING,),
+            transpile_strategies=("naive",),
+            fusion_modes=("off",),
+        )
+        grown = LeverSpace(
+            node_counts=(1,),
+            frequencies=(CpuFrequency.MEDIUM,),
+            comm_modes=(CommMode.BLOCKING,),
+            transpile_strategies=("naive",),
+            fusion_modes=("off",),
+            executors=("serial", "pool"),
+            host_counts=(1, 2),
+        )
+        assert grown.size == base.size * 4
+        combos = {(p.executor, p.num_hosts) for p in grown.points()}
+        assert combos == {
+            ("serial", 1),
+            ("serial", 2),
+            ("pool", 1),
+            ("pool", 2),
+        }
+
+    @pytest.mark.parametrize("axis", ["executors", "host_counts"])
+    def test_rejects_empty_executor_axes(self, axis):
+        with pytest.raises(TuneError, match=axis):
+            LeverSpace(**{axis: ()})
