@@ -30,8 +30,16 @@ original input state) instead of aborting -- up to
 Wire formats (all integers big-endian):
 
 * control channel: ``u64 length`` + pickled tuple;
-* mesh channel: ``u8 kind, u32 step, u32 seq, u64 offset, u64 length``
-  + raw amplitude bytes (kind 1 = data chunk, kind 2 = abort).
+* mesh HELLO (once per connection): ``u32 worker_id, u32 token_len``
+  + token bytes -- the same registration token the control channel
+  checks, so only authenticated workers can join the mesh;
+* mesh channel: ``u8 kind, u32 exchange, u32 seq, u64 offset,
+  u64 length`` + raw amplitude bytes (kind 1 = data chunk, kind 2 =
+  abort).  ``exchange`` is a per-plan monotonic exchange counter --
+  NOT the plan step index: one step may perform several exchanges
+  (a remap routes ``2**g - 1`` rounds), and tagging by step index
+  alone would let a fast peer's next-round frames collide with the
+  current round's.
 """
 
 from __future__ import annotations
@@ -64,6 +72,7 @@ from repro.parallel.transport import (
 __all__ = [
     "POOL_HOSTS_ENV",
     "POOL_BIND_ENV",
+    "POOL_TOKEN_ENV",
     "CHUNK_AMPS_ENV",
     "CHECKPOINT_STEPS_ENV",
     "MAX_RESTARTS",
@@ -81,6 +90,11 @@ POOL_HOSTS_ENV = "REPRO_POOL_HOSTS"
 #: Environment knob: coordinator bind address (default ``127.0.0.1:0``).
 POOL_BIND_ENV = "REPRO_POOL_BIND"
 
+#: Environment knob: shared registration/mesh token.  Required when the
+#: host list has remote entries (the coordinator never logs the token);
+#: loopback-only pools generate a private one.
+POOL_TOKEN_ENV = "REPRO_POOL_TOKEN"
+
 #: Environment knob: exchange chunk size in amplitudes.
 CHUNK_AMPS_ENV = "REPRO_POOL_CHUNK_AMPS"
 
@@ -97,14 +111,24 @@ DEFAULT_CHUNK_AMPS = 1 << 15
 
 _AMP_BYTES = 16  # complex128
 
-_HELLO = struct.Struct("!I")
+_HELLO = struct.Struct("!II")  # worker_id, token_len (token bytes follow)
 _MSG_LEN = struct.Struct("!Q")
-_FRAME = struct.Struct("!BIIQQ")  # kind, step, seq, offset, length
+_FRAME = struct.Struct("!BIIQQ")  # kind, exchange, seq, offset, length
 _KIND_DATA = 1
 _KIND_ABORT = 2
 
+#: Upper bound on a HELLO token length (rejects garbage connections
+#: before they can make us read an attacker-chosen byte count).
+_TOKEN_MAX_BYTES = 1024
+
 _CONNECT_TIMEOUT_S = 30.0
 _DRAIN_TIMEOUT_S = 5.0
+
+#: An exchange pump with pending receives that sees *zero* socket
+#: events for this long raises instead of blocking forever.  TCP
+#: keepalive (see :func:`_tune_socket`) detects vanished hosts in
+#: ~60 s; this is the backstop for stalls keepalive cannot see.
+_MESH_STALL_TIMEOUT_S = 300.0
 
 _LOOPBACK_NAMES = frozenset({"127.0.0.1", "localhost", "::1", "local", ""})
 
@@ -197,6 +221,18 @@ def _tune_socket(sock: socket.socket) -> None:
     # Frames are small relative to kernel buffers; Nagle would add
     # 40 ms stalls to every barrier-free small exchange.
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    # A host that vanishes without RST/FIN (power loss, partition)
+    # otherwise leaves peers blocked in the pump forever: keepalive
+    # kills the connection after ~30s idle + 3 probes at 10s, turning
+    # the silent partition into a ConnectionError the pump surfaces.
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    for opt, value in (
+        ("TCP_KEEPIDLE", 30),
+        ("TCP_KEEPINTVL", 10),
+        ("TCP_KEEPCNT", 3),
+    ):
+        if hasattr(socket, opt):  # Linux; other platforms keep defaults
+            sock.setsockopt(socket.IPPROTO_TCP, getattr(socket, opt), value)
 
 
 # -- the mesh transport --------------------------------------------------------
@@ -229,10 +265,16 @@ class TcpMeshTransport(RankTransport):
     simultaneously -- no send ever waits behind a blocked receive, so
     symmetric full-buffer exchanges cannot deadlock.
 
-    Frames from a *future* step may arrive while this step's pump runs
-    (a peer with no receives can run ahead); they are stashed per
-    channel and consumed by the next ``exchange`` call.  FIFO channel
-    order plus the shared enumeration order make tag matching exact.
+    Frames are tagged with a per-transport monotonic **exchange
+    counter**, incremented on every ``exchange`` call on every worker
+    (even workers with nothing to move) -- the SPMD enumeration keeps
+    the counters in lockstep, so the tag is globally unique within a
+    plan.  The plan step index would NOT be: a remap step exchanges
+    ``2**g - 1`` times under one step index, and with >= 3 workers a
+    fast peer's next-round frames can arrive mid-round.  Frames from a
+    *future* exchange are stashed per channel and consumed by the
+    ``exchange`` call they belong to; delivery additionally checks the
+    frame arrived from the peer that owns the copy's source rank.
     """
 
     direct_gather = False
@@ -257,6 +299,8 @@ class TcpMeshTransport(RankTransport):
         #: Per-owned-rank send scratch (the "double buffer"): packed
         #: lazily on the first exchange that sends from that rank.
         self._scratch: dict[int, np.ndarray] = {}
+        #: Monotonic exchange tag; see the class docstring.
+        self._next_exchange = 0
         self._sel = selectors.DefaultSelector()
         for wid, peer in peers.items():
             peer.sock.setblocking(False)
@@ -280,9 +324,15 @@ class TcpMeshTransport(RankTransport):
         on_ready=None,
     ) -> None:
         t0 = time.perf_counter() if obs.is_enabled() else None
+        # Claim this exchange's tag unconditionally -- even when this
+        # worker has nothing to send or receive -- so every worker's
+        # counter advances in lockstep with the SPMD enumeration.
+        xid = self._next_exchange
+        self._next_exchange += 1
         sends: list[tuple[int, int, memoryview]] = []  # (peer_wid, seq, bytes)
         recvs: dict[tuple[int, int], _Recv] = {}
         direct: list[CopySpec] = []
+        packed: set[int] = set()
         tx_bytes = 0
         for seq, c in enumerate(copies):
             dst_mine = c.dst_rank in self._owned
@@ -294,6 +344,15 @@ class TcpMeshTransport(RankTransport):
                 # Pack the outgoing region into scratch *now*: the live
                 # buffer may be mutated by on_ready updates before the
                 # pump finishes writing these bytes out.
+                if c.src_rank in packed:
+                    # Scratch is per source rank; a second send from the
+                    # same rank would overwrite bytes still queued.
+                    raise PoolError(
+                        f"exchange {xid} sends twice from rank "
+                        f"{c.src_rank}: one scratch buffer per source "
+                        "rank per exchange"
+                    )
+                packed.add(c.src_rank)
                 scratch = self._scratch_for(c.src_rank)[: c.length]
                 np.copyto(
                     scratch,
@@ -303,7 +362,7 @@ class TcpMeshTransport(RankTransport):
                 sends.append((self._worker_of[c.dst_rank], seq, view))
                 tx_bytes += len(view)
             elif dst_mine:
-                recvs[(step_index, seq)] = _Recv(self, c, on_ready)
+                recvs[(xid, seq)] = _Recv(self, c, on_ready)
         # Direct moves complete before any update mutates a source.
         for c in direct:
             dst = self.store.view(c.dst_rank, c.dst_kind)
@@ -313,7 +372,7 @@ class TcpMeshTransport(RankTransport):
             if on_ready is not None:
                 on_ready(c, c.dst_lo, c.dst_hi)
         if sends or recvs:
-            self._pump(step_index, sends, recvs)
+            self._pump(xid, sends, recvs)
             if obs.is_enabled():
                 obs.counter(
                     "repro_transport_bytes_total",
@@ -325,41 +384,54 @@ class TcpMeshTransport(RankTransport):
                 )
 
     def _queue_frames(
-        self, peer: _Peer, step: int, seq: int, payload: memoryview
+        self, peer: _Peer, xid: int, seq: int, payload: memoryview
     ) -> None:
         chunk_bytes = self.chunk_amps * _AMP_BYTES
         offset = 0
         total = len(payload)
         while offset < total:
             part = payload[offset : offset + chunk_bytes]
-            header = _FRAME.pack(_KIND_DATA, step, seq, offset, len(part))
+            header = _FRAME.pack(_KIND_DATA, xid, seq, offset, len(part))
             peer.tx.append(memoryview(header))
             peer.tx.append(part)
             offset += len(part)
 
     def _pump(
         self,
-        step_index: int,
+        xid: int,
         sends: list[tuple[int, int, memoryview]],
         recvs: dict[tuple[int, int], "_Recv"],
     ) -> None:
         for wid, seq, payload in sends:
-            self._queue_frames(self._peers[wid], step_index, seq, payload)
+            self._queue_frames(self._peers[wid], xid, seq, payload)
         # Replay stashed frames a fast peer delivered early.
         for peer in self._peers.values():
             if not peer.stash:
                 continue
             pending, peer.stash = peer.stash, []
-            for step, seq, offset, payload in pending:
-                self._deliver(peer, step, seq, offset, payload, recvs)
+            for f_xid, seq, offset, payload in pending:
+                self._deliver(peer, f_xid, seq, offset, payload, recvs)
         rx_pending = sum(1 for r in recvs.values() if not r.complete)
+        deadline = time.monotonic() + _MESH_STALL_TIMEOUT_S
         while rx_pending or any(p.tx for p in self._peers.values()):
             for peer in self._peers.values():
                 events = selectors.EVENT_READ
                 if peer.tx:
                     events |= selectors.EVENT_WRITE
                 self._sel.modify(peer.sock, events, peer.wid)
-            for key, events in self._sel.select():
+            now = time.monotonic()
+            ready = self._sel.select(timeout=min(1.0, max(0.0, deadline - now)))
+            if not ready:
+                if time.monotonic() >= deadline:
+                    raise PoolError(
+                        f"mesh exchange {xid} stalled: no socket activity "
+                        f"for {_MESH_STALL_TIMEOUT_S:.0f}s with "
+                        f"{rx_pending} receive(s) outstanding (peer hung "
+                        "or network partitioned?)"
+                    )
+                continue
+            deadline = time.monotonic() + _MESH_STALL_TIMEOUT_S
+            for key, events in ready:
                 peer = self._peers[key.data]
                 if events & selectors.EVENT_WRITE:
                     self._drain_tx(peer)
@@ -401,7 +473,7 @@ class TcpMeshTransport(RankTransport):
         while True:
             if len(peer.rx) < _FRAME.size:
                 return completed
-            kind, step, seq, offset, length = _FRAME.unpack_from(peer.rx)
+            kind, xid, seq, offset, length = _FRAME.unpack_from(peer.rx)
             if kind == _KIND_ABORT:
                 raise PoolError("mesh peer aborted the exchange")
             end = _FRAME.size + length
@@ -409,16 +481,23 @@ class TcpMeshTransport(RankTransport):
                 return completed
             payload = bytes(peer.rx[_FRAME.size : end])
             del peer.rx[:end]
-            completed += self._deliver(peer, step, seq, offset, payload, recvs)
+            completed += self._deliver(peer, xid, seq, offset, payload, recvs)
 
     def _deliver(
-        self, peer: _Peer, step: int, seq: int, offset: int, payload: bytes, recvs
+        self, peer: _Peer, xid: int, seq: int, offset: int, payload: bytes, recvs
     ) -> int:
-        recv = recvs.get((step, seq))
+        recv = recvs.get((xid, seq))
         if recv is None or recv.complete:
-            # A frame for a step this worker has not reached yet.
-            peer.stash.append((step, seq, offset, payload))
+            # A frame for an exchange this worker has not reached yet.
+            peer.stash.append((xid, seq, offset, payload))
             return 0
+        expected_wid = self._worker_of[recv.copy.src_rank]
+        if peer.wid != expected_wid:
+            raise PoolError(
+                f"mesh frame for exchange {xid} seq {seq} arrived from "
+                f"worker {peer.wid}, but the copy's source rank "
+                f"{recv.copy.src_rank} belongs to worker {expected_wid}"
+            )
         recv.accept(offset, payload)
         if obs.is_enabled():
             obs.counter(
@@ -521,9 +600,20 @@ def _build_mesh(
     ctrl: socket.socket,
     listener: socket.socket,
     worker_id: int,
+    token: str,
     addresses: dict[int, tuple[str, int]],
 ) -> dict[int, _Peer]:
-    """Full mesh: connect to lower ids, accept from higher ids."""
+    """Full mesh: connect to lower ids, accept from higher ids.
+
+    Every connection opens with a HELLO carrying the pool token; the
+    accepting side rejects (closes and keeps waiting) any connection
+    whose token does not match -- the mesh listener may be reachable
+    from beyond the pool (remote workers bind non-loopback), and an
+    unauthenticated peer must not be able to inject amplitude data or
+    abort frames into a run.
+    """
+    token_bytes = token.encode()
+    hello = _HELLO.pack(worker_id, len(token_bytes)) + token_bytes
     peers: dict[int, _Peer] = {}
     for wid in sorted(addresses):
         if wid >= worker_id:
@@ -532,15 +622,45 @@ def _build_mesh(
             tuple(addresses[wid]), timeout=_CONNECT_TIMEOUT_S
         )
         _tune_socket(sock)
-        sock.sendall(_HELLO.pack(worker_id))
+        sock.sendall(hello)
         peers[wid] = _Peer(wid, sock)
-    expect_higher = sum(1 for wid in addresses if wid > worker_id)
-    listener.settimeout(_CONNECT_TIMEOUT_S)
-    for _ in range(expect_higher):
-        sock, _addr = listener.accept()
+    expect = {wid for wid in addresses if wid > worker_id}
+    deadline = time.monotonic() + _CONNECT_TIMEOUT_S
+    while expect:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise PoolError(
+                f"timed out waiting for mesh peers {sorted(expect)}"
+            )
+        listener.settimeout(remaining)
+        try:
+            sock, _addr = listener.accept()
+        except socket.timeout:
+            continue
+        try:
+            sock.settimeout(_CONNECT_TIMEOUT_S)
+            wid, token_len = _HELLO.unpack(
+                _recv_exact(sock, _HELLO.size)
+            )
+            if token_len > _TOKEN_MAX_BYTES:
+                raise EOFError("oversized hello token")
+            peer_token = _recv_exact(sock, token_len)
+        except (EOFError, OSError, socket.timeout):
+            sock.close()
+            continue
+        if wid not in expect or not secrets.compare_digest(
+            peer_token, token_bytes
+        ):
+            obs.log.warning(
+                "rejecting unauthenticated mesh connection (worker id %r)",
+                wid,
+            )
+            sock.close()
+            continue
+        sock.settimeout(None)
         _tune_socket(sock)
-        (wid,) = _HELLO.unpack(_recv_exact(sock, _HELLO.size))
         peers[wid] = _Peer(wid, sock)
+        expect.discard(wid)
     return peers
 
 
@@ -599,7 +719,7 @@ def _run_plan_in_worker(ctrl, peers, worker_id, num_workers, task, slices):
     return {rank: local[rank] for rank in owned}
 
 
-def _worker_loop(ctrl, listener, worker_id, num_workers) -> None:
+def _worker_loop(ctrl, listener, worker_id, num_workers, token) -> None:
     """Serve coordinator commands until close/EOF."""
     peers: dict[int, _Peer] = {}
     try:
@@ -612,7 +732,9 @@ def _worker_loop(ctrl, listener, worker_id, num_workers) -> None:
             if kind == "close":
                 break
             if kind == "mesh":
-                peers = _build_mesh(ctrl, listener, worker_id, message[1])
+                peers = _build_mesh(
+                    ctrl, listener, worker_id, token, message[1]
+                )
                 _send_msg(ctrl, ("ready", worker_id))
             elif kind == "ping":
                 _send_msg(ctrl, ("pong", worker_id))
@@ -677,7 +799,7 @@ def _connect_and_serve(
     if welcome[0] != "welcome":
         raise PoolError(f"unexpected coordinator reply {welcome[0]!r}")
     num_workers = welcome[1]
-    _worker_loop(ctrl, listener, worker_id, num_workers)
+    _worker_loop(ctrl, listener, worker_id, num_workers, token)
 
 
 def _spawned_worker_main(
@@ -737,7 +859,19 @@ class TcpPool:
             ) from None
 
     def _build(self) -> None:
-        token = secrets.token_hex(16)
+        # Loopback-only pools mint a private token; remote entries need
+        # a shared secret the operator distributes out of band (the
+        # token authenticates both the control channel and the worker
+        # mesh, and is deliberately never logged).
+        token = os.environ.get(POOL_TOKEN_ENV, "")
+        if not token:
+            if not all(spec.is_local for spec in self.hosts):
+                raise ValidationError(
+                    f"remote host entries require {POOL_TOKEN_ENV} to be "
+                    "set (same value on the coordinator and every remote "
+                    "worker); the token is never printed or logged"
+                )
+            token = secrets.token_hex(16)
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind(self._bind_address())
@@ -759,14 +893,16 @@ class TcpPool:
             else:
                 obs.log.info(
                     "waiting for remote worker %d to register from %s "
-                    "(python -m repro.parallel.tcp --connect %s:%d "
-                    "--worker-id %d --token %s)",
+                    "(%s=... python -m repro.parallel.tcp --connect %s:%d "
+                    "--worker-id %d); the token is not logged -- use the "
+                    "%s value this coordinator was started with",
                     wid,
                     spec.label(),
+                    POOL_TOKEN_ENV,
                     coord_host,
                     coord_port,
                     wid,
-                    token,
+                    POOL_TOKEN_ENV,
                 )
         self._ctrl = {}
         mesh_addrs: dict[int, tuple[str, int]] = {}
@@ -792,7 +928,8 @@ class TcpPool:
             if (
                 len(message) != 4
                 or message[0] != "register"
-                or message[2] != token
+                or not isinstance(message[2], str)
+                or not secrets.compare_digest(message[2], token)
             ):
                 obs.log.warning("rejecting unauthenticated pool connection")
                 sock.close()
@@ -1097,16 +1234,22 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--token",
-        default=os.environ.get("REPRO_POOL_TOKEN", ""),
-        help="registration token (or env REPRO_POOL_TOKEN)",
+        default=os.environ.get(POOL_TOKEN_ENV, ""),
+        help=f"registration token (or env {POOL_TOKEN_ENV}); also "
+        "authenticates incoming mesh connections",
     )
     parser.add_argument(
         "--bind",
         default="0.0.0.0:0",
         metavar="HOST[:PORT]",
-        help="mesh listener bind address (default 0.0.0.0:ephemeral)",
+        help="mesh listener bind address (default 0.0.0.0:ephemeral). "
+        "Mesh connections are token-authenticated, but prefer binding "
+        "the cluster-facing interface over 0.0.0.0 on multi-homed "
+        "hosts",
     )
     args = parser.parse_args(argv)
+    if not args.token:
+        parser.error(f"--token (or env {POOL_TOKEN_ENV}) is required")
     host, _, port_s = args.connect.partition(":")
     bind_host, _, bind_port_s = args.bind.partition(":")
     from repro.parallel.pool import _IN_WORKER_ENV

@@ -2,16 +2,21 @@
 
 from __future__ import annotations
 
+import socket
+import threading
+
 import numpy as np
 import pytest
 
 from repro.circuits.qft import qft_circuit
 from repro.errors import PoolError
+from repro.parallel import tcp as tcp_mod
 from repro.parallel.tcp import (
     TcpPool,
     get_tcp_pool,
     shutdown_tcp_pools,
 )
+from repro.parallel.transport import LOCAL, PAIR, CopySpec, DictStore
 from repro.statevector.distributed import DistributedStatevector
 
 LOOPBACK2 = "127.0.0.1:0,127.0.0.1:0"
@@ -114,6 +119,60 @@ class TestLoopbackPool:
         finally:
             pool.close()
 
+    def test_multi_round_remap_three_workers_small_chunks(self):
+        # Regression: a remap routes 2**g - 1 rounds under ONE plan step
+        # index, and with >= 3 workers a fast peer's next-round frames
+        # arrive while this worker's current round is still pumping.
+        # Frames used to be tagged (step, seq) and collided across
+        # rounds; the monotonic exchange counter keeps them apart.
+        # Tiny chunks maximise the in-flight frame interleaving.
+        from repro.circuits import Circuit
+        from repro.gates import Gate
+        from repro.parallel.stepper import PlanTask
+        from repro.statevector.apply_plan import compile_plan
+        from repro.statevector.fusion import resolve_fusion
+
+        # 9 qubits over 8 ranks: 6 local qubits, remap pairs must span
+        # local<->global.  Two g=2 remaps = two 3-round routings, with
+        # enough surrounding gates to make every amplitude distinct.
+        circuit = Circuit(9)
+        for q in range(9):
+            circuit.h(q)
+        for q in range(8):
+            circuit.cp(0.3 * (q + 1), q, q + 1)
+        circuit.append(Gate.remap(((0, 6), (1, 7))))
+        for q in range(6):
+            circuit.p(0.1 * (q + 1), q)
+        circuit.append(Gate.remap(((2, 7), (3, 8))))
+        for q in range(9):
+            circuit.h(q)
+        expected = _serial(9, 8, circuit)
+        plan = compile_plan(
+            circuit, fusion=resolve_fusion(None), local_qubits=6
+        )
+        init = np.zeros(64, dtype=np.complex128)
+        init[0] = 1.0
+        task = PlanTask(
+            local_name=None,
+            pair_name=None,
+            num_qubits=9,
+            num_ranks=8,
+            halved_swaps=False,
+            plan=plan,
+            emit_events=False,
+            needs_pair=True,
+            chunk_amps=2,
+        )
+        pool = TcpPool(LOOPBACK3)
+        try:
+            finals = pool.run_plan(
+                task, {0: init, **{r: None for r in range(1, 8)}}
+            )
+            got = np.concatenate([finals[r] for r in range(8)])
+            assert np.array_equal(expected, got)
+        finally:
+            pool.close()
+
     def test_schedule_accounting_matches_serial(self):
         circuit = qft_circuit(7)
         serial_state = DistributedStatevector.zero_state(
@@ -139,6 +198,114 @@ class TestLoopbackPool:
             6, 4, executor="pool", hosts=LOOPBACK2, observer=observer
         ).apply_circuit(circuit)
         assert seen == list(range(len(circuit)))
+
+
+def _loop_transport(owned, worker_of, slice_len=4):
+    """A one-peer transport over a socketpair (peer wid = 1)."""
+    ours, theirs = socket.socketpair()
+    ours.setblocking(False)
+    local = {r: np.zeros(slice_len, dtype=np.complex128) for r in owned}
+    pair = {r: np.empty(slice_len, dtype=np.complex128) for r in owned}
+    store = DictStore(local, pair)
+    transport = tcp_mod.TcpMeshTransport(
+        {1: tcp_mod._Peer(1, ours)},
+        worker_of,
+        0,
+        store,
+        tuple(owned),
+        slice_len,
+    )
+    return transport, theirs
+
+
+class TestMeshProtocol:
+    def test_mesh_rejects_bad_token(self):
+        token = "s3cret-token"
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        addr = listener.getsockname()
+        addresses = {0: addr, 1: ("127.0.0.1", 1)}
+        result = {}
+
+        def accept_side():
+            result["peers"] = tcp_mod._build_mesh(
+                None, listener, 0, token, addresses
+            )
+
+        thread = threading.Thread(target=accept_side)
+        thread.start()
+        try:
+            bad = socket.create_connection(addr, timeout=5)
+            bad.settimeout(5)
+            bad.sendall(tcp_mod._HELLO.pack(1, 5) + b"wrong")
+            # The accept side closes unauthenticated connections.
+            assert bad.recv(1) == b""
+            bad.close()
+            good = socket.create_connection(addr, timeout=5)
+            payload = token.encode()
+            good.sendall(tcp_mod._HELLO.pack(1, len(payload)) + payload)
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            assert set(result["peers"]) == {1}
+            for peer in result["peers"].values():
+                peer.sock.close()
+            good.close()
+        finally:
+            listener.close()
+
+    def test_duplicate_source_rank_send_rejected(self):
+        # Scratch is packed per source rank; two sends from one rank in
+        # a single exchange would overwrite queued bytes (see REVIEW).
+        transport, theirs = _loop_transport((0,), {0: 0, 1: 1})
+        sock = transport._peers[1].sock
+        try:
+            copies = [
+                CopySpec(1, LOCAL, 0, 4, 0, LOCAL, 0, 4),
+                CopySpec(1, PAIR, 0, 4, 0, LOCAL, 0, 4),
+            ]
+            with pytest.raises(PoolError, match="sends twice"):
+                transport.exchange(0, copies)
+        finally:
+            sock.close()
+            theirs.close()
+            transport.close()
+
+    def test_stalled_exchange_raises(self, monkeypatch):
+        # A receive that never arrives must surface as a PoolError, not
+        # block in select() forever (vanished host without RST/FIN).
+        monkeypatch.setattr(tcp_mod, "_MESH_STALL_TIMEOUT_S", 0.2)
+        transport, theirs = _loop_transport((0,), {0: 0, 1: 1})
+        sock = transport._peers[1].sock
+        try:
+            copies = [CopySpec(0, PAIR, 0, 4, 1, LOCAL, 0, 4)]
+            with pytest.raises(PoolError, match="stalled"):
+                transport.exchange(0, copies)
+        finally:
+            sock.close()
+            theirs.close()
+            transport.close()
+
+    def test_frame_from_wrong_peer_rejected(self):
+        # A frame whose (exchange, seq) matches a pending receive but
+        # which arrives from a peer that does not own the copy's source
+        # rank is a protocol violation, not data to accept.
+        transport, theirs = _loop_transport((0,), {0: 0, 1: 1, 2: 2})
+        sock = transport._peers[1].sock
+        try:
+            # Expect rank 2's data (owned by worker 2) on exchange 0.
+            copies = [CopySpec(0, PAIR, 0, 4, 2, LOCAL, 0, 4)]
+            payload = np.arange(4, dtype=np.complex128).tobytes()
+            header = tcp_mod._FRAME.pack(
+                tcp_mod._KIND_DATA, 0, 0, 0, len(payload)
+            )
+            theirs.sendall(header + payload)  # from worker 1, not 2
+            with pytest.raises(PoolError, match="belongs to worker 2"):
+                transport.exchange(0, copies)
+        finally:
+            sock.close()
+            theirs.close()
+            transport.close()
 
 
 class TestPoolLifecycle:
