@@ -51,6 +51,18 @@ amplitudes bitwise against serial, and writes ``BENCH_scaleout.json``.
 The ``--require-speedup`` gate enforces the committed multi-core
 acceptance floor (pool >= 1.5x serial).
 
+``--suite sampling`` measures shot-sampling throughput: a measured
+QAOA workload sampled end to end on the dense, serial and pool-tcp
+executors (pool-shm when available), with the sample streams and
+mid-circuit outcome records checked bitwise across executors, writing
+``BENCH_sampling.json``.  Absolute shots/s is machine-dependent, so
+the regression gate binds on two hardware-independent facts instead:
+bit-identity must hold in both the baseline and the current run, and
+the marginal per-shot cost of the exact sampler must stay sub-linear
+in the state size (the two-level cumulative descent scales ~log with
+amplitudes; a regression to a linear per-shot scan blows the measured
+small-to-large ratio past the 8x acceptance ceiling).
+
 Baselines for the wall-clock suites (``parallel``, ``scaleout``) are
 only honest on parallel hardware: a baseline-producing run (one without
 ``--check-against``) refuses to write on a host with fewer than two
@@ -465,6 +477,173 @@ def check_scaleout_against(current: dict, baseline_path: str) -> list[str]:
     return failures
 
 
+def _time_sample_leg(circuit, shots, seed, repeats, **sample_kwargs):
+    """(median wall seconds, SampleResult) for one executor's sample()."""
+    from repro.statevector.sampling import sample
+
+    samples = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = sample(circuit, shots, seed, **sample_kwargs)
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples), result
+
+
+#: Fixed widths for the exact-sampler scaling probe -- like the fusion
+#: sweep these never shrink under ``--quick`` so the committed ratio and
+#: CI smoke runs measure the same descent depths.
+_SAMPLING_SCALE_QUBITS = (12, 18)
+
+
+def _marginal_shot_ns(amps, shots_lo, shots_hi, seed, repeats) -> float:
+    """Marginal ns per shot, isolated from the setup cost.
+
+    Times ``sample_exact`` at two shot counts on the same state; the
+    difference divides out the one-off exact-norm setup (which is linear
+    in the state size by design) and leaves the per-shot descent cost.
+    """
+    from repro.statevector.exact import sample_exact
+
+    def leg(shots):
+        runs = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            sample_exact([amps], shots, seed)
+            runs.append(time.perf_counter() - t0)
+        return statistics.median(runs)
+
+    return (leg(shots_hi) - leg(shots_lo)) / (shots_hi - shots_lo) * 1e9
+
+
+def run_sampling(quick: bool) -> dict:
+    """Shot throughput per executor, bit-identity, per-shot scaling."""
+    import os
+
+    from repro.parallel import shm_available
+    from repro.tune.workloads import build_workload
+
+    n = 12 if quick else 16
+    shots = 2048 if quick else 8192
+    ranks = 4
+    repeats = 3
+    seed = 7
+    hosts = "127.0.0.1:0,127.0.0.1:0"
+    circuit = build_workload("qaoa-sampled", n).circuit
+
+    # shots=0 still runs the circuit and the mid-circuit collapses, so
+    # the difference isolates the terminal sampling cost.
+    prep_s, _ = _time_sample_leg(circuit, 0, seed, repeats)
+    dense_s, dense = _time_sample_leg(circuit, shots, seed, repeats)
+    serial_s, serial = _time_sample_leg(
+        circuit, shots, seed, repeats, executor="serial", num_ranks=ranks
+    )
+    shm_s = shm = None
+    if shm_available():
+        shm_s, shm = _time_sample_leg(
+            circuit, shots, seed, repeats, executor="pool", num_ranks=ranks
+        )
+    tcp_s, tcp = _time_sample_leg(
+        circuit,
+        shots,
+        seed,
+        repeats,
+        executor="pool",
+        num_ranks=ranks,
+        hosts=hosts,
+    )
+
+    def identical(other):
+        if other is None:
+            return None
+        return bool(
+            np.array_equal(dense.samples, other.samples)
+            and dense.measure_outcomes == other.measure_outcomes
+        )
+
+    sample_only_s = max(dense_s - prep_s, 1e-9)
+    lo, hi = 128, 2048
+    marginal = {
+        q: _marginal_shot_ns(
+            random_state(q, seed=q), lo, hi, seed, max(3, repeats)
+        )
+        for q in _SAMPLING_SCALE_QUBITS
+    }
+    small_q, large_q = _SAMPLING_SCALE_QUBITS
+    return {
+        "schema": "repro-bench-sampling/1",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "shm_available": shm_available(),
+        "workload": {
+            "circuit": f"qaoa-sampled-{n}",
+            "num_qubits": n,
+            "num_ranks": ranks,
+            "shots": shots,
+            "seed": seed,
+            "repeats": repeats,
+            "measure_gates": len(dense.measure_outcomes),
+            "prep_s": round(prep_s, 4),
+            "dense_s": round(dense_s, 4),
+            "serial_s": round(serial_s, 4),
+            "pool_shm_s": round(shm_s, 4) if shm_s is not None else None,
+            "pool_tcp_s": round(tcp_s, 4),
+            "dense_shots_per_s": round(shots / sample_only_s, 1),
+            "bit_identical": {
+                "serial": identical(serial),
+                "shm": identical(shm),
+                "tcp": identical(tcp),
+            },
+        },
+        "exact": {
+            "shots_lo": lo,
+            "shots_hi": hi,
+            "marginal_ns_per_shot": {
+                f"2**{q}_amps": round(marginal[q], 1) for q in marginal
+            },
+            "state_scale_ratio": round(marginal[large_q] / marginal[small_q], 3),
+            "amps_ratio": 1 << (large_q - small_q),
+        },
+    }
+
+
+#: A linear per-shot scan would track the 64x amplitude growth between
+#: the two probe widths; the two-level descent stays near 1x.  8x is the
+#: ceiling the gate (and the committed baseline) must stay under.
+_SAMPLING_SCALE_CEILING = 8.0
+
+
+def check_sampling_against(current: dict, baseline_path: str) -> list[str]:
+    """Sampling regressions: bit-identity always, descent stays sub-linear.
+
+    Both checks are hardware-independent, so they bind on the committed
+    baseline *and* the current run: executor sample streams must agree
+    bitwise with dense, and the exact sampler's marginal per-shot cost
+    ratio between the two fixed probe widths must stay under the 8x
+    acceptance ceiling (a per-shot linear scan would track the 64x
+    amplitude growth).
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for report, tag in ((baseline, "baseline"), (current, "current")):
+        for transport, ok in report["workload"]["bit_identical"].items():
+            if ok is False:
+                failures.append(
+                    f"{tag}: {transport} sample stream is not bit-identical "
+                    f"to dense"
+                )
+        ratio = report["exact"]["state_scale_ratio"]
+        if ratio >= _SAMPLING_SCALE_CEILING:
+            failures.append(
+                f"{tag}: per-shot cost grew {ratio:.2f}x from 2**12 to "
+                f"2**18 amps (ceiling {_SAMPLING_SCALE_CEILING:.0f}x -- "
+                f"the exact sampler is no longer sub-linear in state size)"
+            )
+    return failures
+
+
 def _median_apply(circuit, num_qubits: int, ranks: int, repeats: int) -> float:
     from repro.statevector import DistributedStatevector
 
@@ -848,7 +1027,15 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("kernels", "parallel", "scaleout", "obs", "transpile", "tune"),
+        choices=(
+            "kernels",
+            "parallel",
+            "scaleout",
+            "sampling",
+            "obs",
+            "transpile",
+            "tune",
+        ),
         default="kernels",
         help="what to measure (default: %(default)s)",
     )
@@ -995,6 +1182,56 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {output}")
         if args.check_against:
             failures = check_tune_against(report, args.check_against)
+            if failures:
+                for line in failures:
+                    print(f"REGRESSION {line}", file=sys.stderr)
+                return 1
+            print(f"no regressions vs {args.check_against}")
+        return 0
+
+    if args.suite == "sampling":
+        report = run_sampling(args.quick)
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        work, exact = report["workload"], report["exact"]
+        shm_part = (
+            f"pool-shm {work['pool_shm_s']:.3f}s  "
+            if work["pool_shm_s"] is not None
+            else "pool-shm n/a (no shared memory)  "
+        )
+        print(
+            f"{work['circuit']} x {work['shots']} shots: "
+            f"dense {work['dense_s']:.3f}s "
+            f"({work['dense_shots_per_s']:.0f} shots/s)  "
+            f"serial {work['serial_s']:.3f}s  " + shm_part +
+            f"pool-tcp {work['pool_tcp_s']:.3f}s"
+        )
+        print(
+            "bit-identical to dense: "
+            + "  ".join(
+                f"{k}={'yes' if v else 'n/a' if v is None else 'NO'}"
+                for k, v in work["bit_identical"].items()
+            )
+        )
+        marginals = "  ".join(
+            f"{label} {ns:.0f} ns/shot"
+            for label, ns in exact["marginal_ns_per_shot"].items()
+        )
+        print(
+            f"exact sampler marginal cost: {marginals}  "
+            f"(scale ratio {exact['state_scale_ratio']:.2f}x over "
+            f"{exact['amps_ratio']}x amps)"
+        )
+        print(f"wrote {output}")
+        if any(v is False for v in work["bit_identical"].values()):
+            print(
+                "REGRESSION executor sample streams diverge from dense",
+                file=sys.stderr,
+            )
+            return 1
+        if args.check_against:
+            failures = check_sampling_against(report, args.check_against)
             if failures:
                 for line in failures:
                     print(f"REGRESSION {line}", file=sys.stderr)

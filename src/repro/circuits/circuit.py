@@ -165,6 +165,20 @@ class Circuit:
         """Apply an explicit unitary on ``targets``."""
         return self.append(Gate.unitary(matrix, targets))
 
+    def measure(self, q: int) -> "Circuit":
+        """Mid-circuit measurement of qubit ``q`` (collapse + renormalise).
+
+        The outcome is seed-deterministic: executors draw it from their
+        ``measure_seed`` and the measurement's ordinal position, so the
+        same circuit under the same seed collapses identically on every
+        backend.
+        """
+        return self.append(Gate.measure(q))
+
+    def has_measurements(self) -> bool:
+        """True if any gate is a mid-circuit measurement."""
+        return any(g.name == "measure" for g in self._gates)
+
     # -- transforms --------------------------------------------------------
 
     def inverse(self) -> "Circuit":
@@ -201,6 +215,10 @@ class Circuit:
             raise CircuitError(
                 f"unitary_matrix() limited to 12 qubits, circuit has "
                 f"{self._num_qubits}"
+            )
+        if self.has_measurements():
+            raise CircuitError(
+                "a circuit with measurements is not a unitary"
             )
         # Local import: statevector depends on circuits for tests only.
         from repro.statevector.dense import DenseStatevector

@@ -95,6 +95,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--shots",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shot count for sampling-aware experiments "
+            "(equivalent to setting REPRO_SHOTS)"
+        ),
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="FILE",
         help=(
@@ -125,14 +135,18 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         from repro.parallel import resolve_executor
+        from repro.parallel.tcp import resolve_stall_timeout
         from repro.statevector.fusion import resolve_fusion
         from repro.statevector.gate_kernels import get_backend
+        from repro.statevector.sampling import resolve_shots
         from repro.transpile import resolve_strategy
 
         resolve_executor(None)
         get_backend()
         resolve_strategy(args.transpile)
         resolve_fusion(args.fusion)
+        resolve_shots(args.shots)
+        resolve_stall_timeout()
     except ValidationError as exc:
         return _fail(str(exc))
 
@@ -157,6 +171,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_TRANSPILE"] = args.transpile
     if args.fusion:
         os.environ["REPRO_FUSION"] = args.fusion
+    if args.shots is not None:
+        os.environ["REPRO_SHOTS"] = str(args.shots)
     if args.cache:
         os.environ["REPRO_CACHE_DIR"] = args.cache
 

@@ -19,6 +19,7 @@ from repro.experiments import (
     ext_precision,
     ext_ranks_per_node,
     ext_resilience,
+    ext_sampling,
     ext_scaling,
     ext_transpile,
     ext_tune,
@@ -60,6 +61,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "ext-parallel": ext_parallel.run,
     "ext-des-crosscheck": ext_des_crosscheck.run,
     "ext-resilience": ext_resilience.run,
+    "ext-sampling": ext_sampling.run,
     "ext-transpile": ext_transpile.run,
     "ext-tune": ext_tune.run,
     "validate": validate.run,

@@ -159,6 +159,13 @@ class Gate:
                     "fused_diag targets must be the sorted union of "
                     "constituent qubits"
                 )
+        elif self.name == "measure":
+            if len(self.targets) != 1:
+                raise GateError("measure takes exactly one target qubit")
+            if self.controls:
+                raise GateError("measure takes no controls")
+            if self.params:
+                raise GateError("measure takes no parameters")
         elif self.name != "unitary":
             spec = GATE_REGISTRY.get(self.name)
             if spec is None:
@@ -253,6 +260,17 @@ class Gate:
         return Gate(name="remap", targets=touched, constituents=swaps)
 
     @staticmethod
+    def measure(qubit: int) -> "Gate":
+        """Build a mid-circuit measurement of one qubit.
+
+        Measurement is not a unitary: it projects onto the
+        seed-deterministic outcome and renormalises.  The executors
+        route it through the exact-arithmetic norm reduction in
+        :mod:`repro.statevector.exact` rather than a matrix kernel.
+        """
+        return Gate(name="measure", targets=(qubit,))
+
+    @staticmethod
     def unitary(
         matrix: np.ndarray,
         targets: tuple[int, ...] | list[int],
@@ -309,6 +327,8 @@ class Gate:
         if self.name == "unitary":
             dim = 2 ** len(self.targets)
             return np.array(self._matrix_key, dtype=np.complex128).reshape(dim, dim)
+        if self.name == "measure":
+            raise GateError("measurement has no unitary matrix")
         spec = GATE_REGISTRY[self.name]
         return spec.matrix_fn(*self.params)
 
@@ -401,10 +421,12 @@ class Gate:
         """True if the target-space matrix is diagonal (fully local gate)."""
         if self.name == "fused_diag":
             return True
-        if self.name in ("remap", "fused_block"):
+        if self.name in ("remap", "fused_block", "measure"):
             # A fused block is kept non-diagonal by fiat even when its
             # composed matrix happens to be diagonal: it must lower to
             # the batched-matmul step, never the diagonal sweep.
+            # Measurement pairs on its target (the norm reduction spans
+            # both halves), so it is never fully local either.
             return False
         if self.name == "unitary":
             return mats.is_diagonal(self.matrix())
@@ -435,6 +457,8 @@ class Gate:
             )
         if self.name == "remap":
             return self  # a product of disjoint transpositions is an involution
+        if self.name == "measure":
+            raise GateError("measurement is irreversible; cannot invert")
         m = self.matrix()
         md = m.conj().T
         if np.allclose(m, md):

@@ -58,7 +58,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: 3: RunConfiguration grew executor/transport/num_hosts/overlap_factor
 #:    (TCP pool overlap pricing) -- serial-era entries must never be
 #:    served for pool/TCP configurations.
-CACHE_VERSION = 3
+#: 4: RunConfiguration grew shots (sampling pricing) and plans grew
+#:    measurement steps -- pre-measurement entries must never be served
+#:    for sampling configurations.
+CACHE_VERSION = 4
 
 
 def _canon(value, out: list[str]) -> None:
@@ -218,12 +221,20 @@ class PredictionCache:
             ValueError,
             OSError,
         ) as exc:
-            # A torn or stale entry behaves like a miss; the writer will
-            # atomically replace it.
+            # A torn or stale entry behaves like a miss -- and is
+            # unlinked, so a key that is read but never re-written
+            # (schema drift, a crashed writer's torn bytes) does not
+            # pay the open/parse/fail cost on every subsequent lookup.
             self.misses += 1
             obs.counter("repro_cache_misses_total").inc()
             obs.counter("repro_cache_torn_entries_total").inc()
             obs.log.debug("torn cache entry %s: %s", path, exc)
+            try:
+                path.unlink()
+            except OSError as unlink_exc:
+                # Already replaced/removed by a concurrent writer, or a
+                # permission oddity: the miss still stands either way.
+                obs.swallowed("cache.torn_unlink", unlink_exc)
             return None
         self.hits += 1
         obs.counter("repro_cache_hits_total").inc()

@@ -25,6 +25,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing as mp
 import os
+import signal
 import time
 import traceback
 from dataclasses import dataclass
@@ -106,11 +107,21 @@ def _worker_main(worker_id: int, num_workers: int, conn, barrier, events) -> Non
     workers never pay tracing overhead the parent did not ask for.
     """
     os.environ[_IN_WORKER_ENV] = "1"
+    # Ctrl-C is delivered to the whole foreground process group, so
+    # without this every worker dies mid-``recv`` on an interactive
+    # interrupt and the parent books the deaths as crashes (bumping
+    # ``repro_pool_worker_crashes_total`` and triggering restart
+    # logic).  Workers ignore SIGINT; the parent owns the interrupt
+    # and turns it into a clean shutdown.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError) as exc:  # pragma: no cover - exotic host
+        obs.swallowed("pool.worker_sigint_ignore", exc)
     ctx = WorkerContext(worker_id, num_workers, barrier, events)
     while True:
         try:
             command = conn.recv()
-        except (EOFError, OSError, KeyboardInterrupt):
+        except (EOFError, OSError):
             break
         kind = command[0]
         if kind == "close":
@@ -267,6 +278,19 @@ class WorkerPool:
             raise PoolError("worker pool is broken; call get_pool() again")
         obs.counter("repro_pool_spmd_total").inc()
         collect = obs.is_enabled()
+        try:
+            return self._spmd_wait(fn, payload, collect, on_event)
+        except KeyboardInterrupt:
+            # An interactive interrupt is a shutdown request, not a
+            # worker crash: mark the pool closing *before* the atexit
+            # sweep reaps the workers so their exits stay out of
+            # ``repro_pool_worker_crashes_total``.
+            self._closing = True
+            self._broken = True
+            raise
+
+    def _spmd_wait(self, fn, payload, collect, on_event) -> list[Any]:
+        """The send/wait/collect body of :meth:`spmd`."""
         for pipe in self._pipes:
             pipe.send(("spmd", fn, payload, collect))
         results: dict[int, Any] = {}
@@ -356,6 +380,17 @@ class WorkerPool:
         items = list(items)
         obs.counter("repro_pool_tasks_total").inc(len(items))
         collect = obs.is_enabled()
+        try:
+            return self._map_tasks_wait(fn, items, collect)
+        except KeyboardInterrupt:
+            # Same contract as :meth:`spmd`: Ctrl-C means shutdown,
+            # not a crash -- keep the crash counter clean.
+            self._closing = True
+            self._broken = True
+            raise
+
+    def _map_tasks_wait(self, fn, items: list, collect: bool) -> list:
+        """The dispatch/wait body of :meth:`map_tasks`."""
         results: list[Any] = [None] * len(items)
         first_error: tuple[int, str, str] | None = None
         next_item = 0

@@ -28,12 +28,14 @@ amplitude.
 from __future__ import annotations
 
 import os
+import pickle
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import obs
 from repro.gates import GateLocality
+from repro.statevector import exact
 from repro.statevector import gate_kernels as kernels
 from repro.statevector.apply_plan import ApplyPlan, ApplyStep, StepKind
 from repro.statevector.distributed import (
@@ -46,6 +48,7 @@ from repro.statevector.distributed import (
 )
 from repro.statevector.partition import Partition
 from repro.parallel.transport import (
+    BLOB_SLOT_BYTES,
     LOCAL,
     PAIR,
     Array2DStore,
@@ -89,6 +92,14 @@ class PlanTask:
     resume_step: int = 0
     checkpoint_steps: int | None = None
     fail_at: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    #: Seed of the MEASURE outcome stream (the parent simulator's).
+    measure_seed: int = 0
+    #: Ordinal of this plan's first measurement in the parent's run
+    #: (earlier plans may already have measured).
+    measure_base: int = 0
+    #: Shared blob segment for the shm allgather (None over TCP, whose
+    #: transport gathers through mesh frames).
+    blob_name: str | None = None
 
 
 def _exec_local(
@@ -246,6 +257,55 @@ def _exec_distributed_swap(
             )
 
 
+def _exec_measure(
+    step_index: int,
+    step: ApplyStep,
+    partition: Partition,
+    store: RankStore,
+    transport: RankTransport,
+    owned: tuple[int, ...],
+    *,
+    seed: int,
+    ordinal: int,
+    worker_id: int,
+    emit=None,
+) -> None:
+    """Mid-circuit collapse: exact partials, blob allgather, local rewrite.
+
+    Each worker sums the exact integer partial norms of its owned
+    ranks, allgathers the per-worker ``(n0, ntotal)`` pairs through the
+    transport's scalar collective, and re-sums -- integer addition is
+    associative, so every worker (and the serial executor) derives the
+    identical global pair and hence the identical outcome.  Worker 0
+    reports the outcome upstream unconditionally (the parent's
+    bookkeeping needs it even with no observer attached).
+    """
+    qubit = step.targets[0]
+    m = partition.local_qubits
+    n0 = 0
+    ntotal = 0
+    for rank in owned:
+        p0, pt = exact.partial_norms(store.view(rank, LOCAL), qubit, rank, m)
+        n0 += p0
+        ntotal += pt
+    payload = pickle.dumps((n0, ntotal), protocol=pickle.HIGHEST_PROTOCOL)
+    n0 = 0
+    ntotal = 0
+    for blob in transport.allgather_blob(step_index, payload):
+        p0, pt = pickle.loads(blob)
+        n0 += p0
+        ntotal += pt
+    outcome = exact.measure_outcome(seed, ordinal, n0, ntotal)
+    n_sel = n0 if outcome == 0 else ntotal - n0
+    scale = exact.collapse_scale(n_sel, ntotal)
+    for rank in owned:
+        exact.collapse_slice(
+            store.view(rank, LOCAL), qubit, outcome, scale, rank, m
+        )
+    if worker_id == 0 and emit is not None:
+        emit(("measure", ordinal, qubit, outcome))
+
+
 def _remap_split(step: ApplyStep, m: int):
     cross: list[tuple[int, int]] = []
     local_pairs: list[tuple[int, int]] = []
@@ -364,6 +424,13 @@ def execute_plan(
     partition = Partition(task.num_qubits, task.num_ranks)
     owned = partition.ranks_for_worker(worker_id, num_workers)
     fail_at = set(task.fail_at)
+    # Ordinals count *every* measure step of the plan, including ones a
+    # restarted dispatch skips below resume_step: the k-th measurement
+    # of the run must draw from counter k on every worker, always.
+    measure_ordinals: dict[int, int] = {}
+    for idx, step in enumerate(task.plan.steps):
+        if step.kind is StepKind.MEASURE:
+            measure_ordinals[idx] = task.measure_base + len(measure_ordinals)
     executed = 0
     with obs.span(
         "worker.plan", worker=worker_id, steps=len(task.plan.steps)
@@ -384,8 +451,15 @@ def execute_plan(
                 # SIGKILL/OOM would -- no cleanup, peers see a vanished
                 # endpoint mid-exchange.
                 os._exit(FAIL_EXIT_CODE)
-            locality = partition.classify(step.gate)
-            if locality in (
+            locality = None
+            if step.kind is StepKind.MEASURE:
+                # Measure pre-empts classification: its target's
+                # locality is irrelevant -- the norm reduction always
+                # spans every rank.
+                kind = "measure"
+            elif (
+                locality := partition.classify(step.gate)
+            ) in (
                 GateLocality.FULLY_LOCAL,
                 GateLocality.LOCAL_MEMORY,
             ):
@@ -405,7 +479,20 @@ def execute_plan(
                     "repro_kernel_dispatch_total", kind=kind
                 ).inc(len(owned))
             with obs.span("worker.step", step=idx, kind=kind):
-                if kind in ("diagonal", "local"):
+                if kind == "measure":
+                    _exec_measure(
+                        idx,
+                        step,
+                        partition,
+                        store,
+                        transport,
+                        owned,
+                        seed=task.measure_seed,
+                        ordinal=measure_ordinals[idx],
+                        worker_id=worker_id,
+                        emit=emit,
+                    )
+                elif kind in ("diagonal", "local"):
                     _exec_local(step, locality, partition, store, owned)
                 elif kind == "distributed_remap":
                     _exec_remap(
@@ -448,11 +535,24 @@ def run_plan_worker(ctx, task: PlanTask):
         if task.pair_name is not None
         else None
     )
+    blob_att = (
+        attach_array(
+            task.blob_name, (ctx.num_workers, BLOB_SLOT_BYTES), np.uint8
+        )
+        if task.blob_name is not None
+        else None
+    )
     try:
         store = Array2DStore(
             local_att.array, pair_att.array if pair_att is not None else None
         )
-        transport = ShmTransport(ctx.barrier, store, owned)
+        transport = ShmTransport(
+            ctx.barrier,
+            store,
+            owned,
+            worker_id=ctx.worker_id,
+            blobs=blob_att.array if blob_att is not None else None,
+        )
         execute_plan(
             transport,
             store,
@@ -465,4 +565,6 @@ def run_plan_worker(ctx, task: PlanTask):
         local_att.close()
         if pair_att is not None:
             pair_att.close()
+        if blob_att is not None:
+            blob_att.close()
     return ("done", ctx.worker_id, len(task.plan.steps))

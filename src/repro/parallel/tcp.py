@@ -35,11 +35,14 @@ Wire formats (all integers big-endian):
   checks, so only authenticated workers can join the mesh;
 * mesh channel: ``u8 kind, u32 exchange, u32 seq, u64 offset,
   u64 length`` + raw amplitude bytes (kind 1 = data chunk, kind 2 =
-  abort).  ``exchange`` is a per-plan monotonic exchange counter --
-  NOT the plan step index: one step may perform several exchanges
-  (a remap routes ``2**g - 1`` rounds), and tagging by step index
-  alone would let a fast peer's next-round frames collide with the
-  current round's.
+  abort, kind 3 = scalar-collective blob, where ``seq`` carries the
+  sender's worker id).  ``exchange`` is a per-plan monotonic exchange
+  counter -- NOT the plan step index: one step may perform several
+  exchanges (a remap routes ``2**g - 1`` rounds), and tagging by step
+  index alone would let a fast peer's next-round frames collide with
+  the current round's.  Blob collectives claim a tag from the same
+  counter, so measurement's norm reduction stays ordered with the
+  amplitude exchanges around it.
 """
 
 from __future__ import annotations
@@ -50,6 +53,7 @@ import os
 import pickle
 import secrets
 import selectors
+import signal
 import socket
 import struct
 import sys
@@ -75,6 +79,8 @@ __all__ = [
     "POOL_TOKEN_ENV",
     "CHUNK_AMPS_ENV",
     "CHECKPOINT_STEPS_ENV",
+    "STALL_TIMEOUT_ENV",
+    "resolve_stall_timeout",
     "MAX_RESTARTS",
     "HostSpec",
     "parse_hosts",
@@ -101,6 +107,9 @@ CHUNK_AMPS_ENV = "REPRO_POOL_CHUNK_AMPS"
 #: Environment knob: checkpoint cadence in plan steps (0 disables).
 CHECKPOINT_STEPS_ENV = "REPRO_POOL_CHECKPOINT_STEPS"
 
+#: Environment knob: mesh stall-detection timeout in seconds (> 0).
+STALL_TIMEOUT_ENV = "REPRO_POOL_STALL_TIMEOUT"
+
 #: Worker-loss restarts per ``run_plan`` before giving up.
 MAX_RESTARTS = 3
 
@@ -116,6 +125,7 @@ _MSG_LEN = struct.Struct("!Q")
 _FRAME = struct.Struct("!BIIQQ")  # kind, exchange, seq, offset, length
 _KIND_DATA = 1
 _KIND_ABORT = 2
+_KIND_BLOB = 3
 
 #: Upper bound on a HELLO token length (rejects garbage connections
 #: before they can make us read an attacker-chosen byte count).
@@ -128,6 +138,8 @@ _DRAIN_TIMEOUT_S = 5.0
 #: events for this long raises instead of blocking forever.  TCP
 #: keepalive (see :func:`_tune_socket`) detects vanished hosts in
 #: ~60 s; this is the backstop for stalls keepalive cannot see.
+#: Overridable per run via ``REPRO_POOL_STALL_TIMEOUT`` (seconds); see
+#: :func:`resolve_stall_timeout`.
 _MESH_STALL_TIMEOUT_S = 300.0
 
 _LOOPBACK_NAMES = frozenset({"127.0.0.1", "localhost", "::1", "local", ""})
@@ -301,6 +313,10 @@ class TcpMeshTransport(RankTransport):
         self._scratch: dict[int, np.ndarray] = {}
         #: Monotonic exchange tag; see the class docstring.
         self._next_exchange = 0
+        #: Blob frames that arrived before their collective was reached:
+        #: ``(exchange, sender_wid) -> payload``.
+        self._blob_stash: dict[tuple[int, int], bytes] = {}
+        self._stall_timeout = resolve_stall_timeout()
         self._sel = selectors.DefaultSelector()
         for wid, peer in peers.items():
             peer.sock.setblocking(False)
@@ -412,7 +428,7 @@ class TcpMeshTransport(RankTransport):
             for f_xid, seq, offset, payload in pending:
                 self._deliver(peer, f_xid, seq, offset, payload, recvs)
         rx_pending = sum(1 for r in recvs.values() if not r.complete)
-        deadline = time.monotonic() + _MESH_STALL_TIMEOUT_S
+        deadline = time.monotonic() + self._stall_timeout
         while rx_pending or any(p.tx for p in self._peers.values()):
             for peer in self._peers.values():
                 events = selectors.EVENT_READ
@@ -425,18 +441,74 @@ class TcpMeshTransport(RankTransport):
                 if time.monotonic() >= deadline:
                     raise PoolError(
                         f"mesh exchange {xid} stalled: no socket activity "
-                        f"for {_MESH_STALL_TIMEOUT_S:.0f}s with "
+                        f"for {self._stall_timeout:.0f}s with "
                         f"{rx_pending} receive(s) outstanding (peer hung "
                         "or network partitioned?)"
                     )
                 continue
-            deadline = time.monotonic() + _MESH_STALL_TIMEOUT_S
+            deadline = time.monotonic() + self._stall_timeout
             for key, events in ready:
                 peer = self._peers[key.data]
                 if events & selectors.EVENT_WRITE:
                     self._drain_tx(peer)
                 if events & selectors.EVENT_READ:
                     rx_pending -= self._drain_rx(peer, recvs)
+
+    def allgather_blob(self, tag: int, payload: bytes) -> list[bytes]:
+        """Mesh allgather of one small byte string per worker.
+
+        Claims a tag from the same monotonic exchange counter as the
+        amplitude exchanges (every worker reaches the collective at the
+        same point of the SPMD enumeration), sends the payload to every
+        peer as a single ``_KIND_BLOB`` frame whose ``seq`` field
+        carries the sender's worker id, and drains the mesh until every
+        peer's blob for this tag has arrived.  Frames from *later*
+        exchanges that land mid-drain are stashed for the calls they
+        belong to, exactly as the exchange pump does.
+        """
+        xid = self._next_exchange
+        self._next_exchange += 1
+        own = bytes(payload)
+        header = _FRAME.pack(_KIND_BLOB, xid, self._worker_id, 0, len(own))
+        frame = memoryview(header + own)
+        for peer in self._peers.values():
+            peer.tx.append(frame[:])
+        out: dict[int, bytes] = {self._worker_id: own}
+        expect = set(self._peers)
+        no_recvs: dict = {}
+        deadline = time.monotonic() + self._stall_timeout
+        while expect or any(p.tx for p in self._peers.values()):
+            for wid in list(expect):
+                blob = self._blob_stash.pop((xid, wid), None)
+                if blob is not None:
+                    out[wid] = blob
+                    expect.discard(wid)
+            if not expect and not any(p.tx for p in self._peers.values()):
+                break
+            for peer in self._peers.values():
+                events = selectors.EVENT_READ
+                if peer.tx:
+                    events |= selectors.EVENT_WRITE
+                self._sel.modify(peer.sock, events, peer.wid)
+            now = time.monotonic()
+            ready = self._sel.select(timeout=min(1.0, max(0.0, deadline - now)))
+            if not ready:
+                if time.monotonic() >= deadline:
+                    raise PoolError(
+                        f"mesh collective {xid} stalled: no socket "
+                        f"activity for {self._stall_timeout:.0f}s with "
+                        f"{len(expect)} blob(s) outstanding (peer hung "
+                        "or network partitioned?)"
+                    )
+                continue
+            deadline = time.monotonic() + self._stall_timeout
+            for key, events in ready:
+                peer = self._peers[key.data]
+                if events & selectors.EVENT_WRITE:
+                    self._drain_tx(peer)
+                if events & selectors.EVENT_READ:
+                    self._drain_rx(peer, no_recvs)
+        return [out[wid] for wid in sorted(out)]
 
     def _drain_tx(self, peer: _Peer) -> None:
         while peer.tx:
@@ -481,6 +553,18 @@ class TcpMeshTransport(RankTransport):
                 return completed
             payload = bytes(peer.rx[_FRAME.size : end])
             del peer.rx[:end]
+            if kind == _KIND_BLOB:
+                # ``seq`` is the sender's worker id; the frame arrived
+                # over that worker's authenticated mesh connection, so
+                # a mismatch means a protocol bug (or an impersonation
+                # attempt) -- refuse it either way.
+                if seq != peer.wid:
+                    raise PoolError(
+                        f"mesh blob for exchange {xid} claims sender "
+                        f"{seq} but arrived from worker {peer.wid}"
+                    )
+                self._blob_stash[(xid, seq)] = payload
+                continue
             completed += self._deliver(peer, xid, seq, offset, payload, recvs)
 
     def _deliver(
@@ -567,6 +651,24 @@ def _default_chunk_amps() -> int:
         ) from None
     if value < 1:
         raise ValidationError(f"{CHUNK_AMPS_ENV} must be >= 1, got {value}")
+    return value
+
+
+def resolve_stall_timeout() -> float:
+    """Mesh stall-detection timeout: env override or the 300 s default."""
+    env = os.environ.get(STALL_TIMEOUT_ENV)
+    if env is None:
+        return _MESH_STALL_TIMEOUT_S
+    try:
+        value = float(env)
+    except ValueError:
+        raise ValidationError(
+            f"{STALL_TIMEOUT_ENV} must be a number of seconds, got {env!r}"
+        ) from None
+    if not value > 0:
+        raise ValidationError(
+            f"{STALL_TIMEOUT_ENV} must be > 0 seconds, got {env!r}"
+        )
     return value
 
 
@@ -808,6 +910,13 @@ def _spawned_worker_main(
     from repro.parallel.pool import _IN_WORKER_ENV
 
     os.environ[_IN_WORKER_ENV] = "1"
+    # Same contract as the shm pool's workers: Ctrl-C hits the whole
+    # process group, but the interrupt belongs to the coordinator,
+    # which turns it into a clean close instead of a booked crash.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError) as exc:  # pragma: no cover - exotic host
+        obs.swallowed("tcp.worker_sigint_ignore", exc)
     try:
         _connect_and_serve(
             coord_host, coord_port, worker_id, token, "127.0.0.1", 0

@@ -41,6 +41,7 @@ from repro.errors import PoolError
 __all__ = [
     "LOCAL",
     "PAIR",
+    "BLOB_SLOT_BYTES",
     "CopySpec",
     "RankStore",
     "Array2DStore",
@@ -48,6 +49,11 @@ __all__ = [
     "RankTransport",
     "ShmTransport",
 ]
+
+#: Bytes reserved per worker for one scalar-collective payload (a
+#: 4-byte length prefix plus a pickled big-int tuple; measurement's
+#: ``(n0, ntotal)`` pair is a few hundred bytes even at full precision).
+BLOB_SLOT_BYTES = 4096
 
 #: Buffer kinds a :class:`CopySpec` may address.
 LOCAL = "local"
@@ -179,6 +185,18 @@ class RankTransport:
     ) -> None:
         raise NotImplementedError
 
+    def allgather_blob(self, tag: int, payload: bytes) -> list[bytes]:
+        """Every worker's ``payload`` for step ``tag``, in worker order.
+
+        The scalar collective behind mid-circuit measurement: each
+        worker contributes one small byte string (its exact partial
+        norms) and receives all of them.  Payloads must fit in
+        :data:`BLOB_SLOT_BYTES` minus the 4-byte length prefix.
+        """
+        raise PoolError(
+            f"{type(self).__name__} does not implement scalar collectives"
+        )
+
     def close(self) -> None:
         """Release transport resources (idempotent)."""
 
@@ -197,13 +215,52 @@ class ShmTransport(RankTransport):
 
     direct_gather = True
 
-    def __init__(self, barrier, store: RankStore, owned: tuple[int, ...]):
+    def __init__(
+        self,
+        barrier,
+        store: RankStore,
+        owned: tuple[int, ...],
+        *,
+        worker_id: int | None = None,
+        blobs: np.ndarray | None = None,
+    ):
         self.barrier = barrier
         self.store = store
         self._owned = frozenset(owned)
+        self._worker_id = worker_id
+        self._blobs = blobs
 
     def fence(self) -> None:
         _timed_wait(self.barrier)
+
+    def allgather_blob(self, tag: int, payload: bytes) -> list[bytes]:
+        """Shared-segment allgather: write own row, fence, read all rows.
+
+        Each worker owns one uint8 row of the blob segment; the payload
+        lands behind a 4-byte big-endian length prefix.  The first fence
+        publishes every row, the second releases them for the next
+        collective.
+        """
+        if self._blobs is None or self._worker_id is None:
+            raise PoolError(
+                "plan measures but no blob segment was attached to the "
+                "shm transport"
+            )
+        row = self._blobs[self._worker_id]
+        if len(payload) + 4 > row.shape[0]:
+            raise PoolError(
+                f"collective payload of {len(payload)} B exceeds the "
+                f"{row.shape[0]} B blob slot"
+            )
+        row[:4] = np.frombuffer(len(payload).to_bytes(4, "big"), np.uint8)
+        row[4 : 4 + len(payload)] = np.frombuffer(payload, np.uint8)
+        self.fence()
+        out = []
+        for r in range(self._blobs.shape[0]):
+            length = int.from_bytes(bytes(self._blobs[r, :4]), "big")
+            out.append(bytes(self._blobs[r, 4 : 4 + length]))
+        self.fence()
+        return out
 
     def exchange(
         self,

@@ -26,7 +26,7 @@ from repro.perfmodel.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.perfmodel.comm_cost import exchange_time
 from repro.perfmodel.gate_cost import local_cost
 from repro.statevector.partition import Partition
-from repro.statevector.plan import GatePlan, plan_gate
+from repro.statevector.plan import GatePlan, plan_gate, sampling_plan
 
 __all__ = [
     "RunConfiguration",
@@ -75,8 +75,16 @@ class RunConfiguration:
     #: priced for ``executor="pool", transport="tcp"`` -- the shm pool
     #: copies between two barriers and hides nothing.
     overlap_factor: float = 1.0
+    #: Bitstring samples drawn from the final state (0 = none).  A
+    #: non-zero value appends one synthetic sampling step to the trace
+    #: -- the per-rank probability-total pass, its scalar gather, and
+    #: the per-shot cumulative lookups -- so sampling jobs price the
+    #: readout they actually perform.
+    shots: int = 0
 
     def __post_init__(self) -> None:
+        if self.shots < 0:
+            raise ValueError(f"shots must be >= 0, got {self.shots}")
         rpn = self.ranks_per_node
         if rpn < 1 or (rpn & (rpn - 1)) != 0:
             raise ValueError(
@@ -174,6 +182,8 @@ def trace_circuit(circuit: Circuit, config: RunConfiguration) -> ExecutionTrace:
                 max_message=config.max_message,
             )
         )
+    if config.shots:
+        trace.append(sampling_plan(config.partition, config.shots))
     return trace
 
 

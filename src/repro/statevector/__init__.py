@@ -31,6 +31,7 @@ from repro.statevector.measurement import (
     sample_counts,
 )
 from repro.statevector.partition import AMPLITUDE_BYTES, Partition
+from repro.statevector.sampling import SampleResult, sample
 from repro.statevector.serialization import (
     load_dense,
     load_distributed,
@@ -44,6 +45,7 @@ from repro.statevector.plan import (
     GatePlan,
     plan_circuit,
     plan_gate,
+    sampling_plan,
 )
 
 __all__ = [
@@ -67,6 +69,7 @@ __all__ = [
     "GatePlan",
     "plan_gate",
     "plan_circuit",
+    "sampling_plan",
     "FLOPS_PER_AMP_PAIR_UPDATE",
     "FLOPS_PER_AMP_DIAGONAL",
     "fidelity",
@@ -79,4 +82,6 @@ __all__ = [
     "pauli_expectation",
     "sample_counts",
     "collapse_qubit",
+    "sample",
+    "SampleResult",
 ]

@@ -79,6 +79,7 @@ class StepKind(enum.Enum):
     GENERIC = "generic"
     REMAP = "remap"
     FUSED = "fused"
+    MEASURE = "measure"
 
 
 @dataclass(frozen=True)
@@ -107,6 +108,12 @@ class ApplyStep:
 
     def run_local(self, amps: np.ndarray) -> None:
         """Execute the step on a local amplitude array, in place."""
+        if self.kind is StepKind.MEASURE:
+            raise SimulationError(
+                "a MEASURE step needs executor state (seed, ordinal, "
+                "norm reduction); dispatch it via the executor, not "
+                "run_local"
+            )
         if self.kind is StepKind.DIAGONAL:
             kernels.apply_diagonal(amps, self.diag, self.targets, self.controls)
         elif self.kind is StepKind.SWAP:
@@ -132,10 +139,24 @@ class ApplyPlan:
     #: Gates in the source circuit (>= len(steps) when runs were fused).
     num_gates: int
 
-    def run_dense(self, amps: np.ndarray) -> None:
-        """Execute every step on a full statevector, in place."""
+    def run_dense(self, amps: np.ndarray, *, on_measure=None) -> None:
+        """Execute every step on a full statevector, in place.
+
+        ``on_measure`` receives ``(step, amps)`` for each MEASURE step;
+        running a measuring plan without a handler is an error (the
+        handler owns the seed/ordinal bookkeeping).
+        """
         for step in self.steps:
-            step.run_local(amps)
+            if step.kind is StepKind.MEASURE:
+                if on_measure is None:
+                    raise SimulationError(
+                        "circuit contains measure gates; execute it "
+                        "through a simulator that supplies a "
+                        "measurement handler"
+                    )
+                on_measure(step, amps)
+            else:
+                step.run_local(amps)
 
     @property
     def num_fused(self) -> int:
@@ -145,6 +166,14 @@ class ApplyPlan:
 
 def compile_gate_step(gate: Gate) -> ApplyStep:
     """Classify one gate and materialise its operator."""
+    if gate.name == "measure":
+        return ApplyStep(
+            kind=StepKind.MEASURE,
+            gate=gate,
+            gates=(gate,),
+            targets=gate.targets,
+            controls=(),
+        )
     if gate.name == "fused_diag":
         return ApplyStep(
             kind=StepKind.DIAGONAL,
@@ -310,7 +339,9 @@ def _is_local(gate: Gate, local_qubits: int | None) -> bool:
 
 def _blockable(gate: Gate, local_qubits: int | None) -> bool:
     """True when the gate may become a fused_block constituent here."""
-    return gate.name != "remap" and _is_local(gate, local_qubits)
+    return gate.name not in ("remap", "measure") and _is_local(
+        gate, local_qubits
+    )
 
 
 def _block_fusion_units(

@@ -12,8 +12,10 @@ import numpy as np
 from repro.circuits.circuit import Circuit
 from repro.errors import SimulationError
 from repro.gates import Gate
+from repro.statevector import exact
 from repro.statevector.apply_plan import (
     ApplyPlan,
+    StepKind,
     compile_gate_step,
     compile_plan,
 )
@@ -31,6 +33,7 @@ class DenseStatevector:
         amplitudes: np.ndarray | None = None,
         *,
         dtype: np.dtype | type = np.complex128,
+        measure_seed: int = 0,
     ):
         if num_qubits < 1:
             raise SimulationError(f"num_qubits must be >= 1, got {num_qubits}")
@@ -56,6 +59,10 @@ class DenseStatevector:
                     f"amplitudes must have shape ({dim},), got {amplitudes.shape}"
                 )
             self._amps = amplitudes.copy()
+        self._measure_seed = int(measure_seed)
+        self._measure_count = 0
+        #: ``(qubit, outcome)`` of every mid-circuit measurement applied.
+        self.measure_outcomes: list[tuple[int, int]] = []
 
     # -- constructors ------------------------------------------------------
 
@@ -121,7 +128,11 @@ class DenseStatevector:
                 f"gate {gate} touches qubit {gate.max_qubit} of a "
                 f"{self._num_qubits}-qubit state"
             )
-        compile_gate_step(gate).run_local(self._amps)
+        step = compile_gate_step(gate)
+        if step.kind is StepKind.MEASURE:
+            self._on_measure(step, self._amps)
+        else:
+            step.run_local(self._amps)
         return self
 
     def apply_circuit(self, circuit: Circuit) -> "DenseStatevector":
@@ -140,8 +151,21 @@ class DenseStatevector:
                 f"plan width {plan.num_qubits} != state width "
                 f"{self._num_qubits}"
             )
-        plan.run_dense(self._amps)
+        plan.run_dense(self._amps, on_measure=self._on_measure)
         return self
+
+    def _on_measure(self, step, amps: np.ndarray) -> None:
+        """Collapse one qubit with a seed-deterministic outcome."""
+        qubit = step.targets[0]
+        n0, ntotal = exact.partial_norms(amps, qubit, 0, self._num_qubits)
+        outcome = exact.measure_outcome(
+            self._measure_seed, self._measure_count, n0, ntotal
+        )
+        n_sel = n0 if outcome == 0 else ntotal - n0
+        scale = exact.collapse_scale(n_sel, ntotal)
+        exact.collapse_slice(amps, qubit, outcome, scale, 0, self._num_qubits)
+        self.measure_outcomes.append((qubit, outcome))
+        self._measure_count += 1
 
     # -- measurement (delegates) --------------------------------------------
 
@@ -159,6 +183,22 @@ class DenseStatevector:
 
         return sample_counts(self._amps, shots, rng=rng)
 
+    def sample_bitstrings(self, shots: int, seed: int = 0) -> np.ndarray:
+        """Seed-deterministic samples via the exact cumulative search.
+
+        Bit-identical to every distributed executor's
+        ``sample_bitstrings`` for the same state and seed.
+        """
+        return exact.sample_exact([self._amps], shots, seed)
+
     def copy(self) -> "DenseStatevector":
-        """Deep copy (preserving precision)."""
-        return DenseStatevector(self._num_qubits, self._amps, dtype=self.dtype)
+        """Deep copy (preserving precision and measurement bookkeeping)."""
+        out = DenseStatevector(
+            self._num_qubits,
+            self._amps,
+            dtype=self.dtype,
+            measure_seed=self._measure_seed,
+        )
+        out._measure_count = self._measure_count
+        out.measure_outcomes = list(self.measure_outcomes)
+        return out

@@ -42,6 +42,7 @@ from repro.mpi import (
     exchange_arrays,
     log_exchange_schedule,
 )
+from repro.statevector import exact
 from repro.statevector import gate_kernels as kernels
 from repro.statevector.apply_plan import (
     ApplyPlan,
@@ -179,6 +180,7 @@ class DistributedStatevector:
         executor: str | None = None,
         fusion: str | FusionConfig | None = None,
         hosts: str | tuple[str, ...] | None = None,
+        measure_seed: int = 0,
     ):
         from repro.parallel import resolve_executor, resolve_hosts
 
@@ -195,6 +197,7 @@ class DistributedStatevector:
         self.comm = SimComm(partition.num_ranks)
         self._shared_local = None
         self._shared_pair = None
+        self._shared_blobs = None
         if self.executor == "pool" and self.transport == "shm":
             from repro.parallel.shm import SharedArray
 
@@ -213,6 +216,10 @@ class DistributedStatevector:
             )
         self._local[0][0] = 1.0  # |0...0>
         self._gate_index = 0
+        self.measure_seed = int(measure_seed)
+        self._measure_count = 0
+        #: ``(qubit, outcome)`` of every mid-circuit measurement applied.
+        self.measure_outcomes: list[tuple[int, int]] = []
         # Per-rank reusable exchange buffer (QuEST's static pairStateVec):
         # every distributed gate receives into it -- no per-gate full-size
         # allocation -- and the halved-SWAP path packs its outgoing half
@@ -462,7 +469,10 @@ class DistributedStatevector:
             halved_swaps=self.halved_swaps,
             max_message=self.max_message,
         )
-        if plan.locality is GateLocality.FULLY_LOCAL:
+        if step.kind is StepKind.MEASURE:
+            kind = "measure"
+            self._apply_measure_step(step)
+        elif plan.locality is GateLocality.FULLY_LOCAL:
             kind = "diagonal"
             self._apply_diagonal_step(step)
         elif plan.locality is GateLocality.LOCAL_MEMORY:
@@ -487,6 +497,72 @@ class DistributedStatevector:
 
     def _local_controls(self, gate: Gate) -> tuple[int, ...]:
         return local_controls_of(gate, self.partition.local_qubits)
+
+    # -- measurement (mid-circuit collapse) ----------------------------------
+
+    def _log_measure_reduction(self) -> None:
+        """Record the norm-reduction collective in the message log.
+
+        Outcome decisions never ride this collective -- they use the
+        exact integer partials -- but the *schedule* must show the same
+        ``log2(R)``-round recursive-doubling scalar-pair reduction on
+        every executor, so both the serial step and the pool replay call
+        this one helper.
+        """
+        if self.num_ranks == 1:
+            return
+        from repro.mpi.collectives import allreduce
+
+        allreduce(
+            self.comm, [np.zeros(2) for _ in range(self.num_ranks)]
+        )
+
+    def _apply_measure_step(self, step: ApplyStep) -> None:
+        """Collapse one qubit across all ranks (serial executor).
+
+        Exact per-rank partial norms sum to a partition-independent
+        integer total (see :mod:`repro.statevector.exact`), the outcome
+        draws from the seeded MEASURE stream, and each rank rewrites its
+        slice in place.  Implicit zero slices contribute nothing and
+        collapse to themselves, so they stay unmaterialised.
+        """
+        qubit = step.targets[0]
+        m = self.partition.local_qubits
+        n0 = 0
+        ntotal = 0
+        for rank in range(self.num_ranks):
+            if not self._local.is_materialized(rank):
+                continue
+            p0, pt = exact.partial_norms(
+                self._local.read(rank), qubit, rank, m
+            )
+            n0 += p0
+            ntotal += pt
+        self._log_measure_reduction()
+        outcome = exact.measure_outcome(
+            self.measure_seed, self._measure_count, n0, ntotal
+        )
+        n_sel = n0 if outcome == 0 else ntotal - n0
+        scale = exact.collapse_scale(n_sel, ntotal)
+        for rank in range(self.num_ranks):
+            if not self._local.is_materialized(rank):
+                continue
+            exact.collapse_slice(
+                self._local[rank], qubit, outcome, scale, rank, m
+            )
+        self.measure_outcomes.append((qubit, outcome))
+        self._measure_count += 1
+
+    def sample_bitstrings(self, shots: int, seed: int = 0) -> np.ndarray:
+        """Seed-deterministic basis-state samples from the current state.
+
+        Unlike :meth:`sample` (numpy-rng based, float weights), this
+        draws through the exact cumulative search shared by every
+        executor, so the shot stream depends only on ``(state, seed)``
+        -- never on the partition.
+        """
+        slices = [self._local.read(r) for r in range(self.num_ranks)]
+        return exact.sample_exact(slices, shots, seed)
 
     def _pair_buffers(self) -> list[np.ndarray]:
         """The per-rank reusable exchange buffers (allocated on first use)."""
@@ -791,6 +867,49 @@ class DistributedStatevector:
                 (self.num_ranks, self.partition.local_amplitudes), np.complex128
             )
 
+    def _ensure_shared_blobs(self, num_workers: int) -> None:
+        """Allocate the per-worker blob rows the shm allgather uses."""
+        if (
+            self._shared_blobs is None
+            or self._shared_blobs.array.shape[0] != num_workers
+        ):
+            from repro.parallel.shm import SharedArray
+            from repro.parallel.transport import BLOB_SLOT_BYTES
+
+            self._shared_blobs = SharedArray(
+                (num_workers, BLOB_SLOT_BYTES), np.uint8
+            )
+
+    def _measure_event_capture(self, plan: ApplyPlan, on_event):
+        """Wrap ``on_event`` to collect worker-reported measure outcomes.
+
+        Worker 0 emits one ``("measure", ordinal, qubit, outcome)``
+        event per collapse; the wrapper stores them by ordinal (restart
+        duplicates are identical, so overwrites are benign) and forwards
+        everything else.  Returns ``(wrapped, captured)``; ``captured``
+        is None when the plan never measures.
+        """
+        if not any(s.kind is StepKind.MEASURE for s in plan.steps):
+            return on_event, None
+        captured: dict[int, tuple[int, int]] = {}
+
+        def wrapped(event: tuple) -> None:
+            if event[0] == "measure":
+                captured[event[1]] = (event[2], event[3])
+                return
+            if on_event is not None:
+                on_event(event)
+
+        return wrapped, captured
+
+    def _record_pool_measures(self, captured) -> None:
+        """Fold worker-reported outcomes into the parent's bookkeeping."""
+        if not captured:
+            return
+        for ordinal in sorted(captured):
+            self.measure_outcomes.append(captured[ordinal])
+            self._measure_count += 1
+
     def _prepare_plan(
         self, plan: ApplyPlan
     ) -> tuple[list[tuple[ApplyStep, GatePlan, int]], bool]:
@@ -816,10 +935,12 @@ class DistributedStatevector:
                 halved_swaps=self.halved_swaps,
                 max_message=self.max_message,
             )
-            if gate_plan.locality not in (
+            if step.kind is not StepKind.MEASURE and gate_plan.locality not in (
                 GateLocality.FULLY_LOCAL,
                 GateLocality.LOCAL_MEMORY,
             ):
+                # Measure steps reduce scalars through the blob channel,
+                # never amplitudes through the pair buffer.
                 needs_pair = True
                 if step.kind is StepKind.SWAP and gate.controls:
                     raise SimulationError(
@@ -896,6 +1017,9 @@ class DistributedStatevector:
         if needs_pair:
             self._ensure_shared_pair()
         pool = get_pool()
+        has_measure = any(s.kind is StepKind.MEASURE for s in plan.steps)
+        if has_measure:
+            self._ensure_shared_blobs(pool.num_workers)
         obs.counter("repro_pool_plans_total").inc()
         task = PlanTask(
             local_name=self._shared_local.name,
@@ -905,12 +1029,17 @@ class DistributedStatevector:
             halved_swaps=self.halved_swaps,
             plan=plan,
             emit_events=self.observer is not None,
+            measure_seed=self.measure_seed,
+            measure_base=self._measure_count,
+            blob_name=self._shared_blobs.name if has_measure else None,
         )
         complete_through, on_event = self._step_replayer(
             plan, prepared, pool.num_workers
         )
+        on_event, captured = self._measure_event_capture(plan, on_event)
         pool.spmd(run_plan_worker, task, on_event=on_event)
         complete_through(len(prepared))
+        self._record_pool_measures(captured)
         if prepared:
             self._gate_index = prepared[-1][2] + prepared[-1][0].num_gates
 
@@ -940,6 +1069,8 @@ class DistributedStatevector:
             plan=plan,
             emit_events=self.observer is not None,
             needs_pair=needs_pair,
+            measure_seed=self.measure_seed,
+            measure_base=self._measure_count,
         )
         slices = {
             r: (self._local.read(r) if self._local.is_materialized(r) else None)
@@ -948,10 +1079,12 @@ class DistributedStatevector:
         complete_through, on_event = self._step_replayer(
             plan, prepared, pool.num_workers
         )
+        on_event, captured = self._measure_event_capture(plan, on_event)
         finals = pool.run_plan(task, slices, on_event=on_event)
         for rank, amps in finals.items():
             self._local[rank][:] = amps
         complete_through(len(prepared))
+        self._record_pool_measures(captured)
         if prepared:
             self._gate_index = prepared[-1][2] + prepared[-1][0].num_gates
 
@@ -959,6 +1092,9 @@ class DistributedStatevector:
         self, step: ApplyStep, gate_plan: GatePlan, start_index: int
     ) -> None:
         """Account one step's exchange messages (pool executor path)."""
+        if step.kind is StepKind.MEASURE:
+            self._log_measure_reduction()
+            return
         if gate_plan.locality in (
             GateLocality.FULLY_LOCAL,
             GateLocality.LOCAL_MEMORY,

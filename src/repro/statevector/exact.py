@@ -1,0 +1,281 @@
+"""Exact-arithmetic measurement primitives.
+
+Bit-identical measurement across executors cannot be built on floating
+partial sums: the four backends reduce |amp|^2 over different slice
+structures (one flat array, per-rank slices, per-chunk pipelines), and
+float addition is not associative, so their norms drift in the last ulp
+and a threshold draw near the boundary flips.  Instead every squared
+component is converted *exactly* to an integer in units of ``2**-1074``
+(the smallest positive subnormal): a finite float64 ``x`` decomposes via
+``frexp`` as ``mant * 2**(e-53)`` with ``mant`` a 53-bit integer, so
+``x / 2**-1074 == mant << (e + 1021)`` -- an exact (possibly shifted
+down, see :func:`_group_value`) Python integer.  Integer sums are
+associative, so every partition of the amplitudes yields the *same*
+total, and outcome decisions / cumulative searches on those totals are
+reproducible bit-for-bit however the state is sharded.
+
+The per-element float work (component squaring) is elementwise and
+therefore partition-independent; only the *summation* needed rescuing.
+
+Outcome draws use the counter-based :func:`repro.faults.rng.mix64`
+stream so the k-th measurement (or shot) of a run depends only on
+``(seed, stream, k)`` -- never on how many ranks or workers computed it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.faults.rng import mix64
+
+__all__ = [
+    "MEASURE_STREAM",
+    "SAMPLE_STREAM",
+    "exact_sq_norm",
+    "partial_norms",
+    "measure_outcome",
+    "collapse_scale",
+    "collapse_slice",
+    "sample_exact",
+]
+
+#: Stream tag ("MEAS") separating mid-circuit collapse draws from every
+#: other consumer of the splitmix64 counter space.
+MEASURE_STREAM = 0x4D454153
+
+#: Stream tag ("SAMP") for terminal shot sampling.
+SAMPLE_STREAM = 0x53414D50
+
+#: ``2**53`` -- frexp mantissas scale to integers by this factor.
+_MANT_SCALE = float(1 << 53)
+
+#: Mantissas are < 2**53; chunks of 512 summed in int64 stay < 2**62.
+_SUM_CHUNK = 512
+
+
+def _sq_components(amps: np.ndarray) -> np.ndarray:
+    """Squared real and imaginary components of a slice, as float64.
+
+    The returned order is irrelevant: callers only ever *sum* these
+    exactly, and exact sums are permutation-invariant.  Components are
+    widened to float64 *before* squaring so complex64 states square the
+    same values the dense reference does.
+    """
+    c = np.asarray(amps)
+    re = np.asarray(c.real, dtype=np.float64)
+    im = np.asarray(c.imag, dtype=np.float64)
+    sq = np.concatenate([np.ravel(re * re), np.ravel(im * im)])
+    if not np.all(np.isfinite(sq)):
+        raise SimulationError(
+            "non-finite amplitude encountered while measuring"
+        )
+    return sq
+
+
+def _decompose(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(mantissa, shift) with ``value == mant * 2**shift`` exactly.
+
+    ``mant`` is an int64 in ``[2**52, 2**53)`` (0 for zero values) and
+    ``shift`` is the exponent in units of ``2**-1074``.
+    """
+    m, e = np.frexp(values)
+    mant = np.rint(m * _MANT_SCALE).astype(np.int64)
+    shift = e.astype(np.int64) + 1021
+    return mant, shift
+
+
+def _group_value(mants: np.ndarray, shift: int) -> int:
+    """Exact sum of one equal-shift mantissa group, as a Python int.
+
+    A negative shift only arises for subnormal squares, whose mantissas
+    carry at least ``-shift`` trailing zero bits (the value is a
+    multiple of ``2**-1074`` by construction), so the group total is
+    exactly divisible and the right-shift below loses nothing.
+    """
+    total = 0
+    for off in range(0, len(mants), _SUM_CHUNK):
+        total += int(
+            np.add.reduce(mants[off : off + _SUM_CHUNK], dtype=np.int64)
+        )
+    return (total << shift) if shift >= 0 else (total >> -shift)
+
+
+def _units_sum(values: np.ndarray) -> int:
+    """Exact integer sum of non-negative float64s, in ``2**-1074`` units."""
+    if values.size == 0:
+        return 0
+    mant, shift = _decompose(values)
+    order = np.argsort(shift, kind="stable")
+    mant = mant[order]
+    shift = shift[order]
+    bounds = np.flatnonzero(np.diff(shift)) + 1
+    starts = np.concatenate(([0], bounds))
+    ends = np.concatenate((bounds, [len(shift)]))
+    total = 0
+    for a, b in zip(starts, ends):
+        total += _group_value(mant[a:b], int(shift[a]))
+    return total
+
+
+def _unit_values(values: np.ndarray) -> list[int]:
+    """Per-element exact integer values (``2**-1074`` units)."""
+    mant, shift = _decompose(values)
+    return [
+        (mt << sh) if sh >= 0 else (mt >> -sh)
+        for mt, sh in zip(mant.tolist(), shift.tolist())
+    ]
+
+
+def exact_sq_norm(arrays) -> int:
+    """Exact squared norm of a sequence of slices, in ``2**-1074`` units."""
+    return sum(_units_sum(_sq_components(a)) for a in arrays)
+
+
+def partial_norms(
+    amps: np.ndarray, qubit: int, rank: int, local_qubits: int
+) -> tuple[int, int]:
+    """One slice's exact ``(norm with qubit=0, total norm)`` contribution.
+
+    For a local qubit the slice splits into interleaved halves by the
+    target bit; for a rank-index qubit the whole slice belongs to one
+    outcome, decided by the rank id's bit.
+    """
+    if qubit < local_qubits:
+        view = np.reshape(amps, (-1, 2, 1 << qubit))
+        n0 = _units_sum(_sq_components(view[:, 0, :]))
+        n1 = _units_sum(_sq_components(view[:, 1, :]))
+        return n0, n0 + n1
+    total = _units_sum(_sq_components(amps))
+    bit = (rank >> (qubit - local_qubits)) & 1
+    return (0 if bit else total), total
+
+
+def measure_outcome(seed: int, ordinal: int, n0: int, ntotal: int) -> int:
+    """The seed-deterministic outcome of measurement number ``ordinal``.
+
+    Draws a 53-bit uniform ``u`` from the MEASURE stream and returns 0
+    iff ``u / 2**53 < n0 / ntotal``, compared exactly in integers.  A
+    zero-probability outcome is provably never chosen: ``n0 == 0`` fails
+    the comparison for every ``u``, and ``n0 == ntotal`` satisfies it
+    (``u < 2**53`` always).
+    """
+    if ntotal <= 0:
+        raise SimulationError("cannot measure a zero-norm state")
+    u = mix64(seed, MEASURE_STREAM, ordinal) >> 11
+    return 0 if u * ntotal < (n0 << 53) else 1
+
+
+def collapse_scale(n_selected: int, ntotal: int) -> float:
+    """The renormalisation factor ``1/sqrt(p)`` for the chosen outcome.
+
+    ``n_selected / ntotal`` is a big-int true division -- the correctly
+    rounded float64 of the exact ratio -- so every executor derives the
+    identical scale from the identical integer pair.
+    """
+    if n_selected <= 0:
+        raise SimulationError("collapse onto a zero-probability outcome")
+    return 1.0 / math.sqrt(n_selected / ntotal)
+
+
+def collapse_slice(
+    amps: np.ndarray,
+    qubit: int,
+    outcome: int,
+    scale: float,
+    rank: int,
+    local_qubits: int,
+) -> None:
+    """Project one slice onto ``qubit == outcome`` and rescale, in place."""
+    if qubit < local_qubits:
+        view = np.reshape(amps, (-1, 2, 1 << qubit))
+        view[:, 1 - outcome, :] = 0
+        amps *= amps.dtype.type(scale)
+        return
+    bit = (rank >> (qubit - local_qubits)) & 1
+    if bit != outcome:
+        amps[:] = 0
+    else:
+        amps *= amps.dtype.type(scale)
+
+
+#: Elements per search block in :func:`sample_exact`; block partials are
+#: exact, so any block size yields identical samples -- this one keeps
+#: the per-shot Python-level scan short.
+_SAMPLE_BLOCK = 4096
+
+
+def sample_exact(slices, shots: int, seed: int) -> np.ndarray:
+    """Draw ``shots`` basis-state indices from rank-ordered slices.
+
+    Shot ``s`` draws ``u = mix64(seed, SAMPLE_STREAM, s) >> 11`` and
+    returns the smallest global index ``j`` whose exact cumulative
+    squared norm satisfies ``cum(j) << 53 > u * N_total`` -- a two-level
+    (slice totals, then 4096-element block partials, then elements)
+    descent over exact integers, so the result is independent of how the
+    state is sharded.  ``u < 2**53`` guarantees the target always lands
+    before the final cumulative.
+    """
+    if shots < 0:
+        raise SimulationError(f"shots must be >= 0, got {shots}")
+    arrays = [np.ravel(np.asarray(a)) for a in slices]
+    if not arrays:
+        raise SimulationError("sample_exact needs at least one slice")
+    slice_len = len(arrays[0])
+    slice_totals = [_units_sum(_sq_components(a)) for a in arrays]
+    ntotal = sum(slice_totals)
+    if ntotal <= 0:
+        raise SimulationError("cannot sample a zero-norm state")
+
+    block_cache: dict[int, list[int]] = {}
+    elem_cache: dict[tuple[int, int], list[int]] = {}
+
+    def block_totals(r: int) -> list[int]:
+        got = block_cache.get(r)
+        if got is None:
+            a = arrays[r]
+            got = [
+                _units_sum(_sq_components(a[off : off + _SAMPLE_BLOCK]))
+                for off in range(0, len(a), _SAMPLE_BLOCK)
+            ]
+            block_cache[r] = got
+        return got
+
+    def elem_units(r: int, k: int) -> list[int]:
+        got = elem_cache.get((r, k))
+        if got is None:
+            a = arrays[r][k * _SAMPLE_BLOCK : (k + 1) * _SAMPLE_BLOCK]
+            re = np.asarray(a.real, dtype=np.float64)
+            im = np.asarray(a.imag, dtype=np.float64)
+            res = _unit_values(re * re)
+            ims = _unit_values(im * im)
+            got = [x + y for x, y in zip(res, ims)]
+            elem_cache[(r, k)] = got
+        return got
+
+    out = np.empty(shots, dtype=np.uint64)
+    for s in range(shots):
+        u = mix64(seed, SAMPLE_STREAM, s) >> 11
+        target = u * ntotal
+        acc = 0
+        r = 0
+        for r, tr in enumerate(slice_totals):
+            if ((acc + tr) << 53) <= target:
+                acc += tr
+            else:
+                break
+        k = 0
+        for k, bk in enumerate(block_totals(r)):
+            if ((acc + bk) << 53) <= target:
+                acc += bk
+            else:
+                break
+        base = r * slice_len + k * _SAMPLE_BLOCK
+        for i, ev in enumerate(elem_units(r, k)):
+            acc += ev
+            if (acc << 53) > target:
+                out[s] = base + i
+                break
+    return out

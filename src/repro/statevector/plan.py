@@ -25,6 +25,7 @@ __all__ = [
     "GatePlan",
     "plan_gate",
     "plan_circuit",
+    "sampling_plan",
     "FLOPS_PER_AMP_PAIR_UPDATE",
     "FLOPS_PER_AMP_DIAGONAL",
 ]
@@ -125,6 +126,9 @@ def plan_gate(
         numa_target=None,
         touched_fraction=touched,
     )
+
+    if gate.name == "measure":
+        return _plan_measure(partition, base)
 
     if locality is GateLocality.FULLY_LOCAL:
         # Diagonal sweep.  QuEST's kernels scan the whole local array
@@ -250,6 +254,78 @@ def plan_gate(
         traffic_bytes=int(3 * local_bytes * touched),
         flops=int(FLOPS_PER_AMP_PAIR_UPDATE * local_amps * touched),
         pair_rank_bit=pairing[0] - m,
+    )
+
+
+def _plan_measure(partition: Partition, base: GatePlan) -> GatePlan:
+    """Plan a mid-circuit measurement on any partition.
+
+    Every rank reads its whole slice to form the exact partial norms,
+    the pair ``(n0, ntotal)`` reduces across all ranks by recursive
+    doubling -- ``d = log2(R)`` sequential pairwise rounds on masks
+    ``1, 2, 4, ...`` -- and the collapse rewrites the slice in place.
+    The payload is two scalars (16 bytes) per round, so measurement is
+    latency-bound, never bandwidth-bound: the d rounds are what the
+    energy model must see.
+    """
+    local_bytes = partition.local_bytes
+    local_amps = partition.local_amplitudes
+    d = max(0, partition.num_ranks.bit_length() - 1)
+    # Local work: one read sweep for the norm (~4 flops/amp), one
+    # read+write sweep for the zero/rescale collapse (~6 flops/amp).
+    traffic = int(3 * local_bytes)
+    flops = int(10 * local_amps)
+    if d == 0:
+        return replace(base, traffic_bytes=traffic, flops=flops)
+    if d == 1:
+        return replace(
+            base,
+            comm_fraction=1.0,
+            send_bytes=16,
+            num_messages=1,
+            traffic_bytes=traffic,
+            flops=flops,
+            pair_rank_bit=0,
+        )
+    return replace(
+        base,
+        comm_fraction=1.0,
+        send_bytes=16 * d,
+        num_messages=d,
+        traffic_bytes=traffic,
+        flops=flops,
+        pair_rank_bit=d - 1,
+        comm_rounds=d,
+        pair_masks=tuple(1 << r for r in range(d)),
+    )
+
+
+def sampling_plan(partition: Partition, shots: int) -> GatePlan:
+    """Plan final-state shot sampling on any partition.
+
+    One read sweep over every rank's slice forms the per-slice
+    probability totals (~2 flops/amp), the scalar totals gather to one
+    root (16 bytes, a single latency-bound round across the top rank
+    bit), and the root draws every shot by cumulative lookup -- about
+    ``num_qubits`` comparisons per shot as the two-level descent narrows
+    a slice, a block, then an element.
+    """
+    if shots < 1:
+        raise SimulationError(f"sampling_plan needs shots >= 1, got {shots}")
+    d = max(0, partition.num_ranks.bit_length() - 1)
+    flops = int(2 * partition.local_amplitudes + shots * partition.num_qubits)
+    return GatePlan(
+        gate_name="sample",
+        locality=GateLocality.DISTRIBUTED if d else GateLocality.FULLY_LOCAL,
+        active_fraction=1.0,
+        comm_fraction=1.0 if d else 0.0,
+        send_bytes=16 if d else 0,
+        num_messages=1 if d else 0,
+        traffic_bytes=partition.local_bytes,
+        flops=flops,
+        numa_target=None,
+        touched_fraction=1.0,
+        pair_rank_bit=d - 1 if d else None,
     )
 
 

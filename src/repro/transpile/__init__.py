@@ -151,6 +151,14 @@ def transpile(
     by that map (the property suite asserts this across executors).
     """
     name = resolve_strategy(strategy, default="grouped")
+    if name != "naive" and circuit.has_measurements():
+        # Reordering and fusion passes assume a unitary gate stream;
+        # commuting a gate across a collapse (or fusing through one)
+        # changes the sampled distribution, not just the layout.
+        raise ValidationError(
+            f"transpile strategy {name!r} cannot reorder a circuit with "
+            "mid-circuit measurements; use strategy='naive'"
+        )
     before = schedule_metrics(circuit, partition)
     passes = build_pipeline(
         name,

@@ -95,6 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--shots", type=int, default=None, metavar="N",
+        help=(
+            "price N readout shots into every candidate point "
+            "(default: 0, or $REPRO_SHOTS)"
+        ),
+    )
+    parser.add_argument(
         "--seed", type=int, default=None, metavar="N",
         help="workload seed for seeded families (default: 23)",
     )
@@ -160,10 +167,12 @@ def main(argv: list[str] | None = None) -> int:
             )
         os.environ["REPRO_CACHE_DIR"] = args.cache
 
+    from repro.statevector.sampling import resolve_shots
     from repro.tune.search import Constraint, tune
     from repro.tune.workloads import DEFAULT_SEED, parse_workload
 
     try:
+        shots = resolve_shots(args.shots)
         workload = parse_workload(
             args.workload,
             seed=args.seed if args.seed is not None else DEFAULT_SEED,
@@ -180,6 +189,7 @@ def main(argv: list[str] | None = None) -> int:
             constraint,
             space,
             spot_check=not args.no_spot_check,
+            shots=shots,
         )
     except (ReproError, ValueError) as exc:
         return _fail(str(exc))

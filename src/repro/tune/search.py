@@ -25,7 +25,7 @@ suite pins.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro import obs
 from repro.circuits.circuit import Circuit
@@ -278,8 +278,16 @@ def tune(
     calibration: Calibration = DEFAULT_CALIBRATION,
     cu_rates: CuRates = DEFAULT_CU_RATES,
     spot_check: bool = True,
+    shots: int = 0,
 ) -> TuneResult:
     """Search the lever space for the workload's Pareto frontier.
+
+    ``shots`` prices final-state sampling (drawing that many bitstrings
+    from the output distribution) into every evaluated point, so
+    sampling jobs optimise the readout they actually pay for.  For
+    circuits with mid-circuit measurements the transpile axis collapses
+    to ``naive`` -- reordering passes cannot commute gates across a
+    collapse -- and non-naive levers count as skipped.
 
     Every point is priced with the analytic predictor (served from the
     content-addressed :class:`PredictionCache` when ``REPRO_CACHE_DIR``
@@ -311,8 +319,13 @@ def tune(
         qubits=num_qubits,
         space=space.size,
     ):
+        has_measure = circuit.has_measurements()
         for raw_lever in space.points():
             lever = _normalise_lever(constraint, raw_lever)
+            if has_measure and lever.transpile != "naive":
+                skipped += 1
+                obs.counter("repro_tune_skipped_total").inc()
+                continue
             if lever in evaluated:
                 # A collapsed checkpoint axis maps several raw points
                 # onto one; price it once.
@@ -327,6 +340,8 @@ def tune(
                 skipped += 1
                 obs.counter("repro_tune_skipped_total").inc()
                 continue
+            if shots:
+                config = replace(config, shots=shots)
             transpile_key = (lever.transpile, lever.num_ranks)
             if transpile_key not in transpiled_memo:
                 transpiled_memo[transpile_key] = transpile(
@@ -373,6 +388,8 @@ def tune(
                         node_type=node_type,
                         calibration=calibration,
                     )
+                    if shots:
+                        config = replace(config, shots=shots)
                     to_run = transpiled_memo[
                         (point.lever.transpile, point.lever.num_ranks)
                     ]

@@ -70,6 +70,31 @@ def _vqe(n: int, seed: int) -> Circuit:
     return vqe_circuit(n, layers=2, seed=seed)
 
 
+def _with_measurements(circuit: Circuit, n: int) -> Circuit:
+    """Interleave a deterministic sprinkle of mid-circuit measurements.
+
+    One measurement after each third of the gate stream, cycling over
+    the low qubits -- enough collapse/renormalise rounds to exercise
+    the norm-reduction collective without flattening the distribution.
+    """
+    gates = circuit.gates
+    cut = max(1, len(gates) // 3)
+    out = Circuit(circuit.num_qubits, name=f"{circuit.name}-sampled")
+    for index, gate in enumerate(gates):
+        out.append(gate)
+        if index + 1 < len(gates) and (index + 1) % cut == 0:
+            out.measure(((index + 1) // cut - 1) % n)
+    return out
+
+
+def _qaoa_sampled(n: int, seed: int) -> Circuit:
+    return _with_measurements(_qaoa(n, seed), n)
+
+
+def _grover_sampled(n: int, seed: int) -> Circuit:
+    return _with_measurements(_grover(n, seed), n)
+
+
 #: family name -> builder(num_qubits, seed).
 WORKLOAD_FAMILIES: dict[str, Callable[[int, int], Circuit]] = {
     "qft": _qft,
@@ -79,6 +104,8 @@ WORKLOAD_FAMILIES: dict[str, Callable[[int, int], Circuit]] = {
     "ghz": _ghz,
     "qaoa": _qaoa,
     "vqe": _vqe,
+    "qaoa-sampled": _qaoa_sampled,
+    "grover-sampled": _grover_sampled,
 }
 
 

@@ -131,3 +131,33 @@ class TestCliObservability:
         err = capsys.readouterr().err
         assert "metrics:" in err
         assert "repro_predictions_total" in err
+
+
+class TestEnvSeamValidation:
+    def test_bad_stall_timeout_rejected_up_front(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_POOL_STALL_TIMEOUT", "-3")
+        assert main(["--list"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "REPRO_POOL_STALL_TIMEOUT" in err
+
+    def test_good_stall_timeout_accepted(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_POOL_STALL_TIMEOUT", "45")
+        assert main(["--list"]) == 0
+
+    def test_bad_shots_env_rejected_up_front(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SHOTS", "-1")
+        assert main(["--list"]) == 2
+        assert "shots" in capsys.readouterr().err
+
+    def test_shots_flag_rejected_when_negative(self, capsys):
+        assert main(["--shots", "-2", "--list"]) == 2
+        assert "shots" in capsys.readouterr().err
+
+    def test_shots_flag_exports_env(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_SHOTS", raising=False)
+        import os
+
+        assert main(["--shots", "256", "fig1"]) == 0
+        assert os.environ.get("REPRO_SHOTS") == "256"
+        monkeypatch.delenv("REPRO_SHOTS", raising=False)

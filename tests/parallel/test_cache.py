@@ -89,6 +89,30 @@ class TestPredictionCache:
         path.write_bytes(b"\x80corrupt")
         assert cache.get(key) is None
 
+    def test_torn_entry_unlinked_and_counted(self, tmp_path):
+        # Regression: a torn entry used to survive the failed read, so
+        # a key that is read but never re-put decoded (and counted) the
+        # same corrupt bytes on every lookup.
+        from repro import obs
+
+        cache = PredictionCache(tmp_path)
+        key = cache.key_for(qft_circuit(6), _config(6))
+        cache.put(key, {"value": 1})
+        path = cache._path(key)
+        # A crashed writer's classic leftover: a truncated pickle.
+        path.write_bytes(path.read_bytes()[:7])
+        counter = obs.counter("repro_cache_torn_entries_total")
+        before = counter.value
+        assert cache.get(key) is None
+        assert counter.value == before + 1
+        assert not path.exists()
+        # A second read is a plain miss, not another torn decode.
+        assert cache.get(key) is None
+        assert counter.value == before + 1
+        # The slot is rewritable after the unlink.
+        cache.put(key, {"value": 2})
+        assert cache.get(key) == {"value": 2}
+
     def test_clear_removes_entries(self, tmp_path):
         cache = PredictionCache(tmp_path)
         for i in range(3):
@@ -244,7 +268,14 @@ class TestExecutorFingerprint:
     def test_cache_version_bumped_for_executor_fields(self):
         from repro.parallel.cache import CACHE_VERSION
 
-        assert CACHE_VERSION == 3
+        assert CACHE_VERSION == 4
+
+    def test_fingerprint_sensitive_to_shots(self):
+        base = config_fingerprint(_config())
+        sampled = config_fingerprint(_config(shots=1024))
+        assert base != sampled
+        assert sampled == config_fingerprint(_config(shots=1024))
+        assert sampled != config_fingerprint(_config(shots=2048))
 
     def test_fingerprint_sensitive_to_executor_topology(self):
         base = config_fingerprint(_config())

@@ -196,3 +196,56 @@ class TestNestedPoolGuard:
         monkeypatch.setenv("_REPRO_POOL_WORKER", "1")
         with pytest.raises(PoolError, match="nested"):
             get_pool()
+
+
+class TestInterrupt:
+    def test_sigint_to_workers_is_not_a_crash(self):
+        # Ctrl-C hits the whole foreground process group; workers must
+        # ignore it (the parent decides shutdown) and keep serving.
+        from repro import obs
+
+        counter = obs.counter(
+            "repro_pool_worker_crashes_total", transport="shm"
+        )
+        pool = WorkerPool(2)
+        try:
+            # Warm the pool first: the ignore handler is installed at
+            # the top of the worker loop, and a SIGINT delivered during
+            # interpreter bootstrap would kill the child legitimately.
+            pool.spmd(spmd_identity, "warmup")
+            before = counter.value
+            for pid in pool.worker_pids():
+                os.kill(pid, signal.SIGINT)
+            time.sleep(0.3)
+            results = pool.spmd(spmd_identity, "still-alive")
+            assert sorted(r[0] for r in results) == [0, 1]
+            assert all(r[2] == "still-alive" for r in results)
+            assert counter.value == before
+            assert not pool.broken
+        finally:
+            pool.close()
+
+    def test_parent_interrupt_marks_pool_broken_quietly(self, monkeypatch):
+        # A KeyboardInterrupt in the dispatching parent is a clean
+        # shutdown request: the pool must re-raise and mark itself
+        # broken WITHOUT booking the workers as crashed.
+        from repro import obs
+
+        counter = obs.counter(
+            "repro_pool_worker_crashes_total", transport="shm"
+        )
+        pool = WorkerPool(2)
+        try:
+            before = counter.value
+
+            def interrupted(*args, **kwargs):
+                raise KeyboardInterrupt
+
+            monkeypatch.setattr(pool, "_spmd_wait", interrupted)
+            with pytest.raises(KeyboardInterrupt):
+                pool.spmd(spmd_identity, None)
+            assert pool.broken
+            assert counter.value == before
+        finally:
+            pool.close()
+        assert counter.value == before

@@ -336,3 +336,100 @@ class TestPoolLifecycle:
         monkeypatch.setenv(_IN_WORKER_ENV, "1")
         with pytest.raises(PoolError, match="nested"):
             get_tcp_pool(LOOPBACK2)
+
+
+class TestStallTimeoutSeam:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(tcp_mod.STALL_TIMEOUT_ENV, raising=False)
+        assert tcp_mod.resolve_stall_timeout() == tcp_mod._MESH_STALL_TIMEOUT_S
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(tcp_mod.STALL_TIMEOUT_ENV, "1.5")
+        assert tcp_mod.resolve_stall_timeout() == 1.5
+
+    @pytest.mark.parametrize("bad", ["abc", "", "-3", "0", "nan"])
+    def test_bad_values_rejected_with_one_liner(self, monkeypatch, bad):
+        from repro.errors import ValidationError
+
+        monkeypatch.setenv(tcp_mod.STALL_TIMEOUT_ENV, bad)
+        with pytest.raises(ValidationError, match="REPRO_POOL_STALL_TIMEOUT"):
+            tcp_mod.resolve_stall_timeout()
+
+    def test_env_applies_to_mesh_transport(self, monkeypatch):
+        # Regression: the 300 s stall deadline was hardcoded; a stuck
+        # exchange must now trip at the configured timeout instead.
+        monkeypatch.setenv(tcp_mod.STALL_TIMEOUT_ENV, "0.2")
+        transport, theirs = _loop_transport((0,), {0: 0, 1: 1})
+        sock = transport._peers[1].sock
+        try:
+            copies = [CopySpec(0, PAIR, 0, 4, 1, LOCAL, 0, 4)]
+            with pytest.raises(PoolError, match="stalled"):
+                transport.exchange(0, copies)
+        finally:
+            sock.close()
+            theirs.close()
+            transport.close()
+
+
+class TestBlobCollective:
+    def test_allgather_blob_round_trip(self):
+        transport, theirs = _loop_transport((0,), {0: 0, 1: 1})
+        sock = transport._peers[1].sock
+        try:
+            peer_payload = b"peer-partial-norms"
+            header = tcp_mod._FRAME.pack(
+                tcp_mod._KIND_BLOB, 0, 1, 0, len(peer_payload)
+            )
+            theirs.sendall(header + peer_payload)
+            out = transport.allgather_blob(0, b"own-partial-norms")
+            assert out == [b"own-partial-norms", peer_payload]
+            # Our frame reached the peer, seq-tagged with our wid.
+            theirs.settimeout(5)
+            raw = b""
+            while len(raw) < tcp_mod._FRAME.size:
+                raw += theirs.recv(4096)
+            kind, xid, seq, _off, length = tcp_mod._FRAME.unpack(
+                raw[: tcp_mod._FRAME.size]
+            )
+            assert (kind, xid, seq) == (tcp_mod._KIND_BLOB, 0, 0)
+            body = raw[tcp_mod._FRAME.size :]
+            while len(body) < length:
+                body += theirs.recv(4096)
+            assert body == b"own-partial-norms"
+        finally:
+            sock.close()
+            theirs.close()
+            transport.close()
+
+    def test_blob_with_forged_sender_rejected(self):
+        # seq carries the sender's worker id; it must match the
+        # authenticated connection the frame arrived on.
+        transport, theirs = _loop_transport((0,), {0: 0, 1: 1})
+        sock = transport._peers[1].sock
+        try:
+            header = tcp_mod._FRAME.pack(tcp_mod._KIND_BLOB, 0, 2, 0, 4)
+            theirs.sendall(header + b"evil")
+            with pytest.raises(PoolError, match="claims sender 2"):
+                transport.allgather_blob(0, b"mine")
+        finally:
+            sock.close()
+            theirs.close()
+            transport.close()
+
+    def test_early_blob_is_stashed_for_its_collective(self):
+        # A fast peer's blob for collective 1 can land while this
+        # worker is still draining collective 0.
+        transport, theirs = _loop_transport((0,), {0: 0, 1: 1})
+        sock = transport._peers[1].sock
+        try:
+            for xid, payload in ((1, b"late"), (0, b"early")):
+                header = tcp_mod._FRAME.pack(
+                    tcp_mod._KIND_BLOB, xid, 1, 0, len(payload)
+                )
+                theirs.sendall(header + payload)
+            assert transport.allgather_blob(0, b"a")[1] == b"early"
+            assert transport.allgather_blob(1, b"b")[1] == b"late"
+        finally:
+            sock.close()
+            theirs.close()
+            transport.close()

@@ -1,0 +1,133 @@
+"""Pricing measurement and sampling: plans, trace, DES agreement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.des.replay import simulate_trace
+from repro.des.validation import DEFAULT_TOLERANCE
+from repro.errors import SimulationError
+from repro.gates import Gate
+from repro.machine.frequency import CpuFrequency
+from repro.machine.node import STANDARD_NODE
+from repro.perfmodel.trace import RunConfiguration, cost_trace, trace_circuit
+from repro.statevector import Partition
+from repro.statevector.plan import plan_gate, sampling_plan
+
+
+def _config(n=8, ranks=4, shots=0):
+    return RunConfiguration(
+        partition=Partition(n, ranks),
+        node_type=STANDARD_NODE,
+        frequency=CpuFrequency.MEDIUM,
+        shots=shots,
+    )
+
+
+def _measured_circuit(n):
+    c = Circuit(n)
+    for q in range(n):
+        c.h(q)
+    c.measure(0)
+    for q in range(n - 1):
+        c.cx(q, q + 1)
+    c.measure(n - 1)
+    return c
+
+
+class TestMeasurePlan:
+    def test_single_rank_never_communicates(self):
+        p = Partition(6, 1)
+        plan = plan_gate(Gate.measure(2), p)
+        assert not plan.communicates
+        assert plan.num_messages == 0
+        assert plan.traffic_bytes == 3 * p.local_bytes
+        assert plan.flops == 10 * p.local_amplitudes
+
+    def test_two_ranks_single_pairwise_round(self):
+        plan = plan_gate(Gate.measure(0), Partition(6, 2))
+        assert plan.num_messages == 1
+        assert plan.send_bytes == 16
+        assert plan.pair_rank_bit == 0
+
+    def test_many_ranks_log2_reduction_rounds(self):
+        for ranks in (4, 8, 64):
+            d = ranks.bit_length() - 1
+            plan = plan_gate(Gate.measure(0), Partition(12, ranks))
+            assert plan.comm_rounds == d
+            assert plan.num_messages == d
+            assert plan.send_bytes == 16 * d
+            assert plan.pair_masks == tuple(1 << r for r in range(d))
+
+    def test_payload_is_latency_bound(self):
+        # 16 bytes per round, independent of state size: only the local
+        # sweeps grow with the slice.
+        small = plan_gate(Gate.measure(0), Partition(8, 4))
+        large = plan_gate(Gate.measure(0), Partition(20, 4))
+        assert small.send_bytes == large.send_bytes == 32
+        assert large.traffic_bytes > small.traffic_bytes
+
+    def test_rank_index_qubit_same_cost_as_local(self):
+        # The reduction is all-to-all over norms; the measured qubit's
+        # locality changes nothing about the schedule.
+        p = Partition(8, 4)
+        assert plan_gate(Gate.measure(0), p).send_bytes == plan_gate(
+            Gate.measure(7), p
+        ).send_bytes
+
+
+class TestSamplingPlan:
+    def test_rejects_nonpositive_shots(self):
+        with pytest.raises(SimulationError, match="shots"):
+            sampling_plan(Partition(8, 4), 0)
+
+    def test_single_rank_no_comm(self):
+        plan = sampling_plan(Partition(8, 1), 100)
+        assert not plan.communicates
+        assert plan.num_messages == 0
+
+    def test_multi_rank_single_scalar_gather(self):
+        plan = sampling_plan(Partition(8, 8), 100)
+        assert plan.num_messages == 1
+        assert plan.send_bytes == 16
+        assert plan.pair_rank_bit == 2
+
+    def test_shot_count_scales_lookup_flops(self):
+        a = sampling_plan(Partition(8, 4), 100)
+        b = sampling_plan(Partition(8, 4), 1100)
+        assert b.flops - a.flops == 1000 * 8
+
+
+class TestShotsInConfiguration:
+    def test_negative_shots_rejected(self):
+        with pytest.raises(ValueError, match="shots"):
+            _config(shots=-1)
+
+    def test_trace_appends_one_sampling_plan(self):
+        c = _measured_circuit(8)
+        plain = trace_circuit(c, _config())
+        sampled = trace_circuit(c, _config(shots=1000))
+        assert len(sampled.plans) == len(plain.plans) + 1
+        assert sampled.plans[-1].gate_name == "sample"
+        assert [p.gate_name for p in plain.plans].count("measure") == 2
+
+    def test_readout_costs_are_positive(self):
+        costed = cost_trace(trace_circuit(_measured_circuit(8), _config(shots=1000)))
+        readout = [
+            g for g in costed.gates if g.plan.gate_name in ("measure", "sample")
+        ]
+        assert len(readout) == 3
+        assert all(g.total_s > 0 for g in readout)
+        assert all(g.total_energy_j > 0 for g in readout)
+
+
+class TestDesAgreement:
+    @pytest.mark.parametrize("ranks", [1, 2, 8, 64])
+    def test_measured_trace_within_tolerance(self, ranks):
+        n = max(8, ranks.bit_length() + 3)
+        trace = trace_circuit(_measured_circuit(n), _config(n, ranks, shots=4096))
+        analytic = cost_trace(trace).runtime_s
+        des = simulate_trace(trace).makespan_s
+        assert analytic > 0
+        assert abs(des - analytic) / analytic <= DEFAULT_TOLERANCE

@@ -1,0 +1,164 @@
+"""Property-based tests: sampling agrees bitwise across all executors.
+
+The measurement acceptance property: a random circuit with interleaved
+mid-circuit measurements, run from one seed, must produce *exactly* the
+same shot stream and the same outcome record on the dense reference,
+the serial distributed executor, the shared-memory pool and the
+TCP-loopback pool -- and the three distributed executors (which share
+slice structure and kernels) must agree on the post-measurement
+amplitudes bit for bit.  Dense amplitudes are held to the repo's
+standing dense-vs-distributed contract (``allclose``): the dense
+reference sweeps the full array where the distributed executors sweep
+per-rank slices, so plain unitary gates can already differ in the last
+ulp -- the exact-integer measurement decisions are what stay
+partition-independent.  The TCP leg runs under
+``REPRO_POOL_CHUNK_AMPS=2`` so the norm-reduction collective interleaves
+with many in-flight data frames.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, random_circuit
+from repro.parallel import shm_available
+from repro.parallel.tcp import CHUNK_AMPS_ENV, shutdown_tcp_pools
+from repro.statevector import DenseStatevector, DistributedStatevector
+
+LOOPBACK2 = "127.0.0.1:0,127.0.0.1:0"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _tiny_chunks():
+    # Fresh TCP workers under 2-amp chunking: the measurement collective
+    # must stay correct while data frames arrive maximally fragmented.
+    shutdown_tcp_pools()
+    old = os.environ.get(CHUNK_AMPS_ENV)
+    os.environ[CHUNK_AMPS_ENV] = "2"
+    yield
+    shutdown_tcp_pools()
+    if old is None:
+        os.environ.pop(CHUNK_AMPS_ENV, None)
+    else:
+        os.environ[CHUNK_AMPS_ENV] = old
+
+
+def _measured_circuit(n: int, gates: int, seed: int) -> Circuit:
+    """A random unitary stream with a measurement every third gate."""
+    base = random_circuit(n, gates, seed=seed, allow_unitaries=False)
+    out = Circuit(n, name="sampled")
+    for index, gate in enumerate(base.gates):
+        out.append(gate)
+        if index % 3 == 2:
+            out.measure(index % n)
+    assert out.has_measurements()
+    return out
+
+
+def _dense(circuit, seed, shots):
+    sim = DenseStatevector(circuit.num_qubits, measure_seed=seed)
+    sim.apply_circuit(circuit)
+    return (
+        sim.sample_bitstrings(shots, seed),
+        tuple(sim.measure_outcomes),
+        sim.amplitudes,
+    )
+
+
+def _dist(circuit, seed, shots, ranks, **kwargs):
+    sim = DistributedStatevector.zero_state(
+        circuit.num_qubits, ranks, measure_seed=seed, **kwargs
+    )
+    sim.apply_circuit(circuit)
+    return (
+        sim.sample_bitstrings(shots, seed),
+        tuple(sim.measure_outcomes),
+        sim.gather(),
+        sim,
+    )
+
+
+circuit_params = st.tuples(
+    st.integers(min_value=4, max_value=6),       # qubits
+    st.integers(min_value=6, max_value=18),      # gates
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+@given(circuit_params, st.sampled_from([2, 4]))
+@settings(max_examples=15, deadline=None)
+def test_serial_bitwise_equals_dense(params, ranks):
+    n, gates, seed = params
+    circuit = _measured_circuit(n, gates, seed)
+    samples, outcomes, amps = _dense(circuit, seed, 12)
+    s_samples, s_outcomes, s_amps, _ = _dist(
+        circuit, seed, 12, ranks, executor="serial"
+    )
+    assert np.array_equal(samples, s_samples)
+    assert outcomes == s_outcomes
+    np.testing.assert_allclose(amps, s_amps, atol=1e-12)
+
+
+@given(circuit_params)
+@settings(max_examples=6, deadline=None)
+def test_tcp_pool_bitwise_equals_dense_and_serial(params):
+    n, gates, seed = params
+    circuit = _measured_circuit(n, gates, seed)
+    samples, outcomes, amps = _dense(circuit, seed, 8)
+    _, _, s_amps, serial = _dist(circuit, seed, 8, 4, executor="serial")
+    t_samples, t_outcomes, t_amps, tcp = _dist(
+        circuit, seed, 8, 4, executor="pool", hosts=LOOPBACK2
+    )
+    assert np.array_equal(samples, t_samples)
+    assert outcomes == t_outcomes
+    # Same slice structure, same kernels: the pool must match serial
+    # bit for bit, and both match dense to the standing tolerance.
+    assert np.array_equal(s_amps, t_amps)
+    np.testing.assert_allclose(amps, t_amps, atol=1e-12)
+    # The modelled schedule (norm-reduction rounds included) matches.
+    assert serial.comm.stats == tcp.comm.stats
+    assert serial.comm.message_log == tcp.comm.message_log
+
+
+@pytest.mark.skipif(
+    not shm_available(), reason="named shared memory unavailable on this host"
+)
+@given(circuit_params)
+@settings(max_examples=5, deadline=None)
+def test_shm_pool_bitwise_equals_dense(params):
+    n, gates, seed = params
+    circuit = _measured_circuit(n, gates, seed)
+    samples, outcomes, amps = _dense(circuit, seed, 8)
+    _, _, s_amps, _ = _dist(circuit, seed, 8, 4, executor="serial")
+    p_samples, p_outcomes, p_amps, _ = _dist(
+        circuit, seed, 8, 4, executor="pool"
+    )
+    assert np.array_equal(samples, p_samples)
+    assert outcomes == p_outcomes
+    assert np.array_equal(s_amps, p_amps)
+    np.testing.assert_allclose(amps, p_amps, atol=1e-12)
+
+
+def test_all_four_executors_one_circuit():
+    circuit = (
+        Circuit(4)
+        .h(0).cx(0, 1).measure(1)
+        .h(2).cx(2, 3).measure(3)
+        .rz(0.3, 0).h(1)
+    )
+    seed = 7
+    samples, outcomes, amps = _dense(circuit, seed, 20)
+    legs = [_dist(circuit, seed, 20, 4, executor="serial")]
+    legs.append(_dist(circuit, seed, 20, 4, executor="pool", hosts=LOOPBACK2))
+    if shm_available():
+        legs.append(_dist(circuit, seed, 20, 4, executor="pool"))
+    serial_amps = legs[0][2]
+    for leg_samples, leg_outcomes, leg_amps, _ in legs:
+        assert np.array_equal(samples, leg_samples)
+        assert outcomes == leg_outcomes
+        assert np.array_equal(serial_amps, leg_amps)
+        np.testing.assert_allclose(amps, leg_amps, atol=1e-12)
+    assert len(outcomes) == 2

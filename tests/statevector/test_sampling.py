@@ -1,0 +1,216 @@
+"""The measurement subsystem: exact primitives, Measure gate, sample()."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ghz_circuit, random_state
+from repro.errors import SimulationError, ValidationError
+from repro.statevector import (
+    DenseStatevector,
+    DistributedStatevector,
+    sample,
+)
+from repro.statevector import exact
+from repro.statevector.sampling import SHOTS_ENV, resolve_shots
+
+
+class TestExactPrimitives:
+    def test_norm_is_partition_invariant(self):
+        psi = random_state(6, seed=3)
+        whole = exact.exact_sq_norm([psi])
+        for parts in (2, 4, 8):
+            assert exact.exact_sq_norm(np.split(psi, parts)) == whole
+
+    def test_partial_norms_local_matches_marginal(self):
+        psi = random_state(4, seed=5)
+        n0, ntotal = exact.partial_norms(psi, 2, 0, 4)
+        probs = np.abs(psi) ** 2
+        mask = (np.arange(16) >> 2) & 1
+        assert ntotal == exact.exact_sq_norm([psi])
+        assert np.isclose(n0 / ntotal, probs[mask == 0].sum())
+
+    def test_partial_norms_rank_qubit_sums_to_local_split(self):
+        # Qubit 2 measured on 4 ranks (2 local qubits) must reduce to
+        # the same exact pair as on 1 rank (4 local qubits).
+        psi = random_state(4, seed=5)
+        whole = exact.partial_norms(psi, 2, 0, 4)
+        slices = np.split(psi, 4)
+        parts = [
+            exact.partial_norms(s, 2, r, 2) for r, s in enumerate(slices)
+        ]
+        assert (
+            sum(p[0] for p in parts),
+            sum(p[1] for p in parts),
+        ) == whole
+
+    def test_measure_outcome_endpoints(self):
+        # p(0) = 0 can never draw outcome 0; p(0) = 1 always does.
+        for ordinal in range(16):
+            assert exact.measure_outcome(7, ordinal, 0, 100) == 1
+            assert exact.measure_outcome(7, ordinal, 100, 100) == 0
+
+    def test_measure_outcome_rejects_zero_norm(self):
+        with pytest.raises(SimulationError, match="zero-norm"):
+            exact.measure_outcome(7, 0, 0, 0)
+
+    def test_collapse_scale_rejects_zero_probability(self):
+        with pytest.raises(SimulationError, match="zero-probability"):
+            exact.collapse_scale(0, 10)
+
+    def test_collapse_scale_exact_halves(self):
+        assert exact.collapse_scale(1, 4) == 2.0
+        assert exact.collapse_scale(4, 4) == 1.0
+
+    def test_sample_exact_is_partition_invariant(self):
+        psi = random_state(6, seed=9)
+        whole = exact.sample_exact([psi], 32, seed=11)
+        for parts in (2, 4):
+            assert np.array_equal(
+                exact.sample_exact(np.split(psi, parts), 32, seed=11),
+                whole,
+            )
+
+    def test_sample_exact_matches_naive_cumulative_search(self):
+        from repro.faults.rng import mix64
+
+        psi = random_state(5, seed=13)
+        sq = np.abs(np.asarray(psi)) ** 2
+        # Exact per-element units, then the definitional linear scan.
+        re = np.asarray(psi.real, dtype=np.float64)
+        im = np.asarray(psi.imag, dtype=np.float64)
+        units = [
+            a + b
+            for a, b in zip(
+                exact._unit_values(re * re), exact._unit_values(im * im)
+            )
+        ]
+        ntotal = sum(units)
+        got = exact.sample_exact([psi], 16, seed=17)
+        for s in range(16):
+            u = mix64(17, exact.SAMPLE_STREAM, s) >> 11
+            target = u * ntotal
+            acc = 0
+            for j, ev in enumerate(units):
+                acc += ev
+                if (acc << 53) > target:
+                    break
+            assert int(got[s]) == j
+        assert sq[np.asarray(got, dtype=int)].min() > 0
+
+    def test_sample_exact_rejects_bad_input(self):
+        psi = random_state(3, seed=1)
+        with pytest.raises(SimulationError, match="shots"):
+            exact.sample_exact([psi], -1, seed=0)
+        with pytest.raises(SimulationError, match="zero-norm"):
+            exact.sample_exact([np.zeros(8, complex)], 4, seed=0)
+
+    def test_non_finite_amplitude_rejected(self):
+        bad = np.array([np.inf + 0j, 0j])
+        with pytest.raises(SimulationError, match="non-finite"):
+            exact.exact_sq_norm([bad])
+
+
+class TestMeasureGate:
+    def test_collapse_is_seed_deterministic(self):
+        c = Circuit(3).h(0).cx(0, 1).measure(0).h(2).measure(2)
+        a = DenseStatevector(3, measure_seed=42).apply_circuit(c)
+        b = DenseStatevector(3, measure_seed=42).apply_circuit(c)
+        assert np.array_equal(a.amplitudes, b.amplitudes)
+        assert a.measure_outcomes == b.measure_outcomes
+        assert len(a.measure_outcomes) == 2
+
+    def test_collapse_renormalises(self):
+        c = Circuit(2).h(0).h(1).measure(0)
+        state = DenseStatevector(2, measure_seed=1).apply_circuit(c)
+        assert np.isclose(state.norm(), 1.0)
+        ((qubit, outcome),) = state.measure_outcomes
+        assert qubit == 0
+        # The collapsed branch holds no weight on the other outcome.
+        probs = state.probabilities()
+        other = probs[((np.arange(4) >> 0) & 1) != outcome]
+        assert np.all(other == 0)
+
+    def test_deterministic_branch_never_flips(self):
+        # |11> measured on qubit 1 must always give 1, any seed.
+        for seed in range(8):
+            c = Circuit(2).x(0).x(1).measure(1)
+            state = DenseStatevector(2, measure_seed=seed).apply_circuit(c)
+            assert state.measure_outcomes == [(1, 1)]
+
+    def test_entangled_pair_outcomes_agree(self):
+        # GHZ collapse: measuring qubit 0 pins every later measurement.
+        c = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        for q in range(3):
+            c.measure(q)
+        for seed in range(6):
+            state = DenseStatevector(3, measure_seed=seed).apply_circuit(c)
+            outcomes = [o for _, o in state.measure_outcomes]
+            assert len(set(outcomes)) == 1
+
+
+class TestSampleApi:
+    def test_rejects_negative_shots(self):
+        with pytest.raises(ValidationError, match="shots"):
+            sample(Circuit(2).h(0), -1)
+
+    def test_zero_shots_is_empty(self):
+        result = sample(Circuit(2).h(0), 0)
+        assert result.samples.size == 0
+        assert result.counts() == {}
+
+    def test_ghz_support_is_all_zeros_or_all_ones(self):
+        result = sample(ghz_circuit(5), 64, seed=3)
+        assert set(np.unique(result.samples).tolist()) <= {0, 31}
+        assert set(result.counts()) <= {"00000", "11111"}
+
+    def test_bitstrings_render_width(self):
+        result = sample(Circuit(3).x(1), 4, seed=0)
+        assert result.bitstrings() == ["010"] * 4
+        assert result.counts() == {"010": 4}
+
+    def test_dense_and_serial_agree(self):
+        c = Circuit(4).h(0).cx(0, 1).measure(1).h(2).cx(2, 3).measure(3)
+        dense = sample(c, 20, seed=7)
+        serial = sample(c, 20, seed=7, executor="serial", num_ranks=4)
+        assert np.array_equal(dense.samples, serial.samples)
+        assert dense.measure_outcomes == serial.measure_outcomes
+
+    def test_distributed_post_measure_state_matches_dense(self):
+        c = Circuit(4).h(0).cx(0, 1).measure(0).rz(0.3, 2).h(3).measure(3)
+        dense = DenseStatevector(4, measure_seed=5).apply_circuit(c)
+        dist = DistributedStatevector.zero_state(
+            4, 4, executor="serial", measure_seed=5
+        ).apply_circuit(c)
+        # Outcome decisions are exact and partition-independent; the
+        # amplitudes themselves are held to the standing
+        # dense-vs-distributed contract (unitary sweeps differ in the
+        # last ulp between the full-array and per-rank kernels).
+        np.testing.assert_allclose(dense.amplitudes, dist.gather(), atol=1e-12)
+        assert dense.measure_outcomes == dist.measure_outcomes
+
+
+class TestResolveShots:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv(SHOTS_ENV, "99")
+        assert resolve_shots(5) == 5
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(SHOTS_ENV, "1024")
+        assert resolve_shots() == 1024
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(SHOTS_ENV, raising=False)
+        assert resolve_shots() == 0
+        assert resolve_shots(default=4096) == 4096
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(SHOTS_ENV, "many")
+        with pytest.raises(ValidationError, match="integer"):
+            resolve_shots()
+        monkeypatch.setenv(SHOTS_ENV, "-2")
+        with pytest.raises(ValidationError, match=">= 0"):
+            resolve_shots()
+
+    def test_negative_explicit_rejected(self):
+        with pytest.raises(ValidationError, match=">= 0"):
+            resolve_shots(-1)

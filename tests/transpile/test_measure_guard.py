@@ -1,0 +1,51 @@
+"""Transpiling a measured circuit: only the identity pipeline is legal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.errors import ValidationError
+from repro.statevector import DenseStatevector, Partition
+from repro.transpile import transpile
+
+
+def _measured(n=4):
+    c = Circuit(n).h(0).cx(0, 1).measure(1).h(2).cx(2, 3)
+    return c
+
+
+@pytest.mark.parametrize("strategy", ["blocked", "grouped"])
+def test_reordering_strategies_rejected(strategy):
+    # Commuting a gate across a collapse (or fusing through one)
+    # changes the sampled distribution, not just the layout.
+    with pytest.raises(ValidationError, match="mid-circuit measurements"):
+        transpile(_measured(), Partition(4, 2), strategy=strategy)
+
+
+def test_naive_passes_measured_circuit_through(monkeypatch):
+    monkeypatch.delenv("REPRO_TRANSPILE", raising=False)
+    result = transpile(_measured(), Partition(4, 2), strategy="naive")
+    assert [g.name for g in result.circuit.gates] == [
+        g.name for g in _measured().gates
+    ]
+    # And the passthrough is executable: same state as the original.
+    seed = 3
+    a = DenseStatevector(4, measure_seed=seed).apply_circuit(_measured())
+    b = DenseStatevector(4, measure_seed=seed).apply_circuit(result.circuit)
+    assert np.array_equal(a.amplitudes, b.amplitudes)
+
+
+def test_env_default_also_guarded(monkeypatch):
+    # strategy=None resolves to grouped via the env/default chain; the
+    # guard must fire there too, not only on explicit names.
+    monkeypatch.delenv("REPRO_TRANSPILE", raising=False)
+    with pytest.raises(ValidationError, match="naive"):
+        transpile(_measured(), Partition(4, 2))
+
+
+def test_unitary_circuits_unaffected():
+    circuit = Circuit(4).h(0).cx(0, 1).h(2).cx(2, 3)
+    result = transpile(circuit, Partition(4, 2), strategy="grouped")
+    assert result.strategy == "grouped"

@@ -95,3 +95,26 @@ def test_seed_changes_seeded_workloads(capsys):
     assert first["workload"] == second["workload"] == "random-6"
     # Different circuits, so (generically) different frontier pricing.
     assert first != second
+
+
+def test_shots_flag_prices_readout(capsys):
+    assert tune_main(["qaoa-sampled-8", "--shots", "5000", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "Pareto frontier: qaoa-sampled-8" in out
+    # Non-naive levers are skipped for measured circuits.
+    assert "skipped" in out
+
+
+def test_negative_shots_is_one_line_error(capsys):
+    assert tune_main(["qft-8", "--shots", "-5", *SMALL]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "shots" in err
+
+
+def test_shots_env_seam(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SHOTS", "2500")
+    assert tune_main(["qft-8", "--json", *SMALL]) == 0
+    assert json.loads(capsys.readouterr().out)["workload"] == "qft-8"
+    monkeypatch.setenv("REPRO_SHOTS", "lots")
+    assert tune_main(["qft-8", *SMALL]) == 2
+    assert "integer" in capsys.readouterr().err

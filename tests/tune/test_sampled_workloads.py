@@ -1,0 +1,86 @@
+"""The sampled workload families and shots threading through tune()."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TuneError
+from repro.machine.frequency import CpuFrequency
+from repro.mpi.datatypes import CommMode
+from repro.parallel.cache import circuit_fingerprint
+from repro.tune.levers import LeverSpace
+from repro.tune.search import tune
+from repro.tune.workloads import (
+    WORKLOAD_FAMILIES,
+    build_workload,
+    parse_workload,
+)
+
+_SPACE = LeverSpace(
+    node_counts=(4, 8),
+    ranks_per_node=(1,),
+    frequencies=(CpuFrequency.MEDIUM,),
+    comm_modes=(CommMode.BLOCKING,),
+    transpile_strategies=("naive", "grouped"),
+    fusion_modes=("off",),
+)
+
+
+class TestSampledFamilies:
+    @pytest.mark.parametrize("family", ["qaoa-sampled", "grover-sampled"])
+    def test_family_registered_and_measured(self, family):
+        assert family in WORKLOAD_FAMILIES
+        workload = build_workload(family, 8)
+        assert workload.circuit.has_measurements()
+        assert workload.name == f"{family}-8"
+        # The unitary gate stream is preserved, interleaved with
+        # measurements -- never replaced by them.
+        kinds = [g.name for g in workload.circuit.gates]
+        assert kinds.count("measure") >= 2
+        assert len(kinds) > kinds.count("measure")
+
+    def test_base_families_stay_unitary(self):
+        assert not build_workload("qaoa", 8).circuit.has_measurements()
+        assert not build_workload("grover", 8).circuit.has_measurements()
+
+    def test_spec_parsing(self):
+        workload = parse_workload("qaoa-sampled-10")
+        assert workload.num_qubits == 10
+        assert workload.circuit.has_measurements()
+        with pytest.raises(TuneError):
+            parse_workload("qaoa-sampled-x")
+
+    def test_construction_is_deterministic(self):
+        a = build_workload("qaoa-sampled", 8, seed=5).circuit
+        b = build_workload("qaoa-sampled", 8, seed=5).circuit
+        assert circuit_fingerprint(a) == circuit_fingerprint(b)
+        c = build_workload("qaoa-sampled", 8, seed=6).circuit
+        assert circuit_fingerprint(a) != circuit_fingerprint(c)
+
+
+class TestShotsThreading:
+    def test_measured_circuit_collapses_transpile_axis(self):
+        workload = build_workload("qaoa-sampled", 10)
+        result = tune(workload, space=_SPACE, spot_check=False)
+        # The two grouped levers are skipped, the two naive ones priced.
+        assert result.evaluated == 2
+        assert result.skipped == 2
+        assert all(p.lever.transpile == "naive" for p in result.frontier)
+
+    def test_unitary_circuit_keeps_all_strategies(self):
+        workload = build_workload("qaoa", 10)
+        result = tune(workload, space=_SPACE, spot_check=False)
+        assert result.evaluated == 4
+        assert result.skipped == 0
+
+    def test_shots_price_into_every_point(self):
+        workload = build_workload("qaoa-sampled", 10)
+        base = tune(workload, space=_SPACE, spot_check=False)
+        sampled = tune(workload, space=_SPACE, spot_check=False, shots=100_000)
+        assert sampled.evaluated == base.evaluated
+        by_lever = {p.lever: p for p in base.frontier}
+        for point in sampled.frontier:
+            twin = by_lever.get(point.lever)
+            if twin is not None:
+                assert point.objectives.runtime_s > twin.objectives.runtime_s
+                assert point.objectives.energy_j > twin.objectives.energy_j
